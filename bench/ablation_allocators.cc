@@ -1,0 +1,36 @@
+// Ablation: the paper's utility-maximizing search vs. the economic-model
+// style greedy marginal-utility auction (see the authors' follow-up work
+// on economic models for DBMS resource allocation). Same models, same
+// utility functions — only the allocation algorithm differs.
+#include <cstdio>
+
+#include "harness/experiment.h"
+
+int main() {
+  std::printf("=== Allocation algorithm ablation ===\n");
+  {
+    qsched::harness::ExperimentConfig config;
+    auto result = qsched::harness::RunExperiment(
+        config, qsched::harness::ControllerKind::kQueryScheduler);
+    std::printf("utility search:  class1=%2d/18 class2=%2d/18 "
+                "class3=%2d/18  t3=%.3f s\n",
+                result.periods_meeting_goal.at(1),
+                result.periods_meeting_goal.at(2),
+                result.periods_meeting_goal.at(3),
+                result.overall_response.at(3));
+  }
+  {
+    qsched::harness::ExperimentConfig config;
+    config.qs.allocator =
+        qsched::sched::QuerySchedulerConfig::Allocator::kGreedyAuction;
+    auto result = qsched::harness::RunExperiment(
+        config, qsched::harness::ControllerKind::kQueryScheduler);
+    std::printf("greedy auction:  class1=%2d/18 class2=%2d/18 "
+                "class3=%2d/18  t3=%.3f s\n",
+                result.periods_meeting_goal.at(1),
+                result.periods_meeting_goal.at(2),
+                result.periods_meeting_goal.at(3),
+                result.overall_response.at(3));
+  }
+  return 0;
+}

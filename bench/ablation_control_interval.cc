@@ -1,0 +1,24 @@
+// Ablation: length of the Scheduling Planner's control interval. Short
+// intervals react fast but see few OLAP completions per interval (noisy
+// velocity estimates); long intervals lag the workload shifts.
+#include <cstdio>
+
+#include "harness/experiment.h"
+
+int main() {
+  std::printf("=== Control interval ablation ===\n");
+  std::printf("interval_s  class1_met  class2_met  class3_met  "
+              "class3_mean_resp\n");
+  for (double interval : {15.0, 30.0, 60.0, 120.0, 300.0}) {
+    qsched::harness::ExperimentConfig config;
+    config.qs.control_interval_seconds = interval;
+    auto result = qsched::harness::RunExperiment(
+        config, qsched::harness::ControllerKind::kQueryScheduler);
+    std::printf("%10.0f  %10d  %10d  %10d  %16.3f\n", interval,
+                result.periods_meeting_goal.at(1),
+                result.periods_meeting_goal.at(2),
+                result.periods_meeting_goal.at(3),
+                result.overall_response.at(3));
+  }
+  return 0;
+}

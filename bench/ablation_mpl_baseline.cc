@@ -1,0 +1,23 @@
+// Ablation: MPL-based class control (in the spirit of Schroeder et al.,
+// ICDE'06, which the paper cites) versus Query Scheduler's cost-based
+// control, on the same mixed workload. MPL control ignores query size,
+// so admitting "4 queries" means wildly different resource footprints
+// depending on the mix — cost-based limits are steadier.
+#include <cstdio>
+
+#include "bench/figure_common.h"
+
+int main() {
+  qsched::harness::ExperimentConfig config;
+  config.mpl.initial_mpl = {{1, 3}, {2, 3}};
+  std::printf("=== MPL-based class control (adaptive) ===\n");
+  auto mpl = qsched::harness::RunExperiment(
+      config, qsched::harness::ControllerKind::kMpl);
+  qsched::bench::PrintPerformanceFigure(mpl);
+
+  std::printf("\n--- Query Scheduler (cost-based), for comparison ---\n");
+  auto qs = qsched::harness::RunExperiment(
+      config, qsched::harness::ControllerKind::kQueryScheduler);
+  qsched::bench::PrintPerformanceFigure(qs);
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Ablation (Section 3.3): the snapshot sampling interval "must not be
+// too small, which will incur significant overhead, nor too large, which
+// would decrease accuracy". Sweep the interval and report the OLTP
+// outcome plus the monitoring overhead burned.
+#include <cstdio>
+
+#include "harness/experiment.h"
+
+int main() {
+  std::printf("=== Snapshot sampling interval ablation ===\n");
+  std::printf("interval_s  class3_periods_met  class3_mean_resp  "
+              "class1_met  class2_met\n");
+  for (double interval : {1.0, 5.0, 10.0, 30.0, 60.0, 120.0}) {
+    qsched::harness::ExperimentConfig config;
+    config.qs.snapshot.sample_interval_seconds = interval;
+    // A 1-s sampling interval reading every client row is expensive;
+    // model it faithfully.
+    auto result = qsched::harness::RunExperiment(
+        config, qsched::harness::ControllerKind::kQueryScheduler);
+    std::printf("%10.0f  %18d  %16.3f  %10d  %10d\n", interval,
+                result.periods_meeting_goal.at(3),
+                result.overall_response.at(3),
+                result.periods_meeting_goal.at(1),
+                result.periods_meeting_goal.at(2));
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Ablation: Performance Solver search configuration — grid resolution,
+// hill-climb refinement, change penalty, and online slope re-estimation
+// (the fragile alternative to the paper's offline regression constant).
+#include <cstdio>
+
+#include "harness/experiment.h"
+
+namespace {
+
+void Run(const char* label, qsched::harness::ExperimentConfig config) {
+  auto result = qsched::harness::RunExperiment(
+      config, qsched::harness::ControllerKind::kQueryScheduler);
+  std::printf("%-34s  class1=%2d/18 class2=%2d/18 class3=%2d/18  "
+              "t3=%.3f s\n",
+              label, result.periods_meeting_goal.at(1),
+              result.periods_meeting_goal.at(2),
+              result.periods_meeting_goal.at(3),
+              result.overall_response.at(3));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Solver configuration ablation ===\n");
+  {
+    qsched::harness::ExperimentConfig config;
+    Run("default (grid 2.5% + hill climb)", config);
+  }
+  {
+    qsched::harness::ExperimentConfig config;
+    config.qs.solver.grid_step = 0.10;
+    Run("coarse grid 10%", config);
+  }
+  {
+    qsched::harness::ExperimentConfig config;
+    config.qs.solver.grid_step = 0.5;  // effectively disables the grid
+    config.qs.solver.refine_steps = {0.02, 0.005};
+    Run("hill climb only", config);
+  }
+  {
+    qsched::harness::ExperimentConfig config;
+    config.qs.solver.change_penalty = 0.0;
+    Run("no change penalty", config);
+  }
+  {
+    qsched::harness::ExperimentConfig config;
+    config.qs.plan_step_fraction = 1.0;
+    Run("no plan rate limiting", config);
+  }
+  {
+    qsched::harness::ExperimentConfig config;
+    config.qs.oltp_model.online_updates = true;
+    Run("online slope re-estimation", config);
+  }
+  return 0;
+}

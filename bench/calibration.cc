@@ -1,0 +1,84 @@
+// Calibration diagnostic: prints the workload cost distributions, the
+// Fig. 2 mechanism preview (OLTP response vs. OLAP cost limit), and the
+// throughput-vs-system-cost-limit curve used to pick the under-saturation
+// knee. Run this after changing any engine or cost-model constant.
+#include <cstdio>
+
+#include "harness/experiment.h"
+#include "sim/stats.h"
+
+namespace {
+
+using qsched::harness::ExperimentConfig;
+using qsched::harness::MeasureOltpResponse;
+using qsched::sim::Percentile;
+
+void PrintCostDistribution() {
+  ExperimentConfig config;
+  qsched::workload::TpchWorkload olap(config.tpch, 11);
+  std::vector<double> costs = olap.SampleCosts(2000);
+  double mean = 0.0;
+  for (double c : costs) mean += c;
+  mean /= costs.size();
+  std::printf("OLAP cost timerons: mean=%.0f p10=%.0f p50=%.0f p80=%.0f "
+              "p95=%.0f max=%.0f\n",
+              mean, Percentile(costs, 0.10), Percentile(costs, 0.50),
+              Percentile(costs, 0.80), Percentile(costs, 0.95),
+              Percentile(costs, 1.0));
+
+  qsched::workload::TpccWorkload oltp(config.tpcc, 12);
+  std::vector<double> tcosts = oltp.SampleCosts(2000);
+  double tmean = 0.0;
+  for (double c : tcosts) tmean += c;
+  tmean /= tcosts.size();
+  std::printf("OLTP cost timerons: mean=%.1f p50=%.1f p95=%.1f max=%.1f\n",
+              tmean, Percentile(tcosts, 0.50), Percentile(tcosts, 0.95),
+              Percentile(tcosts, 1.0));
+
+  // True demand of a few OLAP draws.
+  for (int i = 0; i < 6; ++i) {
+    qsched::workload::Query q = olap.Next();
+    std::printf("  olap %-4s cost=%8.0f cpu=%6.2fs pages=%8.0f hit=%.2f\n",
+                q.template_name.c_str(), q.cost_timerons,
+                q.job.cpu_seconds, q.job.logical_pages, q.job.hit_ratio);
+  }
+  for (int i = 0; i < 4; ++i) {
+    qsched::workload::Query q = oltp.Next();
+    std::printf("  oltp %-12s cost=%6.1f cpu=%6.4fs pages=%6.1f hit=%.2f\n",
+                q.template_name.c_str(), q.cost_timerons,
+                q.job.cpu_seconds, q.job.logical_pages, q.job.hit_ratio);
+  }
+}
+
+void PrintFig2Preview() {
+  std::printf("\nFig2 preview: OLTP avg response vs OLAP cost limit "
+              "(25 OLTP, 8 OLAP clients, 480s)\n");
+  ExperimentConfig config;
+  for (double limit = 50000; limit <= 450000; limit += 50000) {
+    double olap_tput = 0.0;
+    double resp = MeasureOltpResponse(config, 25, 8, limit, 480.0,
+                                      &olap_tput);
+    std::printf("  limit=%7.0f oltp_resp=%.3fs olap_tput=%.3f/s\n", limit,
+                resp, olap_tput);
+  }
+}
+
+void PrintKneeCurve() {
+  std::printf("\nSystem cost limit curve: OLAP throughput vs limit "
+              "(12 OLAP clients, no OLTP, 480s)\n");
+  ExperimentConfig config;
+  for (double limit = 50000; limit <= 600000; limit += 50000) {
+    double olap_tput = 0.0;
+    MeasureOltpResponse(config, 0, 12, limit, 480.0, &olap_tput);
+    std::printf("  limit=%7.0f olap_tput=%.3f/s\n", limit, olap_tput);
+  }
+}
+
+}  // namespace
+
+int main() {
+  PrintCostDistribution();
+  PrintFig2Preview();
+  PrintKneeCurve();
+  return 0;
+}

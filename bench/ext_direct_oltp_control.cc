@@ -1,0 +1,23 @@
+// Future-work extension (Section 5): the most effective way to manage
+// OLTP is to control it directly, which requires the control mechanism
+// to live inside the DBMS (near-zero interception overhead). This bench
+// runs the full Figure-6 experiment with Query Scheduler in direct-OLTP
+// mode and compares against the paper's indirect mode.
+#include <cstdio>
+
+#include "bench/figure_common.h"
+
+int main() {
+  qsched::harness::ExperimentConfig config;
+  std::printf("=== Extension: direct OLTP control (in-engine, ~2 ms "
+              "overhead) ===\n");
+  auto direct = qsched::harness::RunExperiment(
+      config, qsched::harness::ControllerKind::kQsDirectOltp);
+  qsched::bench::PrintPerformanceFigure(direct);
+
+  std::printf("\n--- paper's indirect control, for comparison ---\n");
+  auto indirect = qsched::harness::RunExperiment(
+      config, qsched::harness::ControllerKind::kQueryScheduler);
+  qsched::bench::PrintPerformanceFigure(indirect);
+  return 0;
+}

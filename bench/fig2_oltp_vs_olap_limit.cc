@@ -1,0 +1,57 @@
+// Figure 2: OLTP average response time as a function of the total OLAP
+// cost limit, for several (OLTP clients, OLAP clients) mixes. The paper
+// observes a near-linear relationship while the system is under-saturated
+// (below the ~300K-timeron knee); the slope of this regression is the `s`
+// constant of the OLTP performance model.
+#include <cstdio>
+#include <vector>
+
+#include "harness/experiment.h"
+
+int main() {
+  qsched::harness::ExperimentConfig config;
+  // The paper's legend pairs (OLTP clients, OLAP clients); OCR loses the
+  // exact values, so the reproduction uses mixes spanning the same design:
+  // three OLAP intensities at fixed OLTP, plus a heavier-OLTP mix.
+  const std::vector<std::pair<int, int>> mixes = {
+      {25, 4}, {25, 8}, {25, 2}, {15, 8}};
+  const double duration = 720.0;
+
+  std::printf("=== Figure 2: OLTP avg response (s) vs OLAP cost limit ===\n");
+  std::printf("olap_limit");
+  for (const auto& [oltp, olap] : mixes) {
+    std::printf("  (%d,%d)", oltp, olap);
+  }
+  std::printf("\n");
+
+  std::vector<std::vector<double>> columns(mixes.size());
+  std::vector<double> limits;
+  for (double limit = 50000; limit <= 400000; limit += 50000) {
+    limits.push_back(limit);
+    std::printf("%10.0f", limit);
+    for (size_t i = 0; i < mixes.size(); ++i) {
+      double resp = qsched::harness::MeasureOltpResponse(
+          config, mixes[i].first, mixes[i].second, limit, duration);
+      columns[i].push_back(resp);
+      std::printf("  %7.3f", resp);
+    }
+    std::printf("\n");
+  }
+
+  // Least-squares slope over the under-saturated region (<= 300K) for the
+  // heaviest mix: this is the model constant `s`.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  int n = 0;
+  for (size_t i = 0; i < limits.size(); ++i) {
+    if (limits[i] > 300000) continue;
+    sx += limits[i];
+    sy += columns[1][i];
+    sxx += limits[i] * limits[i];
+    sxy += limits[i] * columns[1][i];
+    ++n;
+  }
+  double slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+  std::printf("regression over (25,8) mix, limits <= 300K: "
+              "s = %.3g s/timeron\n", slope);
+  return 0;
+}

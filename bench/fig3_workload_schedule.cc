@@ -1,0 +1,22 @@
+// Figure 3: the experiment's workload-intensity schedule — client counts
+// per class over the 18 periods, plus the reproduction's time scale.
+#include <cstdio>
+
+#include "harness/experiment.h"
+
+int main() {
+  qsched::harness::ExperimentConfig config;
+  qsched::workload::WorkloadSchedule schedule =
+      qsched::workload::MakeFigure3Schedule(config.period_seconds);
+
+  std::printf("=== Figure 3: workload schedule ===\n");
+  std::printf("periods=%d period_seconds=%.0f (paper: 18 x 80 min)\n",
+              schedule.num_periods(), schedule.period_seconds());
+  std::printf("period  class1_clients  class2_clients  class3_clients\n");
+  for (int p = 0; p < schedule.num_periods(); ++p) {
+    std::printf("%6d  %14d  %14d  %14d\n", p + 1,
+                schedule.ClientsFor(p, 1), schedule.ClientsFor(p, 2),
+                schedule.ClientsFor(p, 3));
+  }
+  return 0;
+}

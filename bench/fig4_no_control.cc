@@ -1,0 +1,15 @@
+// Figure 4: baseline with no class control — only the system cost limit
+// gates admission. Shows how class performance swings with workload
+// intensity when nothing differentiates the classes.
+#include <cstdio>
+
+#include "bench/figure_common.h"
+
+int main() {
+  qsched::harness::ExperimentConfig config;
+  std::printf("=== Figure 4: performance with no class control ===\n");
+  auto result = qsched::harness::RunExperiment(
+      config, qsched::harness::ControllerKind::kNoControl);
+  qsched::bench::PrintPerformanceFigure(result);
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Figure 5: DB2 Query Patroller static control with priority — large/
+// medium/small cost groups, a static OLAP cost limit, and Class 2
+// prioritized over Class 1. The paper's finding: Class 2 always beats
+// Class 1, but the OLTP class misses its goal whenever its intensity is
+// high (periods 3, 6, 9, 12, 15, 18) and in period 17 (high OLAP).
+#include <cstdio>
+
+#include "bench/figure_common.h"
+
+int main() {
+  qsched::harness::ExperimentConfig config;
+  std::printf("=== Figure 5: DB2 QP priority control ===\n");
+  auto result = qsched::harness::RunExperiment(
+      config, qsched::harness::ControllerKind::kQpPriority);
+  qsched::bench::PrintPerformanceFigure(result);
+
+  std::printf("\n--- QP without priority (paper: behaves like no control "
+              "between the OLAP classes) ---\n");
+  auto flat = qsched::harness::RunExperiment(
+      config, qsched::harness::ControllerKind::kQpNoPriority);
+  qsched::bench::PrintPerformanceFigure(flat);
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Figure 7: the class cost limits Query Scheduler chooses over time.
+// The paper's findings: Class 3 (highest importance) holds few resources
+// while its load is light, takes more than half the system when its load
+// is heavy, and gets *less* in period 18 than in 3/6/9 because the other
+// classes are heaviest there.
+#include <cstdio>
+
+#include "harness/experiment.h"
+
+int main() {
+  qsched::harness::ExperimentConfig config;
+  std::printf("=== Figure 7: adjustment of class cost limits (timerons) "
+              "===\n");
+  auto result = qsched::harness::RunExperiment(
+      config, qsched::harness::ControllerKind::kQueryScheduler);
+  std::printf("period  class1_limit  class2_limit  class3_limit  "
+              "class3_share\n");
+  double total = config.system_cost_limit;
+  for (int p = 0; p < result.num_periods; ++p) {
+    double c1 = result.period_mean_limits.at(1)[p];
+    double c2 = result.period_mean_limits.at(2)[p];
+    double c3 = result.period_mean_limits.at(3)[p];
+    std::printf("%6d  %12.0f  %12.0f  %12.0f  %11.2f%%\n", p + 1, c1, c2,
+                c3, 100.0 * c3 / total);
+  }
+  return 0;
+}

@@ -1,0 +1,19 @@
+#ifndef QSCHED_BENCH_FIGURE_COMMON_H_
+#define QSCHED_BENCH_FIGURE_COMMON_H_
+
+#include <iostream>
+
+#include "harness/report.h"
+
+namespace qsched::bench {
+
+/// Prints a Figure 4/5/6-style table for the paper's three classes.
+inline void PrintPerformanceFigure(const harness::ExperimentResult& r) {
+  harness::ReportOptions options;
+  harness::PrintPerformanceReport(r, sched::MakePaperClasses(), options,
+                                  std::cout);
+}
+
+}  // namespace qsched::bench
+
+#endif  // QSCHED_BENCH_FIGURE_COMMON_H_

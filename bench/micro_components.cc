@@ -1,0 +1,115 @@
+// Component micro-benchmarks (google-benchmark): the hot paths of the
+// simulator and the control plane. These bound how much simulated load
+// the harness can drive and how expensive one planning cycle is.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "engine/resources.h"
+#include "optimizer/cost_model.h"
+#include "scheduler/solver.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+#include "workload/tpcc_workload.h"
+#include "workload/tpch_workload.h"
+
+namespace {
+
+using namespace qsched;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      simulator.ScheduleAt(static_cast<double>(i % 97), [&fired] {
+        ++fired;
+      });
+    }
+    simulator.RunToCompletion();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_ProcessorSharing(benchmark::State& state) {
+  int64_t jobs = state.range(0);
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    engine::ProcessorSharingPool pool(&simulator, 2);
+    for (int64_t i = 0; i < jobs; ++i) {
+      pool.Submit(0.01 * (1 + i % 7), [] {});
+    }
+    simulator.RunToCompletion();
+    benchmark::DoNotOptimize(pool.busy_core_seconds());
+  }
+  state.SetItemsProcessed(state.iterations() * jobs);
+}
+BENCHMARK(BM_ProcessorSharing)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_TpchCostEstimate(benchmark::State& state) {
+  workload::TpchWorkloadParams params;
+  workload::TpchWorkload workload(params, 7);
+  for (auto _ : state) {
+    workload::Query q = workload.Next();
+    benchmark::DoNotOptimize(q.cost_timerons);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TpchCostEstimate);
+
+void BM_TpccCostEstimate(benchmark::State& state) {
+  workload::TpccWorkloadParams params;
+  workload::TpccWorkload workload(params, 9);
+  for (auto _ : state) {
+    workload::Query q = workload.Next();
+    benchmark::DoNotOptimize(q.cost_timerons);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TpccCostEstimate);
+
+void BM_SolverSolve(benchmark::State& state) {
+  sched::ServiceClassSet classes = sched::MakePaperClasses();
+  sched::OltpResponseModel model;
+  sched::SolverInput input;
+  input.total_cost_limit = 300000;
+  input.oltp_model = &model;
+  input.classes = {
+      {classes.Find(1), 0.35, 90000, false},
+      {classes.Find(2), 0.55, 120000, false},
+      {classes.Find(3), 0.28, 90000, false},
+  };
+  sched::PerformanceSolver solver;
+  for (auto _ : state) {
+    sched::SchedulingPlan plan = solver.Solve(input);
+    benchmark::DoNotOptimize(plan.predicted_utility);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SolverSolve);
+
+void BM_RngDraws(benchmark::State& state) {
+  Rng rng(1234);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.BoundedPareto(1.2, 1.0, 1e6));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngDraws);
+
+void BM_HistogramQuantile(benchmark::State& state) {
+  sim::Histogram histogram(0.001, 1000.0);
+  Rng rng(5);
+  for (int i = 0; i < 100000; ++i) {
+    histogram.Add(rng.LogNormal(0.0, 2.0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(histogram.Quantile(0.95));
+  }
+}
+BENCHMARK(BM_HistogramQuantile);
+
+}  // namespace
+
+BENCHMARK_MAIN();

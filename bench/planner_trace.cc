@@ -1,0 +1,83 @@
+// Scratch probe: the Figure-3 schedule under Query Scheduler, printing
+// the planner's measurements and decisions every control interval next
+// to ground truth from the completion stream.
+#include <cstdio>
+#include <memory>
+
+#include "harness/experiment.h"
+#include "metrics/period_collector.h"
+#include "workload/client.h"
+
+using namespace qsched;
+
+namespace {
+
+struct IntervalTruth {
+  double v1_sum = 0, t3_sum = 0;
+  int n1 = 0, n3 = 0;
+  double v2_sum = 0;
+  int n2 = 0;
+  void Add(const workload::QueryRecord& r) {
+    if (r.class_id == 1) {
+      v1_sum += r.Velocity();
+      ++n1;
+    } else if (r.class_id == 2) {
+      v2_sum += r.Velocity();
+      ++n2;
+    } else {
+      t3_sum += r.ResponseSeconds();
+      ++n3;
+    }
+  }
+  void Reset() { *this = IntervalTruth(); }
+};
+
+}  // namespace
+
+int main() {
+  harness::ExperimentConfig config;
+  sim::Simulator simulator;
+  Rng master(config.seed);
+  engine::ExecutionEngine engine(&simulator, config.engine, master.Fork(1));
+
+  workload::WorkloadSchedule schedule =
+      workload::MakeFigure3Schedule(config.period_seconds);
+  sched::ServiceClassSet classes = sched::MakePaperClasses();
+
+  sched::QuerySchedulerConfig qs_config = config.qs;
+  qs_config.system_cost_limit = config.system_cost_limit;
+  qs_config.interceptor = config.interceptor;
+  sched::QueryScheduler qs(&simulator, &engine, &classes, qs_config);
+  double total = schedule.total_seconds();
+  qs.Start(total);
+
+  workload::TpchWorkload gen1(config.tpch, 101);
+  workload::TpchWorkload gen2(config.tpch, 102);
+  workload::TpccWorkload gen3(config.tpcc, 103);
+  IntervalTruth truth;
+  auto sink = [&truth](const workload::QueryRecord& r) { truth.Add(r); };
+  workload::ClientPool p1(&simulator, &schedule, 1, &gen1, &qs, sink);
+  workload::ClientPool p2(&simulator, &schedule, 2, &gen2, &qs, sink);
+  workload::ClientPool p3(&simulator, &schedule, 3, &gen3, &qs, sink);
+  p1.Start();
+  p2.Start();
+  p3.Start();
+
+  double interval = qs_config.control_interval_seconds;
+  for (double t = interval; t <= total; t += interval) {
+    simulator.RunUntil(t);
+    const auto& m = qs.measurements();
+    const auto& plan = qs.current_plan();
+    int period = schedule.PeriodAt(t - 1.0) + 1;
+    std::printf(
+        "p%02d t=%6.0f meas v1=%.2f v2=%.2f t3=%.3f | true v1=%.2f(%d) "
+        "v2=%.2f(%d) t3=%.3f(%d) | plan %6.0f %6.0f %6.0f\n",
+        period, t, m.at(1), m.at(2), m.at(3),
+        truth.n1 ? truth.v1_sum / truth.n1 : -1, truth.n1,
+        truth.n2 ? truth.v2_sum / truth.n2 : -1, truth.n2,
+        truth.n3 ? truth.t3_sum / truth.n3 : -1, truth.n3,
+        plan.LimitFor(1), plan.LimitFor(2), plan.LimitFor(3));
+    truth.Reset();
+  }
+  return 0;
+}

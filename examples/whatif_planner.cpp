@@ -1,0 +1,55 @@
+// What-if planning with the library's model layer (no simulation): given
+// measured per-class performance under the current plan, ask the
+// Performance Solver what it would do — the same building blocks the
+// online Scheduling Planner uses, exposed for offline capacity planning.
+#include <cstdio>
+
+#include "scheduler/perf_models.h"
+#include "scheduler/service_class.h"
+#include "scheduler/solver.h"
+
+int main() {
+  using namespace qsched::sched;
+
+  ServiceClassSet classes = MakePaperClasses();
+  OltpResponseModel oltp_model;  // s fitted offline from Fig. 2 data
+
+  std::printf("What-if: proposed cost limits for observed states "
+              "(total 300K timerons)\n");
+  std::printf("%-44s  %8s %8s %8s\n", "observed (v1, v2, oltp_resp)",
+              "c1", "c2", "c3");
+
+  struct Scenario {
+    const char* label;
+    double v1, v2, t3;
+  };
+  const Scenario scenarios[] = {
+      {"quiet afternoon (all goals met easily)", 0.90, 0.95, 0.12},
+      {"OLTP rush (class 3 violating)", 0.70, 0.80, 0.45},
+      {"analytics crunch (OLAP starving)", 0.15, 0.25, 0.10},
+      {"everything on fire (all violating)", 0.20, 0.30, 0.50},
+  };
+
+  PerformanceSolver solver;
+  for (const Scenario& s : scenarios) {
+    SolverInput input;
+    input.total_cost_limit = 300000.0;
+    input.oltp_model = &oltp_model;
+    input.classes = {
+        {classes.Find(1), s.v1, 100000.0, false},
+        {classes.Find(2), s.v2, 100000.0, false},
+        {classes.Find(3), s.t3, 100000.0, false},
+    };
+    SchedulingPlan plan = solver.Solve(input);
+    std::printf("%-44s  %8.0f %8.0f %8.0f\n", s.label, plan.LimitFor(1),
+                plan.LimitFor(2), plan.LimitFor(3));
+  }
+
+  std::printf("\nmodel predictions for the OLTP class "
+              "(s = %.2g s/timeron):\n", oltp_model.slope());
+  for (double limit : {100000.0, 200000.0, 300000.0}) {
+    std::printf("  OLAP total %6.0f -> predicted OLTP response %.3f s\n",
+                limit, oltp_model.Predict(0.15, 100000.0, limit));
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+#include "catalog/schema.h"
+
+namespace qsched::catalog {
+namespace {
+
+Column Key(std::string name, uint64_t distinct) {
+  return Column{std::move(name), ColumnType::kInt32, 4, distinct};
+}
+Column Money(std::string name) {
+  return Column{std::move(name), ColumnType::kDecimal, 8, 100000};
+}
+Column Text(std::string name, int width) {
+  return Column{std::move(name), ColumnType::kVarchar, width, 100000};
+}
+
+}  // namespace
+
+Catalog MakeTpccCatalog(int warehouses) {
+  uint64_t w = warehouses <= 0 ? 1 : static_cast<uint64_t>(warehouses);
+  Catalog catalog("tpcc");
+
+  Table warehouse("warehouse", w,
+                  {Key("w_id", w), Text("w_name", 10), Text("w_street", 40),
+                   Money("w_tax"), Money("w_ytd")});
+  warehouse.AddIndex(Index{"w_pk", "w_id", true, 1});
+  catalog.AddTable(std::move(warehouse));
+
+  Table district("district", w * 10,
+                 {Key("d_id", 10), Key("d_w_id", w), Text("d_name", 10),
+                  Money("d_tax"), Money("d_ytd"), Key("d_next_o_id", 3000)});
+  district.AddIndex(Index{"d_pk", "d_w_id", true, 2});
+  catalog.AddTable(std::move(district));
+
+  Table customer("customer", w * 30000,
+                 {Key("c_id", 3000), Key("c_d_id", 10), Key("c_w_id", w),
+                  Text("c_last", 16), Text("c_first", 16),
+                  Text("c_street", 40), Money("c_balance"),
+                  Money("c_ytd_payment"), Text("c_data", 300)});
+  customer.AddIndex(Index{"c_pk", "c_w_id", true, 3});
+  customer.AddIndex(Index{"c_last_idx", "c_last", false, 3});
+  catalog.AddTable(std::move(customer));
+
+  Table history("history", w * 30000,
+                {Key("h_c_id", 3000), Key("h_c_d_id", 10), Key("h_c_w_id", w),
+                 Money("h_amount"), Text("h_data", 24)});
+  catalog.AddTable(std::move(history));
+
+  Table neworder("new_order", w * 9000,
+                 {Key("no_o_id", 3000), Key("no_d_id", 10),
+                  Key("no_w_id", w)});
+  neworder.AddIndex(Index{"no_pk", "no_w_id", true, 2});
+  catalog.AddTable(std::move(neworder));
+
+  Table orders("orders", w * 30000,
+               {Key("o_id", 3000), Key("o_d_id", 10), Key("o_w_id", w),
+                Key("o_c_id", 3000), Key("o_carrier_id", 10),
+                Key("o_ol_cnt", 11)});
+  orders.AddIndex(Index{"o_pk", "o_w_id", true, 3});
+  catalog.AddTable(std::move(orders));
+
+  Table orderline("order_line", w * 300000,
+                  {Key("ol_o_id", 3000), Key("ol_d_id", 10),
+                   Key("ol_w_id", w), Key("ol_number", 15),
+                   Key("ol_i_id", 100000), Money("ol_amount"),
+                   Text("ol_dist_info", 24)});
+  orderline.AddIndex(Index{"ol_pk", "ol_w_id", true, 3});
+  catalog.AddTable(std::move(orderline));
+
+  Table item("item", 100000,
+             {Key("i_id", 100000), Text("i_name", 24), Money("i_price"),
+              Text("i_data", 50)});
+  item.AddIndex(Index{"i_pk", "i_id", true, 3});
+  catalog.AddTable(std::move(item));
+
+  Table stock("stock", w * 100000,
+              {Key("s_i_id", 100000), Key("s_w_id", w),
+               Key("s_quantity", 100), Text("s_dist_01", 24),
+               Money("s_ytd"), Key("s_order_cnt", 1000),
+               Text("s_data", 50)});
+  stock.AddIndex(Index{"s_pk", "s_w_id", true, 3});
+  catalog.AddTable(std::move(stock));
+
+  return catalog;
+}
+
+}  // namespace qsched::catalog

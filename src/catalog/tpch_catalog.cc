@@ -1,0 +1,128 @@
+#include <cmath>
+
+#include "catalog/schema.h"
+
+namespace qsched::catalog {
+namespace {
+
+uint64_t Scaled(double base_rows, double sf) {
+  double rows = base_rows * sf;
+  return rows < 1.0 ? 1 : static_cast<uint64_t>(std::llround(rows));
+}
+
+Column Int32Col(std::string name, uint64_t distinct) {
+  return Column{std::move(name), ColumnType::kInt32, 4, distinct};
+}
+Column DecimalCol(std::string name, uint64_t distinct) {
+  return Column{std::move(name), ColumnType::kDecimal, 8, distinct};
+}
+Column DateCol(std::string name, uint64_t distinct) {
+  return Column{std::move(name), ColumnType::kDate, 4, distinct};
+}
+Column CharCol(std::string name, int width, uint64_t distinct) {
+  return Column{std::move(name), ColumnType::kChar, width, distinct};
+}
+Column VarcharCol(std::string name, int width, uint64_t distinct) {
+  return Column{std::move(name), ColumnType::kVarchar, width, distinct};
+}
+
+}  // namespace
+
+Catalog MakeTpchCatalog(double scale_factor) {
+  double sf = scale_factor <= 0.0 ? 1.0 : scale_factor;
+  Catalog catalog("tpch");
+
+  Table lineitem("lineitem", Scaled(6000000, sf),
+                 {Int32Col("l_orderkey", Scaled(1500000, sf)),
+                  Int32Col("l_partkey", Scaled(200000, sf)),
+                  Int32Col("l_suppkey", Scaled(10000, sf)),
+                  Int32Col("l_linenumber", 7),
+                  DecimalCol("l_quantity", 50),
+                  DecimalCol("l_extendedprice", Scaled(1000000, sf)),
+                  DecimalCol("l_discount", 11),
+                  DecimalCol("l_tax", 9),
+                  CharCol("l_returnflag", 1, 3),
+                  CharCol("l_linestatus", 1, 2),
+                  DateCol("l_shipdate", 2526),
+                  DateCol("l_commitdate", 2466),
+                  DateCol("l_receiptdate", 2554),
+                  CharCol("l_shipinstruct", 25, 4),
+                  CharCol("l_shipmode", 10, 7),
+                  VarcharCol("l_comment", 27, Scaled(4500000, sf))});
+  lineitem.AddIndex(Index{"l_orderkey_idx", "l_orderkey", false, 4});
+  catalog.AddTable(std::move(lineitem));
+
+  Table orders("orders", Scaled(1500000, sf),
+               {Int32Col("o_orderkey", Scaled(1500000, sf)),
+                Int32Col("o_custkey", Scaled(99996, sf)),
+                CharCol("o_orderstatus", 1, 3),
+                DecimalCol("o_totalprice", Scaled(1400000, sf)),
+                DateCol("o_orderdate", 2406),
+                CharCol("o_orderpriority", 15, 5),
+                CharCol("o_clerk", 15, Scaled(1000, sf)),
+                Int32Col("o_shippriority", 1),
+                VarcharCol("o_comment", 49, Scaled(1400000, sf))});
+  orders.AddIndex(Index{"o_orderkey_pk", "o_orderkey", true, 4});
+  orders.AddIndex(Index{"o_custkey_idx", "o_custkey", false, 4});
+  catalog.AddTable(std::move(orders));
+
+  Table customer("customer", Scaled(150000, sf),
+                 {Int32Col("c_custkey", Scaled(150000, sf)),
+                  VarcharCol("c_name", 18, Scaled(150000, sf)),
+                  VarcharCol("c_address", 25, Scaled(150000, sf)),
+                  Int32Col("c_nationkey", 25),
+                  CharCol("c_phone", 15, Scaled(150000, sf)),
+                  DecimalCol("c_acctbal", Scaled(140000, sf)),
+                  CharCol("c_mktsegment", 10, 5),
+                  VarcharCol("c_comment", 73, Scaled(150000, sf))});
+  customer.AddIndex(Index{"c_custkey_pk", "c_custkey", true, 3});
+  catalog.AddTable(std::move(customer));
+
+  Table part("part", Scaled(200000, sf),
+             {Int32Col("p_partkey", Scaled(200000, sf)),
+              VarcharCol("p_name", 33, Scaled(200000, sf)),
+              CharCol("p_mfgr", 25, 5),
+              CharCol("p_brand", 10, 25),
+              VarcharCol("p_type", 21, 150),
+              Int32Col("p_size", 50),
+              CharCol("p_container", 10, 40),
+              DecimalCol("p_retailprice", Scaled(20000, sf)),
+              VarcharCol("p_comment", 14, Scaled(130000, sf))});
+  part.AddIndex(Index{"p_partkey_pk", "p_partkey", true, 3});
+  catalog.AddTable(std::move(part));
+
+  Table partsupp("partsupp", Scaled(800000, sf),
+                 {Int32Col("ps_partkey", Scaled(200000, sf)),
+                  Int32Col("ps_suppkey", Scaled(10000, sf)),
+                  Int32Col("ps_availqty", 9999),
+                  DecimalCol("ps_supplycost", 99901),
+                  VarcharCol("ps_comment", 124, Scaled(800000, sf))});
+  partsupp.AddIndex(Index{"ps_partkey_idx", "ps_partkey", false, 3});
+  catalog.AddTable(std::move(partsupp));
+
+  Table supplier("supplier", Scaled(10000, sf),
+                 {Int32Col("s_suppkey", Scaled(10000, sf)),
+                  CharCol("s_name", 25, Scaled(10000, sf)),
+                  VarcharCol("s_address", 25, Scaled(10000, sf)),
+                  Int32Col("s_nationkey", 25),
+                  CharCol("s_phone", 15, Scaled(10000, sf)),
+                  DecimalCol("s_acctbal", Scaled(10000, sf)),
+                  VarcharCol("s_comment", 62, Scaled(10000, sf))});
+  supplier.AddIndex(Index{"s_suppkey_pk", "s_suppkey", true, 2});
+  catalog.AddTable(std::move(supplier));
+
+  Table nation("nation", 25,
+               {Int32Col("n_nationkey", 25), CharCol("n_name", 25, 25),
+                Int32Col("n_regionkey", 5),
+                VarcharCol("n_comment", 74, 25)});
+  catalog.AddTable(std::move(nation));
+
+  Table region("region", 5,
+               {Int32Col("r_regionkey", 5), CharCol("r_name", 25, 5),
+                VarcharCol("r_comment", 77, 5)});
+  catalog.AddTable(std::move(region));
+
+  return catalog;
+}
+
+}  // namespace qsched::catalog

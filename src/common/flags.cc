@@ -1,0 +1,87 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+namespace qsched {
+
+Status FlagParser::Parse(int argc, const char* const argv[]) {
+  bool flags_done = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (flags_done || arg.empty() || arg[0] != '-' || arg == "-") {
+      positional_.push_back(arg);
+      continue;
+    }
+    if (arg == "--") {
+      flags_done = true;
+      continue;
+    }
+    size_t start = arg.find_first_not_of('-');
+    if (start == std::string::npos || start > 2) {
+      return Status::InvalidArgument("malformed flag: " + arg);
+    }
+    std::string body = arg.substr(start);
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--name value` when the next token is not itself a flag.
+    if (i + 1 < argc && argv[i + 1][0] != '-') {
+      values_[body] = argv[i + 1];
+      ++i;
+    } else {
+      values_[body] = "";  // boolean style
+    }
+  }
+  return Status::OK();
+}
+
+bool FlagParser::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+Result<std::string> FlagParser::GetRaw(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    return Status::NotFound("flag not given: " + name);
+  }
+  return it->second;
+}
+
+std::string FlagParser::GetString(const std::string& name,
+                                  const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it != values_.end() ? it->second : fallback;
+}
+
+int64_t FlagParser::GetInt(const std::string& name,
+                           int64_t fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  char* end = nullptr;
+  long long value = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return fallback;
+  return static_cast<int64_t>(value);
+}
+
+double FlagParser::GetDouble(const std::string& name,
+                             double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  char* end = nullptr;
+  double value = std::strtod(it->second.c_str(), &end);
+  if (end == nullptr || *end != '\0') return fallback;
+  return value;
+}
+
+bool FlagParser::GetBool(const std::string& name, bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v.empty() || v == "1" || v == "true" || v == "yes") return true;
+  if (v == "0" || v == "false" || v == "no") return false;
+  return fallback;
+}
+
+}  // namespace qsched

@@ -1,0 +1,44 @@
+#ifndef QSCHED_COMMON_FLAGS_H_
+#define QSCHED_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qsched {
+
+/// Minimal command-line flag parser for the example binaries:
+/// `--name=value` or `--name value`; `--flag` alone is boolean true.
+/// Unknown positional arguments are collected in order.
+class FlagParser {
+ public:
+  /// Parses argv; returns InvalidArgument on malformed input
+  /// (e.g. a value-taking flag at the end with no value is fine — it
+  /// becomes boolean; "--" ends flag parsing).
+  Status Parse(int argc, const char* const argv[]);
+
+  bool Has(const std::string& name) const;
+
+  /// Typed getters with defaults; conversion errors fall back to the
+  /// default (callers that must distinguish use GetRaw).
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const;
+  int64_t GetInt(const std::string& name, int64_t fallback) const;
+  double GetDouble(const std::string& name, double fallback) const;
+  bool GetBool(const std::string& name, bool fallback) const;
+
+  /// Raw value ("" for boolean-style flags); NotFound when absent.
+  Result<std::string> GetRaw(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace qsched
+
+#endif  // QSCHED_COMMON_FLAGS_H_

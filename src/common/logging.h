@@ -1,0 +1,84 @@
+#ifndef QSCHED_COMMON_LOGGING_H_
+#define QSCHED_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace qsched {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped. Default kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line flushed to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define QSCHED_LOG(level)                                               \
+  (::qsched::LogLevel::k##level < ::qsched::GetLogLevel())              \
+      ? (void)0                                                         \
+      : ::qsched::internal::LogVoidify() &                              \
+            ::qsched::internal::LogMessage(::qsched::LogLevel::k##level, \
+                                           __FILE__, __LINE__)          \
+                .stream()
+
+#define QSCHED_CHECK(condition)                                       \
+  (condition) ? (void)0                                               \
+              : ::qsched::internal::LogVoidify() &                    \
+                    ::qsched::internal::FatalMessage(__FILE__, __LINE__) \
+                        .stream()
+
+namespace internal {
+
+/// Allows the ?: in the macros above to have type void.
+class LogVoidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+/// Like LogMessage but aborts the process on destruction.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line);
+  [[noreturn]] ~FatalMessage();
+
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace qsched
+
+#endif  // QSCHED_COMMON_LOGGING_H_

@@ -1,0 +1,55 @@
+#ifndef QSCHED_COMMON_RNG_H_
+#define QSCHED_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace qsched {
+
+/// Deterministic PCG32 pseudo-random generator (O'Neill's PCG-XSH-RR).
+/// Every stochastic component in the library draws from an explicitly
+/// seeded Rng so whole experiments replay bit-identically.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed, uint64_t stream = 0x2545f4914f6cdd1dULL);
+
+  /// Uniform 32-bit value.
+  uint32_t NextU32();
+  /// Uniform 64-bit value.
+  uint64_t NextU64();
+  /// Uniform double in [0, 1).
+  double NextDouble();
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+  /// Exponential with the given mean (> 0).
+  double Exponential(double mean);
+  /// Normal via Box-Muller.
+  double Normal(double mean, double stddev);
+  /// Log-normal parameterized by the mean/stddev of the underlying normal.
+  double LogNormal(double mu, double sigma);
+  /// Bounded Pareto on [lo, hi] with shape alpha; models the heavy-tailed
+  /// OLAP cost distribution.
+  double BoundedPareto(double alpha, double lo, double hi);
+  /// True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+  /// Index in [0, weights.size()) drawn proportionally to weights.
+  /// Returns 0 when all weights are <= 0 or the vector has one element.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// Derives an independent generator for a component, keyed by `salt`.
+  Rng Fork(uint64_t salt);
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+  // Box-Muller carry.
+  bool has_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace qsched
+
+#endif  // QSCHED_COMMON_RNG_H_

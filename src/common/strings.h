@@ -1,0 +1,22 @@
+#ifndef QSCHED_COMMON_STRINGS_H_
+#define QSCHED_COMMON_STRINGS_H_
+
+#include <string>
+#include <vector>
+
+namespace qsched {
+
+/// printf-style formatting into a std::string.
+std::string StrPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Splits on a single-character separator; keeps empty fields.
+std::vector<std::string> Split(const std::string& text, char sep);
+
+}  // namespace qsched
+
+#endif  // QSCHED_COMMON_STRINGS_H_

@@ -1,0 +1,56 @@
+#include "engine/buffer_pool.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qsched::engine {
+
+BufferPool::BufferPool(uint64_t pool_pages, double reuse_factor,
+                       double max_hit_ratio)
+    : pool_pages_(std::max<uint64_t>(1, pool_pages)),
+      reuse_factor_(std::max(0.0, reuse_factor)),
+      max_hit_ratio_(std::clamp(max_hit_ratio, 0.0, 1.0)) {}
+
+double BufferPool::HitProbability(double footprint_pages) const {
+  if (footprint_pages <= 0.0) return max_hit_ratio_;
+  double pool = static_cast<double>(pool_pages_);
+  double hit = reuse_factor_ * pool / (pool + footprint_pages);
+  return std::clamp(hit, 0.0, max_hit_ratio_);
+}
+
+double BufferPool::SamplePhysicalPages(double logical_pages,
+                                       double hit_ratio, Rng* rng) const {
+  if (logical_pages <= 0.0) return 0.0;
+  double miss = std::clamp(1.0 - hit_ratio, 0.0, 1.0);
+  double n = logical_pages;
+  if (rng == nullptr) return n * miss;
+  if (n <= 64.0) {
+    // Exact Bernoulli draws for small chunks.
+    int64_t whole = static_cast<int64_t>(n);
+    double misses = 0.0;
+    for (int64_t i = 0; i < whole; ++i) {
+      if (rng->Bernoulli(miss)) misses += 1.0;
+    }
+    misses += (n - static_cast<double>(whole)) * miss;
+    return misses;
+  }
+  // Normal approximation of Binomial(n, miss).
+  double mean = n * miss;
+  double stddev = std::sqrt(std::max(0.0, n * miss * (1.0 - miss)));
+  double sample = rng->Normal(mean, stddev);
+  return std::clamp(sample, 0.0, n);
+}
+
+double BufferPool::ObservedHitRatio() const {
+  if (logical_reads_ == 0) return 1.0;
+  return 1.0 - static_cast<double>(physical_reads_) /
+                   static_cast<double>(logical_reads_);
+}
+
+void BufferPool::RecordReads(double logical, double physical) {
+  logical_reads_ += static_cast<uint64_t>(std::llround(std::max(0.0, logical)));
+  physical_reads_ +=
+      static_cast<uint64_t>(std::llround(std::max(0.0, physical)));
+}
+
+}  // namespace qsched::engine

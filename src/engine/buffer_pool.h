@@ -1,0 +1,57 @@
+#ifndef QSCHED_ENGINE_BUFFER_POOL_H_
+#define QSCHED_ENGINE_BUFFER_POOL_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace qsched::engine {
+
+/// Analytic buffer-pool model for one database. Rather than simulating
+/// page-level LRU (millions of events per OLAP scan), it prices a query's
+/// expected hit ratio from the footprint it touches, and samples the
+/// number of physical reads for each chunk of logical reads.
+///
+/// The hit-ratio curve is the standard working-set approximation
+///   hit = min(max_hit, reuse * pool_pages / (pool_pages + footprint))
+/// which yields ~0.9 for OLTP (small hot footprint) and ~0.2 for OLAP
+/// scans over data much larger than the pool, matching the paper's setup
+/// of separate OLTP/OLAP databases with independent pools.
+class BufferPool {
+ public:
+  /// `reuse_factor` captures access locality (index traversals revisit hot
+  /// pages); `max_hit_ratio` caps hits since some fraction of pages is
+  /// always cold (first touch).
+  BufferPool(uint64_t pool_pages, double reuse_factor = 2.0,
+             double max_hit_ratio = 0.97);
+
+  uint64_t pool_pages() const { return pool_pages_; }
+
+  /// Expected hit probability for accesses over `footprint_pages` of data.
+  double HitProbability(double footprint_pages) const;
+
+  /// Samples physical reads for `logical_pages` accesses at hit ratio
+  /// `hit_ratio` (binomial, with a normal approximation above 64 pages).
+  double SamplePhysicalPages(double logical_pages, double hit_ratio,
+                             Rng* rng) const;
+
+  // Cumulative accounting.
+  uint64_t logical_reads() const { return logical_reads_; }
+  uint64_t physical_reads() const { return physical_reads_; }
+  /// Observed hit ratio so far (1.0 when no reads yet).
+  double ObservedHitRatio() const;
+
+  /// Adds to the cumulative counters (called by the execution engine).
+  void RecordReads(double logical, double physical);
+
+ private:
+  uint64_t pool_pages_;
+  double reuse_factor_;
+  double max_hit_ratio_;
+  uint64_t logical_reads_ = 0;
+  uint64_t physical_reads_ = 0;
+};
+
+}  // namespace qsched::engine
+
+#endif  // QSCHED_ENGINE_BUFFER_POOL_H_

@@ -1,0 +1,77 @@
+#include "engine/clock_buffer_pool.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qsched::engine {
+
+ClockBufferPool::ClockBufferPool(uint64_t capacity_pages,
+                                 int pages_per_extent)
+    : capacity_pages_(std::max<uint64_t>(1, capacity_pages)),
+      pages_per_extent_(std::max(1, pages_per_extent)) {
+  max_frames_ = static_cast<size_t>(
+      std::max<uint64_t>(1, capacity_pages_ / pages_per_extent_));
+  frames_.reserve(max_frames_);
+}
+
+size_t ClockBufferPool::EvictOne() {
+  // Classic CLOCK: sweep, clearing reference bits, until an unreferenced
+  // frame is found.
+  for (;;) {
+    if (clock_hand_ >= frames_.size()) clock_hand_ = 0;
+    Frame& frame = frames_[clock_hand_];
+    if (frame.referenced) {
+      frame.referenced = false;
+      ++clock_hand_;
+      continue;
+    }
+    resident_.erase(frame.key);
+    return clock_hand_++;
+  }
+}
+
+double ClockBufferPool::Access(uint64_t object_id, double first_page,
+                               double pages) {
+  if (pages <= 0.0) return 0.0;
+  uint64_t begin = static_cast<uint64_t>(std::max(0.0, first_page)) /
+                   pages_per_extent_;
+  uint64_t end = static_cast<uint64_t>(
+                     std::max(0.0, first_page) +
+                     std::ceil(pages)) /
+                 pages_per_extent_;
+  double missed_pages = 0.0;
+  double remaining = pages;
+  for (uint64_t e = begin; e <= end && remaining > 0.0; ++e) {
+    double in_extent = std::min(remaining,
+                                static_cast<double>(pages_per_extent_));
+    remaining -= in_extent;
+    logical_pages_ += static_cast<uint64_t>(std::llround(in_extent));
+    uint64_t key = Key(object_id, e);
+    auto it = resident_.find(key);
+    if (it != resident_.end()) {
+      frames_[it->second].referenced = true;
+      continue;
+    }
+    // Miss: fault the extent in.
+    missed_pages += in_extent;
+    size_t slot;
+    if (frames_.size() < max_frames_) {
+      frames_.push_back(Frame{key, true});
+      slot = frames_.size() - 1;
+    } else {
+      slot = EvictOne();
+      frames_[slot] = Frame{key, true};
+    }
+    resident_[key] = slot;
+  }
+  physical_pages_ += static_cast<uint64_t>(std::llround(missed_pages));
+  return missed_pages;
+}
+
+double ClockBufferPool::HitRatio() const {
+  if (logical_pages_ == 0) return 1.0;
+  return 1.0 - static_cast<double>(physical_pages_) /
+                   static_cast<double>(logical_pages_);
+}
+
+}  // namespace qsched::engine

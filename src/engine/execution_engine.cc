@@ -1,0 +1,121 @@
+#include "engine/execution_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace qsched::engine {
+
+ExecutionEngine::ExecutionEngine(sim::Simulator* simulator,
+                                 const EngineConfig& config, Rng rng)
+    : simulator_(simulator),
+      config_(config),
+      rng_(rng),
+      cpu_pool_(simulator, config.num_cpus),
+      disk_array_(simulator, config.num_disks, config.disk_seconds_per_page,
+                  config.disk_request_overhead_seconds, rng_.Fork(0x5d15c)),
+      olap_pool_(config.olap_pool_pages),
+      oltp_pool_(config.oltp_pool_pages) {}
+
+BufferPool& ExecutionEngine::buffer_pool(DatabaseId id) {
+  return id == DatabaseId::kOlap ? olap_pool_ : oltp_pool_;
+}
+
+void ExecutionEngine::Execute(const QueryJob& job, DoneCallback on_done) {
+  uint64_t agent_id = next_agent_id_++;
+  Agent agent;
+  agent.job = job;
+  agent.on_done = std::move(on_done);
+  agent.stats.query_id = job.query_id;
+  agent.stats.start_time = simulator_->Now();
+
+  double pages = std::max(0.0, job.logical_pages);
+  int chunks = 1;
+  if (pages > 0.0) {
+    chunks = static_cast<int>(pages / config_.min_chunk_pages);
+    chunks = std::clamp(chunks, 1, config_.max_chunks_per_query);
+  }
+  agent.chunks_total = chunks;
+  agent.pages_per_chunk = pages / chunks;
+  agent.cpu_per_chunk = std::max(0.0, job.cpu_seconds) / chunks;
+
+  agents_.emplace(agent_id, std::move(agent));
+  StartChunk(agent_id);
+}
+
+void ExecutionEngine::StartChunk(uint64_t agent_id) {
+  auto it = agents_.find(agent_id);
+  QSCHED_CHECK(it != agents_.end()) << "unknown agent " << agent_id;
+  Agent& agent = it->second;
+  if (agent.chunks_done >= agent.chunks_total) {
+    FinishQuery(agent_id);
+    return;
+  }
+  BufferPool& pool = buffer_pool(agent.job.database);
+  double physical = pool.SamplePhysicalPages(agent.pages_per_chunk,
+                                             agent.job.hit_ratio, &rng_);
+  pool.RecordReads(agent.pages_per_chunk, physical);
+  agent.stats.physical_pages += physical;
+  if (physical <= 0.0) {
+    OnChunkRead(agent_id);
+    return;
+  }
+  // Stripe large chunks across parallel prefetch requests; proceed when
+  // the slowest one completes.
+  int ways = 1;
+  if (physical >= config_.parallel_min_pages) {
+    ways = std::max(1, config_.io_parallelism);
+  }
+  agent.io_outstanding = ways;
+  double per_request = physical / ways;
+  // Transactional (OLTP-database) reads are synchronous and served ahead
+  // of queued bulk work, as in DB2.
+  IoPriority priority = agent.job.database == DatabaseId::kOltp
+                            ? IoPriority::kHigh
+                            : IoPriority::kLow;
+  for (int w = 0; w < ways; ++w) {
+    disk_array_.SubmitRead(per_request, priority, [this, agent_id] {
+      auto agent_it = agents_.find(agent_id);
+      QSCHED_CHECK(agent_it != agents_.end());
+      if (--agent_it->second.io_outstanding == 0) {
+        OnChunkRead(agent_id);
+      }
+    });
+  }
+}
+
+void ExecutionEngine::OnChunkRead(uint64_t agent_id) {
+  auto it = agents_.find(agent_id);
+  QSCHED_CHECK(it != agents_.end()) << "unknown agent " << agent_id;
+  Agent& agent = it->second;
+  agent.stats.cpu_seconds += agent.cpu_per_chunk;
+  cpu_pool_.Submit(agent.cpu_per_chunk,
+                   [this, agent_id] { OnChunkCpu(agent_id); });
+}
+
+void ExecutionEngine::OnChunkCpu(uint64_t agent_id) {
+  auto it = agents_.find(agent_id);
+  QSCHED_CHECK(it != agents_.end()) << "unknown agent " << agent_id;
+  Agent& agent = it->second;
+  ++agent.chunks_done;
+  StartChunk(agent_id);
+}
+
+void ExecutionEngine::FinishQuery(uint64_t agent_id) {
+  auto it = agents_.find(agent_id);
+  QSCHED_CHECK(it != agents_.end()) << "unknown agent " << agent_id;
+  Agent& agent = it->second;
+  if (agent.job.write_pages > 0.0) {
+    disk_array_.SubmitDetachedWrite(agent.job.write_pages);
+  }
+  agent.stats.end_time = simulator_->Now();
+  ExecStats stats = agent.stats;
+  DoneCallback done = std::move(agent.on_done);
+  agents_.erase(it);
+  ++queries_completed_;
+  if (done) done(stats);
+}
+
+}  // namespace qsched::engine

@@ -1,0 +1,42 @@
+#ifndef QSCHED_HARNESS_REPLICATION_H_
+#define QSCHED_HARNESS_REPLICATION_H_
+
+#include <map>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace qsched::harness {
+
+/// Mean and sample standard deviation of one per-period metric across
+/// replicated runs.
+struct SeriesSummary {
+  std::vector<double> mean;
+  std::vector<double> stddev;
+};
+
+/// Aggregate of `replications` runs of the same experiment under
+/// different seeds: the honest version of a single-trajectory figure
+/// (the paper plots one 24-hour run; replication quantifies how much of
+/// the wiggle is noise).
+struct ReplicatedResult {
+  ControllerKind controller = ControllerKind::kNoControl;
+  int replications = 0;
+  int num_periods = 0;
+  std::map<int, SeriesSummary> velocity;
+  std::map<int, SeriesSummary> response;
+  /// Mean periods-meeting-goal per class, with stddev across seeds.
+  std::map<int, double> goal_periods_mean;
+  std::map<int, double> goal_periods_stddev;
+  /// The individual runs, for callers that need more.
+  std::vector<ExperimentResult> runs;
+};
+
+/// Runs the experiment `replications` times with seeds derived from
+/// `config.seed` and aggregates the figure series.
+ReplicatedResult RunReplicated(const ExperimentConfig& config,
+                               ControllerKind kind, int replications);
+
+}  // namespace qsched::harness
+
+#endif  // QSCHED_HARNESS_REPLICATION_H_

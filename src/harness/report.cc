@@ -1,0 +1,66 @@
+#include "harness/report.h"
+
+#include "common/strings.h"
+
+namespace qsched::harness {
+
+void PrintPerformanceReport(const ExperimentResult& result,
+                            const sched::ServiceClassSet& classes,
+                            const ReportOptions& options,
+                            std::ostream& out) {
+  if (options.per_period) {
+    out << "period";
+    for (const sched::ServiceClassSpec& spec : classes.classes()) {
+      const char* unit =
+          spec.goal_kind == sched::GoalKind::kVelocityFloor ? "vel"
+                                                            : "resp_s";
+      out << StrPrintf("  class%d_%s", spec.class_id, unit);
+    }
+    out << "  goals_met\n";
+    for (int p = 0; p < result.num_periods; ++p) {
+      out << StrPrintf("%6d", p + 1);
+      std::string markers;
+      for (const sched::ServiceClassSpec& spec : classes.classes()) {
+        double value =
+            spec.goal_kind == sched::GoalKind::kVelocityFloor
+                ? result.velocity_series.at(spec.class_id)[p]
+                : result.response_series.at(spec.class_id)[p];
+        out << StrPrintf("  %10.3f", value);
+        bool has_data = result.completed_series.at(spec.class_id)[p] > 0;
+        bool met = has_data && spec.GoalRatio(value) >= 1.0;
+        markers += met ? static_cast<char>('0' + spec.class_id % 10)
+                       : '-';
+      }
+      out << "  " << markers << "\n";
+    }
+  }
+  if (options.cost_limits && !result.period_mean_limits.empty()) {
+    out << "period";
+    for (const auto& [class_id, limits] : result.period_mean_limits) {
+      out << StrPrintf("  class%d_limit", class_id);
+    }
+    out << "\n";
+    for (int p = 0; p < result.num_periods; ++p) {
+      out << StrPrintf("%6d", p + 1);
+      for (const auto& [class_id, limits] : result.period_mean_limits) {
+        out << StrPrintf("  %12.0f", limits[p]);
+      }
+      out << "\n";
+    }
+  }
+  if (options.summary) {
+    out << "periods_meeting_goal:";
+    for (const sched::ServiceClassSpec& spec : classes.classes()) {
+      out << StrPrintf(" class%d=%d/%d", spec.class_id,
+                       result.periods_meeting_goal.at(spec.class_id),
+                       result.num_periods);
+    }
+    out << "\n";
+    out << StrPrintf(
+        "cpu_util=%.2f disk_util=%.2f total_completed=%llu\n",
+        result.cpu_utilization, result.disk_utilization,
+        static_cast<unsigned long long>(result.total_completed));
+  }
+}
+
+}  // namespace qsched::harness

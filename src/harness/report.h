@@ -1,0 +1,32 @@
+#ifndef QSCHED_HARNESS_REPORT_H_
+#define QSCHED_HARNESS_REPORT_H_
+
+#include <ostream>
+
+#include "harness/experiment.h"
+#include "scheduler/service_class.h"
+
+namespace qsched::harness {
+
+/// Rendering options for the paper-style figure tables.
+struct ReportOptions {
+  /// Per-period table (Figures 4-6 style: velocity for OLAP classes,
+  /// mean response for OLTP classes, goal-met markers).
+  bool per_period = true;
+  /// Per-period cost limits (Figure 7 style), when the run recorded them.
+  bool cost_limits = false;
+  /// Goal-attainment and engine-utilization summary lines.
+  bool summary = true;
+};
+
+/// Writes the standard performance figure for `result` under the class
+/// definitions in `classes` (velocity classes print velocity, response
+/// classes print mean response seconds).
+void PrintPerformanceReport(const ExperimentResult& result,
+                            const sched::ServiceClassSet& classes,
+                            const ReportOptions& options,
+                            std::ostream& out);
+
+}  // namespace qsched::harness
+
+#endif  // QSCHED_HARNESS_REPORT_H_

@@ -1,0 +1,57 @@
+#include "metrics/trace_writer.h"
+
+#include <map>
+
+#include "common/strings.h"
+
+namespace qsched::metrics {
+
+RecordLog::RecordLog(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void RecordLog::Add(const workload::QueryRecord& record) {
+  if (records_.size() >= capacity_) {
+    records_.pop_front();
+    ++dropped_;
+  }
+  records_.push_back(record);
+}
+
+workload::ClientPool::RecordSink RecordLog::Sink() {
+  return [this](const workload::QueryRecord& record) { Add(record); };
+}
+
+void WriteQueryRecordsCsv(const RecordLog& log, std::ostream& out) {
+  out << "query_id,class_id,client_id,type,cost_timerons,submit_time,"
+         "exec_start_time,end_time,exec_seconds,response_seconds,"
+         "velocity\n";
+  for (const workload::QueryRecord& r : log.records()) {
+    out << StrPrintf(
+        "%llu,%d,%d,%s,%.3f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f\n",
+        static_cast<unsigned long long>(r.query_id), r.class_id,
+        r.client_id, workload::WorkloadTypeToString(r.type),
+        r.cost_timerons, r.submit_time, r.exec_start_time, r.end_time,
+        r.ExecSeconds(), r.ResponseSeconds(), r.Velocity());
+  }
+}
+
+void WriteSeriesCsv(const std::map<int, std::vector<double>>& series,
+                    const std::string& value_name, std::ostream& out) {
+  out << "period";
+  size_t periods = 0;
+  for (const auto& [class_id, values] : series) {
+    out << "," << value_name << "_class" << class_id;
+    periods = std::max(periods, values.size());
+  }
+  out << "\n";
+  for (size_t p = 0; p < periods; ++p) {
+    out << (p + 1);
+    for (const auto& [class_id, values] : series) {
+      out << ",";
+      if (p < values.size()) out << StrPrintf("%.6f", values[p]);
+    }
+    out << "\n";
+  }
+}
+
+}  // namespace qsched::metrics

@@ -1,0 +1,53 @@
+#ifndef QSCHED_METRICS_TRACE_WRITER_H_
+#define QSCHED_METRICS_TRACE_WRITER_H_
+
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "workload/client.h"
+
+namespace qsched::metrics {
+
+/// Bounded in-memory log of finished queries, for offline analysis and
+/// CSV export. Install its Sink() alongside (or instead of) the period
+/// collector; when the capacity is reached the oldest records are
+/// dropped (and counted).
+class RecordLog {
+ public:
+  explicit RecordLog(size_t capacity = 1 << 20);
+
+  void Add(const workload::QueryRecord& record);
+
+  /// Adaptor usable as a ClientPool record sink.
+  workload::ClientPool::RecordSink Sink();
+
+  size_t size() const { return records_.size(); }
+  uint64_t dropped() const { return dropped_; }
+  const std::deque<workload::QueryRecord>& records() const {
+    return records_;
+  }
+
+ private:
+  size_t capacity_;
+  std::deque<workload::QueryRecord> records_;
+  uint64_t dropped_ = 0;
+};
+
+/// Writes finished-query records as CSV with a header row:
+/// query_id,class_id,client_id,type,cost_timerons,submit_time,
+/// exec_start_time,end_time,exec_seconds,response_seconds,velocity
+void WriteQueryRecordsCsv(const RecordLog& log, std::ostream& out);
+
+/// Writes one figure-style series (one row per period, one column per
+/// class) as CSV. `series` maps class id -> per-period values; all
+/// vectors must be the same length.
+void WriteSeriesCsv(const std::map<int, std::vector<double>>& series,
+                    const std::string& value_name, std::ostream& out);
+
+}  // namespace qsched::metrics
+
+#endif  // QSCHED_METRICS_TRACE_WRITER_H_

@@ -1,0 +1,61 @@
+#include "metrics/workload_stats.h"
+
+#include "common/strings.h"
+
+namespace qsched::metrics {
+
+WorkloadCharacterizer::ClassProfile::ClassProfile()
+    : cost_histogram(1.0, 1e7, 10),
+      response_histogram(1e-4, 1e4, 10) {}
+
+WorkloadCharacterizer::WorkloadCharacterizer() = default;
+
+void WorkloadCharacterizer::Add(const workload::QueryRecord& record) {
+  ClassProfile& profile = profiles_[record.class_id];
+  profile.queries += 1;
+  profile.cost.Add(record.cost_timerons);
+  profile.exec_seconds.Add(record.ExecSeconds());
+  profile.response_seconds.Add(record.ResponseSeconds());
+  profile.velocity.Add(record.Velocity());
+  profile.cost_histogram.Add(record.cost_timerons);
+  profile.response_histogram.Add(record.ResponseSeconds());
+}
+
+workload::ClientPool::RecordSink WorkloadCharacterizer::Sink() {
+  return [this](const workload::QueryRecord& record) { Add(record); };
+}
+
+const WorkloadCharacterizer::ClassProfile* WorkloadCharacterizer::Profile(
+    int class_id) const {
+  auto it = profiles_.find(class_id);
+  return it != profiles_.end() ? &it->second : nullptr;
+}
+
+double WorkloadCharacterizer::CostPercentile(int class_id,
+                                             double q) const {
+  const ClassProfile* profile = Profile(class_id);
+  return profile != nullptr ? profile->cost_histogram.Quantile(q) : 0.0;
+}
+
+double WorkloadCharacterizer::ResponsePercentile(int class_id,
+                                                 double q) const {
+  const ClassProfile* profile = Profile(class_id);
+  return profile != nullptr ? profile->response_histogram.Quantile(q)
+                            : 0.0;
+}
+
+void WorkloadCharacterizer::PrintSummary(std::ostream& out) const {
+  out << "class  queries  cost_mean  cost_p95  exec_mean_s  resp_mean_s  "
+         "resp_p95_s  velocity\n";
+  for (const auto& [class_id, profile] : profiles_) {
+    out << StrPrintf(
+        "%5d  %7llu  %9.0f  %8.0f  %11.3f  %11.3f  %10.3f  %8.3f\n",
+        class_id, static_cast<unsigned long long>(profile.queries),
+        profile.cost.mean(), profile.cost_histogram.Quantile(0.95),
+        profile.exec_seconds.mean(), profile.response_seconds.mean(),
+        profile.response_histogram.Quantile(0.95),
+        profile.velocity.mean());
+  }
+}
+
+}  // namespace qsched::metrics

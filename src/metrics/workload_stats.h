@@ -1,0 +1,57 @@
+#ifndef QSCHED_METRICS_WORKLOAD_STATS_H_
+#define QSCHED_METRICS_WORKLOAD_STATS_H_
+
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "sim/stats.h"
+#include "workload/client.h"
+
+namespace qsched::metrics {
+
+/// Workload characterization — the "characterizing current workloads"
+/// half of the framework's workload-detection process. Summarizes the
+/// cost and performance distribution of each service class from its
+/// finished queries: cost percentiles (what the QP group thresholds are
+/// cut from), execution/response statistics, and velocity spread.
+class WorkloadCharacterizer {
+ public:
+  WorkloadCharacterizer();
+
+  void Add(const workload::QueryRecord& record);
+
+  /// Adaptor usable as a ClientPool record sink.
+  workload::ClientPool::RecordSink Sink();
+
+  struct ClassProfile {
+    uint64_t queries = 0;
+    sim::WelfordAccumulator cost;
+    sim::WelfordAccumulator exec_seconds;
+    sim::WelfordAccumulator response_seconds;
+    sim::WelfordAccumulator velocity;
+    sim::Histogram cost_histogram;
+    sim::Histogram response_histogram;
+
+    ClassProfile();
+  };
+
+  /// Returns nullptr for classes never seen.
+  const ClassProfile* Profile(int class_id) const;
+  size_t num_classes() const { return profiles_.size(); }
+
+  /// Approximate cost percentile for a class (0 when unseen).
+  double CostPercentile(int class_id, double q) const;
+  /// Approximate response-time percentile for a class (0 when unseen).
+  double ResponsePercentile(int class_id, double q) const;
+
+  /// Human-readable per-class summary table.
+  void PrintSummary(std::ostream& out) const;
+
+ private:
+  std::map<int, ClassProfile> profiles_;
+};
+
+}  // namespace qsched::metrics
+
+#endif  // QSCHED_METRICS_WORKLOAD_STATS_H_

@@ -1,0 +1,236 @@
+#include "optimizer/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace qsched::optimizer {
+
+namespace {
+
+// Per-row CPU weights (in abstract cpu units) for each operator.
+constexpr double kScanUnitPerRow = 1.0;
+constexpr double kIndexUnitPerRow = 1.5;
+constexpr double kFilterUnitPerRow = 0.3;
+constexpr double kHashBuildUnitPerRow = 2.0;
+constexpr double kHashProbeUnitPerRow = 1.5;
+constexpr double kNljOuterUnitPerRow = 1.0;
+constexpr double kSortUnitPerRowLog = 0.5;
+constexpr double kAggUnitPerRow = 1.2;
+constexpr double kTopNUnitPerRow = 0.4;
+constexpr double kDmlUnitPerRow = 3.0;
+
+// When the inner side of a nested-loop join repeats per outer row, most of
+// its pages stay hot; only this fraction is re-fetched.
+constexpr double kNljInnerIoRefetch = 0.1;
+
+}  // namespace
+
+double CardinalityEstimator::OutputRows(const PlanNode& node) const {
+  switch (node.kind) {
+    case OperatorKind::kTableScan: {
+      const catalog::Table* table = catalog_->FindTable(node.table);
+      if (table == nullptr) return 0.0;
+      return static_cast<double>(table->row_count()) *
+             std::clamp(node.selectivity, 0.0, 1.0);
+    }
+    case OperatorKind::kIndexScan:
+      return std::max(0.0, node.probe_rows);
+    case OperatorKind::kFilter:
+      return OutputRows(*node.children.at(0)) *
+             std::clamp(node.selectivity, 0.0, 1.0);
+    case OperatorKind::kHashJoin:
+    case OperatorKind::kNestedLoopJoin: {
+      double left = OutputRows(*node.children.at(0));
+      double right = OutputRows(*node.children.at(1));
+      return std::max(left, right) * std::max(0.0, node.fanout);
+    }
+    case OperatorKind::kSort:
+      return OutputRows(*node.children.at(0));
+    case OperatorKind::kAggregate: {
+      double child = OutputRows(*node.children.at(0));
+      return std::min(child, static_cast<double>(node.group_count));
+    }
+    case OperatorKind::kTopN: {
+      double child = OutputRows(*node.children.at(0));
+      return std::min(child, static_cast<double>(node.limit));
+    }
+    case OperatorKind::kInsert:
+    case OperatorKind::kUpdate:
+      return std::max(0.0, node.probe_rows);
+  }
+  return 0.0;
+}
+
+CostModel::CostModel(const catalog::Catalog* catalog, CostModelParams params)
+    : catalog_(catalog), estimator_(catalog), params_(params) {}
+
+double CostModel::PagesForRows(double rows, int row_bytes) const {
+  if (rows <= 0.0) return 0.0;
+  double rows_per_page = std::max(
+      1.0, static_cast<double>(params_.page_size_bytes) / row_bytes);
+  return std::ceil(rows / rows_per_page);
+}
+
+Result<CostModel::NodeCost> CostModel::Walk(const PlanNode& node) const {
+  NodeCost cost;
+  // Aggregate children first.
+  std::vector<NodeCost> child_costs;
+  child_costs.reserve(node.children.size());
+  for (const auto& child : node.children) {
+    auto child_cost = Walk(*child);
+    if (!child_cost.ok()) return child_cost.status();
+    child_costs.push_back(child_cost.ValueOrDie());
+  }
+
+  auto require_table = [&]() -> Result<const catalog::Table*> {
+    const catalog::Table* table = catalog_->FindTable(node.table);
+    if (table == nullptr) {
+      return Status::NotFound("table not in catalog '" +
+                              catalog_->database_name() + "': " + node.table);
+    }
+    return table;
+  };
+
+  switch (node.kind) {
+    case OperatorKind::kTableScan: {
+      auto table = require_table();
+      if (!table.ok()) return table.status();
+      double rows = static_cast<double>(table.ValueOrDie()->row_count());
+      cost.read_pages = static_cast<double>(
+          table.ValueOrDie()->PageCount(params_.page_size_bytes));
+      cost.cpu_units = rows * kScanUnitPerRow;
+      cost.rows = rows * std::clamp(node.selectivity, 0.0, 1.0);
+      break;
+    }
+    case OperatorKind::kIndexScan: {
+      auto table = require_table();
+      if (!table.ok()) return table.status();
+      const catalog::Table* t = table.ValueOrDie();
+      const catalog::Index* index = t->FindIndexOn(node.column);
+      double height = index != nullptr ? index->height : 3.0;
+      double rows = std::max(0.0, node.probe_rows);
+      double data_pages =
+          std::min(PagesForRows(rows, t->row_bytes()),
+                   static_cast<double>(t->PageCount(params_.page_size_bytes)));
+      cost.read_pages = height + data_pages;
+      cost.cpu_units = rows * kIndexUnitPerRow + height;
+      cost.rows = rows;
+      break;
+    }
+    case OperatorKind::kFilter: {
+      cost = child_costs.at(0);
+      cost.cpu_units += cost.rows * kFilterUnitPerRow;
+      cost.rows *= std::clamp(node.selectivity, 0.0, 1.0);
+      break;
+    }
+    case OperatorKind::kHashJoin: {
+      const NodeCost& build = child_costs.at(0);
+      const NodeCost& probe = child_costs.at(1);
+      cost.read_pages = build.read_pages + probe.read_pages;
+      cost.write_pages = build.write_pages + probe.write_pages;
+      cost.cpu_units = build.cpu_units + probe.cpu_units +
+                       build.rows * kHashBuildUnitPerRow +
+                       probe.rows * kHashProbeUnitPerRow;
+      double build_bytes = build.rows * params_.intermediate_row_bytes;
+      if (build_bytes > static_cast<double>(params_.work_mem_bytes)) {
+        // Grace-hash spill: both sides written once and re-read once.
+        double spill_pages =
+            PagesForRows(build.rows, params_.intermediate_row_bytes) +
+            PagesForRows(probe.rows, params_.intermediate_row_bytes);
+        cost.write_pages += spill_pages;
+        cost.read_pages += spill_pages;
+      }
+      cost.rows =
+          std::max(build.rows, probe.rows) * std::max(0.0, node.fanout);
+      break;
+    }
+    case OperatorKind::kNestedLoopJoin: {
+      const NodeCost& outer = child_costs.at(0);
+      const NodeCost& inner = child_costs.at(1);
+      double repeats = std::max(1.0, outer.rows);
+      cost.read_pages = outer.read_pages + inner.read_pages +
+                        inner.read_pages * (repeats - 1.0) *
+                            kNljInnerIoRefetch;
+      cost.write_pages = outer.write_pages + inner.write_pages;
+      cost.cpu_units = outer.cpu_units + inner.cpu_units * repeats +
+                       outer.rows * kNljOuterUnitPerRow;
+      cost.rows =
+          std::max(outer.rows, inner.rows) * std::max(0.0, node.fanout);
+      break;
+    }
+    case OperatorKind::kSort: {
+      cost = child_costs.at(0);
+      double n = std::max(2.0, cost.rows);
+      cost.cpu_units += n * std::log2(n) * kSortUnitPerRowLog;
+      double bytes = cost.rows * params_.intermediate_row_bytes;
+      if (bytes > static_cast<double>(params_.work_mem_bytes)) {
+        // External merge sort: one spill write + one re-read.
+        double pages = PagesForRows(cost.rows, params_.intermediate_row_bytes);
+        cost.write_pages += pages;
+        cost.read_pages += pages;
+      }
+      break;
+    }
+    case OperatorKind::kAggregate: {
+      cost = child_costs.at(0);
+      cost.cpu_units += cost.rows * kAggUnitPerRow;
+      cost.rows = std::min(cost.rows, static_cast<double>(node.group_count));
+      break;
+    }
+    case OperatorKind::kTopN: {
+      cost = child_costs.at(0);
+      cost.cpu_units += cost.rows * kTopNUnitPerRow;
+      cost.rows = std::min(cost.rows, static_cast<double>(node.limit));
+      break;
+    }
+    case OperatorKind::kInsert:
+    case OperatorKind::kUpdate: {
+      auto table = require_table();
+      if (!table.ok()) return table.status();
+      const catalog::Table* t = table.ValueOrDie();
+      double rows = std::max(0.0, node.probe_rows);
+      // Each touched row lands on (at worst) its own page, plus the log.
+      double touched_pages = std::min(
+          rows, static_cast<double>(t->PageCount(params_.page_size_bytes)));
+      if (node.kind == OperatorKind::kUpdate) {
+        cost.read_pages = touched_pages + 2.0;  // index descent amortized
+      }
+      cost.write_pages = touched_pages + 1.0;  // +1 for the log page
+      cost.cpu_units = rows * kDmlUnitPerRow;
+      cost.rows = rows;
+      break;
+    }
+  }
+  return cost;
+}
+
+Result<QueryCost> CostModel::Estimate(const PlanNode& plan,
+                                      Rng* noise_rng) const {
+  auto walked = Walk(plan);
+  if (!walked.ok()) return walked.status();
+  const NodeCost& total = walked.ValueOrDie();
+
+  QueryCost out;
+  out.cpu_seconds = total.cpu_units * params_.seconds_per_cpu_unit;
+  out.logical_pages = total.read_pages;
+  out.write_pages = total.write_pages;
+  out.output_rows = total.rows;
+
+  double est_read = total.read_pages;
+  double est_cpu = total.cpu_units;
+  if (noise_rng != nullptr && params_.estimation_noise_sigma > 0.0) {
+    double sigma = params_.estimation_noise_sigma;
+    // Centered lognormal: median multiplier 1.
+    est_read *= noise_rng->LogNormal(-0.5 * sigma * sigma, sigma);
+    est_cpu *= noise_rng->LogNormal(-0.5 * sigma * sigma, sigma);
+  }
+  double physical_read = est_read * (1.0 - params_.assumed_hit_ratio);
+  out.timerons = (physical_read + total.write_pages) *
+                     params_.timerons_per_page +
+                 est_cpu * params_.timerons_per_cpu_unit;
+  if (out.timerons < 1.0) out.timerons = 1.0;
+  return out;
+}
+
+}  // namespace qsched::optimizer

@@ -1,0 +1,138 @@
+#include "optimizer/plan.h"
+
+#include <utility>
+
+namespace qsched::optimizer {
+
+const char* OperatorKindToString(OperatorKind kind) {
+  switch (kind) {
+    case OperatorKind::kTableScan:
+      return "TableScan";
+    case OperatorKind::kIndexScan:
+      return "IndexScan";
+    case OperatorKind::kFilter:
+      return "Filter";
+    case OperatorKind::kHashJoin:
+      return "HashJoin";
+    case OperatorKind::kNestedLoopJoin:
+      return "NestedLoopJoin";
+    case OperatorKind::kSort:
+      return "Sort";
+    case OperatorKind::kAggregate:
+      return "Aggregate";
+    case OperatorKind::kTopN:
+      return "TopN";
+    case OperatorKind::kInsert:
+      return "Insert";
+    case OperatorKind::kUpdate:
+      return "Update";
+  }
+  return "Unknown";
+}
+
+size_t PlanNode::TreeSize() const {
+  size_t n = 1;
+  for (const auto& child : children) n += child->TreeSize();
+  return n;
+}
+
+std::string PlanNode::ToString() const {
+  std::string out = "(";
+  out += OperatorKindToString(kind);
+  if (!table.empty()) {
+    out += " ";
+    out += table;
+  }
+  for (const auto& child : children) {
+    out += " ";
+    out += child->ToString();
+  }
+  out += ")";
+  return out;
+}
+
+namespace {
+
+PlanNodePtr MakeNode(OperatorKind kind) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = kind;
+  return node;
+}
+
+}  // namespace
+
+PlanNodePtr TableScan(std::string table, double selectivity) {
+  auto node = MakeNode(OperatorKind::kTableScan);
+  node->table = std::move(table);
+  node->selectivity = selectivity;
+  return node;
+}
+
+PlanNodePtr IndexScan(std::string table, std::string column,
+                      double probe_rows) {
+  auto node = MakeNode(OperatorKind::kIndexScan);
+  node->table = std::move(table);
+  node->column = std::move(column);
+  node->probe_rows = probe_rows;
+  return node;
+}
+
+PlanNodePtr Filter(PlanNodePtr child, double selectivity) {
+  auto node = MakeNode(OperatorKind::kFilter);
+  node->selectivity = selectivity;
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+PlanNodePtr HashJoin(PlanNodePtr build, PlanNodePtr probe, double fanout) {
+  auto node = MakeNode(OperatorKind::kHashJoin);
+  node->fanout = fanout;
+  node->children.push_back(std::move(build));
+  node->children.push_back(std::move(probe));
+  return node;
+}
+
+PlanNodePtr NestedLoopJoin(PlanNodePtr outer, PlanNodePtr inner,
+                           double fanout) {
+  auto node = MakeNode(OperatorKind::kNestedLoopJoin);
+  node->fanout = fanout;
+  node->children.push_back(std::move(outer));
+  node->children.push_back(std::move(inner));
+  return node;
+}
+
+PlanNodePtr Sort(PlanNodePtr child) {
+  auto node = MakeNode(OperatorKind::kSort);
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+PlanNodePtr Aggregate(PlanNodePtr child, uint64_t group_count) {
+  auto node = MakeNode(OperatorKind::kAggregate);
+  node->group_count = group_count == 0 ? 1 : group_count;
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+PlanNodePtr TopN(PlanNodePtr child, uint64_t limit) {
+  auto node = MakeNode(OperatorKind::kTopN);
+  node->limit = limit;
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+PlanNodePtr Insert(std::string table, double rows) {
+  auto node = MakeNode(OperatorKind::kInsert);
+  node->table = std::move(table);
+  node->probe_rows = rows;
+  return node;
+}
+
+PlanNodePtr Update(std::string table, double rows) {
+  auto node = MakeNode(OperatorKind::kUpdate);
+  node->table = std::move(table);
+  node->probe_rows = rows;
+  return node;
+}
+
+}  // namespace qsched::optimizer

@@ -1,0 +1,74 @@
+#ifndef QSCHED_OPTIMIZER_PLAN_H_
+#define QSCHED_OPTIMIZER_PLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace qsched::optimizer {
+
+/// Physical plan operators. The set covers what the TPC-H-style and
+/// TPC-C-style template workloads need; the cost model prices each kind.
+enum class OperatorKind {
+  kTableScan,       // full scan of `table`, keeps `selectivity` of rows
+  kIndexScan,       // probe index on `column`, returns `probe_rows` rows
+  kFilter,          // keeps `selectivity` of child rows
+  kHashJoin,        // build on left child, probe with right child
+  kNestedLoopJoin,  // inner (right) assumed index-driven per outer row
+  kSort,            // full sort of child output
+  kAggregate,       // group-by producing `group_count` rows
+  kTopN,            // keeps first `limit` rows of child
+  kInsert,          // writes `probe_rows` rows into `table`
+  kUpdate,          // reads+writes `probe_rows` rows of `table`
+};
+
+const char* OperatorKindToString(OperatorKind kind);
+
+/// A node of a physical plan tree. Plain data: the cardinality estimator
+/// and the cost model annotate copies of the numbers they derive, the tree
+/// itself is immutable after construction.
+struct PlanNode {
+  OperatorKind kind = OperatorKind::kTableScan;
+  /// Referenced table (scans and DML).
+  std::string table;
+  /// Probe column for index scans.
+  std::string column;
+  /// Fraction of input rows kept (scans and filters).
+  double selectivity = 1.0;
+  /// Rows touched by index scans / DML.
+  double probe_rows = 1.0;
+  /// Output rows of an aggregate.
+  uint64_t group_count = 1;
+  /// Row limit of a TopN.
+  uint64_t limit = 0;
+  /// Join fan-out: output rows = max(inputs) * fanout.
+  double fanout = 1.0;
+  std::vector<std::unique_ptr<PlanNode>> children;
+
+  /// Number of nodes in this subtree.
+  size_t TreeSize() const;
+  /// One-line s-expression, e.g. "(HashJoin (TableScan lineitem) ...)".
+  std::string ToString() const;
+};
+
+using PlanNodePtr = std::unique_ptr<PlanNode>;
+
+/// Builder helpers so workload templates read like plans.
+PlanNodePtr TableScan(std::string table, double selectivity);
+PlanNodePtr IndexScan(std::string table, std::string column,
+                      double probe_rows);
+PlanNodePtr Filter(PlanNodePtr child, double selectivity);
+PlanNodePtr HashJoin(PlanNodePtr build, PlanNodePtr probe,
+                     double fanout = 1.0);
+PlanNodePtr NestedLoopJoin(PlanNodePtr outer, PlanNodePtr inner,
+                           double fanout = 1.0);
+PlanNodePtr Sort(PlanNodePtr child);
+PlanNodePtr Aggregate(PlanNodePtr child, uint64_t group_count);
+PlanNodePtr TopN(PlanNodePtr child, uint64_t limit);
+PlanNodePtr Insert(std::string table, double rows);
+PlanNodePtr Update(std::string table, double rows);
+
+}  // namespace qsched::optimizer
+
+#endif  // QSCHED_OPTIMIZER_PLAN_H_

@@ -1,0 +1,127 @@
+#include "qp/control_table.h"
+
+#include "common/strings.h"
+
+namespace qsched::qp {
+
+Status ControlTable::Insert(const QueryInfoRecord& record) {
+  auto [it, inserted] = rows_.emplace(record.query_id, record);
+  if (!inserted) {
+    return Status::AlreadyExists(
+        StrPrintf("query %llu already in control table",
+                  static_cast<unsigned long long>(record.query_id)));
+  }
+  return Status::OK();
+}
+
+Status ControlTable::MarkReleased(uint64_t query_id, sim::SimTime now) {
+  auto it = rows_.find(query_id);
+  if (it == rows_.end()) {
+    return Status::NotFound("query not in control table");
+  }
+  if (it->second.state != QueryState::kQueued) {
+    return Status::FailedPrecondition("query not queued");
+  }
+  it->second.state = QueryState::kRunning;
+  it->second.release_time = now;
+  return Status::OK();
+}
+
+Status ControlTable::MarkDone(uint64_t query_id, sim::SimTime now) {
+  auto it = rows_.find(query_id);
+  if (it == rows_.end()) {
+    return Status::NotFound("query not in control table");
+  }
+  if (it->second.state != QueryState::kRunning) {
+    return Status::FailedPrecondition("query not running");
+  }
+  it->second.state = QueryState::kDone;
+  it->second.end_time = now;
+  return Status::OK();
+}
+
+Status ControlTable::MarkCancelled(uint64_t query_id, sim::SimTime now) {
+  auto it = rows_.find(query_id);
+  if (it == rows_.end()) {
+    return Status::NotFound("query not in control table");
+  }
+  if (it->second.state != QueryState::kQueued) {
+    return Status::FailedPrecondition("only queued queries can cancel");
+  }
+  it->second.state = QueryState::kCancelled;
+  it->second.end_time = now;
+  return Status::OK();
+}
+
+const QueryInfoRecord* ControlTable::Find(uint64_t query_id) const {
+  auto it = rows_.find(query_id);
+  return it != rows_.end() ? &it->second : nullptr;
+}
+
+double ControlTable::RunningCost(int class_id) const {
+  double total = 0.0;
+  for (const auto& [id, row] : rows_) {
+    if (row.state == QueryState::kRunning &&
+        (class_id < 0 || row.class_id == class_id)) {
+      total += row.cost_timerons;
+    }
+  }
+  return total;
+}
+
+int ControlTable::RunningCount(int class_id) const {
+  int n = 0;
+  for (const auto& [id, row] : rows_) {
+    if (row.state == QueryState::kRunning &&
+        (class_id < 0 || row.class_id == class_id)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+int ControlTable::QueuedCount(int class_id) const {
+  int n = 0;
+  for (const auto& [id, row] : rows_) {
+    if (row.state == QueryState::kQueued &&
+        (class_id < 0 || row.class_id == class_id)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::vector<QueryInfoRecord> ControlTable::DoneInWindow(
+    sim::SimTime t_begin, sim::SimTime t_end) const {
+  std::vector<QueryInfoRecord> out;
+  for (const auto& [id, row] : rows_) {
+    if (row.state == QueryState::kDone && row.end_time >= t_begin &&
+        row.end_time < t_end) {
+      out.push_back(row);
+    }
+  }
+  return out;
+}
+
+void ControlTable::ForEachQueued(
+    const std::function<void(const QueryInfoRecord&)>& visit) const {
+  for (const auto& [id, row] : rows_) {
+    if (row.state == QueryState::kQueued) visit(row);
+  }
+}
+
+size_t ControlTable::PruneDone(sim::SimTime before) {
+  size_t removed = 0;
+  for (auto it = rows_.begin(); it != rows_.end();) {
+    if (it->second.state == QueryState::kDone &&
+        it->second.end_time < before) {
+      it = rows_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+}  // namespace qsched::qp

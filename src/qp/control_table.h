@@ -1,0 +1,79 @@
+#ifndef QSCHED_QP_CONTROL_TABLE_H_
+#define QSCHED_QP_CONTROL_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/simulator.h"
+
+namespace qsched::qp {
+
+/// Lifecycle of an intercepted query inside Query Patroller.
+enum class QueryState {
+  kQueued,     // intercepted, agent blocked, waiting for Release
+  kRunning,    // released to the engine
+  kDone,       // finished
+  kCancelled,  // cancelled by an operator while queued
+};
+
+/// One row of the Query Patroller control tables: the query information
+/// the paper's Monitor reads (identification, optimizer cost, execution
+/// state and times).
+struct QueryInfoRecord {
+  uint64_t query_id = 0;
+  int class_id = 0;
+  double cost_timerons = 0.0;
+  /// True when the query belongs to the OLTP workload type.
+  bool is_oltp = false;
+  QueryState state = QueryState::kQueued;
+  sim::SimTime intercept_time = 0.0;
+  sim::SimTime release_time = 0.0;
+  sim::SimTime end_time = 0.0;
+};
+
+/// In-memory stand-in for the DB2 QP control tables. Keyed by query id;
+/// supports the scans the Monitor and the dispatchers need.
+class ControlTable {
+ public:
+  Status Insert(const QueryInfoRecord& record);
+  Status MarkReleased(uint64_t query_id, sim::SimTime now);
+  Status MarkDone(uint64_t query_id, sim::SimTime now);
+  /// Marks a *queued* query cancelled (the QP admin "cancel" action).
+  Status MarkCancelled(uint64_t query_id, sim::SimTime now);
+
+  /// Returns nullptr when absent.
+  const QueryInfoRecord* Find(uint64_t query_id) const;
+
+  /// Sum of cost over running queries of `class_id` (all classes when
+  /// class_id < 0) — the dispatcher's admission ledger.
+  double RunningCost(int class_id = -1) const;
+  /// Number of running queries of `class_id` (all when < 0).
+  int RunningCount(int class_id = -1) const;
+  /// Number of queued queries of `class_id` (all when < 0).
+  int QueuedCount(int class_id = -1) const;
+
+  /// All done records with end_time in [t_begin, t_end); what the Monitor
+  /// reads once per control interval.
+  std::vector<QueryInfoRecord> DoneInWindow(sim::SimTime t_begin,
+                                            sim::SimTime t_end) const;
+
+  /// Visits every queued row (the Governor's sweep).
+  void ForEachQueued(
+      const std::function<void(const QueryInfoRecord&)>& visit) const;
+
+  /// Drops done records with end_time < `before` (bounded memory on long
+  /// runs). Returns the number removed.
+  size_t PruneDone(sim::SimTime before);
+
+  size_t size() const { return rows_.size(); }
+
+ private:
+  std::map<uint64_t, QueryInfoRecord> rows_;
+};
+
+}  // namespace qsched::qp
+
+#endif  // QSCHED_QP_CONTROL_TABLE_H_

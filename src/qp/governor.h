@@ -1,0 +1,51 @@
+#ifndef QSCHED_QP_GOVERNOR_H_
+#define QSCHED_QP_GOVERNOR_H_
+
+#include <cstdint>
+
+#include "qp/interceptor.h"
+#include "sim/simulator.h"
+
+namespace qsched::qp {
+
+/// Reactive rule engine in the spirit of the DB2 Governor, which runs
+/// alongside Query Patroller and applies rules to misbehaving work. The
+/// reproduction implements the queue-hygiene rule QP deployments rely
+/// on: a query held in the queue longer than `max_queue_seconds` is
+/// cancelled (its client gets an immediate error-style completion and,
+/// being closed-loop, resubmits fresh work). This bounds the staleness
+/// of queued OLAP work under a controller that has squeezed a class to
+/// near zero.
+class Governor {
+ public:
+  struct Options {
+    /// Queued queries older than this are cancelled.
+    double max_queue_seconds = 600.0;
+    /// Sweep interval.
+    double sweep_interval_seconds = 30.0;
+  };
+
+  Governor(sim::Simulator* simulator, Interceptor* interceptor,
+           const Options& options);
+
+  Governor(const Governor&) = delete;
+  Governor& operator=(const Governor&) = delete;
+
+  /// Starts periodic sweeps until simulated time `until`.
+  void Start(sim::SimTime until);
+
+  /// One sweep over the control table; returns queries cancelled.
+  int SweepOnce();
+
+  uint64_t total_cancelled() const { return total_cancelled_; }
+
+ private:
+  sim::Simulator* simulator_;
+  Interceptor* interceptor_;
+  Options options_;
+  uint64_t total_cancelled_ = 0;
+};
+
+}  // namespace qsched::qp
+
+#endif  // QSCHED_QP_GOVERNOR_H_

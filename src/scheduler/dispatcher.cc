@@ -1,0 +1,76 @@
+#include "scheduler/dispatcher.h"
+
+#include "common/logging.h"
+
+namespace qsched::sched {
+
+Dispatcher::Dispatcher(qp::Interceptor* interceptor)
+    : interceptor_(interceptor) {}
+
+void Dispatcher::SetPlan(const SchedulingPlan& plan) {
+  plan_ = plan;
+  TryRelease();
+}
+
+void Dispatcher::OnArrived(const qp::QueryInfoRecord& record) {
+  queues_[record.class_id].push_back(
+      Waiting{record.query_id, record.cost_timerons});
+  TryRelease();
+}
+
+void Dispatcher::OnFinished(const qp::QueryInfoRecord& record) {
+  (void)record;
+  TryRelease();
+}
+
+void Dispatcher::OnCancelled(const qp::QueryInfoRecord& record) {
+  auto it = queues_.find(record.class_id);
+  if (it == queues_.end()) return;
+  for (auto q = it->second.begin(); q != it->second.end(); ++q) {
+    if (q->query_id == record.query_id) {
+      it->second.erase(q);
+      break;
+    }
+  }
+  // Cancelling frees no running budget, but keep the pipeline moving in
+  // case the queue head changed.
+  TryRelease();
+}
+
+void Dispatcher::TryRelease() {
+  bool released = true;
+  while (released) {
+    released = false;
+    for (auto& [class_id, queue] : queues_) {
+      if (queue.empty()) continue;
+      double limit = plan_.LimitFor(class_id);
+      double running_cost = interceptor_->running_cost(class_id);
+      int running = interceptor_->running_count(class_id);
+      const Waiting& head = queue.front();
+      bool fits = running_cost + head.cost <= limit;
+      if (!fits && running == 0) fits = true;  // min-one rule
+      if (!fits) continue;
+      uint64_t id = head.query_id;
+      queue.pop_front();
+      Status st = interceptor_->Release(id);
+      QSCHED_CHECK(st.ok()) << st.ToString();
+      ++released_total_;
+      released = true;
+    }
+  }
+}
+
+int Dispatcher::QueuedFor(int class_id) const {
+  auto it = queues_.find(class_id);
+  return it != queues_.end() ? static_cast<int>(it->second.size()) : 0;
+}
+
+int Dispatcher::TotalQueued() const {
+  int total = 0;
+  for (const auto& [class_id, queue] : queues_) {
+    total += static_cast<int>(queue.size());
+  }
+  return total;
+}
+
+}  // namespace qsched::sched

@@ -1,0 +1,57 @@
+#ifndef QSCHED_SCHEDULER_DISPATCHER_H_
+#define QSCHED_SCHEDULER_DISPATCHER_H_
+
+#include <deque>
+#include <map>
+
+#include "qp/interceptor.h"
+#include "scheduler/solver.h"
+
+namespace qsched::sched {
+
+/// The paper's Dispatcher: one FIFO queue per service class; a queued
+/// query is released for execution as long as adding it keeps the sum of
+/// costs of the class's executing queries within the class cost limit of
+/// the current scheduling plan.
+///
+/// A query whose cost alone exceeds its class limit would starve under the
+/// strict rule, so a class with nothing running may always release its
+/// head ("min-one" rule); DB2 QP behaves the same for over-limit queries.
+class Dispatcher {
+ public:
+  explicit Dispatcher(qp::Interceptor* interceptor);
+
+  Dispatcher(const Dispatcher&) = delete;
+  Dispatcher& operator=(const Dispatcher&) = delete;
+
+  /// Installs a new plan and immediately releases whatever now fits.
+  void SetPlan(const SchedulingPlan& plan);
+  const SchedulingPlan& plan() const { return plan_; }
+
+  /// Wire these to the interceptor's callbacks.
+  void OnArrived(const qp::QueryInfoRecord& record);
+  void OnFinished(const qp::QueryInfoRecord& record);
+  /// Drops a cancelled query from its class queue.
+  void OnCancelled(const qp::QueryInfoRecord& record);
+
+  int QueuedFor(int class_id) const;
+  int TotalQueued() const;
+  uint64_t released_total() const { return released_total_; }
+
+ private:
+  struct Waiting {
+    uint64_t query_id;
+    double cost;
+  };
+
+  void TryRelease();
+
+  qp::Interceptor* interceptor_;
+  SchedulingPlan plan_;
+  std::map<int, std::deque<Waiting>> queues_;
+  uint64_t released_total_ = 0;
+};
+
+}  // namespace qsched::sched
+
+#endif  // QSCHED_SCHEDULER_DISPATCHER_H_

@@ -1,0 +1,93 @@
+#include "scheduler/greedy_allocator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace qsched::sched {
+
+GreedyAllocator::GreedyAllocator(Options options)
+    : options_(std::move(options)) {}
+
+double GreedyAllocator::Evaluate(const SolverInput& input,
+                                 const std::vector<double>& limits) const {
+  double olap_old = 0.0;
+  double olap_new = 0.0;
+  for (size_t i = 0; i < input.classes.size(); ++i) {
+    const auto& cls = input.classes[i];
+    if (cls.spec->type == workload::WorkloadType::kOlap) {
+      olap_old += cls.current_limit;
+      olap_new += limits[i];
+    }
+  }
+  double utility = 0.0;
+  for (size_t i = 0; i < input.classes.size(); ++i) {
+    const auto& cls = input.classes[i];
+    double predicted;
+    if (cls.spec->type == workload::WorkloadType::kOlap) {
+      predicted = OlapVelocityModel::Predict(cls.measured,
+                                             cls.current_limit, limits[i]);
+    } else if (cls.directly_controlled) {
+      double old_limit = std::max(cls.current_limit, 1e-6);
+      predicted = cls.measured * old_limit / std::max(limits[i], 1e-6);
+    } else {
+      QSCHED_CHECK(input.oltp_model != nullptr);
+      predicted =
+          input.oltp_model->Predict(cls.measured, olap_old, olap_new);
+    }
+    utility += options_.utility.Evaluate(*cls.spec, predicted);
+  }
+  return utility;
+}
+
+SchedulingPlan GreedyAllocator::Solve(const SolverInput& input) const {
+  SchedulingPlan plan;
+  size_t n = input.classes.size();
+  if (n == 0 || input.total_cost_limit <= 0.0) return plan;
+
+  double total = input.total_cost_limit;
+  double increment =
+      total * std::clamp(options_.increment_fraction, 0.001, 0.5);
+
+  // Floor allocation at the min shares.
+  std::vector<double> limits(n);
+  double allocated = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    limits[i] = input.classes[i].spec->min_share * total;
+    allocated += limits[i];
+  }
+
+  // Auction the remainder increment by increment.
+  double base_utility = Evaluate(input, limits);
+  while (allocated + increment <= total + 1e-9) {
+    size_t winner = n;
+    double best_gain = -1e18;
+    for (size_t i = 0; i < n; ++i) {
+      limits[i] += increment;
+      double gain = Evaluate(input, limits) - base_utility;
+      limits[i] -= increment;
+      if (gain > best_gain) {
+        best_gain = gain;
+        winner = i;
+      }
+    }
+    if (winner == n) break;
+    limits[winner] += increment;
+    allocated += increment;
+    base_utility += best_gain;
+  }
+  // Hand any sub-increment remainder to the last winner's runner-up
+  // logic: just give it proportionally (negligible).
+  double leftover = total - allocated;
+  if (leftover > 0.0 && n > 0) {
+    for (size_t i = 0; i < n; ++i) limits[i] += leftover / n;
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    plan.cost_limits[input.classes[i].spec->class_id] = limits[i];
+  }
+  plan.predicted_utility = Evaluate(input, limits);
+  return plan;
+}
+
+}  // namespace qsched::sched

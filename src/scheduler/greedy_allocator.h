@@ -1,0 +1,45 @@
+#ifndef QSCHED_SCHEDULER_GREEDY_ALLOCATOR_H_
+#define QSCHED_SCHEDULER_GREEDY_ALLOCATOR_H_
+
+#include <vector>
+
+#include "scheduler/solver.h"
+
+namespace qsched::sched {
+
+/// Alternative Performance Solver in the spirit of the authors'
+/// follow-up work on economic models ("Using Economic Models to Allocate
+/// Resources in Database Management Systems"): instead of searching the
+/// allocation simplex, the system cost limit is auctioned off in fixed
+/// increments. Each round, every class bids its *marginal utility* for
+/// the next increment (predicted via the same per-class performance
+/// models); the highest bidder wins it. Greedy marginal-utility
+/// allocation is optimal when class utilities are concave in their
+/// limits, and degrades gracefully (and measurably — see
+/// bench/ablation_allocators) when the violation kinks break concavity.
+class GreedyAllocator {
+ public:
+  struct Options {
+    /// Increment auctioned per round, as a fraction of the total.
+    double increment_fraction = 0.02;
+    UtilityFunction utility;
+  };
+
+  GreedyAllocator() : GreedyAllocator(Options()) {}
+  explicit GreedyAllocator(Options options);
+
+  /// Allocates the full cost limit. Every class starts at its min share;
+  /// the remainder is auctioned.
+  SchedulingPlan Solve(const SolverInput& input) const;
+
+ private:
+  /// Total utility of `limits` (same prediction rules as the solver).
+  double Evaluate(const SolverInput& input,
+                  const std::vector<double>& limits) const;
+
+  Options options_;
+};
+
+}  // namespace qsched::sched
+
+#endif  // QSCHED_SCHEDULER_GREEDY_ALLOCATOR_H_

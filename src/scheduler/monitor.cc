@@ -1,0 +1,41 @@
+#include "scheduler/monitor.h"
+
+namespace qsched::sched {
+
+Monitor::Monitor(sim::Simulator* simulator) : simulator_(simulator) {
+  window_start_ = simulator_->Now();
+}
+
+void Monitor::AddRecord(const workload::QueryRecord& record) {
+  ++records_total_;
+  Accumulator& acc = acc_[record.class_id];
+  acc.completed += 1;
+  acc.velocity_sum += record.Velocity();
+  acc.response_sum += record.ResponseSeconds();
+  acc.exec_sum += record.ExecSeconds();
+}
+
+std::map<int, ClassIntervalStats> Monitor::Harvest() {
+  std::map<int, ClassIntervalStats> out;
+  double elapsed = simulator_->Now() - window_start_;
+  for (const auto& [class_id, acc] : acc_) {
+    ClassIntervalStats stats;
+    stats.completed = acc.completed;
+    if (acc.completed > 0) {
+      double n = static_cast<double>(acc.completed);
+      stats.mean_velocity = acc.velocity_sum / n;
+      stats.mean_response_seconds = acc.response_sum / n;
+      stats.mean_exec_seconds = acc.exec_sum / n;
+    }
+    if (elapsed > 0.0) {
+      stats.throughput_per_second =
+          static_cast<double>(acc.completed) / elapsed;
+    }
+    out[class_id] = stats;
+  }
+  acc_.clear();
+  window_start_ = simulator_->Now();
+  return out;
+}
+
+}  // namespace qsched::sched

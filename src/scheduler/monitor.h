@@ -1,0 +1,53 @@
+#ifndef QSCHED_SCHEDULER_MONITOR_H_
+#define QSCHED_SCHEDULER_MONITOR_H_
+
+#include <map>
+
+#include "sim/simulator.h"
+#include "workload/client.h"
+
+namespace qsched::sched {
+
+/// Aggregates of the queries of one class that finished during one
+/// control interval.
+struct ClassIntervalStats {
+  int completed = 0;
+  double mean_velocity = 0.0;
+  double mean_response_seconds = 0.0;
+  double mean_exec_seconds = 0.0;
+  double throughput_per_second = 0.0;
+};
+
+/// The paper's Monitor: collects query information (here: completion
+/// records carrying the control-table facts) and turns it into per-class
+/// per-interval performance measurements for the Scheduling Planner.
+class Monitor {
+ public:
+  explicit Monitor(sim::Simulator* simulator);
+
+  /// Feed one finished query.
+  void AddRecord(const workload::QueryRecord& record);
+
+  /// Returns the aggregates accumulated since the previous Harvest and
+  /// resets the accumulators.
+  std::map<int, ClassIntervalStats> Harvest();
+
+  uint64_t records_total() const { return records_total_; }
+
+ private:
+  struct Accumulator {
+    int completed = 0;
+    double velocity_sum = 0.0;
+    double response_sum = 0.0;
+    double exec_sum = 0.0;
+  };
+
+  sim::Simulator* simulator_;
+  std::map<int, Accumulator> acc_;
+  sim::SimTime window_start_ = 0.0;
+  uint64_t records_total_ = 0;
+};
+
+}  // namespace qsched::sched
+
+#endif  // QSCHED_SCHEDULER_MONITOR_H_

@@ -1,0 +1,72 @@
+#ifndef QSCHED_SCHEDULER_MPL_CONTROLLER_H_
+#define QSCHED_SCHEDULER_MPL_CONTROLLER_H_
+
+#include <deque>
+#include <map>
+
+#include "engine/execution_engine.h"
+#include "qp/interceptor.h"
+#include "scheduler/monitor.h"
+#include "scheduler/service_class.h"
+#include "scheduler/snapshot_monitor.h"
+#include "sim/simulator.h"
+#include "workload/client.h"
+
+namespace qsched::sched {
+
+/// Comparison baseline in the spirit of Schroeder et al. (ICDE'06),
+/// which the paper cites as the MPL-based alternative to cost-based
+/// control: each OLAP class gets a multiprogramming-level cap (max
+/// concurrent queries) instead of a cost limit; OLTP bypasses as usual.
+///
+/// In adaptive mode a simple feedback loop nudges the caps: when the OLTP
+/// class violates its response goal, every OLAP MPL drops by one; when
+/// OLTP has comfortable slack, the OLAP class furthest below its velocity
+/// goal gains one. This is deliberately simpler than the Query
+/// Scheduler's model-based planner — the ablation bench contrasts the two.
+class MplController : public workload::QueryFrontend {
+ public:
+  struct Options {
+    std::map<int, int> initial_mpl;
+    bool adaptive = true;
+    double control_interval_seconds = 30.0;
+    int min_mpl = 1;
+    int max_mpl = 64;
+    /// OLTP slack factor: raise OLAP MPLs only when response is below
+    /// slack * goal.
+    double oltp_slack = 0.8;
+    qp::InterceptorConfig interceptor;
+    SnapshotMonitor::Options snapshot;
+  };
+
+  MplController(sim::Simulator* simulator, engine::ExecutionEngine* engine,
+                const ServiceClassSet* classes, const Options& options);
+
+  void Start(sim::SimTime until);
+
+  void Submit(const workload::Query& query, CompleteFn on_complete) override;
+
+  int MplFor(int class_id) const;
+  qp::Interceptor& interceptor() { return interceptor_; }
+
+ private:
+  void OnArrived(const qp::QueryInfoRecord& record);
+  void OnFinished(const qp::QueryInfoRecord& record);
+  void TryRelease();
+  void ControlOnce();
+
+  sim::Simulator* simulator_;
+  const ServiceClassSet* classes_;
+  Options options_;
+  qp::Interceptor interceptor_;
+  Monitor monitor_;
+  SnapshotMonitor snapshot_;
+  std::map<int, int> mpl_;
+  std::map<int, std::deque<uint64_t>> queues_;
+  std::map<int, double> measured_velocity_;
+  double measured_oltp_response_ = -1.0;
+};
+
+}  // namespace qsched::sched
+
+#endif  // QSCHED_SCHEDULER_MPL_CONTROLLER_H_

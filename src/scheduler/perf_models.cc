@@ -1,0 +1,51 @@
+#include "scheduler/perf_models.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qsched::sched {
+
+namespace {
+constexpr double kMinVelocity = 1e-4;
+constexpr double kMinLimit = 1e-6;
+}  // namespace
+
+double OlapVelocityModel::Predict(double velocity, double old_limit,
+                                  double new_limit) {
+  velocity = std::max(velocity, kMinVelocity);
+  old_limit = std::max(old_limit, kMinLimit);
+  new_limit = std::max(new_limit, kMinLimit);
+  double predicted = velocity * new_limit / old_limit;
+  return std::clamp(predicted, 0.0, 1.0);
+}
+
+OltpResponseModel::OltpResponseModel(const Options& options)
+    : options_(options) {
+  // Seed the regression with the prior as pseudo-observations.
+  double x = options_.prior_delta_scale;
+  sxx_ = options_.prior_weight * x * x;
+  sxy_ = options_.prior_weight * x * (options_.prior_slope * x);
+  slope_ = options_.prior_slope;
+}
+
+void OltpResponseModel::Update(double prev_response, double response,
+                               double prev_limit, double limit) {
+  if (!options_.online_updates) return;
+  double dx = limit - prev_limit;
+  if (std::abs(dx) < options_.min_delta_limit) return;
+  double dy = response - prev_response;
+  sxx_ = options_.forgetting * sxx_ + dx * dx;
+  sxy_ = options_.forgetting * sxy_ + dx * dy;
+  if (sxx_ > 0.0) {
+    slope_ = std::clamp(sxy_ / sxx_, options_.min_slope, options_.max_slope);
+  }
+  ++updates_;
+}
+
+double OltpResponseModel::Predict(double response, double old_limit,
+                                  double new_limit) const {
+  double predicted = response + slope_ * (new_limit - old_limit);
+  return std::max(0.0, predicted);
+}
+
+}  // namespace qsched::sched

@@ -1,0 +1,82 @@
+#ifndef QSCHED_SCHEDULER_PERF_MODELS_H_
+#define QSCHED_SCHEDULER_PERF_MODELS_H_
+
+namespace qsched::sched {
+
+/// The paper's OLAP class performance model (Section 3.2):
+///   V_i^k = min(1, V_i^{k-1} * C_i^k / C_i^{k-1})
+/// — query velocity scales proportionally with the class cost limit,
+/// saturating at 1.
+class OlapVelocityModel {
+ public:
+  /// Predicted velocity under `new_limit` given the velocity `velocity`
+  /// measured while the limit was `old_limit`. Non-positive limits and
+  /// velocities are clamped to small positives.
+  static double Predict(double velocity, double old_limit,
+                        double new_limit);
+};
+
+/// The paper's OLTP performance model (Section 3.2):
+///   t^k = t^{k-1} + s * (C^k - C^{k-1})
+/// where C is the total OLAP cost limit and s is a slope fitted online.
+/// The slope is estimated with exponentially-weighted recursive least
+/// squares over observed (delta-limit, delta-response) pairs, seeded with
+/// a prior so the controller acts sensibly before data accumulates.
+class OltpResponseModel {
+ public:
+  struct Options {
+    /// Prior slope (seconds of added OLTP response per timeron of OLAP
+    /// cost limit). The paper obtains s *offline* by linear regression
+    /// over Fig. 2-style measurements; the reproduction's Fig. 2 gives
+    /// ~7.5e-7 s/timeron at the default calibration.
+    double prior_slope = 7.5e-7;
+    /// When false (default, the paper's approach), s stays at the fitted
+    /// constant. When true, s is re-estimated online from control-loop
+    /// observations — the ablation bench shows why this is fragile:
+    /// workload swings confound the regression (reverse causation).
+    bool online_updates = false;
+    /// Strength of the prior, expressed as equivalent sample weight.
+    double prior_weight = 4.0;
+    /// Magnitude of a typical cost-limit change; the prior is injected as
+    /// pseudo-observations at this scale so real observations (tens of
+    /// thousands of timerons) neither swamp nor ignore it.
+    double prior_delta_scale = 30000.0;
+    /// Forgetting factor in (0,1]; 1 = never forget.
+    double forgetting = 0.98;
+    /// Slope clamp: the physical sign is known (more admitted OLAP work
+    /// can only slow OLTP down).
+    double min_slope = 1.0e-9;
+    double max_slope = 1.0e-3;
+    /// Updates with |delta limit| below this are ignored (no signal).
+    double min_delta_limit = 1.0;
+  };
+
+  OltpResponseModel() : OltpResponseModel(Options()) {}
+  explicit OltpResponseModel(const Options& options);
+
+  /// Incorporates one control-interval observation: response moved from
+  /// `prev_response` to `response` while the OLAP cost limit moved from
+  /// `prev_limit` to `limit`.
+  void Update(double prev_response, double response, double prev_limit,
+              double limit);
+
+  /// Predicted response time under `new_limit` given `response` measured
+  /// at `old_limit`. Clamped to be non-negative.
+  double Predict(double response, double old_limit, double new_limit) const;
+
+  double slope() const { return slope_; }
+  int updates() const { return updates_; }
+
+ private:
+  Options options_;
+  /// Weighted least squares state for y = s*x through the origin:
+  /// slope = sxy / sxx.
+  double sxx_ = 0.0;
+  double sxy_ = 0.0;
+  double slope_ = 0.0;
+  int updates_ = 0;
+};
+
+}  // namespace qsched::sched
+
+#endif  // QSCHED_SCHEDULER_PERF_MODELS_H_

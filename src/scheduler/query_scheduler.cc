@@ -1,0 +1,227 @@
+#include "scheduler/query_scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace qsched::sched {
+
+QueryScheduler::QueryScheduler(sim::Simulator* simulator,
+                               engine::ExecutionEngine* engine,
+                               const ServiceClassSet* classes,
+                               const QuerySchedulerConfig& config)
+    : simulator_(simulator),
+      engine_(engine),
+      classes_(classes),
+      config_(config),
+      interceptor_(simulator, engine, config.interceptor),
+      dispatcher_(&interceptor_),
+      monitor_(simulator),
+      snapshot_(simulator, engine, config.snapshot),
+      detector_(config.detector),
+      oltp_model_(config.oltp_model),
+      solver_(config.solver),
+      greedy_(config.greedy) {
+  interceptor_.set_on_arrived([this](const qp::QueryInfoRecord& record) {
+    dispatcher_.OnArrived(record);
+  });
+  interceptor_.set_on_finished([this](const qp::QueryInfoRecord& record) {
+    dispatcher_.OnFinished(record);
+  });
+  interceptor_.set_on_cancelled(
+      [this](const qp::QueryInfoRecord& record) {
+        dispatcher_.OnCancelled(record);
+      });
+  // Neutral initial measurements: every class assumed exactly at goal.
+  for (const ServiceClassSpec& spec : classes_->classes()) {
+    measured_[spec.class_id] = spec.goal_value;
+  }
+  dispatcher_.SetPlan(InitialPlan());
+}
+
+SchedulingPlan QueryScheduler::InitialPlan() const {
+  SchedulingPlan plan;
+  size_t n = classes_->size();
+  if (n == 0) return plan;
+  double equal = 1.0 / static_cast<double>(n);
+  for (const ServiceClassSpec& spec : classes_->classes()) {
+    double share = std::max(spec.min_share, equal);
+    plan.cost_limits[spec.class_id] = share * config_.system_cost_limit;
+  }
+  // Normalize to the system cost limit.
+  double total = plan.Total();
+  if (total > 0.0) {
+    for (auto& [id, limit] : plan.cost_limits) {
+      limit *= config_.system_cost_limit / total;
+    }
+  }
+  return plan;
+}
+
+void QueryScheduler::Start(sim::SimTime until) {
+  snapshot_.Start(until);
+  double interval = config_.control_interval_seconds;
+  QSCHED_CHECK(interval > 0.0) << "control interval must be positive";
+  for (double t = interval; t <= until; t += interval) {
+    simulator_->ScheduleAt(t, [this] { PlanOnce(); });
+  }
+}
+
+bool QueryScheduler::Classify(const workload::Query& query) const {
+  return classes_->Find(query.class_id) != nullptr;
+}
+
+void QueryScheduler::Submit(const workload::Query& query,
+                            CompleteFn on_complete) {
+  QSCHED_CHECK(Classify(query))
+      << "query with unknown service class " << query.class_id;
+  detector_.RecordArrival(query.class_id);
+  bool direct = query.type != workload::WorkloadType::kOltp ||
+                config_.control_oltp_directly;
+  if (!direct) {
+    // Paper path: OLTP bypasses interception; the snapshot monitor is the
+    // only performance source for the class.
+    interceptor_.Bypass(
+        query, [this, on_complete = std::move(on_complete)](
+                   const workload::QueryRecord& record) {
+          snapshot_.RecordCompletion(record);
+          if (on_complete) on_complete(record);
+        });
+    return;
+  }
+  interceptor_.Intercept(
+      query, [this, on_complete = std::move(on_complete)](
+                 const workload::QueryRecord& record) {
+        monitor_.AddRecord(record);
+        if (on_complete) on_complete(record);
+      });
+}
+
+double QueryScheduler::OlapTotalOf(const SchedulingPlan& plan) const {
+  double total = 0.0;
+  for (const ServiceClassSpec& spec : classes_->classes()) {
+    if (spec.type == workload::WorkloadType::kOlap) {
+      total += plan.LimitFor(spec.class_id);
+    }
+  }
+  return total;
+}
+
+void QueryScheduler::PlanOnce() {
+  ++planning_cycles_;
+  if (config_.planning_cpu_seconds > 0.0) {
+    engine_->cpu_pool().Submit(config_.planning_cpu_seconds, [] {});
+  }
+
+  std::map<int, ClassIntervalStats> stats = monitor_.Harvest();
+  std::map<int, WorkloadSignal> signals =
+      detector_.Harvest(config_.control_interval_seconds);
+  const SchedulingPlan& current = dispatcher_.plan();
+  double olap_total_now = OlapTotalOf(current);
+
+  // Refresh per-class measurements. A detected workload shift makes the
+  // newest measurement authoritative (the smoothed history is stale).
+  double base_alpha = std::clamp(config_.measurement_smoothing, 0.01, 1.0);
+  double oltp_response = -1.0;
+  for (const ServiceClassSpec& spec : classes_->classes()) {
+    double alpha = base_alpha;
+    auto signal_it = signals.find(spec.class_id);
+    if (config_.proactive_planning && signal_it != signals.end() &&
+        signal_it->second.change_detected) {
+      alpha = 1.0;
+    }
+    if (spec.type == workload::WorkloadType::kOlap) {
+      auto it = stats.find(spec.class_id);
+      if (it != stats.end() && it->second.completed > 0) {
+        measured_[spec.class_id] =
+            alpha * it->second.mean_velocity +
+            (1.0 - alpha) * measured_[spec.class_id];
+      }
+      continue;
+    }
+    // OLTP measurement source depends on the control mode.
+    if (config_.control_oltp_directly) {
+      auto it = stats.find(spec.class_id);
+      if (it != stats.end() && it->second.completed > 0) {
+        measured_[spec.class_id] = it->second.mean_response_seconds;
+      }
+    } else {
+      double sampled =
+          snapshot_.HarvestAvgResponse(measured_[spec.class_id]);
+      measured_[spec.class_id] =
+          alpha * sampled + (1.0 - alpha) * measured_[spec.class_id];
+    }
+    oltp_response = measured_[spec.class_id];
+  }
+
+  // Feed the regression with the interval-to-interval deltas.
+  if (!config_.control_oltp_directly && oltp_response >= 0.0 &&
+      prev_oltp_response_ >= 0.0 && prev_olap_total_ >= 0.0) {
+    oltp_model_.Update(prev_oltp_response_, oltp_response,
+                       prev_olap_total_, olap_total_now);
+  }
+  prev_oltp_response_ = oltp_response;
+  prev_olap_total_ = olap_total_now;
+
+  // Solve for the next plan.
+  SolverInput input;
+  input.total_cost_limit = config_.system_cost_limit;
+  input.oltp_model = &oltp_model_;
+  for (const ServiceClassSpec& spec : classes_->classes()) {
+    SolverInput::ClassState state;
+    state.spec = &spec;
+    state.measured = measured_[spec.class_id];
+    state.current_limit = current.LimitFor(spec.class_id);
+    state.directly_controlled =
+        spec.type == workload::WorkloadType::kOltp &&
+        config_.control_oltp_directly;
+    if (config_.proactive_planning) {
+      // Bias inputs by the predicted arrival-rate change: a class about
+      // to get busier is planned for as if already slower.
+      auto signal_it = signals.find(spec.class_id);
+      if (signal_it != signals.end() && signal_it->second.level > 1e-9) {
+        const WorkloadSignal& signal = signal_it->second;
+        double gain = std::max(0.0, config_.proactive_gain);
+        double ratio =
+            std::clamp(signal.predicted_rate / signal.level,
+                       1.0 / (1.0 + gain), 1.0 + gain);
+        if (spec.goal_kind == GoalKind::kAvgResponseCeiling) {
+          state.measured *= ratio;  // busier -> expect slower responses
+        } else {
+          state.measured /= ratio;  // busier -> expect lower velocity
+        }
+      }
+    }
+    input.classes.push_back(state);
+  }
+  SchedulingPlan target =
+      config_.allocator == QuerySchedulerConfig::Allocator::kGreedyAuction
+          ? greedy_.Solve(input)
+          : solver_.Solve(input);
+
+  // Rate-limit: move only part of the way toward the optimum, then
+  // renormalize so the limits still sum to the system cost limit.
+  double step = std::clamp(config_.plan_step_fraction, 0.05, 1.0);
+  SchedulingPlan next;
+  next.predicted_utility = target.predicted_utility;
+  double sum = 0.0;
+  for (const auto& [class_id, limit] : target.cost_limits) {
+    double blended =
+        current.LimitFor(class_id) +
+        step * (limit - current.LimitFor(class_id));
+    next.cost_limits[class_id] = blended;
+    sum += blended;
+  }
+  if (sum > 0.0) {
+    for (auto& [class_id, limit] : next.cost_limits) {
+      limit *= config_.system_cost_limit / sum;
+    }
+  }
+  for (const auto& [class_id, limit] : next.cost_limits) {
+    limit_history_[class_id].Append(simulator_->Now(), limit);
+  }
+  dispatcher_.SetPlan(next);
+}
+
+}  // namespace qsched::sched

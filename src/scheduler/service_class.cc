@@ -1,0 +1,92 @@
+#include "scheduler/service_class.h"
+
+#include "common/strings.h"
+
+namespace qsched::sched {
+
+double ServiceClassSpec::GoalRatio(double measured) const {
+  if (goal_value <= 0.0) return 1.0;
+  if (goal_kind == GoalKind::kVelocityFloor) {
+    return measured / goal_value;
+  }
+  // Response-time ceiling on a *linear* scale: p = 2 - t/goal, so p >= 1
+  // still means "met" and every second of extra response time costs the
+  // same utility. (The naive goal/t form has 1/t^2 sensitivity: the
+  // deeper the violation, the weaker its pull on the optimizer —
+  // backwards for SLO enforcement.)
+  if (measured < 0.0) measured = 0.0;
+  double p = 2.0 - measured / goal_value;
+  return p < -2.0 ? -2.0 : p;
+}
+
+Status ServiceClassSet::Add(ServiceClassSpec spec) {
+  if (Find(spec.class_id) != nullptr) {
+    return Status::AlreadyExists(
+        StrPrintf("class %d already defined", spec.class_id));
+  }
+  if (spec.min_share < 0.0 || spec.min_share > 1.0) {
+    return Status::InvalidArgument("min_share outside [0,1]");
+  }
+  classes_.push_back(std::move(spec));
+  return Status::OK();
+}
+
+const ServiceClassSpec* ServiceClassSet::Find(int class_id) const {
+  for (const ServiceClassSpec& spec : classes_) {
+    if (spec.class_id == class_id) return &spec;
+  }
+  return nullptr;
+}
+
+std::vector<int> ServiceClassSet::OlapClassIds() const {
+  std::vector<int> ids;
+  for (const ServiceClassSpec& spec : classes_) {
+    if (spec.type == workload::WorkloadType::kOlap) {
+      ids.push_back(spec.class_id);
+    }
+  }
+  return ids;
+}
+
+std::vector<int> ServiceClassSet::OltpClassIds() const {
+  std::vector<int> ids;
+  for (const ServiceClassSpec& spec : classes_) {
+    if (spec.type == workload::WorkloadType::kOltp) {
+      ids.push_back(spec.class_id);
+    }
+  }
+  return ids;
+}
+
+ServiceClassSet MakePaperClasses() {
+  ServiceClassSet set;
+  ServiceClassSpec class1;
+  class1.class_id = 1;
+  class1.name = "olap-standard";
+  class1.type = workload::WorkloadType::kOlap;
+  class1.goal_kind = GoalKind::kVelocityFloor;
+  class1.goal_value = 0.4;
+  class1.importance = 1;
+  set.Add(class1);
+
+  ServiceClassSpec class2;
+  class2.class_id = 2;
+  class2.name = "olap-premium";
+  class2.type = workload::WorkloadType::kOlap;
+  class2.goal_kind = GoalKind::kVelocityFloor;
+  class2.goal_value = 0.6;
+  class2.importance = 2;
+  set.Add(class2);
+
+  ServiceClassSpec class3;
+  class3.class_id = 3;
+  class3.name = "oltp";
+  class3.type = workload::WorkloadType::kOltp;
+  class3.goal_kind = GoalKind::kAvgResponseCeiling;
+  class3.goal_value = 0.25;
+  class3.importance = 3;
+  set.Add(class3);
+  return set;
+}
+
+}  // namespace qsched::sched

@@ -1,0 +1,63 @@
+#ifndef QSCHED_SCHEDULER_SERVICE_CLASS_H_
+#define QSCHED_SCHEDULER_SERVICE_CLASS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "workload/query.h"
+
+namespace qsched::sched {
+
+/// The metric a class's SLO is expressed in. OLAP classes use query
+/// velocity (higher is better, goal is a floor); the OLTP class uses
+/// average response time (lower is better, goal is a ceiling).
+enum class GoalKind { kVelocityFloor, kAvgResponseCeiling };
+
+/// One service class of the mixed workload with its Service Level
+/// Objective. Importance is *not* priority: it only matters while the
+/// goal is violated (Section 4.2 of the paper).
+struct ServiceClassSpec {
+  int class_id = 0;
+  std::string name;
+  workload::WorkloadType type = workload::WorkloadType::kOlap;
+  GoalKind goal_kind = GoalKind::kVelocityFloor;
+  /// Velocity in (0,1] for kVelocityFloor, seconds for
+  /// kAvgResponseCeiling.
+  double goal_value = 0.5;
+  /// Business importance; larger means violations cost more utility.
+  int importance = 1;
+  /// Smallest fraction of the system cost limit the solver may assign.
+  double min_share = 0.05;
+
+  /// Performance relative to goal: >= 1 means the SLO is met.
+  double GoalRatio(double measured) const;
+};
+
+/// The class set of one experiment, with id lookup.
+class ServiceClassSet {
+ public:
+  Status Add(ServiceClassSpec spec);
+
+  const std::vector<ServiceClassSpec>& classes() const { return classes_; }
+  size_t size() const { return classes_.size(); }
+  /// Returns nullptr when absent.
+  const ServiceClassSpec* Find(int class_id) const;
+
+  /// Ids of OLAP classes (directly controlled via cost limits).
+  std::vector<int> OlapClassIds() const;
+  /// Ids of OLTP classes (indirectly controlled).
+  std::vector<int> OltpClassIds() const;
+
+ private:
+  std::vector<ServiceClassSpec> classes_;
+};
+
+/// The paper's experimental classes: Class 1 (OLAP, importance 1,
+/// velocity goal 0.4), Class 2 (OLAP, importance 2, velocity goal 0.6),
+/// Class 3 (OLTP, importance 3, average response goal 0.25 s).
+ServiceClassSet MakePaperClasses();
+
+}  // namespace qsched::sched
+
+#endif  // QSCHED_SCHEDULER_SERVICE_CLASS_H_

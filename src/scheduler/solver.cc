@@ -1,0 +1,178 @@
+#include "scheduler/solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace qsched::sched {
+
+double SchedulingPlan::LimitFor(int class_id) const {
+  auto it = cost_limits.find(class_id);
+  return it != cost_limits.end() ? it->second : 0.0;
+}
+
+double SchedulingPlan::Total() const {
+  double total = 0.0;
+  for (const auto& [id, limit] : cost_limits) total += limit;
+  return total;
+}
+
+PerformanceSolver::PerformanceSolver(Options options)
+    : options_(std::move(options)) {}
+
+double PerformanceSolver::EvaluateFractions(
+    const SolverInput& input, const std::vector<double>& fractions) const {
+  QSCHED_CHECK(fractions.size() == input.classes.size());
+  double total = input.total_cost_limit;
+
+  // OLAP totals before/after, needed by the OLTP model.
+  double olap_old = 0.0;
+  double olap_new = 0.0;
+  for (size_t i = 0; i < input.classes.size(); ++i) {
+    const auto& cls = input.classes[i];
+    if (cls.spec->type == workload::WorkloadType::kOlap) {
+      olap_old += cls.current_limit;
+      olap_new += fractions[i] * total;
+    }
+  }
+
+  double utility = 0.0;
+  for (size_t i = 0; i < input.classes.size(); ++i) {
+    const auto& cls = input.classes[i];
+    double new_limit = fractions[i] * total;
+    double predicted;
+    if (cls.spec->type == workload::WorkloadType::kOlap) {
+      predicted = OlapVelocityModel::Predict(cls.measured,
+                                             cls.current_limit, new_limit);
+    } else if (cls.directly_controlled) {
+      // Direct OLTP control: response inversely proportional to the
+      // class's own cost limit (response = exec / velocity with velocity
+      // scaling like the OLAP model).
+      double old_limit = std::max(cls.current_limit, 1e-6);
+      predicted = cls.measured * old_limit / std::max(new_limit, 1e-6);
+    } else {
+      QSCHED_CHECK(input.oltp_model != nullptr)
+          << "OLTP class present but no response model";
+      predicted =
+          input.oltp_model->Predict(cls.measured, olap_old, olap_new);
+    }
+    utility += options_.utility.Evaluate(*cls.spec, predicted);
+  }
+  if (options_.change_penalty > 0.0 && total > 0.0) {
+    double change = 0.0;
+    for (size_t i = 0; i < input.classes.size(); ++i) {
+      double current_fraction = input.classes[i].current_limit / total;
+      change += std::abs(fractions[i] - current_fraction);
+    }
+    utility -= options_.change_penalty * change;
+  }
+  return utility;
+}
+
+std::vector<double> PerformanceSolver::InitialFractions(
+    const SolverInput& input) const {
+  size_t n = input.classes.size();
+  std::vector<double> fractions(n, 0.0);
+  double total = input.total_cost_limit;
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double f = total > 0.0 ? input.classes[i].current_limit / total : 0.0;
+    f = std::max(f, input.classes[i].spec->min_share);
+    fractions[i] = f;
+    sum += f;
+  }
+  if (sum <= 0.0) {
+    std::fill(fractions.begin(), fractions.end(),
+              1.0 / static_cast<double>(n));
+  } else {
+    for (double& f : fractions) f /= sum;
+  }
+  return fractions;
+}
+
+void PerformanceSolver::GridSearch(const SolverInput& input,
+                                   std::vector<double>* best_fractions,
+                                   double* best_utility) const {
+  size_t n = input.classes.size();
+  if (n < 2 || n > 3) return;  // hill climbing covers other sizes
+  double step = std::clamp(options_.grid_step, 0.005, 0.5);
+
+  auto min_share = [&](size_t i) {
+    return input.classes[i].spec->min_share;
+  };
+
+  if (n == 2) {
+    for (double f0 = min_share(0); f0 <= 1.0 - min_share(1) + 1e-12;
+         f0 += step) {
+      std::vector<double> f = {f0, 1.0 - f0};
+      double u = EvaluateFractions(input, f);
+      if (u > *best_utility) {
+        *best_utility = u;
+        *best_fractions = f;
+      }
+    }
+    return;
+  }
+  for (double f0 = min_share(0);
+       f0 <= 1.0 - min_share(1) - min_share(2) + 1e-12; f0 += step) {
+    for (double f1 = min_share(1); f0 + f1 <= 1.0 - min_share(2) + 1e-12;
+         f1 += step) {
+      double f2 = 1.0 - f0 - f1;
+      std::vector<double> f = {f0, f1, f2};
+      double u = EvaluateFractions(input, f);
+      if (u > *best_utility) {
+        *best_utility = u;
+        *best_fractions = f;
+      }
+    }
+  }
+}
+
+void PerformanceSolver::HillClimb(const SolverInput& input,
+                                  std::vector<double>* fractions,
+                                  double* utility) const {
+  size_t n = input.classes.size();
+  for (int pass = 0; pass < options_.max_refine_passes; ++pass) {
+    bool improved = false;
+    for (double step : options_.refine_steps) {
+      for (size_t from = 0; from < n; ++from) {
+        for (size_t to = 0; to < n; ++to) {
+          if (from == to) continue;
+          double min_from = input.classes[from].spec->min_share;
+          if ((*fractions)[from] - step < min_from - 1e-12) continue;
+          std::vector<double> candidate = *fractions;
+          candidate[from] -= step;
+          candidate[to] += step;
+          double u = EvaluateFractions(input, candidate);
+          if (u > *utility + 1e-12) {
+            *fractions = candidate;
+            *utility = u;
+            improved = true;
+          }
+        }
+      }
+    }
+    if (!improved) break;
+  }
+}
+
+SchedulingPlan PerformanceSolver::Solve(const SolverInput& input) const {
+  SchedulingPlan plan;
+  size_t n = input.classes.size();
+  if (n == 0 || input.total_cost_limit <= 0.0) return plan;
+
+  std::vector<double> fractions = InitialFractions(input);
+  double utility = EvaluateFractions(input, fractions);
+  GridSearch(input, &fractions, &utility);
+  HillClimb(input, &fractions, &utility);
+
+  for (size_t i = 0; i < n; ++i) {
+    plan.cost_limits[input.classes[i].spec->class_id] =
+        fractions[i] * input.total_cost_limit;
+  }
+  plan.predicted_utility = utility;
+  return plan;
+}
+
+}  // namespace qsched::sched

@@ -1,0 +1,96 @@
+#ifndef QSCHED_SCHEDULER_SOLVER_H_
+#define QSCHED_SCHEDULER_SOLVER_H_
+
+#include <map>
+#include <vector>
+
+#include "scheduler/perf_models.h"
+#include "scheduler/service_class.h"
+#include "scheduler/utility.h"
+
+namespace qsched::sched {
+
+/// A scheduling plan: the class cost limits (timerons) the Dispatcher
+/// enforces. OLAP limits gate admission directly; an OLTP class's "limit"
+/// is the virtual remainder of the system cost limit — the resource share
+/// reserved for it by holding OLAP back (this is what Fig. 7 plots).
+struct SchedulingPlan {
+  std::map<int, double> cost_limits;
+  double predicted_utility = 0.0;
+
+  double LimitFor(int class_id) const;
+  double Total() const;
+};
+
+/// What the Performance Solver knows when it plans: per class, the spec,
+/// the latest measured performance, and the cost limit under which that
+/// measurement was taken.
+struct SolverInput {
+  struct ClassState {
+    const ServiceClassSpec* spec = nullptr;
+    /// Velocity (OLAP) or average response seconds (OLTP).
+    double measured = 0.0;
+    double current_limit = 0.0;
+    /// Future-work extension: when an OLTP class is admission-controlled
+    /// directly (in-engine control with negligible overhead), its response
+    /// scales inversely with its own limit: t' = t * C / C'.
+    bool directly_controlled = false;
+  };
+
+  double total_cost_limit = 0.0;
+  std::vector<ClassState> classes;
+  /// Model for predicting OLTP response under a changed OLAP total.
+  const OltpResponseModel* oltp_model = nullptr;
+};
+
+/// The paper's Performance Solver: chooses class cost limits summing to
+/// the system cost limit that maximize total utility, using the OLAP
+/// velocity model and the OLTP linear response model to predict each
+/// class's performance under candidate allocations.
+///
+/// Search: exhaustive simplex grid for up to three classes (the paper's
+/// experiment), followed by pairwise-transfer hill climbing that also
+/// handles larger class sets.
+class PerformanceSolver {
+ public:
+  struct Options {
+    /// Grid resolution as a fraction of the total cost limit.
+    double grid_step = 0.025;
+    /// Hill-climbing transfer sizes tried during refinement.
+    std::vector<double> refine_steps = {0.02, 0.005};
+    /// Maximum refinement passes.
+    int max_refine_passes = 40;
+    /// Stability regularizer: utility charged per unit of L1 change in
+    /// the allocation fractions versus the current plan. Without it the
+    /// solver jumps between corners whenever every class meets its goal
+    /// (flat utility), and the resulting limit swings cause violations.
+    double change_penalty = 0.0;
+    UtilityFunction utility;
+  };
+
+  PerformanceSolver() : PerformanceSolver(Options()) {}
+  explicit PerformanceSolver(Options options);
+
+  /// Computes the optimal plan. Falls back to proportional shares when
+  /// the input is degenerate (no classes, zero total).
+  SchedulingPlan Solve(const SolverInput& input) const;
+
+  /// Total predicted utility of an allocation (exposed for tests and the
+  /// ablation benches). `fractions` line up with input.classes.
+  double EvaluateFractions(const SolverInput& input,
+                           const std::vector<double>& fractions) const;
+
+ private:
+  std::vector<double> InitialFractions(const SolverInput& input) const;
+  void GridSearch(const SolverInput& input,
+                  std::vector<double>* best_fractions,
+                  double* best_utility) const;
+  void HillClimb(const SolverInput& input,
+                 std::vector<double>* fractions, double* utility) const;
+
+  Options options_;
+};
+
+}  // namespace qsched::sched
+
+#endif  // QSCHED_SCHEDULER_SOLVER_H_

@@ -1,0 +1,30 @@
+#include "scheduler/utility.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qsched::sched {
+
+double UtilityFunction::FromGoalRatio(const ServiceClassSpec& spec,
+                                      double ratio) const {
+  ratio = std::max(-2.0, ratio);
+  double importance = static_cast<double>(std::max(1, spec.importance));
+  if (ratio <= 1.0) {
+    double violation_slope = std::pow(importance, violation_exponent_);
+    return importance * (1.0 - violation_slope * (1.0 - ratio));
+  }
+  if (ratio <= saturation_ratio_) {
+    return importance * (1.0 + mid_slope_ * (ratio - 1.0));
+  }
+  double at_margin = 1.0 + mid_slope_ * (saturation_ratio_ - 1.0);
+  // Cap the ratio so an absurdly over-served class cannot still dominate.
+  double surplus = std::min(ratio, 4.0) - saturation_ratio_;
+  return importance * (at_margin + surplus_slope_ * surplus);
+}
+
+double UtilityFunction::Evaluate(const ServiceClassSpec& spec,
+                                 double measured) const {
+  return FromGoalRatio(spec, spec.GoalRatio(measured));
+}
+
+}  // namespace qsched::sched

@@ -1,0 +1,60 @@
+#ifndef QSCHED_SCHEDULER_UTILITY_H_
+#define QSCHED_SCHEDULER_UTILITY_H_
+
+#include "scheduler/service_class.h"
+
+namespace qsched::sched {
+
+/// Utility function in the spirit of the authors' CASCON'06 framework:
+/// it captures both the goal and the business importance of a class.
+///
+/// Piecewise-linear in the goal ratio p (p >= 1 == goal met), with a
+/// saturation margin m slightly above 1:
+///   u(p) = imp * (1 - imp^e * (1-p))                 for p <= 1
+///   u(p) = imp * (1 + mid_slope*(p-1))               for 1 < p <= m
+///   u(p) = imp * (u(m)/imp + surplus*(p-m))          for p > m
+///
+/// While a class violates its goal, marginal utility per unit of
+/// performance is importance^(1+e) (e = `violation_exponent`, default 1):
+/// violations of important classes dominate the optimization, which is
+/// how the paper's system hands Class 3 more than half of the system the
+/// moment its goal breaks. Once the goal is met the slope drops to
+/// `mid_slope` (a mild preference for headroom up to the margin m), and
+/// beyond m the curve is nearly flat, so surplus performance is almost
+/// worthless and resources flow back to whichever class violates. That
+/// realizes the paper's "importance level is in effect only when the
+/// class violates its performance goals and is not synonymous with
+/// priority".
+class UtilityFunction {
+ public:
+  explicit UtilityFunction(double surplus_slope = 0.05,
+                           double saturation_ratio = 1.25,
+                           double mid_slope = 0.3,
+                           double violation_exponent = 1.0)
+      : surplus_slope_(surplus_slope),
+        saturation_ratio_(saturation_ratio < 1.0 ? 1.0 : saturation_ratio),
+        mid_slope_(mid_slope),
+        violation_exponent_(violation_exponent) {}
+
+  /// Utility of `spec` at measured performance `measured` (velocity for
+  /// OLAP goals, seconds for response-time goals).
+  double Evaluate(const ServiceClassSpec& spec, double measured) const;
+
+  /// Utility directly from a goal ratio (see ServiceClassSpec::GoalRatio).
+  double FromGoalRatio(const ServiceClassSpec& spec, double ratio) const;
+
+  double surplus_slope() const { return surplus_slope_; }
+  double saturation_ratio() const { return saturation_ratio_; }
+  double mid_slope() const { return mid_slope_; }
+  double violation_exponent() const { return violation_exponent_; }
+
+ private:
+  double surplus_slope_;
+  double saturation_ratio_;
+  double mid_slope_;
+  double violation_exponent_;
+};
+
+}  // namespace qsched::sched
+
+#endif  // QSCHED_SCHEDULER_UTILITY_H_

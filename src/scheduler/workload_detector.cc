@@ -1,0 +1,86 @@
+#include "scheduler/workload_detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qsched::sched {
+
+WorkloadDetector::WorkloadDetector(const Options& options)
+    : options_(options) {}
+
+void WorkloadDetector::RecordArrival(int class_id) {
+  classes_[class_id].pending_arrivals += 1;
+  ++arrivals_total_;
+}
+
+std::map<int, WorkloadSignal> WorkloadDetector::Harvest(
+    double interval_seconds) {
+  std::map<int, WorkloadSignal> out;
+  if (interval_seconds <= 0.0) return out;
+  for (auto& [class_id, state] : classes_) {
+    double rate = static_cast<double>(state.pending_arrivals) /
+                  interval_seconds;
+    state.pending_arrivals = 0;
+
+    WorkloadSignal signal;
+    signal.arrival_rate = rate;
+
+    if (!state.initialized) {
+      state.initialized = true;
+      state.level = rate;
+      state.trend = 0.0;
+      state.residual_scale = std::max(rate * 0.25, 1e-6);
+    } else {
+      double predicted = state.level + state.trend;
+      double residual = rate - predicted;
+
+      // Track the residual scale so CUSUM units are workload-relative.
+      state.residual_scale =
+          (1.0 - options_.scale_alpha) * state.residual_scale +
+          options_.scale_alpha * std::abs(residual);
+      double scale = std::max(state.residual_scale, 1e-6);
+      double z = residual / scale;
+
+      // Two-sided CUSUM with drift allowance.
+      state.cusum_pos =
+          std::max(0.0, state.cusum_pos + z - options_.cusum_drift);
+      state.cusum_neg =
+          std::max(0.0, state.cusum_neg - z - options_.cusum_drift);
+      if (state.cusum_pos > options_.cusum_threshold ||
+          state.cusum_neg > options_.cusum_threshold) {
+        signal.change_detected = true;
+        ++changes_detected_;
+        state.cusum_pos = 0.0;
+        state.cusum_neg = 0.0;
+        // Re-anchor quickly after a confirmed shift.
+        state.level = rate;
+        state.trend = 0.0;
+      }
+
+      if (!signal.change_detected) {
+        // Holt's linear trend update.
+        double prev_level = state.level;
+        state.level = options_.level_alpha * rate +
+                      (1.0 - options_.level_alpha) * (state.level +
+                                                      state.trend);
+        state.trend = options_.trend_beta * (state.level - prev_level) +
+                      (1.0 - options_.trend_beta) * state.trend;
+      }
+    }
+
+    signal.level = state.level;
+    signal.trend = state.trend;
+    signal.predicted_rate = std::max(
+        0.0, state.level + state.trend * options_.horizon_intervals);
+    state.last_signal = signal;
+    out[class_id] = signal;
+  }
+  return out;
+}
+
+WorkloadSignal WorkloadDetector::SignalFor(int class_id) const {
+  auto it = classes_.find(class_id);
+  return it != classes_.end() ? it->second.last_signal : WorkloadSignal();
+}
+
+}  // namespace qsched::sched

@@ -1,0 +1,91 @@
+#ifndef QSCHED_SCHEDULER_WORKLOAD_DETECTOR_H_
+#define QSCHED_SCHEDULER_WORKLOAD_DETECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace qsched::sched {
+
+/// Per-class view the detector produces at each harvest.
+struct WorkloadSignal {
+  /// Arrivals per second over the last interval.
+  double arrival_rate = 0.0;
+  /// Holt-smoothed level of the arrival rate.
+  double level = 0.0;
+  /// Holt-smoothed trend (rate change per interval).
+  double trend = 0.0;
+  /// True when the CUSUM detector flagged a shift this interval.
+  bool change_detected = false;
+  /// Predicted arrival rate `horizon` intervals ahead (level + h*trend,
+  /// floored at zero).
+  double predicted_rate = 0.0;
+};
+
+/// The *workload detection* half of the paper's framework (Section 2):
+/// "identifies workload changes by monitoring and characterizing current
+/// workloads and predicting future workload trends."
+///
+/// Implementation: per-class arrival counting per control interval,
+/// Holt's double exponential smoothing for level + trend, and a
+/// two-sided CUSUM on the smoothing residuals for abrupt-change
+/// detection. The Scheduling Planner can consume the predictions to plan
+/// proactively (see QuerySchedulerConfig::proactive_planning) and to
+/// replan immediately on detected shifts.
+class WorkloadDetector {
+ public:
+  struct Options {
+    /// Holt smoothing weights.
+    double level_alpha = 0.4;
+    double trend_beta = 0.2;
+    /// CUSUM drift allowance and alarm threshold, in units of the
+    /// running residual scale.
+    double cusum_drift = 0.5;
+    double cusum_threshold = 4.0;
+    /// Prediction horizon in intervals.
+    int horizon_intervals = 2;
+    /// EWMA weight for the residual scale estimate.
+    double scale_alpha = 0.1;
+  };
+
+  WorkloadDetector() : WorkloadDetector(Options()) {}
+  explicit WorkloadDetector(const Options& options);
+
+  /// Counts one arriving query for `class_id` (called on every Submit).
+  void RecordArrival(int class_id);
+
+  /// Closes the current interval of length `interval_seconds`, updates
+  /// the smoothers/detectors, and returns the per-class signals.
+  std::map<int, WorkloadSignal> Harvest(double interval_seconds);
+
+  /// Latest signal for a class (zeros when never seen).
+  WorkloadSignal SignalFor(int class_id) const;
+
+  /// Total arrivals recorded since construction.
+  uint64_t arrivals_total() const { return arrivals_total_; }
+  /// Number of change alarms raised so far (all classes).
+  uint64_t changes_detected() const { return changes_detected_; }
+
+ private:
+  struct ClassState {
+    uint64_t pending_arrivals = 0;
+    bool initialized = false;
+    double level = 0.0;
+    double trend = 0.0;
+    double residual_scale = 1.0;
+    double cusum_pos = 0.0;
+    double cusum_neg = 0.0;
+    WorkloadSignal last_signal;
+  };
+
+  Options options_;
+  std::map<int, ClassState> classes_;
+  uint64_t arrivals_total_ = 0;
+  uint64_t changes_detected_ = 0;
+};
+
+}  // namespace qsched::sched
+
+#endif  // QSCHED_SCHEDULER_WORKLOAD_DETECTOR_H_

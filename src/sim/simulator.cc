@@ -1,0 +1,70 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace qsched::sim {
+
+EventId Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
+  if (when < now_) when = now_;
+  EventId id = next_id_++;
+  queue_.push(Event{when, id, std::move(fn)});
+  pending_ids_.insert(id);
+  return id;
+}
+
+EventId Simulator::ScheduleAfter(SimTime delay, std::function<void()> fn) {
+  if (delay < 0.0) delay = 0.0;
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+bool Simulator::Cancel(EventId id) {
+  auto it = pending_ids_.find(id);
+  if (it == pending_ids_.end()) return false;
+  pending_ids_.erase(it);
+  // Lazy deletion: the heap entry is skipped when it reaches the top.
+  cancelled_.insert(id);
+  return true;
+}
+
+void Simulator::SkimCancelled() {
+  while (!queue_.empty()) {
+    auto it = cancelled_.find(queue_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    queue_.pop();
+  }
+}
+
+bool Simulator::Step() {
+  SkimCancelled();
+  if (queue_.empty()) return false;
+  // Move the callback out before popping: the callback may schedule events
+  // and mutate the heap.
+  Event event = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  pending_ids_.erase(event.id);
+  now_ = event.when;
+  ++events_processed_;
+  event.fn();
+  return true;
+}
+
+size_t Simulator::RunUntil(SimTime until) {
+  size_t processed = 0;
+  for (;;) {
+    SkimCancelled();
+    if (queue_.empty() || queue_.top().when > until) break;
+    Step();
+    ++processed;
+  }
+  if (now_ < until) now_ = until;
+  return processed;
+}
+
+size_t Simulator::RunToCompletion() {
+  size_t processed = 0;
+  while (Step()) ++processed;
+  return processed;
+}
+
+}  // namespace qsched::sim

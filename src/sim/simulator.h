@@ -1,0 +1,87 @@
+#ifndef QSCHED_SIM_SIMULATOR_H_
+#define QSCHED_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace qsched::sim {
+
+/// Simulated time in seconds since the start of the run.
+using SimTime = double;
+
+/// Opaque handle for cancelling a scheduled event. Id 0 is never issued.
+using EventId = uint64_t;
+
+/// Discrete-event simulation core: a clock plus an ordered queue of
+/// callbacks. Events at equal timestamps fire in scheduling order (FIFO),
+/// which makes runs deterministic.
+///
+/// All simulated components (clients, controllers, the engine) hold a
+/// Simulator* and express waiting as `ScheduleAfter(delay, callback)`.
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  SimTime Now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `when`. Times in the past are clamped
+  /// to Now(). Returns an id usable with Cancel().
+  EventId ScheduleAt(SimTime when, std::function<void()> fn);
+
+  /// Schedules `fn` after `delay` seconds (negative delays clamp to 0).
+  EventId ScheduleAfter(SimTime delay, std::function<void()> fn);
+
+  /// Cancels a pending event. Returns false if it already fired, was
+  /// already cancelled, or never existed.
+  bool Cancel(EventId id);
+
+  /// Runs a single event. Returns false when the queue is empty.
+  bool Step();
+
+  /// Runs events with timestamp <= `until`, then advances the clock to
+  /// exactly `until`. Returns the number of events processed.
+  size_t RunUntil(SimTime until);
+
+  /// Runs until the queue drains. Returns the number of events processed.
+  size_t RunToCompletion();
+
+  /// Number of events currently pending (cancelled events excluded).
+  size_t pending_events() const { return pending_ids_.size(); }
+
+  /// Total events executed so far.
+  uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    EventId id;  // also the FIFO tie-breaker: lower id scheduled earlier
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;
+    }
+  };
+
+  /// Pops cancelled events off the top of the heap.
+  void SkimCancelled();
+
+  SimTime now_ = 0.0;
+  EventId next_id_ = 1;
+  uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::unordered_set<EventId> pending_ids_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace qsched::sim
+
+#endif  // QSCHED_SIM_SIMULATOR_H_

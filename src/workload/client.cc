@@ -1,0 +1,98 @@
+#include "workload/client.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace qsched::workload {
+
+const char* WorkloadTypeToString(WorkloadType type) {
+  return type == WorkloadType::kOlap ? "OLAP" : "OLTP";
+}
+
+ClientPool::ClientPool(sim::Simulator* simulator,
+                       const WorkloadSchedule* schedule, int class_id,
+                       QueryGenerator* generator, QueryFrontend* frontend,
+                       RecordSink sink)
+    : simulator_(simulator),
+      schedule_(schedule),
+      class_id_(class_id),
+      generator_(generator),
+      frontend_(frontend),
+      sink_(std::move(sink)) {}
+
+uint64_t ClientPool::NextQueryId() {
+  // Brand ids with the class id so records are self-describing in logs.
+  return (static_cast<uint64_t>(class_id_) << 48) | next_query_seq_++;
+}
+
+void ClientPool::Start() {
+  AdjustPopulation();
+  // Re-adjust at every period boundary.
+  for (int p = 1; p < schedule_->num_periods(); ++p) {
+    double when = schedule_->period_seconds() * p;
+    simulator_->ScheduleAt(when, [this] { AdjustPopulation(); });
+  }
+}
+
+void ClientPool::AdjustPopulation() {
+  int target = schedule_->ClientsAt(simulator_->Now(), class_id_);
+  // Grow: start new client loops immediately.
+  while (active_clients_ < target) {
+    int client_id = next_client_id_++;
+    client_active_[client_id] = true;
+    ++active_clients_;
+    IssueNext(client_id);
+  }
+  // Shrink: flag the newest active clients to retire after their
+  // in-flight query. (Which client retires does not matter statistically;
+  // newest-first keeps ids compact.)
+  if (active_clients_ > target) {
+    int to_retire = active_clients_ - target;
+    std::vector<int> active_ids;
+    for (const auto& [id, active] : client_active_) {
+      if (active) active_ids.push_back(id);
+    }
+    std::sort(active_ids.begin(), active_ids.end());
+    for (int i = 0; i < to_retire && !active_ids.empty(); ++i) {
+      int id = active_ids.back();
+      active_ids.pop_back();
+      client_active_[id] = false;
+      --active_clients_;
+    }
+  }
+}
+
+void ClientPool::IssueNext(int client_id) {
+  auto it = client_active_.find(client_id);
+  if (it == client_active_.end() || !it->second) {
+    // Retired between completion and reissue.
+    client_active_.erase(client_id);
+    return;
+  }
+  Query query = generator_->Next();
+  query.id = NextQueryId();
+  query.class_id = class_id_;
+  query.client_id = client_id;
+  query.job.query_id = query.id;
+  ++queries_submitted_;
+  frontend_->Submit(query, [this, client_id](const QueryRecord& record) {
+    OnComplete(client_id, record);
+  });
+}
+
+void ClientPool::OnComplete(int client_id, const QueryRecord& record) {
+  ++queries_completed_;
+  if (sink_) sink_(record);
+  auto it = client_active_.find(client_id);
+  if (it != client_active_.end() && !it->second) {
+    client_active_.erase(it);
+    return;
+  }
+  // Zero think time: immediately issue the next query.
+  IssueNext(client_id);
+}
+
+}  // namespace qsched::workload

@@ -1,0 +1,115 @@
+#ifndef QSCHED_WORKLOAD_CLIENT_H_
+#define QSCHED_WORKLOAD_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/simulator.h"
+#include "workload/query.h"
+#include "workload/schedule.h"
+
+namespace qsched::workload {
+
+/// Everything known about one finished query; the unit every metric and
+/// model in the system is computed from.
+struct QueryRecord {
+  uint64_t query_id = 0;
+  int class_id = 0;
+  int client_id = -1;
+  WorkloadType type = WorkloadType::kOlap;
+  double cost_timerons = 0.0;
+  /// Client-side submission time.
+  sim::SimTime submit_time = 0.0;
+  /// When the engine started executing (after any controller queueing).
+  sim::SimTime exec_start_time = 0.0;
+  /// Completion time.
+  sim::SimTime end_time = 0.0;
+  /// True when the query was cancelled (QP admin action) while queued;
+  /// such records carry no execution time.
+  bool cancelled = false;
+
+  /// Execution_Time of the paper: time actually running in the DBMS.
+  double ExecSeconds() const { return end_time - exec_start_time; }
+  /// Response_Time of the paper: submission to completion, including the
+  /// time held by the workload adaptation mechanism.
+  double ResponseSeconds() const { return end_time - submit_time; }
+  /// Query velocity = Execution_Time / Response_Time, in (0, 1].
+  double Velocity() const {
+    double response = ResponseSeconds();
+    if (response <= 0.0) return 1.0;
+    double v = ExecSeconds() / response;
+    return v > 1.0 ? 1.0 : v;
+  }
+};
+
+/// The submission side every controller implements: take a query, decide
+/// when to run it, execute it on the engine, and report completion.
+class QueryFrontend {
+ public:
+  using CompleteFn = std::function<void(const QueryRecord&)>;
+
+  virtual ~QueryFrontend() = default;
+
+  /// Submits one query. `query.submit_time`-relevant fields (id, class,
+  /// client) are already filled by the caller. `on_complete` must be
+  /// invoked exactly once with the finished record.
+  virtual void Submit(const Query& query, CompleteFn on_complete) = 0;
+};
+
+/// A closed-loop client population for one service class: each client
+/// issues queries back-to-back with zero think time (as in the paper), and
+/// the population tracks the workload schedule at period boundaries.
+/// Clients added mid-run start immediately; clients removed mid-run retire
+/// after their in-flight query finishes.
+class ClientPool {
+ public:
+  using RecordSink = std::function<void(const QueryRecord&)>;
+
+  ClientPool(sim::Simulator* simulator, const WorkloadSchedule* schedule,
+             int class_id, QueryGenerator* generator,
+             QueryFrontend* frontend, RecordSink sink);
+
+  ClientPool(const ClientPool&) = delete;
+  ClientPool& operator=(const ClientPool&) = delete;
+
+  /// Installs the period-boundary adjustments and starts the initial
+  /// clients. Call once before running the simulator.
+  void Start();
+
+  int active_clients() const { return active_clients_; }
+  uint64_t queries_submitted() const { return queries_submitted_; }
+  uint64_t queries_completed() const { return queries_completed_; }
+
+  /// Global id assignment shared by all pools in a process would hide
+  /// state; instead each pool brands ids with its class in the high bits.
+  uint64_t NextQueryId();
+
+ private:
+  /// Brings the population to the scheduled size for the current time.
+  void AdjustPopulation();
+  /// One client's issue-wait-repeat loop.
+  void IssueNext(int client_id);
+  void OnComplete(int client_id, const QueryRecord& record);
+
+  sim::Simulator* simulator_;
+  const WorkloadSchedule* schedule_;
+  int class_id_;
+  QueryGenerator* generator_;
+  QueryFrontend* frontend_;
+  RecordSink sink_;
+
+  int active_clients_ = 0;
+  int next_client_id_ = 0;
+  /// client_id -> should keep issuing after current query completes.
+  std::unordered_map<int, bool> client_active_;
+  uint64_t next_query_seq_ = 1;
+  uint64_t queries_submitted_ = 0;
+  uint64_t queries_completed_ = 0;
+};
+
+}  // namespace qsched::workload
+
+#endif  // QSCHED_WORKLOAD_CLIENT_H_

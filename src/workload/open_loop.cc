@@ -1,0 +1,65 @@
+#include "workload/open_loop.h"
+
+#include <algorithm>
+
+namespace qsched::workload {
+
+OpenLoopSource::OpenLoopSource(sim::Simulator* simulator,
+                               const WorkloadSchedule* schedule,
+                               int class_id, QueryGenerator* generator,
+                               QueryFrontend* frontend,
+                               ClientPool::RecordSink sink,
+                               double per_client_rate_per_second,
+                               uint64_t seed)
+    : simulator_(simulator),
+      schedule_(schedule),
+      class_id_(class_id),
+      generator_(generator),
+      frontend_(frontend),
+      sink_(std::move(sink)),
+      per_client_rate_(std::max(0.0, per_client_rate_per_second)),
+      rng_(seed) {}
+
+double OpenLoopSource::CurrentRate() const {
+  return per_client_rate_ *
+         schedule_->ClientsAt(simulator_->Now(), class_id_);
+}
+
+void OpenLoopSource::Start() { ScheduleNextArrival(); }
+
+void OpenLoopSource::ScheduleNextArrival() {
+  // Thinning-free approximation: draw from the current period's rate; a
+  // rate of zero skips ahead to the next period boundary.
+  double now = simulator_->Now();
+  if (now >= schedule_->total_seconds()) return;
+  double rate = CurrentRate();
+  double gap;
+  if (rate <= 0.0) {
+    int period = schedule_->PeriodAt(now);
+    gap = (period + 1) * schedule_->period_seconds() - now + 1e-9;
+  } else {
+    gap = rng_.Exponential(1.0 / rate);
+  }
+  double when = now + gap;
+  if (when >= schedule_->total_seconds()) return;
+  simulator_->ScheduleAt(when, [this] { OnArrival(); });
+}
+
+void OpenLoopSource::OnArrival() {
+  if (CurrentRate() > 0.0) {
+    Query query = generator_->Next();
+    query.id = (static_cast<uint64_t>(class_id_) << 48) |
+               (0x8000000000000ULL + next_query_seq_++);
+    query.class_id = class_id_;
+    query.client_id = -1;  // open-loop: no persistent client identity
+    query.job.query_id = query.id;
+    ++queries_submitted_;
+    frontend_->Submit(query, [this](const QueryRecord& record) {
+      ++queries_completed_;
+      if (sink_) sink_(record);
+    });
+  }
+  ScheduleNextArrival();
+}
+
+}  // namespace qsched::workload

@@ -1,0 +1,65 @@
+#ifndef QSCHED_WORKLOAD_OPEN_LOOP_H_
+#define QSCHED_WORKLOAD_OPEN_LOOP_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "sim/simulator.h"
+#include "workload/client.h"
+#include "workload/schedule.h"
+
+namespace qsched::workload {
+
+/// Open-loop (Poisson) query source for one service class: arrivals at a
+/// scheduled rate, independent of completions. The paper's experiments
+/// are closed-loop (interactive clients, zero think time), but admission
+/// control behaves very differently under open arrivals — queues grow
+/// without bound past saturation instead of self-throttling — so the
+/// open-loop source is provided for sensitivity studies (cf. Schroeder
+/// et al.'s closed/open discussion).
+///
+/// The workload schedule is reused: `ClientsAt(t)` is interpreted as the
+/// target number of "virtual clients", each issuing at
+/// `per_client_rate_per_second`.
+class OpenLoopSource {
+ public:
+  OpenLoopSource(sim::Simulator* simulator,
+                 const WorkloadSchedule* schedule, int class_id,
+                 QueryGenerator* generator, QueryFrontend* frontend,
+                 ClientPool::RecordSink sink,
+                 double per_client_rate_per_second, uint64_t seed);
+
+  OpenLoopSource(const OpenLoopSource&) = delete;
+  OpenLoopSource& operator=(const OpenLoopSource&) = delete;
+
+  /// Starts the arrival process; it stops at the schedule's end.
+  void Start();
+
+  uint64_t queries_submitted() const { return queries_submitted_; }
+  uint64_t queries_completed() const { return queries_completed_; }
+  /// Submitted but not yet finished.
+  uint64_t queries_outstanding() const {
+    return queries_submitted_ - queries_completed_;
+  }
+
+ private:
+  void ScheduleNextArrival();
+  void OnArrival();
+  double CurrentRate() const;
+
+  sim::Simulator* simulator_;
+  const WorkloadSchedule* schedule_;
+  int class_id_;
+  QueryGenerator* generator_;
+  QueryFrontend* frontend_;
+  ClientPool::RecordSink sink_;
+  double per_client_rate_;
+  Rng rng_;
+  uint64_t next_query_seq_ = 1;
+  uint64_t queries_submitted_ = 0;
+  uint64_t queries_completed_ = 0;
+};
+
+}  // namespace qsched::workload
+
+#endif  // QSCHED_WORKLOAD_OPEN_LOOP_H_

@@ -1,0 +1,51 @@
+#ifndef QSCHED_WORKLOAD_QUERY_H_
+#define QSCHED_WORKLOAD_QUERY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "engine/execution_engine.h"
+
+namespace qsched::workload {
+
+/// OLAP = long, I/O-intensive, widely varying cost (TPC-H-like);
+/// OLTP = sub-second, CPU-intensive, low variance (TPC-C-like).
+enum class WorkloadType { kOlap, kOltp };
+
+const char* WorkloadTypeToString(WorkloadType type);
+
+/// One query instance travelling from a client through a controller into
+/// the engine. The controller sees the optimizer estimate
+/// (`cost_timerons`); the engine executes the true demand (`job`).
+struct Query {
+  /// Globally unique, assigned by the client pool at submission.
+  uint64_t id = 0;
+  /// Service class (the experiments use 1, 2 = OLAP and 3 = OLTP).
+  int class_id = 0;
+  WorkloadType type = WorkloadType::kOlap;
+  /// Template the instance was drawn from, e.g. "q6" or "new_order".
+  std::string template_name;
+  /// Optimizer cost estimate in timerons (what cost-based control sees).
+  double cost_timerons = 0.0;
+  /// True resource demand handed to the engine.
+  engine::QueryJob job;
+  /// Client that issued the query (for per-client snapshot monitoring).
+  int client_id = -1;
+};
+
+/// A generator of query instances for one workload type. Implementations
+/// are deterministic given their seed.
+class QueryGenerator {
+ public:
+  virtual ~QueryGenerator() = default;
+
+  /// Draws the next query instance (id/class/client fields left for the
+  /// caller to fill).
+  virtual Query Next() = 0;
+
+  virtual WorkloadType type() const = 0;
+};
+
+}  // namespace qsched::workload
+
+#endif  // QSCHED_WORKLOAD_QUERY_H_

@@ -1,0 +1,53 @@
+#ifndef QSCHED_WORKLOAD_SCHEDULE_H_
+#define QSCHED_WORKLOAD_SCHEDULE_H_
+
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/simulator.h"
+
+namespace qsched::workload {
+
+/// Per-period client counts for each service class: the experiment's
+/// workload-intensity script (the paper's Figure 3: 18 periods, OLAP
+/// classes between 2 and 6 clients, the OLTP class between 15 and 25).
+class WorkloadSchedule {
+ public:
+  WorkloadSchedule(double period_seconds, std::vector<int> class_ids);
+
+  /// Appends one period; `clients` must line up with class_ids().
+  Status AddPeriod(std::vector<int> clients);
+
+  int num_periods() const { return static_cast<int>(periods_.size()); }
+  double period_seconds() const { return period_seconds_; }
+  const std::vector<int>& class_ids() const { return class_ids_; }
+  double total_seconds() const { return period_seconds_ * num_periods(); }
+
+  /// Period index (0-based) active at simulated time `t`; times past the
+  /// end clamp to the last period.
+  int PeriodAt(sim::SimTime t) const;
+
+  /// Client count for `class_id` during `period` (0-based).
+  int ClientsFor(int period, int class_id) const;
+
+  /// Client count for `class_id` at simulated time `t`.
+  int ClientsAt(sim::SimTime t, int class_id) const;
+
+ private:
+  double period_seconds_;
+  std::vector<int> class_ids_;
+  std::map<int, size_t> class_index_;
+  std::vector<std::vector<int>> periods_;
+};
+
+/// The paper's Figure 3 schedule: classes {1, 2} are OLAP, class 3 is
+/// OLTP. OLAP client counts cycle through {2,...,6}; OLTP cycles
+/// {15, 20, 25} so that every third period (3, 6, 9, 12, 15, 18 in the
+/// paper's 1-based numbering) is OLTP-heavy, and period 18 is the overall
+/// heaviest (2, 6, 25).
+WorkloadSchedule MakeFigure3Schedule(double period_seconds);
+
+}  // namespace qsched::workload
+
+#endif  // QSCHED_WORKLOAD_SCHEDULE_H_

@@ -1,0 +1,176 @@
+#include "workload/tpcc_workload.h"
+
+#include <set>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace qsched::workload {
+
+using optimizer::IndexScan;
+using optimizer::Insert;
+using optimizer::PlanNodePtr;
+using optimizer::Update;
+
+TpccWorkload::TpccWorkload(const TpccWorkloadParams& params, uint64_t seed)
+    : params_(params),
+      catalog_(catalog::MakeTpccCatalog(params.warehouses)),
+      cost_model_(&catalog_, [&params] {
+        optimizer::CostModelParams p = params.cost_params;
+        p.estimation_noise_sigma = params.estimation_noise_sigma;
+        // OLTP probes hit the buffer pool most of the time and the DB2
+        // optimizer prices that in.
+        p.assumed_hit_ratio = 0.85;
+        return p;
+      }()),
+      pool_model_(params.buffer_pool_pages, /*reuse_factor=*/4.0,
+                  /*max_hit_ratio=*/0.86),
+      rng_(seed) {
+  RegisterTransactions();
+}
+
+void TpccWorkload::RegisterTransactions() {
+  auto add = [this](std::string name, double weight,
+                    std::function<std::vector<PlanNodePtr>(Rng*)> build) {
+    transactions_.push_back(
+        Transaction{std::move(name), weight, std::move(build)});
+    mix_weights_.push_back(weight);
+  };
+
+  // NewOrder: read customer/warehouse/district, then per order line
+  // (5-15) probe item + stock and update stock; insert orders/new_order/
+  // order_line rows.
+  add("new_order", 0.45, [](Rng* rng) {
+    std::vector<PlanNodePtr> stmts;
+    stmts.push_back(IndexScan("warehouse", "w_id", 1.0));
+    stmts.push_back(IndexScan("customer", "c_w_id", 1.0));
+    stmts.push_back(Update("district", 1.0));  // bump d_next_o_id
+    int lines = static_cast<int>(rng->UniformInt(5, 15));
+    for (int i = 0; i < lines; ++i) {
+      stmts.push_back(IndexScan("item", "i_id", 1.0));
+      stmts.push_back(Update("stock", 1.0));
+    }
+    stmts.push_back(Insert("orders", 1.0));
+    stmts.push_back(Insert("new_order", 1.0));
+    stmts.push_back(Insert("order_line", static_cast<double>(lines)));
+    return stmts;
+  });
+
+  // Payment: update warehouse/district/customer balances, insert history.
+  add("payment", 0.43, [](Rng* rng) {
+    std::vector<PlanNodePtr> stmts;
+    stmts.push_back(Update("warehouse", 1.0));
+    stmts.push_back(Update("district", 1.0));
+    if (rng->Bernoulli(0.6)) {
+      // Lookup by last name scans a few matching customers.
+      stmts.push_back(
+          IndexScan("customer", "c_last", rng->Uniform(1.0, 4.0)));
+    }
+    stmts.push_back(Update("customer", 1.0));
+    stmts.push_back(Insert("history", 1.0));
+    return stmts;
+  });
+
+  // OrderStatus: read-only — customer, last order, its lines.
+  add("order_status", 0.04, [](Rng* rng) {
+    std::vector<PlanNodePtr> stmts;
+    stmts.push_back(IndexScan("customer", "c_w_id", 1.0));
+    stmts.push_back(IndexScan("orders", "o_w_id", 1.0));
+    stmts.push_back(
+        IndexScan("order_line", "ol_w_id", rng->Uniform(5.0, 15.0)));
+    return stmts;
+  });
+
+  // Delivery: batch over the 10 districts of a warehouse.
+  add("delivery", 0.04, [](Rng* rng) {
+    std::vector<PlanNodePtr> stmts;
+    for (int d = 0; d < 10; ++d) {
+      stmts.push_back(IndexScan("new_order", "no_w_id", 1.0));
+      stmts.push_back(Update("orders", 1.0));
+      stmts.push_back(
+          Update("order_line", rng->Uniform(5.0, 15.0)));
+      stmts.push_back(Update("customer", 1.0));
+    }
+    return stmts;
+  });
+
+  // StockLevel: district probe plus a join of recent order lines to stock.
+  add("stock_level", 0.04, [](Rng* rng) {
+    std::vector<PlanNodePtr> stmts;
+    stmts.push_back(IndexScan("district", "d_w_id", 1.0));
+    stmts.push_back(
+        IndexScan("order_line", "ol_w_id", rng->Uniform(180.0, 220.0)));
+    stmts.push_back(IndexScan("stock", "s_w_id", rng->Uniform(180.0, 220.0)));
+    return stmts;
+  });
+
+  QSCHED_CHECK(transactions_.size() == 5);
+}
+
+double TpccWorkload::HitRatioFor(
+    const std::vector<PlanNodePtr>& stmts) const {
+  std::set<std::string> tables;
+  for (const auto& stmt : stmts) {
+    if (!stmt->table.empty()) tables.insert(stmt->table);
+  }
+  double footprint = 0.0;
+  for (const std::string& name : tables) {
+    const catalog::Table* table = catalog_.FindTable(name);
+    if (table != nullptr) {
+      footprint += static_cast<double>(
+          table->PageCount(params_.cost_params.page_size_bytes));
+    }
+  }
+  // Transactions touch the hot working set, not whole tables.
+  return pool_model_.HitProbability(footprint * params_.hot_set_fraction);
+}
+
+Query TpccWorkload::Next() {
+  return MakeTransaction(rng_.Categorical(mix_weights_));
+}
+
+Query TpccWorkload::MakeTransaction(size_t index) {
+  QSCHED_CHECK(index < transactions_.size());
+  const Transaction& txn = transactions_[index];
+  std::vector<PlanNodePtr> stmts = txn.build(&rng_);
+
+  double timerons = 0.0;
+  double cpu_seconds = 0.0;
+  double logical_pages = 0.0;
+  double write_pages = 0.0;
+  for (const auto& stmt : stmts) {
+    auto cost = cost_model_.Estimate(*stmt, &rng_);
+    QSCHED_CHECK(cost.ok()) << "cost model failed for " << txn.name << ": "
+                            << cost.status().ToString();
+    const optimizer::QueryCost& qc = cost.ValueOrDie();
+    timerons += qc.timerons;
+    cpu_seconds += qc.cpu_seconds;
+    logical_pages += qc.logical_pages;
+    write_pages += qc.write_pages;
+  }
+  double statement_cpu =
+      static_cast<double>(stmts.size()) * params_.per_statement_cpu_seconds;
+  cpu_seconds += statement_cpu;
+  timerons += statement_cpu / params_.cost_params.seconds_per_cpu_unit *
+              params_.cost_params.timerons_per_cpu_unit;
+
+  Query query;
+  query.type = WorkloadType::kOltp;
+  query.template_name = txn.name;
+  query.cost_timerons = timerons;
+  query.job.database = engine::DatabaseId::kOltp;
+  query.job.cpu_seconds = cpu_seconds;
+  query.job.logical_pages = logical_pages;
+  query.job.write_pages = write_pages;
+  query.job.hit_ratio = HitRatioFor(stmts);
+  return query;
+}
+
+std::vector<double> TpccWorkload::SampleCosts(int n) {
+  std::vector<double> costs;
+  costs.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) costs.push_back(Next().cost_timerons);
+  return costs;
+}
+
+}  // namespace qsched::workload

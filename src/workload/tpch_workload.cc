@@ -1,0 +1,233 @@
+#include "workload/tpch_workload.h"
+
+#include <set>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace qsched::workload {
+
+using optimizer::Aggregate;
+using optimizer::Filter;
+using optimizer::HashJoin;
+using optimizer::IndexScan;
+using optimizer::NestedLoopJoin;
+using optimizer::PlanNode;
+using optimizer::PlanNodePtr;
+using optimizer::Sort;
+using optimizer::TableScan;
+using optimizer::TopN;
+
+TpchWorkload::TpchWorkload(const TpchWorkloadParams& params, uint64_t seed)
+    : params_(params),
+      catalog_(catalog::MakeTpchCatalog(params.scale_factor)),
+      cost_model_(&catalog_, [&params] {
+        optimizer::CostModelParams p = params.cost_params;
+        p.estimation_noise_sigma = params.estimation_noise_sigma;
+        return p;
+      }()),
+      pool_model_(params.buffer_pool_pages),
+      rng_(seed) {
+  RegisterTemplates();
+}
+
+void TpchWorkload::RegisterTemplates() {
+  // Each builder mirrors the table mix and plan shape of the TPC-H query
+  // it is named after; selectivities are randomized per draw like the
+  // benchmark's substitution parameters.
+  auto add = [this](std::string name,
+                    std::function<PlanNodePtr(Rng*)> build) {
+    templates_.push_back(Template{std::move(name), std::move(build)});
+  };
+
+  // Q1: pricing summary — full lineitem scan + small group-by.
+  add("q1", [](Rng* rng) {
+    return Aggregate(TableScan("lineitem", rng->Uniform(0.92, 0.99)), 4);
+  });
+  // Q2: minimum cost supplier — partsupp/part/supplier joins.
+  add("q2", [](Rng* rng) {
+    auto ps = TableScan("partsupp", 1.0);
+    auto part = Filter(TableScan("part", 1.0), rng->Uniform(0.003, 0.02));
+    auto join = HashJoin(std::move(part), std::move(ps), 0.02);
+    auto with_supp = HashJoin(TableScan("supplier", 1.0), std::move(join),
+                              rng->Uniform(0.5, 1.0));
+    return TopN(Sort(std::move(with_supp)), 100);
+  });
+  // Q3: shipping priority — customer ⋈ orders ⋈ lineitem, top 10.
+  add("q3", [](Rng* rng) {
+    auto cust = Filter(TableScan("customer", 1.0), 0.2);
+    auto ord = Filter(TableScan("orders", 1.0), rng->Uniform(0.4, 0.55));
+    auto co = HashJoin(std::move(cust), std::move(ord), 0.2);
+    auto li = Filter(TableScan("lineitem", 1.0), rng->Uniform(0.5, 0.6));
+    auto col = HashJoin(std::move(co), std::move(li), 0.25);
+    return TopN(Aggregate(std::move(col), 10000), 10);
+  });
+  // Q4: order priority checking — orders semijoin lineitem.
+  add("q4", [](Rng* rng) {
+    auto ord = Filter(TableScan("orders", 1.0), rng->Uniform(0.03, 0.05));
+    auto li = Filter(TableScan("lineitem", 1.0), 0.63);
+    return Aggregate(HashJoin(std::move(ord), std::move(li), 0.05), 5);
+  });
+  // Q5: local supplier volume — 5-way join pruned by region.
+  add("q5", [](Rng* rng) {
+    auto cust = TableScan("customer", 0.2);
+    auto ord = Filter(TableScan("orders", 1.0), rng->Uniform(0.12, 0.18));
+    auto co = HashJoin(std::move(cust), std::move(ord), 0.15);
+    auto li = TableScan("lineitem", 1.0);
+    auto col = HashJoin(std::move(co), std::move(li), 0.12);
+    auto supp = HashJoin(TableScan("supplier", 1.0), std::move(col), 0.2);
+    return Aggregate(std::move(supp), 25);
+  });
+  // Q6: forecasting revenue change — highly selective lineitem scan.
+  add("q6", [](Rng* rng) {
+    return Aggregate(
+        Filter(TableScan("lineitem", 1.0), rng->Uniform(0.01, 0.03)), 1);
+  });
+  // Q7: volume shipping — two-nation flow over joined orders/lineitem.
+  add("q7", [](Rng* rng) {
+    auto li = Filter(TableScan("lineitem", 1.0), rng->Uniform(0.28, 0.33));
+    auto ord = TableScan("orders", 1.0);
+    auto lo = HashJoin(std::move(ord), std::move(li), 0.3);
+    auto cust = HashJoin(TableScan("customer", 1.0), std::move(lo), 0.08);
+    return Aggregate(std::move(cust), 4);
+  });
+  // Q8: national market share.
+  add("q8", [](Rng* rng) {
+    auto part = Filter(TableScan("part", 1.0), rng->Uniform(0.001, 0.004));
+    auto li = TableScan("lineitem", 1.0);
+    auto pl = HashJoin(std::move(part), std::move(li), 0.003);
+    auto ord = HashJoin(TableScan("orders", 1.0), std::move(pl), 0.01);
+    return Aggregate(std::move(ord), 2);
+  });
+  // Q9: product type profit — the heaviest retained query.
+  add("q9", [](Rng* rng) {
+    auto part = Filter(TableScan("part", 1.0), rng->Uniform(0.04, 0.06));
+    auto li = TableScan("lineitem", 1.0);
+    auto pl = HashJoin(std::move(part), std::move(li), 0.055);
+    auto ps = HashJoin(TableScan("partsupp", 1.0), std::move(pl), 1.0);
+    auto ord = HashJoin(TableScan("orders", 1.0), std::move(ps), 1.0);
+    return Aggregate(std::move(ord), 175);
+  });
+  // Q10: returned item reporting.
+  add("q10", [](Rng* rng) {
+    auto ord = Filter(TableScan("orders", 1.0), rng->Uniform(0.03, 0.05));
+    auto li = Filter(TableScan("lineitem", 1.0), 0.25);
+    auto lo = HashJoin(std::move(ord), std::move(li), 0.04);
+    auto cust = HashJoin(TableScan("customer", 1.0), std::move(lo), 1.0);
+    return TopN(Aggregate(std::move(cust), 37000), 20);
+  });
+  // Q11: important stock identification — partsupp only.
+  add("q11", [](Rng* rng) {
+    auto ps = Filter(TableScan("partsupp", 1.0), rng->Uniform(0.03, 0.05));
+    auto supp = HashJoin(TableScan("supplier", 1.0), std::move(ps), 1.0);
+    return Sort(Aggregate(std::move(supp), 1000));
+  });
+  // Q12: shipping modes — orders ⋈ lineitem on two ship modes.
+  add("q12", [](Rng* rng) {
+    auto li = Filter(TableScan("lineitem", 1.0), rng->Uniform(0.008, 0.012));
+    auto ord = TableScan("orders", 1.0);
+    return Aggregate(HashJoin(std::move(ord), std::move(li), 0.01), 2);
+  });
+  // Q13: customer distribution — customer left join orders.
+  add("q13", [](Rng* rng) {
+    auto ord = Filter(TableScan("orders", 1.0), rng->Uniform(0.95, 1.0));
+    auto cust = TableScan("customer", 1.0);
+    auto join = HashJoin(std::move(cust), std::move(ord), 1.0);
+    return Aggregate(std::move(join), 42);
+  });
+  // Q14: promotion effect — one-month lineitem ⋈ part.
+  add("q14", [](Rng* rng) {
+    auto li = Filter(TableScan("lineitem", 1.0), rng->Uniform(0.012, 0.016));
+    auto part = TableScan("part", 1.0);
+    return Aggregate(HashJoin(std::move(part), std::move(li), 0.014), 1);
+  });
+  // Q15: top supplier — quarter of lineitem grouped by supplier.
+  add("q15", [](Rng* rng) {
+    auto li = Filter(TableScan("lineitem", 1.0), rng->Uniform(0.035, 0.045));
+    auto agg = Aggregate(std::move(li), 10000);
+    auto supp = NestedLoopJoin(TableScan("supplier", 1.0),
+                               IndexScan("orders", "o_orderkey", 1.0), 1.0);
+    return HashJoin(std::move(agg), std::move(supp), 1.0);
+  });
+  // Q17: small-quantity-order revenue — part ⋈ lineitem with agg subquery.
+  add("q17", [](Rng* rng) {
+    auto part = Filter(TableScan("part", 1.0), rng->Uniform(0.0008, 0.0012));
+    auto li = TableScan("lineitem", 1.0);
+    auto join = HashJoin(std::move(part), std::move(li), 0.001);
+    return Aggregate(std::move(join), 1);
+  });
+  // Q18: large volume customer — full lineitem group-by then joins.
+  add("q18", [](Rng* rng) {
+    auto li_agg = Aggregate(TableScan("lineitem", 1.0),
+                            static_cast<uint64_t>(
+                                rng->Uniform(900000.0, 1100000.0)));
+    auto ord = HashJoin(TableScan("orders", 1.0), std::move(li_agg), 0.001);
+    auto cust = HashJoin(TableScan("customer", 1.0), std::move(ord), 1.0);
+    return TopN(Sort(std::move(cust)), 100);
+  });
+  // Q22: global sales opportunity — customer-only anti-join, the lightest.
+  add("q22", [](Rng* rng) {
+    auto cust = Filter(TableScan("customer", 1.0), rng->Uniform(0.25, 0.35));
+    auto ord = Filter(TableScan("orders", 1.0), 0.1);
+    return Aggregate(HashJoin(std::move(cust), std::move(ord), 0.3), 7);
+  });
+
+  QSCHED_CHECK(templates_.size() == 18)
+      << "expected 18 OLAP templates, have " << templates_.size();
+}
+
+double TpchWorkload::HitRatioFor(const PlanNode& plan) const {
+  // Footprint = distinct base tables the plan touches.
+  std::set<std::string> tables;
+  std::function<void(const PlanNode&)> walk = [&](const PlanNode& node) {
+    if (!node.table.empty()) tables.insert(node.table);
+    for (const auto& child : node.children) walk(*child);
+  };
+  walk(plan);
+  double footprint = 0.0;
+  for (const std::string& name : tables) {
+    const catalog::Table* table = catalog_.FindTable(name);
+    if (table != nullptr) {
+      footprint += static_cast<double>(
+          table->PageCount(params_.cost_params.page_size_bytes));
+    }
+  }
+  return pool_model_.HitProbability(footprint);
+}
+
+Query TpchWorkload::Next() {
+  size_t index =
+      static_cast<size_t>(rng_.UniformInt(0, templates_.size() - 1));
+  return MakeFromTemplate(index);
+}
+
+Query TpchWorkload::MakeFromTemplate(size_t index) {
+  QSCHED_CHECK(index < templates_.size());
+  const Template& tmpl = templates_[index];
+  PlanNodePtr plan = tmpl.build(&rng_);
+
+  auto cost = cost_model_.Estimate(*plan, &rng_);
+  QSCHED_CHECK(cost.ok()) << "cost model failed for " << tmpl.name << ": "
+                          << cost.status().ToString();
+  const optimizer::QueryCost& qc = cost.ValueOrDie();
+
+  Query query;
+  query.type = WorkloadType::kOlap;
+  query.template_name = tmpl.name;
+  query.cost_timerons = qc.timerons;
+  query.job.database = engine::DatabaseId::kOlap;
+  query.job.cpu_seconds = qc.cpu_seconds;
+  query.job.logical_pages = qc.logical_pages;
+  query.job.write_pages = qc.write_pages;
+  query.job.hit_ratio = HitRatioFor(*plan);
+  return query;
+}
+
+std::vector<double> TpchWorkload::SampleCosts(int n) {
+  std::vector<double> costs;
+  costs.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) costs.push_back(Next().cost_timerons);
+  return costs;
+}
+
+}  // namespace qsched::workload

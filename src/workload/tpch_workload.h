@@ -1,0 +1,76 @@
+#ifndef QSCHED_WORKLOAD_TPCH_WORKLOAD_H_
+#define QSCHED_WORKLOAD_TPCH_WORKLOAD_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/rng.h"
+#include "engine/buffer_pool.h"
+#include "optimizer/cost_model.h"
+#include "workload/query.h"
+
+namespace qsched::workload {
+
+struct TpchWorkloadParams {
+  /// The paper's TPC-H database was 500 MB (scale factor 0.5).
+  double scale_factor = 0.5;
+  /// Optimizer estimation error (lognormal sigma).
+  double estimation_noise_sigma = 0.2;
+  /// Buffer pool the OLAP database runs against (pages); used to derive
+  /// per-template expected hit ratios.
+  uint64_t buffer_pool_pages = 20000;
+  /// Timeron weights, shared with the engine-side cost model.
+  optimizer::CostModelParams cost_params;
+};
+
+/// TPC-H-like OLAP workload: 18 query templates over the TPC-H-shaped
+/// catalog, mirroring the paper's setup where the four largest queries
+/// (Q16, Q19, Q20, Q21) are excluded. Each draw randomizes template choice
+/// and predicate selectivities, producing the heavy-tailed cost mix
+/// (hundreds to tens of thousands of timerons) that cost-based control
+/// relies on.
+class TpchWorkload : public QueryGenerator {
+ public:
+  TpchWorkload(const TpchWorkloadParams& params, uint64_t seed);
+
+  Query Next() override;
+  WorkloadType type() const override { return WorkloadType::kOlap; }
+
+  /// Draws an instance of a specific template (testing / calibration).
+  Query MakeFromTemplate(size_t index);
+
+  size_t num_templates() const { return templates_.size(); }
+  const std::string& template_name(size_t i) const {
+    return templates_[i].name;
+  }
+  const catalog::Catalog& catalog() const { return catalog_; }
+
+  /// Draws `n` queries and returns their timeron costs; used to derive the
+  /// Query Patroller large/medium/small thresholds and for calibration.
+  std::vector<double> SampleCosts(int n);
+
+ private:
+  struct Template {
+    std::string name;
+    std::function<optimizer::PlanNodePtr(Rng*)> build;
+  };
+
+  /// Expected hit ratio for a plan: working-set model over the distinct
+  /// tables the plan touches.
+  double HitRatioFor(const optimizer::PlanNode& plan) const;
+
+  void RegisterTemplates();
+
+  TpchWorkloadParams params_;
+  catalog::Catalog catalog_;
+  optimizer::CostModel cost_model_;
+  engine::BufferPool pool_model_;
+  Rng rng_;
+  std::vector<Template> templates_;
+};
+
+}  // namespace qsched::workload
+
+#endif  // QSCHED_WORKLOAD_TPCH_WORKLOAD_H_

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/execution_engine.h"
+#include "qp/interceptor.h"
+#include "scheduler/dispatcher.h"
+#include "sim/simulator.h"
+
+namespace qsched::sched {
+namespace {
+
+workload::Query MakeOlapQuery(uint64_t id, int class_id, double cost) {
+  workload::Query query;
+  query.id = id;
+  query.class_id = class_id;
+  query.type = workload::WorkloadType::kOlap;
+  query.cost_timerons = cost;
+  query.job.query_id = id;
+  query.job.cpu_seconds = 0.02;
+  query.job.logical_pages = 200.0;
+  query.job.hit_ratio = 0.5;
+  return query;
+}
+
+class DispatcherTest : public ::testing::Test {
+ protected:
+  DispatcherTest()
+      : engine_(&simulator_, engine::EngineConfig(), Rng(3)),
+        interceptor_(&simulator_, &engine_, qp::InterceptorConfig()),
+        dispatcher_(&interceptor_) {
+    interceptor_.set_on_arrived([this](const qp::QueryInfoRecord& record) {
+      dispatcher_.OnArrived(record);
+    });
+    interceptor_.set_on_finished(
+        [this](const qp::QueryInfoRecord& record) {
+          dispatcher_.OnFinished(record);
+        });
+  }
+
+  void SetLimits(double c1, double c2) {
+    SchedulingPlan plan;
+    plan.cost_limits[1] = c1;
+    plan.cost_limits[2] = c2;
+    dispatcher_.SetPlan(plan);
+  }
+
+  void Submit(uint64_t id, int class_id, double cost,
+              double logical_pages = 200.0) {
+    workload::Query query = MakeOlapQuery(id, class_id, cost);
+    query.job.logical_pages = logical_pages;
+    interceptor_.Intercept(query,
+                           [this](const workload::QueryRecord& record) {
+                             completed_.push_back(record.query_id);
+                           });
+  }
+
+  sim::Simulator simulator_;
+  engine::ExecutionEngine engine_;
+  qp::Interceptor interceptor_;
+  Dispatcher dispatcher_;
+  std::vector<uint64_t> completed_;
+};
+
+TEST_F(DispatcherTest, EnforcesClassCostLimit) {
+  SetLimits(150.0, 150.0);
+  Submit(1, 1, 100.0);
+  Submit(2, 1, 100.0);  // exceeds class 1's 150 -> waits
+  Submit(3, 2, 100.0);  // class 2 has its own budget
+  simulator_.RunUntil(0.4);
+  EXPECT_EQ(interceptor_.running_count(1), 1);
+  EXPECT_EQ(interceptor_.running_count(2), 1);
+  EXPECT_EQ(dispatcher_.QueuedFor(1), 1);
+  simulator_.RunToCompletion();
+  EXPECT_EQ(completed_.size(), 3u);
+}
+
+TEST_F(DispatcherTest, MinOneRuleReleasesOversizedQuery) {
+  SetLimits(50.0, 50.0);
+  Submit(1, 1, 400.0);
+  simulator_.RunToCompletion();
+  EXPECT_EQ(completed_.size(), 1u);
+}
+
+TEST_F(DispatcherTest, MinOneDoesNotApplyWhileSomethingRuns) {
+  SetLimits(100.0, 100.0);
+  Submit(1, 1, 90.0);
+  Submit(2, 1, 400.0);  // oversized, must wait for 1 to finish
+  simulator_.RunUntil(0.4);
+  EXPECT_EQ(interceptor_.running_count(1), 1);
+  EXPECT_EQ(dispatcher_.QueuedFor(1), 1);
+  simulator_.RunToCompletion();
+  EXPECT_EQ(completed_.size(), 2u);
+  EXPECT_EQ(completed_[0], 1u);
+  EXPECT_EQ(completed_[1], 2u);
+}
+
+TEST_F(DispatcherTest, RaisingLimitReleasesQueuedQueries) {
+  SetLimits(100.0, 100.0);
+  Submit(1, 1, 90.0);
+  Submit(2, 1, 90.0);
+  simulator_.RunUntil(0.4);
+  EXPECT_EQ(dispatcher_.QueuedFor(1), 1);
+  SetLimits(300.0, 100.0);
+  EXPECT_EQ(dispatcher_.QueuedFor(1), 0);
+  EXPECT_EQ(interceptor_.running_count(1), 2);
+  simulator_.RunToCompletion();
+  EXPECT_EQ(completed_.size(), 2u);
+}
+
+TEST_F(DispatcherTest, LoweringLimitDoesNotPreemptRunningQueries) {
+  SetLimits(300.0, 100.0);
+  Submit(1, 1, 250.0, /*logical_pages=*/50000.0);  // long-running scan
+  simulator_.RunUntil(0.4);
+  EXPECT_EQ(interceptor_.running_count(1), 1);
+  SetLimits(50.0, 100.0);
+  // Running work is never revoked; only future releases tighten.
+  EXPECT_EQ(interceptor_.running_count(1), 1);
+  Submit(2, 1, 40.0);
+  simulator_.RunUntil(0.8);
+  EXPECT_EQ(dispatcher_.QueuedFor(1), 1);  // 250 running > 50 limit
+  simulator_.RunToCompletion();
+  EXPECT_EQ(completed_.size(), 2u);
+}
+
+TEST_F(DispatcherTest, FifoWithinClass) {
+  SetLimits(100.0, 100.0);
+  // Costs chosen so no two queued queries fit together: releases are
+  // strictly serialized and FIFO order is observable in completions.
+  Submit(1, 1, 90.0);
+  Submit(2, 1, 60.0);
+  Submit(3, 1, 60.0);
+  simulator_.RunToCompletion();
+  ASSERT_EQ(completed_.size(), 3u);
+  EXPECT_EQ(completed_[0], 1u);
+  EXPECT_EQ(completed_[1], 2u);
+  EXPECT_EQ(completed_[2], 3u);
+}
+
+TEST_F(DispatcherTest, ZeroLimitClassStillServedOneAtATime) {
+  SetLimits(0.0, 100.0);
+  Submit(1, 1, 30.0);
+  Submit(2, 1, 30.0);
+  simulator_.RunUntil(0.4);
+  // min-one keeps exactly one running.
+  EXPECT_EQ(interceptor_.running_count(1), 1);
+  simulator_.RunToCompletion();
+  EXPECT_EQ(completed_.size(), 2u);
+  EXPECT_EQ(dispatcher_.released_total(), 2u);
+}
+
+class DispatcherPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DispatcherPropertyTest, NeverExceedsLimitExceptMinOne) {
+  Rng rng(GetParam());
+  sim::Simulator simulator;
+  engine::ExecutionEngine engine(&simulator, engine::EngineConfig(),
+                                 Rng(GetParam() + 100));
+  qp::Interceptor interceptor(&simulator, &engine,
+                              qp::InterceptorConfig());
+  Dispatcher dispatcher(&interceptor);
+  interceptor.set_on_arrived([&](const qp::QueryInfoRecord& record) {
+    dispatcher.OnArrived(record);
+  });
+  interceptor.set_on_finished([&](const qp::QueryInfoRecord& record) {
+    dispatcher.OnFinished(record);
+  });
+  const double kLimit1 = 200.0;
+  const double kLimit2 = 120.0;
+  SchedulingPlan plan;
+  plan.cost_limits[1] = kLimit1;
+  plan.cost_limits[2] = kLimit2;
+  dispatcher.SetPlan(plan);
+
+  int completed = 0;
+  const int queries = 50;
+  double max_cost_submitted = 0.0;
+  for (int i = 0; i < queries; ++i) {
+    double cost = rng.BoundedPareto(1.2, 5.0, 180.0);
+    max_cost_submitted = std::max(max_cost_submitted, cost);
+    workload::Query query = MakeOlapQuery(
+        static_cast<uint64_t>(i + 1),
+        static_cast<int>(rng.UniformInt(1, 2)), cost);
+    double at = rng.Uniform(0.0, 10.0);
+    simulator.ScheduleAt(at, [&interceptor, &completed, query] {
+      interceptor.Intercept(query,
+                            [&completed](const workload::QueryRecord&) {
+                              ++completed;
+                            });
+    });
+  }
+  // Invariant probes while the system runs: running cost within limit
+  // plus at most one min-one exception.
+  for (double t = 0.5; t < 40.0; t += 0.5) {
+    simulator.ScheduleAt(t, [&] {
+      EXPECT_LE(interceptor.running_cost(1), kLimit1 + 180.0 + 1e-9);
+      EXPECT_LE(interceptor.running_cost(2), kLimit2 + 180.0 + 1e-9);
+      if (interceptor.running_count(1) > 1) {
+        EXPECT_LE(interceptor.running_cost(1), kLimit1 + 1e-9);
+      }
+      if (interceptor.running_count(2) > 1) {
+        EXPECT_LE(interceptor.running_cost(2), kLimit2 + 1e-9);
+      }
+    });
+  }
+  simulator.RunToCompletion();
+  EXPECT_EQ(completed, queries);
+  EXPECT_EQ(dispatcher.TotalQueued(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DispatcherPropertyTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace qsched::sched

@@ -1,0 +1,431 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/buffer_pool.h"
+#include "engine/execution_engine.h"
+#include "engine/resources.h"
+#include "sim/simulator.h"
+
+namespace qsched::engine {
+namespace {
+
+TEST(ProcessorSharingTest, SingleJobRunsAtFullSpeed) {
+  sim::Simulator simulator;
+  ProcessorSharingPool pool(&simulator, 2);
+  double done_at = -1.0;
+  pool.Submit(3.0, [&] { done_at = simulator.Now(); });
+  simulator.RunToCompletion();
+  EXPECT_NEAR(done_at, 3.0, 1e-9);
+}
+
+TEST(ProcessorSharingTest, TwoJobsOnTwoServersDoNotInterfere) {
+  sim::Simulator simulator;
+  ProcessorSharingPool pool(&simulator, 2);
+  double a = -1, b = -1;
+  pool.Submit(2.0, [&] { a = simulator.Now(); });
+  pool.Submit(3.0, [&] { b = simulator.Now(); });
+  simulator.RunToCompletion();
+  EXPECT_NEAR(a, 2.0, 1e-9);
+  EXPECT_NEAR(b, 3.0, 1e-9);
+}
+
+TEST(ProcessorSharingTest, OverloadSharesFairly) {
+  sim::Simulator simulator;
+  ProcessorSharingPool pool(&simulator, 1);
+  double a = -1, b = -1;
+  pool.Submit(1.0, [&] { a = simulator.Now(); });
+  pool.Submit(1.0, [&] { b = simulator.Now(); });
+  simulator.RunToCompletion();
+  // Two equal jobs sharing one core both finish at t=2.
+  EXPECT_NEAR(a, 2.0, 1e-9);
+  EXPECT_NEAR(b, 2.0, 1e-9);
+}
+
+TEST(ProcessorSharingTest, ShortJobFinishesFirstUnderSharing) {
+  sim::Simulator simulator;
+  ProcessorSharingPool pool(&simulator, 1);
+  double small = -1, large = -1;
+  pool.Submit(1.0, [&] { small = simulator.Now(); });
+  pool.Submit(3.0, [&] { large = simulator.Now(); });
+  simulator.RunToCompletion();
+  // Shared until t=2 (each got 1.0), then the large job finishes alone.
+  EXPECT_NEAR(small, 2.0, 1e-9);
+  EXPECT_NEAR(large, 4.0, 1e-9);
+}
+
+TEST(ProcessorSharingTest, ZeroDemandCompletesImmediately) {
+  sim::Simulator simulator;
+  ProcessorSharingPool pool(&simulator, 2);
+  bool done = false;
+  pool.Submit(0.0, [&] { done = true; });
+  simulator.RunToCompletion();
+  EXPECT_TRUE(done);
+  EXPECT_DOUBLE_EQ(simulator.Now(), 0.0);
+}
+
+TEST(ProcessorSharingTest, LateArrivalSharesRemainder) {
+  sim::Simulator simulator;
+  ProcessorSharingPool pool(&simulator, 1);
+  double first = -1, second = -1;
+  pool.Submit(2.0, [&] { first = simulator.Now(); });
+  simulator.ScheduleAt(1.0, [&] {
+    pool.Submit(0.5, [&] { second = simulator.Now(); });
+  });
+  simulator.RunToCompletion();
+  // First runs alone during [0,1): 1.0 served, 1.0 left. Then sharing:
+  // second needs 0.5 at rate 1/2 -> done at t=2; first also done at 2.5.
+  EXPECT_NEAR(second, 2.0, 1e-9);
+  EXPECT_NEAR(first, 2.5, 1e-9);
+}
+
+class PsConservationTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PsConservationTest, BusyCoreSecondsEqualTotalDemand) {
+  Rng rng(GetParam());
+  sim::Simulator simulator;
+  ProcessorSharingPool pool(&simulator, 2);
+  double total_demand = 0.0;
+  int completed = 0;
+  const int jobs = 200;
+  for (int i = 0; i < jobs; ++i) {
+    double at = rng.Uniform(0.0, 50.0);
+    double demand = rng.Uniform(0.01, 2.0);
+    total_demand += demand;
+    simulator.ScheduleAt(at, [&pool, &completed, demand] {
+      pool.Submit(demand, [&completed] { ++completed; });
+    });
+  }
+  simulator.RunToCompletion();
+  EXPECT_EQ(completed, jobs);
+  EXPECT_NEAR(pool.busy_core_seconds(), total_demand,
+              total_demand * 1e-6 + 1e-6);
+  EXPECT_EQ(pool.active_jobs(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PsConservationTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+TEST(DiskArrayTest, SingleReadServiceTime) {
+  sim::Simulator simulator;
+  DiskArray disks(&simulator, 4, 0.001, 0.002, Rng(1));
+  double done_at = -1.0;
+  disks.SubmitRead(100.0, IoPriority::kHigh,
+                  [&] { done_at = simulator.Now(); });
+  simulator.RunToCompletion();
+  EXPECT_NEAR(done_at, 0.102, 1e-9);
+  EXPECT_DOUBLE_EQ(disks.pages_transferred(), 100.0);
+}
+
+TEST(DiskArrayTest, ZeroPagesCompletesImmediately) {
+  sim::Simulator simulator;
+  DiskArray disks(&simulator, 4, 0.001, 0.002, Rng(1));
+  bool done = false;
+  disks.SubmitRead(0.0, IoPriority::kHigh, [&] { done = true; });
+  simulator.RunToCompletion();
+  EXPECT_TRUE(done);
+}
+
+TEST(DiskArrayTest, SameDiskRequestsQueueFcfs) {
+  sim::Simulator simulator;
+  DiskArray disks(&simulator, 1, 0.001, 0.0, Rng(1));
+  std::vector<double> completions;
+  for (int i = 0; i < 3; ++i) {
+    disks.SubmitRead(100.0, IoPriority::kLow,
+                     [&] { completions.push_back(simulator.Now()); });
+  }
+  simulator.RunToCompletion();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_NEAR(completions[0], 0.1, 1e-9);
+  EXPECT_NEAR(completions[1], 0.2, 1e-9);
+  EXPECT_NEAR(completions[2], 0.3, 1e-9);
+}
+
+TEST(DiskArrayTest, DetachedWritesDelaySubsequentReads) {
+  sim::Simulator simulator;
+  DiskArray disks(&simulator, 1, 0.001, 0.0, Rng(1));
+  disks.SubmitDetachedWrite(500.0);
+  double done_at = -1.0;
+  disks.SubmitRead(100.0, IoPriority::kHigh,
+                  [&] { done_at = simulator.Now(); });
+  simulator.RunToCompletion();
+  EXPECT_NEAR(done_at, 0.6, 1e-9);
+}
+
+TEST(DiskArrayTest, HighPriorityJumpsQueuedLowWork) {
+  sim::Simulator simulator;
+  DiskArray disks(&simulator, 1, 0.001, 0.0, Rng(1));
+  std::vector<int> order;
+  // One burst in service, two bursts queued behind it.
+  disks.SubmitRead(500.0, IoPriority::kLow, [&] { order.push_back(1); });
+  disks.SubmitRead(500.0, IoPriority::kLow, [&] { order.push_back(2); });
+  disks.SubmitRead(500.0, IoPriority::kLow, [&] { order.push_back(3); });
+  EXPECT_EQ(disks.queued_requests(), 2u);
+  // A synchronous read arrives: it must run right after the in-service
+  // burst, ahead of the queued ones.
+  double sync_done = -1.0;
+  disks.SubmitRead(10.0, IoPriority::kHigh,
+                   [&] { sync_done = simulator.Now(); });
+  simulator.RunToCompletion();
+  EXPECT_NEAR(sync_done, 0.51, 1e-9);  // 0.5 in-service + 0.01 own
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+  EXPECT_EQ(order[2], 3);
+  EXPECT_EQ(disks.queued_requests(), 0u);
+}
+
+TEST(DiskArrayTest, InServiceRequestNeverPreempted) {
+  sim::Simulator simulator;
+  DiskArray disks(&simulator, 1, 0.001, 0.0, Rng(1));
+  double low_done = -1.0;
+  disks.SubmitRead(1000.0, IoPriority::kLow,
+                   [&] { low_done = simulator.Now(); });
+  simulator.RunUntil(0.2);
+  disks.SubmitRead(10.0, IoPriority::kHigh, [] {});
+  simulator.RunToCompletion();
+  // The low burst keeps its full 1.0 s of service.
+  EXPECT_NEAR(low_done, 1.0, 1e-9);
+}
+
+TEST(DiskArrayTest, UtilizationReflectsBusyTime) {
+  sim::Simulator simulator;
+  DiskArray disks(&simulator, 2, 0.001, 0.0, Rng(1));
+  disks.SubmitRead(1000.0, IoPriority::kLow, [] {});
+  simulator.RunUntil(2.0);
+  // 1 disk busy for 1s of a 2-disk array over 2s -> 0.25.
+  EXPECT_NEAR(disks.Utilization(), 0.25, 1e-9);
+}
+
+TEST(DiskArrayTest, QueuedRequestsAccounting) {
+  sim::Simulator simulator;
+  DiskArray disks(&simulator, 1, 0.001, 0.0, Rng(1));
+  disks.SubmitRead(100.0, IoPriority::kLow, [] {});
+  disks.SubmitRead(100.0, IoPriority::kLow, [] {});
+  disks.SubmitRead(100.0, IoPriority::kHigh, [] {});
+  EXPECT_EQ(disks.queued_requests(), 2u);
+  simulator.RunToCompletion();
+  EXPECT_EQ(disks.queued_requests(), 0u);
+}
+
+TEST(ProcessorSharingTest, UtilizationMatchesLoad) {
+  sim::Simulator simulator;
+  ProcessorSharingPool pool(&simulator, 2);
+  pool.Submit(1.0, [] {});
+  simulator.RunUntil(2.0);
+  // One core busy for 1 s out of 2 cores x 2 s.
+  EXPECT_NEAR(pool.Utilization(), 0.25, 1e-9);
+}
+
+TEST(ExecutionEngineTest, ChunkingBoundsDiskRequestCount) {
+  sim::Simulator simulator;
+  EngineConfig config;
+  config.io_parallelism = 1;
+  ExecutionEngine engine(&simulator, config, Rng(21));
+  QueryJob job;
+  job.cpu_seconds = 0.1;
+  job.logical_pages = 1.0e6;  // far more than max_chunks * min_chunk
+  job.hit_ratio = 0.0;
+  engine.Execute(job, [](const ExecStats&) {});
+  simulator.RunToCompletion();
+  // One request per chunk at parallelism 1, capped by max_chunks.
+  EXPECT_LE(engine.disk_array().pages_transferred(), 1.0e6 + 1.0);
+  EXPECT_GT(engine.disk_array().pages_transferred(), 0.99e6);
+}
+
+TEST(BufferPoolTest, HitProbabilityDecreasesWithFootprint) {
+  BufferPool pool(10000, 2.0, 0.95);
+  double small = pool.HitProbability(1000.0);
+  double medium = pool.HitProbability(50000.0);
+  double large = pool.HitProbability(500000.0);
+  EXPECT_GE(small, medium);
+  EXPECT_GT(medium, large);
+  EXPECT_LE(small, 0.95);
+  EXPECT_GE(large, 0.0);
+}
+
+TEST(BufferPoolTest, ZeroFootprintGetsMaxHit) {
+  BufferPool pool(10000, 2.0, 0.9);
+  EXPECT_DOUBLE_EQ(pool.HitProbability(0.0), 0.9);
+}
+
+TEST(BufferPoolTest, DeterministicSampleWithoutRng) {
+  BufferPool pool(10000);
+  EXPECT_DOUBLE_EQ(pool.SamplePhysicalPages(100.0, 0.8, nullptr), 20.0);
+  EXPECT_DOUBLE_EQ(pool.SamplePhysicalPages(100.0, 1.0, nullptr), 0.0);
+  EXPECT_DOUBLE_EQ(pool.SamplePhysicalPages(100.0, 0.0, nullptr), 100.0);
+}
+
+TEST(BufferPoolTest, SampledPhysicalWithinBounds) {
+  BufferPool pool(10000);
+  Rng rng(3);
+  for (double n : {1.0, 10.0, 64.0, 100.0, 5000.0}) {
+    for (int i = 0; i < 100; ++i) {
+      double physical = pool.SamplePhysicalPages(n, 0.7, &rng);
+      EXPECT_GE(physical, 0.0);
+      EXPECT_LE(physical, n);
+    }
+  }
+}
+
+TEST(BufferPoolTest, SampleMeanMatchesMissRate) {
+  BufferPool pool(10000);
+  Rng rng(7);
+  double total = 0.0;
+  const int n = 3000;
+  for (int i = 0; i < n; ++i) {
+    total += pool.SamplePhysicalPages(200.0, 0.75, &rng);
+  }
+  EXPECT_NEAR(total / n, 50.0, 2.0);
+}
+
+TEST(BufferPoolTest, ObservedHitRatioAccounting) {
+  BufferPool pool(10000);
+  EXPECT_DOUBLE_EQ(pool.ObservedHitRatio(), 1.0);
+  pool.RecordReads(100.0, 25.0);
+  EXPECT_NEAR(pool.ObservedHitRatio(), 0.75, 1e-9);
+  EXPECT_EQ(pool.logical_reads(), 100u);
+  EXPECT_EQ(pool.physical_reads(), 25u);
+}
+
+EngineConfig TestEngineConfig() {
+  EngineConfig config;
+  return config;
+}
+
+TEST(ExecutionEngineTest, QueryCompletesWithSaneStats) {
+  sim::Simulator simulator;
+  ExecutionEngine engine(&simulator, TestEngineConfig(), Rng(11));
+  QueryJob job;
+  job.query_id = 1;
+  job.database = DatabaseId::kOlap;
+  job.cpu_seconds = 1.0;
+  job.logical_pages = 10000.0;
+  job.hit_ratio = 0.2;
+  ExecStats stats;
+  bool done = false;
+  engine.Execute(job, [&](const ExecStats& s) {
+    stats = s;
+    done = true;
+  });
+  simulator.RunToCompletion();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(stats.query_id, 1u);
+  EXPECT_GT(stats.end_time, stats.start_time);
+  EXPECT_NEAR(stats.cpu_seconds, 1.0, 1e-6);
+  // ~80% of logical pages miss at hit ratio 0.2.
+  EXPECT_NEAR(stats.physical_pages, 8000.0, 500.0);
+  EXPECT_EQ(engine.queries_completed(), 1u);
+  EXPECT_EQ(engine.active_queries(), 0u);
+}
+
+TEST(ExecutionEngineTest, CpuOnlyQueryTakesCpuTime) {
+  sim::Simulator simulator;
+  ExecutionEngine engine(&simulator, TestEngineConfig(), Rng(11));
+  QueryJob job;
+  job.cpu_seconds = 0.5;
+  job.logical_pages = 0.0;
+  double end = -1.0;
+  engine.Execute(job, [&](const ExecStats& s) { end = s.end_time; });
+  simulator.RunToCompletion();
+  EXPECT_NEAR(end, 0.5, 1e-9);
+}
+
+TEST(ExecutionEngineTest, PerfectHitRatioNeverTouchesDisk) {
+  sim::Simulator simulator;
+  ExecutionEngine engine(&simulator, TestEngineConfig(), Rng(11));
+  QueryJob job;
+  job.cpu_seconds = 0.1;
+  job.logical_pages = 1000.0;
+  job.hit_ratio = 1.0;
+  ExecStats stats;
+  engine.Execute(job, [&](const ExecStats& s) { stats = s; });
+  simulator.RunToCompletion();
+  EXPECT_DOUBLE_EQ(stats.physical_pages, 0.0);
+  EXPECT_DOUBLE_EQ(engine.disk_array().pages_transferred(), 0.0);
+}
+
+TEST(ExecutionEngineTest, ConcurrentScansSlowEachOtherDown) {
+  // One big scan alone vs. the same scan with 8 competitors.
+  auto run = [](int competitors) {
+    sim::Simulator simulator;
+    ExecutionEngine engine(&simulator, TestEngineConfig(), Rng(13));
+    QueryJob job;
+    job.cpu_seconds = 2.0;
+    job.logical_pages = 50000.0;
+    job.hit_ratio = 0.2;
+    double target_end = -1.0;
+    engine.Execute(job, [&](const ExecStats& s) { target_end = s.end_time; });
+    for (int i = 0; i < competitors; ++i) {
+      engine.Execute(job, [](const ExecStats&) {});
+    }
+    simulator.RunToCompletion();
+    return target_end;
+  };
+  double alone = run(0);
+  double crowded = run(8);
+  EXPECT_GT(crowded, alone * 1.5);
+}
+
+TEST(ExecutionEngineTest, WritesGoToDiskAfterCompletion) {
+  sim::Simulator simulator;
+  ExecutionEngine engine(&simulator, TestEngineConfig(), Rng(17));
+  QueryJob job;
+  job.cpu_seconds = 0.01;
+  job.logical_pages = 0.0;
+  job.write_pages = 500.0;
+  engine.Execute(job, [](const ExecStats&) {});
+  simulator.RunToCompletion();
+  EXPECT_DOUBLE_EQ(engine.disk_array().pages_transferred(), 500.0);
+}
+
+TEST(ExecutionEngineTest, SeparateBufferPoolsPerDatabase) {
+  sim::Simulator simulator;
+  ExecutionEngine engine(&simulator, TestEngineConfig(), Rng(19));
+  QueryJob job;
+  job.cpu_seconds = 0.01;
+  job.logical_pages = 100.0;
+  job.hit_ratio = 0.5;
+  job.database = DatabaseId::kOltp;
+  engine.Execute(job, [](const ExecStats&) {});
+  simulator.RunToCompletion();
+  EXPECT_GT(engine.buffer_pool(DatabaseId::kOltp).logical_reads(), 0u);
+  EXPECT_EQ(engine.buffer_pool(DatabaseId::kOlap).logical_reads(), 0u);
+}
+
+class EngineConservationTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(EngineConservationTest, AllSubmittedQueriesComplete) {
+  Rng rng(GetParam());
+  sim::Simulator simulator;
+  ExecutionEngine engine(&simulator, TestEngineConfig(), Rng(GetParam()));
+  int completed = 0;
+  const int queries = 60;
+  for (int i = 0; i < queries; ++i) {
+    QueryJob job;
+    job.query_id = static_cast<uint64_t>(i);
+    job.database = rng.Bernoulli(0.5) ? DatabaseId::kOlap
+                                      : DatabaseId::kOltp;
+    job.cpu_seconds = rng.Uniform(0.001, 1.0);
+    job.logical_pages = rng.Uniform(0.0, 20000.0);
+    job.write_pages = rng.Uniform(0.0, 100.0);
+    job.hit_ratio = rng.Uniform(0.0, 1.0);
+    double at = rng.Uniform(0.0, 30.0);
+    simulator.ScheduleAt(at, [&engine, &completed, job] {
+      engine.Execute(job, [&completed](const ExecStats&) { ++completed; });
+    });
+  }
+  simulator.RunToCompletion();
+  EXPECT_EQ(completed, queries);
+  EXPECT_EQ(engine.active_queries(), 0u);
+  EXPECT_EQ(engine.queries_completed(), static_cast<uint64_t>(queries));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineConservationTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace qsched::engine

@@ -1,0 +1,189 @@
+// Tests for the extension layers: open-loop arrivals, replicated
+// experiments, and proactive planning wiring.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/experiment.h"
+#include "harness/replication.h"
+#include "harness/report.h"
+#include "metrics/period_collector.h"
+#include "workload/open_loop.h"
+#include "workload/tpcc_workload.h"
+
+namespace qsched {
+namespace {
+
+class CountingFrontend : public workload::QueryFrontend {
+ public:
+  explicit CountingFrontend(sim::Simulator* simulator)
+      : simulator_(simulator) {}
+
+  void Submit(const workload::Query& query, CompleteFn on_complete)
+      override {
+    ++submitted_;
+    workload::QueryRecord record;
+    record.query_id = query.id;
+    record.class_id = query.class_id;
+    record.type = query.type;
+    record.submit_time = simulator_->Now();
+    record.exec_start_time = simulator_->Now();
+    simulator_->ScheduleAfter(
+        0.05, [this, record, on_complete = std::move(on_complete)]() mutable {
+          record.end_time = simulator_->Now();
+          on_complete(record);
+        });
+  }
+
+  int submitted() const { return submitted_; }
+
+ private:
+  sim::Simulator* simulator_;
+  int submitted_ = 0;
+};
+
+TEST(OpenLoopSourceTest, ArrivalRateMatchesSchedule) {
+  sim::Simulator simulator;
+  workload::WorkloadSchedule schedule(200.0, {1});
+  schedule.AddPeriod({4});   // 4 virtual clients
+  schedule.AddPeriod({0});   // silence
+  CountingFrontend frontend(&simulator);
+  workload::TpccWorkload generator(workload::TpccWorkloadParams(), 3);
+  int completions = 0;
+  workload::OpenLoopSource source(
+      &simulator, &schedule, 1, &generator, &frontend,
+      [&completions](const workload::QueryRecord&) { ++completions; },
+      /*per_client_rate_per_second=*/0.5, /*seed=*/11);
+  source.Start();
+  simulator.RunToCompletion();
+  // Expected arrivals: 4 clients * 0.5/s * 200 s = 400 in period 1,
+  // none in period 2. Poisson, so allow a wide band.
+  EXPECT_GT(frontend.submitted(), 320);
+  EXPECT_LT(frontend.submitted(), 480);
+  EXPECT_EQ(source.queries_submitted(),
+            static_cast<uint64_t>(frontend.submitted()));
+  EXPECT_EQ(source.queries_outstanding(), 0u);
+  EXPECT_EQ(completions, frontend.submitted());
+}
+
+TEST(OpenLoopSourceTest, ZeroRateSubmitsNothing) {
+  sim::Simulator simulator;
+  workload::WorkloadSchedule schedule(50.0, {1});
+  schedule.AddPeriod({0});
+  CountingFrontend frontend(&simulator);
+  workload::TpccWorkload generator(workload::TpccWorkloadParams(), 3);
+  workload::OpenLoopSource source(&simulator, &schedule, 1, &generator,
+                                  &frontend, nullptr, 1.0, 5);
+  source.Start();
+  simulator.RunToCompletion();
+  EXPECT_EQ(frontend.submitted(), 0);
+}
+
+TEST(OpenLoopSourceTest, DeterministicForSeed) {
+  auto run = [] {
+    sim::Simulator simulator;
+    workload::WorkloadSchedule schedule(100.0, {1});
+    schedule.AddPeriod({2});
+    CountingFrontend frontend(&simulator);
+    workload::TpccWorkload generator(workload::TpccWorkloadParams(), 3);
+    workload::OpenLoopSource source(&simulator, &schedule, 1, &generator,
+                                    &frontend, nullptr, 0.3, 77);
+    source.Start();
+    simulator.RunToCompletion();
+    return frontend.submitted();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+harness::ExperimentConfig TinyConfig() {
+  harness::ExperimentConfig config;
+  workload::WorkloadSchedule schedule(120.0, {1, 2, 3});
+  schedule.AddPeriod({2, 2, 10});
+  schedule.AddPeriod({2, 3, 15});
+  config.schedule = schedule;
+  return config;
+}
+
+TEST(ReplicationTest, AggregatesAcrossSeeds) {
+  harness::ReplicatedResult result = harness::RunReplicated(
+      TinyConfig(), harness::ControllerKind::kNoControl, 3);
+  EXPECT_EQ(result.replications, 3);
+  EXPECT_EQ(result.runs.size(), 3u);
+  EXPECT_EQ(result.num_periods, 2);
+  ASSERT_EQ(result.velocity.at(1).mean.size(), 2u);
+  ASSERT_EQ(result.response.at(3).stddev.size(), 2u);
+  // Different seeds actually produce different trajectories.
+  bool any_spread = false;
+  for (double sd : result.response.at(3).stddev) {
+    if (sd > 0.0) any_spread = true;
+  }
+  EXPECT_TRUE(any_spread);
+  // Mean of per-run values matches the summary.
+  double manual = 0.0;
+  for (const auto& run : result.runs) {
+    manual += run.response_series.at(3)[0];
+  }
+  manual /= 3.0;
+  EXPECT_NEAR(result.response.at(3).mean[0], manual, 1e-12);
+  EXPECT_GE(result.goal_periods_mean.at(3), 0.0);
+  EXPECT_LE(result.goal_periods_mean.at(3), 2.0);
+}
+
+TEST(ReplicationTest, ZeroReplicationsSafe) {
+  harness::ReplicatedResult result = harness::RunReplicated(
+      TinyConfig(), harness::ControllerKind::kNoControl, 0);
+  EXPECT_EQ(result.runs.size(), 0u);
+  EXPECT_EQ(result.num_periods, 0);
+}
+
+TEST(TraceCaptureTest, RecordsEveryCompletion) {
+  harness::ExperimentConfig config = TinyConfig();
+  config.capture_trace = true;
+  harness::ExperimentResult result = harness::RunExperiment(
+      config, harness::ControllerKind::kNoControl);
+  ASSERT_NE(result.trace, nullptr);
+  EXPECT_EQ(result.trace->size() + result.trace->dropped(),
+            result.total_completed);
+  EXPECT_GT(result.trace->size(), 0u);
+}
+
+TEST(TraceCaptureTest, OffByDefault) {
+  harness::ExperimentConfig config = TinyConfig();
+  harness::ExperimentResult result = harness::RunExperiment(
+      config, harness::ControllerKind::kNoControl);
+  EXPECT_EQ(result.trace, nullptr);
+}
+
+TEST(ReportTest, PrintsPeriodTableAndSummary) {
+  harness::ExperimentConfig config = TinyConfig();
+  harness::ExperimentResult result = harness::RunExperiment(
+      config, harness::ControllerKind::kQueryScheduler);
+  std::ostringstream out;
+  harness::ReportOptions options;
+  options.cost_limits = true;
+  harness::PrintPerformanceReport(result, sched::MakePaperClasses(),
+                                  options, out);
+  std::string text = out.str();
+  EXPECT_NE(text.find("class1_vel"), std::string::npos);
+  EXPECT_NE(text.find("class3_resp_s"), std::string::npos);
+  EXPECT_NE(text.find("class3_limit"), std::string::npos);
+  EXPECT_NE(text.find("periods_meeting_goal"), std::string::npos);
+  EXPECT_NE(text.find("cpu_util"), std::string::npos);
+}
+
+TEST(ProactivePlanningTest, RunsAndKeepsSaneBehaviour) {
+  harness::ExperimentConfig config = TinyConfig();
+  config.qs.proactive_planning = true;
+  harness::ExperimentResult result = harness::RunExperiment(
+      config, harness::ControllerKind::kQueryScheduler);
+  EXPECT_GT(result.overall_completed.at(3), 100);
+  for (int cls : {1, 2}) {
+    for (double v : result.velocity_series.at(cls)) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qsched

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "common/flags.h"
+
+namespace qsched {
+namespace {
+
+FlagParser Parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  FlagParser parser;
+  EXPECT_TRUE(
+      parser.Parse(static_cast<int>(args.size()), args.data()).ok());
+  return parser;
+}
+
+TEST(FlagParserTest, EqualsSyntax) {
+  FlagParser flags = Parse({"--seed=42", "--name=abc"});
+  EXPECT_EQ(flags.GetInt("seed", 0), 42);
+  EXPECT_EQ(flags.GetString("name", ""), "abc");
+}
+
+TEST(FlagParserTest, SpaceSyntax) {
+  FlagParser flags = Parse({"--seed", "7", "--rate", "2.5"});
+  EXPECT_EQ(flags.GetInt("seed", 0), 7);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate", 0.0), 2.5);
+}
+
+TEST(FlagParserTest, BooleanStyles) {
+  FlagParser flags =
+      Parse({"--verbose", "--on=true", "--off=false", "--one=1"});
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_TRUE(flags.GetBool("on", false));
+  EXPECT_FALSE(flags.GetBool("off", true));
+  EXPECT_TRUE(flags.GetBool("one", false));
+  EXPECT_TRUE(flags.GetBool("absent", true));
+  EXPECT_FALSE(flags.GetBool("absent", false));
+}
+
+TEST(FlagParserTest, SingleDashAccepted) {
+  FlagParser flags = Parse({"-x=3"});
+  EXPECT_EQ(flags.GetInt("x", 0), 3);
+}
+
+TEST(FlagParserTest, PositionalAndDoubleDash) {
+  FlagParser flags = Parse({"input.txt", "--k=1", "--", "--not-a-flag"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.txt");
+  EXPECT_EQ(flags.positional()[1], "--not-a-flag");
+  EXPECT_TRUE(flags.Has("k"));
+}
+
+TEST(FlagParserTest, MalformedNumberFallsBack) {
+  FlagParser flags = Parse({"--seed=abc", "--rate=1.5x"});
+  EXPECT_EQ(flags.GetInt("seed", 99), 99);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate", 0.5), 0.5);
+}
+
+TEST(FlagParserTest, GetRawDistinguishesAbsent) {
+  FlagParser flags = Parse({"--present"});
+  EXPECT_TRUE(flags.GetRaw("present").ok());
+  EXPECT_EQ(flags.GetRaw("present").ValueOrDie(), "");
+  EXPECT_FALSE(flags.GetRaw("absent").ok());
+}
+
+TEST(FlagParserTest, TooManyDashesRejected) {
+  FlagParser parser;
+  const char* args[] = {"prog", "---bad"};
+  EXPECT_FALSE(parser.Parse(2, args).ok());
+}
+
+}  // namespace
+}  // namespace qsched

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "engine/execution_engine.h"
+#include "qp/governor.h"
+#include "qp/interceptor.h"
+#include "sim/simulator.h"
+
+namespace qsched::qp {
+namespace {
+
+workload::Query MakeQuery(uint64_t id, double cost) {
+  workload::Query query;
+  query.id = id;
+  query.class_id = 1;
+  query.type = workload::WorkloadType::kOlap;
+  query.cost_timerons = cost;
+  query.job.query_id = id;
+  query.job.cpu_seconds = 0.05;
+  query.job.logical_pages = 200.0;
+  query.job.hit_ratio = 0.5;
+  return query;
+}
+
+class GovernorTest : public ::testing::Test {
+ protected:
+  GovernorTest()
+      : engine_(&simulator_, engine::EngineConfig(), Rng(1)),
+        interceptor_(&simulator_, &engine_, InterceptorConfig()) {}
+
+  sim::Simulator simulator_;
+  engine::ExecutionEngine engine_;
+  Interceptor interceptor_;
+};
+
+TEST_F(GovernorTest, CancelsOverdueQueuedQueries) {
+  Governor::Options options;
+  options.max_queue_seconds = 100.0;
+  Governor governor(&simulator_, &interceptor_, options);
+
+  int cancelled_completions = 0;
+  // Nothing ever releases these queries; they age in the queue.
+  interceptor_.Intercept(MakeQuery(1, 50.0),
+                         [&](const workload::QueryRecord& record) {
+                           EXPECT_TRUE(record.cancelled);
+                           ++cancelled_completions;
+                         });
+  interceptor_.Intercept(MakeQuery(2, 50.0),
+                         [&](const workload::QueryRecord& record) {
+                           EXPECT_TRUE(record.cancelled);
+                           ++cancelled_completions;
+                         });
+  simulator_.RunUntil(50.0);
+  EXPECT_EQ(governor.SweepOnce(), 0);  // not overdue yet
+  simulator_.RunUntil(150.0);
+  EXPECT_EQ(governor.SweepOnce(), 2);
+  EXPECT_EQ(cancelled_completions, 2);
+  EXPECT_EQ(governor.total_cancelled(), 2u);
+  EXPECT_EQ(interceptor_.queued_count(1), 0);
+}
+
+TEST_F(GovernorTest, LeavesRunningQueriesAlone) {
+  Governor::Options options;
+  options.max_queue_seconds = 0.01;
+  Governor governor(&simulator_, &interceptor_, options);
+  bool ran = false;
+  interceptor_.set_on_arrived([&](const QueryInfoRecord& record) {
+    interceptor_.Release(record.query_id);
+  });
+  interceptor_.Intercept(MakeQuery(3, 50.0),
+                         [&](const workload::QueryRecord& record) {
+                           EXPECT_FALSE(record.cancelled);
+                           ran = true;
+                         });
+  simulator_.RunUntil(0.4);
+  EXPECT_EQ(governor.SweepOnce(), 0);
+  simulator_.RunToCompletion();
+  EXPECT_TRUE(ran);
+}
+
+TEST_F(GovernorTest, PeriodicSweepsFire) {
+  Governor::Options options;
+  options.max_queue_seconds = 10.0;
+  options.sweep_interval_seconds = 20.0;
+  Governor governor(&simulator_, &interceptor_, options);
+  governor.Start(100.0);
+  interceptor_.Intercept(MakeQuery(4, 50.0),
+                         [](const workload::QueryRecord&) {});
+  simulator_.RunUntil(100.0);
+  EXPECT_EQ(governor.total_cancelled(), 1u);
+}
+
+}  // namespace
+}  // namespace qsched::qp

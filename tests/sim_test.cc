@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+
+namespace qsched::sim {
+namespace {
+
+TEST(SimulatorTest, FiresInTimeOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.ScheduleAt(3.0, [&] { order.push_back(3); });
+  simulator.ScheduleAt(1.0, [&] { order.push_back(1); });
+  simulator.ScheduleAt(2.0, [&] { order.push_back(2); });
+  simulator.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(simulator.Now(), 3.0);
+}
+
+TEST(SimulatorTest, EqualTimesFireFifo) {
+  Simulator simulator;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    simulator.ScheduleAt(5.0, [&order, i] { order.push_back(i); });
+  }
+  simulator.RunToCompletion();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, ScheduleAfterUsesCurrentTime) {
+  Simulator simulator;
+  double fired_at = -1.0;
+  simulator.ScheduleAt(2.0, [&] {
+    simulator.ScheduleAfter(3.0, [&] { fired_at = simulator.Now(); });
+  });
+  simulator.RunToCompletion();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(SimulatorTest, PastTimesClampToNow) {
+  Simulator simulator;
+  simulator.ScheduleAt(10.0, [] {});
+  simulator.RunToCompletion();
+  double fired_at = -1.0;
+  simulator.ScheduleAt(1.0, [&] { fired_at = simulator.Now(); });
+  simulator.RunToCompletion();
+  EXPECT_DOUBLE_EQ(fired_at, 10.0);
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToZero) {
+  Simulator simulator;
+  bool fired = false;
+  simulator.ScheduleAfter(-5.0, [&] { fired = true; });
+  simulator.RunToCompletion();
+  EXPECT_TRUE(fired);
+  EXPECT_DOUBLE_EQ(simulator.Now(), 0.0);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator simulator;
+  bool fired = false;
+  EventId id = simulator.ScheduleAt(1.0, [&] { fired = true; });
+  EXPECT_TRUE(simulator.Cancel(id));
+  simulator.RunToCompletion();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelIsIdempotentAndChecked) {
+  Simulator simulator;
+  EventId id = simulator.ScheduleAt(1.0, [] {});
+  EXPECT_TRUE(simulator.Cancel(id));
+  EXPECT_FALSE(simulator.Cancel(id));
+  EXPECT_FALSE(simulator.Cancel(0));
+  EXPECT_FALSE(simulator.Cancel(99999));
+}
+
+TEST(SimulatorTest, CancelAfterFireReturnsFalse) {
+  Simulator simulator;
+  EventId id = simulator.ScheduleAt(1.0, [] {});
+  simulator.RunToCompletion();
+  EXPECT_FALSE(simulator.Cancel(id));
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockPastLastEvent) {
+  Simulator simulator;
+  int fired = 0;
+  simulator.ScheduleAt(1.0, [&] { ++fired; });
+  simulator.ScheduleAt(5.0, [&] { ++fired; });
+  size_t processed = simulator.RunUntil(3.0);
+  EXPECT_EQ(processed, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(simulator.Now(), 3.0);
+  simulator.RunUntil(10.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(simulator.Now(), 10.0);
+}
+
+TEST(SimulatorTest, PendingEventsAccounting) {
+  Simulator simulator;
+  EventId a = simulator.ScheduleAt(1.0, [] {});
+  simulator.ScheduleAt(2.0, [] {});
+  EXPECT_EQ(simulator.pending_events(), 2u);
+  simulator.Cancel(a);
+  EXPECT_EQ(simulator.pending_events(), 1u);
+  simulator.RunToCompletion();
+  EXPECT_EQ(simulator.pending_events(), 0u);
+  EXPECT_EQ(simulator.events_processed(), 1u);
+}
+
+TEST(SimulatorTest, CallbackMaySchedule) {
+  Simulator simulator;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) simulator.ScheduleAfter(1.0, chain);
+  };
+  simulator.ScheduleAfter(1.0, chain);
+  simulator.RunToCompletion();
+  EXPECT_EQ(depth, 100);
+  EXPECT_DOUBLE_EQ(simulator.Now(), 100.0);
+}
+
+class SimulatorPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimulatorPropertyTest, RandomOpsPreserveOrderingInvariant) {
+  qsched::Rng rng(GetParam());
+  Simulator simulator;
+  std::vector<double> fire_times;
+  std::vector<EventId> live;
+  size_t scheduled = 0, cancelled = 0;
+  for (int i = 0; i < 500; ++i) {
+    double op = rng.NextDouble();
+    if (op < 0.7 || live.empty()) {
+      double when = rng.Uniform(0.0, 1000.0);
+      live.push_back(simulator.ScheduleAt(
+          when, [&fire_times, &simulator] {
+            fire_times.push_back(simulator.Now());
+          }));
+      ++scheduled;
+    } else {
+      size_t pick = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+      if (simulator.Cancel(live[pick])) ++cancelled;
+      live.erase(live.begin() + static_cast<long>(pick));
+    }
+  }
+  simulator.RunToCompletion();
+  EXPECT_EQ(fire_times.size(), scheduled - cancelled);
+  for (size_t i = 1; i < fire_times.size(); ++i) {
+    EXPECT_LE(fire_times[i - 1], fire_times[i]);
+  }
+  EXPECT_EQ(simulator.pending_events(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorPropertyTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+TEST(WelfordTest, KnownValues) {
+  WelfordAccumulator acc;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.Add(v);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(WelfordTest, EmptyIsZero) {
+  WelfordAccumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(WelfordTest, MergeMatchesPooledStream) {
+  qsched::Rng rng(5);
+  WelfordAccumulator a, b, pooled;
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.Normal(3.0, 2.0);
+    if (i % 3 == 0) {
+      a.Add(v);
+    } else {
+      b.Add(v);
+    }
+    pooled.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), pooled.count());
+  EXPECT_NEAR(a.mean(), pooled.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), pooled.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), pooled.min());
+  EXPECT_DOUBLE_EQ(a.max(), pooled.max());
+}
+
+TEST(WelfordTest, MergeWithEmpty) {
+  WelfordAccumulator a, empty;
+  a.Add(5.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 5.0);
+}
+
+TEST(HistogramTest, MeanMinMaxExact) {
+  Histogram histogram(0.001, 100.0);
+  histogram.Add(1.0);
+  histogram.Add(2.0);
+  histogram.Add(3.0);
+  EXPECT_EQ(histogram.count(), 3u);
+  EXPECT_DOUBLE_EQ(histogram.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(histogram.min(), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.max(), 3.0);
+}
+
+TEST(HistogramTest, QuantilesMonotone) {
+  Histogram histogram(0.001, 1000.0);
+  qsched::Rng rng(31);
+  for (int i = 0; i < 20000; ++i) histogram.Add(rng.LogNormal(0.0, 1.0));
+  double prev = 0.0;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    double value = histogram.Quantile(q);
+    EXPECT_GE(value, prev);
+    prev = value;
+  }
+}
+
+TEST(HistogramTest, MedianApproximatesTrueMedian) {
+  Histogram histogram(0.001, 1000.0, 40);
+  qsched::Rng rng(37);
+  for (int i = 0; i < 50000; ++i) histogram.Add(rng.LogNormal(0.0, 1.0));
+  // Lognormal(0,1) median is 1.0.
+  EXPECT_NEAR(histogram.Quantile(0.5), 1.0, 0.15);
+}
+
+TEST(HistogramTest, EmptyQuantileIsZero) {
+  Histogram histogram(0.01, 10.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, OutOfRangeValuesClampIntoEndBuckets) {
+  Histogram histogram(1.0, 10.0);
+  histogram.Add(0.0001);
+  histogram.Add(1e9);
+  EXPECT_EQ(histogram.count(), 2u);
+  EXPECT_GT(histogram.bucket_count(0), 0u);
+  EXPECT_GT(histogram.bucket_count(histogram.num_buckets() - 1), 0u);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram histogram(0.01, 10.0);
+  histogram.Add(5.0);
+  histogram.Reset();
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.9), 0.0);
+}
+
+TEST(TimeSeriesTest, AppendAndWindows) {
+  TimeSeries series;
+  series.Append(1.0, 10.0);
+  series.Append(2.0, 20.0);
+  series.Append(3.0, 30.0);
+  EXPECT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series.MeanInWindow(1.0, 3.0), 15.0);
+  EXPECT_DOUBLE_EQ(series.MeanInWindow(0.0, 10.0), 20.0);
+  EXPECT_DOUBLE_EQ(series.MeanInWindow(5.0, 6.0), 0.0);
+}
+
+TEST(TimeSeriesTest, LastBefore) {
+  TimeSeries series;
+  series.Append(1.0, 10.0);
+  series.Append(5.0, 50.0);
+  EXPECT_DOUBLE_EQ(series.LastBefore(3.0, -1.0), 10.0);
+  EXPECT_DOUBLE_EQ(series.LastBefore(6.0, -1.0), 50.0);
+  EXPECT_DOUBLE_EQ(series.LastBefore(0.5, -1.0), -1.0);
+}
+
+TEST(PercentileTest, ExactOnSmallSample) {
+  std::vector<double> values = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(Percentile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 0.25), 2.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenOrderStats) {
+  std::vector<double> values = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Percentile(values, 0.5), 5.0);
+}
+
+TEST(PercentileTest, EmptyReturnsZero) {
+  EXPECT_DOUBLE_EQ(Percentile({}, 0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace qsched::sim

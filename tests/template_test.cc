@@ -1,0 +1,87 @@
+// Parameterized sweeps over every workload template: each of the 18
+// TPC-H-like queries and 5 TPC-C-like transactions must individually
+// produce well-formed, sanely-sized work.
+#include <gtest/gtest.h>
+
+#include "workload/tpcc_workload.h"
+#include "workload/tpch_workload.h"
+
+namespace qsched::workload {
+namespace {
+
+class TpchTemplateSweep : public ::testing::TestWithParam<size_t> {
+ protected:
+  TpchTemplateSweep() : workload_(TpchWorkloadParams(), 1234) {}
+  TpchWorkload workload_;
+};
+
+TEST_P(TpchTemplateSweep, ProducesWellFormedQueries) {
+  size_t index = GetParam();
+  for (int draw = 0; draw < 10; ++draw) {
+    Query q = workload_.MakeFromTemplate(index);
+    EXPECT_EQ(q.template_name, workload_.template_name(index));
+    EXPECT_EQ(q.type, WorkloadType::kOlap);
+    // Costs land inside the band the control plane is calibrated for.
+    EXPECT_GT(q.cost_timerons, 100.0) << q.template_name;
+    EXPECT_LT(q.cost_timerons, 500000.0) << q.template_name;
+    // Demand is OLAP-shaped: I/O heavy, CPU present but secondary.
+    EXPECT_GT(q.job.logical_pages, 100.0) << q.template_name;
+    EXPECT_GT(q.job.cpu_seconds, 0.0) << q.template_name;
+    EXPECT_LT(q.job.cpu_seconds, 120.0) << q.template_name;
+    EXPECT_GE(q.job.hit_ratio, 0.0);
+    EXPECT_LE(q.job.hit_ratio, 1.0);
+    EXPECT_GE(q.job.write_pages, 0.0);
+  }
+}
+
+TEST_P(TpchTemplateSweep, SelectivityRandomizationVariesCost) {
+  size_t index = GetParam();
+  double first = workload_.MakeFromTemplate(index).cost_timerons;
+  bool varied = false;
+  for (int draw = 0; draw < 20 && !varied; ++draw) {
+    varied = workload_.MakeFromTemplate(index).cost_timerons != first;
+  }
+  // Every template randomizes its parameters (noise sigma > 0 at least).
+  EXPECT_TRUE(varied) << workload_.template_name(index);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTemplates, TpchTemplateSweep,
+                         ::testing::Range<size_t>(0, 18));
+
+class TpccTransactionSweep : public ::testing::TestWithParam<size_t> {
+ protected:
+  TpccTransactionSweep() : workload_(TpccWorkloadParams(), 99) {}
+  TpccWorkload workload_;
+};
+
+TEST_P(TpccTransactionSweep, ProducesOltpShapedTransactions) {
+  size_t index = GetParam();
+  for (int draw = 0; draw < 20; ++draw) {
+    Query q = workload_.MakeTransaction(index);
+    EXPECT_EQ(q.template_name, workload_.transaction_name(index));
+    EXPECT_EQ(q.type, WorkloadType::kOltp);
+    // Sub-second work, tiny cost relative to any OLAP query.
+    EXPECT_GT(q.cost_timerons, 0.0) << q.template_name;
+    EXPECT_LT(q.cost_timerons, 1000.0) << q.template_name;
+    EXPECT_LT(q.job.cpu_seconds, 0.2) << q.template_name;
+    EXPECT_LT(q.job.logical_pages, 2000.0) << q.template_name;
+    EXPECT_GT(q.job.hit_ratio, 0.5) << q.template_name;
+  }
+}
+
+TEST_P(TpccTransactionSweep, WriteTransactionsWritePages) {
+  size_t index = GetParam();
+  const std::string& name = workload_.transaction_name(index);
+  Query q = workload_.MakeTransaction(index);
+  if (name == "new_order" || name == "payment" || name == "delivery") {
+    EXPECT_GT(q.job.write_pages, 0.0) << name;
+  } else {
+    EXPECT_DOUBLE_EQ(q.job.write_pages, 0.0) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTransactions, TpccTransactionSweep,
+                         ::testing::Range<size_t>(0, 5));
+
+}  // namespace
+}  // namespace qsched::workload

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "scheduler/workload_detector.h"
+
+namespace qsched::sched {
+namespace {
+
+TEST(WorkloadDetectorTest, CountsArrivalsPerInterval) {
+  WorkloadDetector detector;
+  for (int i = 0; i < 30; ++i) detector.RecordArrival(1);
+  for (int i = 0; i < 10; ++i) detector.RecordArrival(2);
+  auto signals = detector.Harvest(10.0);
+  ASSERT_EQ(signals.size(), 2u);
+  EXPECT_DOUBLE_EQ(signals[1].arrival_rate, 3.0);
+  EXPECT_DOUBLE_EQ(signals[2].arrival_rate, 1.0);
+  EXPECT_EQ(detector.arrivals_total(), 40u);
+  // Counters reset between harvests.
+  auto next = detector.Harvest(10.0);
+  EXPECT_DOUBLE_EQ(next[1].arrival_rate, 0.0);
+}
+
+TEST(WorkloadDetectorTest, FirstHarvestInitializesLevel) {
+  WorkloadDetector detector;
+  for (int i = 0; i < 20; ++i) detector.RecordArrival(7);
+  auto signals = detector.Harvest(10.0);
+  EXPECT_DOUBLE_EQ(signals[7].level, 2.0);
+  EXPECT_DOUBLE_EQ(signals[7].trend, 0.0);
+  EXPECT_FALSE(signals[7].change_detected);
+}
+
+TEST(WorkloadDetectorTest, TrendTracksLinearGrowth) {
+  WorkloadDetector detector;
+  // Arrival rate grows by exactly 1/s each interval.
+  for (int k = 1; k <= 30; ++k) {
+    for (int i = 0; i < k * 10; ++i) detector.RecordArrival(1);
+    detector.Harvest(10.0);
+  }
+  WorkloadSignal signal = detector.SignalFor(1);
+  EXPECT_NEAR(signal.trend, 1.0, 0.3);
+  // Prediction extrapolates ahead of the current level.
+  EXPECT_GT(signal.predicted_rate, signal.level);
+}
+
+TEST(WorkloadDetectorTest, StableRateHasNoTrendOrAlarms) {
+  WorkloadDetector detector;
+  Rng rng(5);
+  for (int k = 0; k < 50; ++k) {
+    int arrivals = static_cast<int>(100 + rng.UniformInt(-5, 5));
+    for (int i = 0; i < arrivals; ++i) detector.RecordArrival(1);
+    detector.Harvest(10.0);
+  }
+  WorkloadSignal signal = detector.SignalFor(1);
+  EXPECT_NEAR(signal.level, 10.0, 1.0);
+  EXPECT_NEAR(signal.trend, 0.0, 0.2);
+  EXPECT_EQ(detector.changes_detected(), 0u);
+}
+
+TEST(WorkloadDetectorTest, DetectsAbruptShift) {
+  WorkloadDetector detector;
+  Rng rng(9);
+  // Settle at ~10/s.
+  for (int k = 0; k < 20; ++k) {
+    int arrivals = static_cast<int>(100 + rng.UniformInt(-5, 5));
+    for (int i = 0; i < arrivals; ++i) detector.RecordArrival(1);
+    detector.Harvest(10.0);
+  }
+  // Jump to ~40/s.
+  bool alarmed = false;
+  for (int k = 0; k < 5; ++k) {
+    int arrivals = static_cast<int>(400 + rng.UniformInt(-5, 5));
+    for (int i = 0; i < arrivals; ++i) detector.RecordArrival(1);
+    auto signals = detector.Harvest(10.0);
+    alarmed = alarmed || signals[1].change_detected;
+  }
+  EXPECT_TRUE(alarmed);
+  EXPECT_GE(detector.changes_detected(), 1u);
+  // After re-anchoring, the level reflects the new regime.
+  EXPECT_NEAR(detector.SignalFor(1).level, 40.0, 8.0);
+}
+
+TEST(WorkloadDetectorTest, PredictionFlooredAtZero) {
+  WorkloadDetector::Options options;
+  options.horizon_intervals = 10;
+  WorkloadDetector detector(options);
+  // Sharply shrinking workload: trend is negative and large.
+  for (int k = 10; k >= 1; k -= 3) {
+    for (int i = 0; i < k * 10; ++i) detector.RecordArrival(1);
+    detector.Harvest(10.0);
+  }
+  EXPECT_GE(detector.SignalFor(1).predicted_rate, 0.0);
+}
+
+TEST(WorkloadDetectorTest, ZeroIntervalYieldsNothing) {
+  WorkloadDetector detector;
+  detector.RecordArrival(1);
+  EXPECT_TRUE(detector.Harvest(0.0).empty());
+}
+
+TEST(WorkloadDetectorTest, UnseenClassGivesZeroSignal) {
+  WorkloadDetector detector;
+  WorkloadSignal signal = detector.SignalFor(42);
+  EXPECT_DOUBLE_EQ(signal.arrival_rate, 0.0);
+  EXPECT_DOUBLE_EQ(signal.predicted_rate, 0.0);
+}
+
+class DetectorSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DetectorSeedSweep, NoFalseAlarmsOnStationaryPoisson) {
+  Rng rng(GetParam());
+  WorkloadDetector detector;
+  // Stationary Poisson(lambda=8/s) arrivals for 60 intervals: CUSUM set
+  // at 4 sigma should essentially never alarm.
+  for (int k = 0; k < 60; ++k) {
+    double t = 0.0;
+    while (true) {
+      t += rng.Exponential(1.0 / 8.0);
+      if (t >= 10.0) break;
+      detector.RecordArrival(1);
+    }
+    detector.Harvest(10.0);
+  }
+  EXPECT_LE(detector.changes_detected(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DetectorSeedSweep,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace qsched::sched

@@ -1,0 +1,320 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "sim/simulator.h"
+#include "sim/stats.h"
+#include "workload/client.h"
+#include "workload/schedule.h"
+#include "workload/tpcc_workload.h"
+#include "workload/tpch_workload.h"
+
+namespace qsched::workload {
+namespace {
+
+TEST(ScheduleTest, PeriodLookup) {
+  WorkloadSchedule schedule(10.0, {1, 2});
+  ASSERT_TRUE(schedule.AddPeriod({3, 4}).ok());
+  ASSERT_TRUE(schedule.AddPeriod({5, 6}).ok());
+  EXPECT_EQ(schedule.num_periods(), 2);
+  EXPECT_EQ(schedule.PeriodAt(0.0), 0);
+  EXPECT_EQ(schedule.PeriodAt(9.99), 0);
+  EXPECT_EQ(schedule.PeriodAt(10.0), 1);
+  EXPECT_EQ(schedule.PeriodAt(1000.0), 1);  // clamps to last
+  EXPECT_EQ(schedule.PeriodAt(-5.0), 0);
+}
+
+TEST(ScheduleTest, ClientLookup) {
+  WorkloadSchedule schedule(10.0, {1, 2});
+  schedule.AddPeriod({3, 4});
+  EXPECT_EQ(schedule.ClientsFor(0, 1), 3);
+  EXPECT_EQ(schedule.ClientsFor(0, 2), 4);
+  EXPECT_EQ(schedule.ClientsFor(0, 99), 0);
+  EXPECT_EQ(schedule.ClientsFor(5, 1), 0);
+  EXPECT_EQ(schedule.ClientsAt(5.0, 2), 4);
+}
+
+TEST(ScheduleTest, RejectsMalformedPeriods) {
+  WorkloadSchedule schedule(10.0, {1, 2});
+  EXPECT_FALSE(schedule.AddPeriod({1}).ok());
+  EXPECT_FALSE(schedule.AddPeriod({1, -2}).ok());
+}
+
+TEST(Figure3ScheduleTest, MatchesPaperConstraints) {
+  WorkloadSchedule schedule = MakeFigure3Schedule(480.0);
+  EXPECT_EQ(schedule.num_periods(), 18);
+  EXPECT_DOUBLE_EQ(schedule.period_seconds(), 480.0);
+  for (int p = 0; p < 18; ++p) {
+    // OLAP classes stay within 2..6 clients, OLTP within 15..25.
+    for (int cls : {1, 2}) {
+      EXPECT_GE(schedule.ClientsFor(p, cls), 2);
+      EXPECT_LE(schedule.ClientsFor(p, cls), 6);
+    }
+    EXPECT_GE(schedule.ClientsFor(p, 3), 15);
+    EXPECT_LE(schedule.ClientsFor(p, 3), 25);
+  }
+  // OLTP cycles 15/20/25: heavy every third period.
+  for (int p = 2; p < 18; p += 3) {
+    EXPECT_EQ(schedule.ClientsFor(p, 3), 25);
+  }
+  // The paper's period 18 is (2, 6, 25) and the heaviest overall.
+  EXPECT_EQ(schedule.ClientsFor(17, 1), 2);
+  EXPECT_EQ(schedule.ClientsFor(17, 2), 6);
+  EXPECT_EQ(schedule.ClientsFor(17, 3), 25);
+  // Period 18 has more OLAP clients than the other OLTP-heavy periods
+  // 3, 6 and 9 (1-based), which drives the Fig. 7 analysis.
+  int olap18 = schedule.ClientsFor(17, 1) + schedule.ClientsFor(17, 2);
+  for (int p : {2, 5, 8}) {
+    EXPECT_GT(olap18, schedule.ClientsFor(p, 1) + schedule.ClientsFor(p, 2));
+  }
+}
+
+TEST(QueryRecordTest, VelocityDefinition) {
+  QueryRecord record;
+  record.submit_time = 0.0;
+  record.exec_start_time = 6.0;
+  record.end_time = 10.0;
+  EXPECT_DOUBLE_EQ(record.ExecSeconds(), 4.0);
+  EXPECT_DOUBLE_EQ(record.ResponseSeconds(), 10.0);
+  EXPECT_DOUBLE_EQ(record.Velocity(), 0.4);
+}
+
+TEST(QueryRecordTest, VelocityClampedToOne) {
+  QueryRecord record;
+  record.submit_time = 5.0;
+  record.exec_start_time = 4.0;  // degenerate: exec "before" submit
+  record.end_time = 10.0;
+  EXPECT_LE(record.Velocity(), 1.0);
+}
+
+TEST(TpchWorkloadTest, HasEighteenTemplates) {
+  TpchWorkload workload(TpchWorkloadParams(), 1);
+  EXPECT_EQ(workload.num_templates(), 18u);
+  std::set<std::string> names;
+  for (size_t i = 0; i < workload.num_templates(); ++i) {
+    names.insert(workload.template_name(i));
+  }
+  EXPECT_EQ(names.size(), 18u);
+  // The paper excludes TPC-H queries 16, 19, 20 and 21.
+  for (const char* excluded : {"q16", "q19", "q20", "q21"}) {
+    EXPECT_EQ(names.count(excluded), 0u) << excluded;
+  }
+  EXPECT_EQ(names.count("q1"), 1u);
+  EXPECT_EQ(names.count("q22"), 1u);
+}
+
+TEST(TpchWorkloadTest, QueriesAreOlapShaped) {
+  TpchWorkload workload(TpchWorkloadParams(), 2);
+  for (int i = 0; i < 50; ++i) {
+    Query q = workload.Next();
+    EXPECT_EQ(q.type, WorkloadType::kOlap);
+    EXPECT_EQ(q.job.database, engine::DatabaseId::kOlap);
+    EXPECT_GT(q.cost_timerons, 0.0);
+    EXPECT_GT(q.job.logical_pages, 100.0);
+    EXPECT_GT(q.job.cpu_seconds, 0.0);
+    EXPECT_GE(q.job.hit_ratio, 0.0);
+    EXPECT_LE(q.job.hit_ratio, 1.0);
+  }
+}
+
+TEST(TpchWorkloadTest, CostDistributionIsWideAndHeavy) {
+  TpchWorkload workload(TpchWorkloadParams(), 3);
+  std::vector<double> costs = workload.SampleCosts(1000);
+  double p50 = sim::Percentile(costs, 0.5);
+  double p95 = sim::Percentile(costs, 0.95);
+  double p10 = sim::Percentile(costs, 0.10);
+  // "the requirements of OLAP queries vary widely".
+  EXPECT_GT(p95 / p10, 5.0);
+  EXPECT_GT(p95, p50);
+}
+
+TEST(TpchWorkloadTest, DeterministicPerSeed) {
+  TpchWorkload a(TpchWorkloadParams(), 77);
+  TpchWorkload b(TpchWorkloadParams(), 77);
+  for (int i = 0; i < 20; ++i) {
+    Query qa = a.Next();
+    Query qb = b.Next();
+    EXPECT_EQ(qa.template_name, qb.template_name);
+    EXPECT_DOUBLE_EQ(qa.cost_timerons, qb.cost_timerons);
+    EXPECT_DOUBLE_EQ(qa.job.logical_pages, qb.job.logical_pages);
+  }
+}
+
+TEST(TpccWorkloadTest, HasFiveTransactionTypes) {
+  TpccWorkload workload(TpccWorkloadParams(), 1);
+  EXPECT_EQ(workload.num_transaction_types(), 5u);
+}
+
+TEST(TpccWorkloadTest, MixApproximatesTpcc) {
+  TpccWorkload workload(TpccWorkloadParams(), 5);
+  std::map<std::string, int> counts;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) counts[workload.Next().template_name] += 1;
+  EXPECT_NEAR(counts["new_order"] / static_cast<double>(n), 0.45, 0.02);
+  EXPECT_NEAR(counts["payment"] / static_cast<double>(n), 0.43, 0.02);
+  EXPECT_NEAR(counts["order_status"] / static_cast<double>(n), 0.04, 0.01);
+  EXPECT_NEAR(counts["delivery"] / static_cast<double>(n), 0.04, 0.01);
+  EXPECT_NEAR(counts["stock_level"] / static_cast<double>(n), 0.04, 0.01);
+}
+
+TEST(TpccWorkloadTest, TransactionsAreOltpShaped) {
+  TpccWorkload workload(TpccWorkloadParams(), 6);
+  for (int i = 0; i < 100; ++i) {
+    Query q = workload.Next();
+    EXPECT_EQ(q.type, WorkloadType::kOltp);
+    EXPECT_EQ(q.job.database, engine::DatabaseId::kOltp);
+    // Sub-second CPU demand, small page counts, high hit ratio.
+    EXPECT_LT(q.job.cpu_seconds, 0.2);
+    EXPECT_LT(q.job.logical_pages, 2000.0);
+    EXPECT_GT(q.job.hit_ratio, 0.5);
+  }
+}
+
+TEST(TpccWorkloadTest, CostsTinyComparedToOlap) {
+  TpccWorkload oltp(TpccWorkloadParams(), 7);
+  TpchWorkload olap(TpchWorkloadParams(), 7);
+  double oltp_p95 = sim::Percentile(oltp.SampleCosts(500), 0.95);
+  double olap_p50 = sim::Percentile(olap.SampleCosts(500), 0.50);
+  EXPECT_LT(oltp_p95 * 10, olap_p50);
+}
+
+TEST(WorkloadTypeTest, Names) {
+  EXPECT_STREQ(WorkloadTypeToString(WorkloadType::kOlap), "OLAP");
+  EXPECT_STREQ(WorkloadTypeToString(WorkloadType::kOltp), "OLTP");
+}
+
+/// Immediate-execution frontend with a configurable service time.
+class FakeFrontend : public QueryFrontend {
+ public:
+  explicit FakeFrontend(sim::Simulator* simulator, double service_seconds)
+      : simulator_(simulator), service_seconds_(service_seconds) {}
+
+  void Submit(const Query& query, CompleteFn on_complete) override {
+    ++submitted_;
+    QueryRecord record;
+    record.query_id = query.id;
+    record.class_id = query.class_id;
+    record.client_id = query.client_id;
+    record.type = query.type;
+    record.cost_timerons = query.cost_timerons;
+    record.submit_time = simulator_->Now();
+    record.exec_start_time = simulator_->Now();
+    simulator_->ScheduleAfter(
+        service_seconds_,
+        [this, record, on_complete = std::move(on_complete)]() mutable {
+          record.end_time = simulator_->Now();
+          on_complete(record);
+        });
+  }
+
+  int submitted() const { return submitted_; }
+
+ private:
+  sim::Simulator* simulator_;
+  double service_seconds_;
+  int submitted_ = 0;
+};
+
+/// Trivial generator for client-pool tests.
+class FixedGenerator : public QueryGenerator {
+ public:
+  Query Next() override {
+    Query q;
+    q.type = WorkloadType::kOltp;
+    q.template_name = "fixed";
+    q.cost_timerons = 10.0;
+    return q;
+  }
+  WorkloadType type() const override { return WorkloadType::kOltp; }
+};
+
+TEST(ClientPoolTest, ClosedLoopIssuesBackToBack) {
+  sim::Simulator simulator;
+  WorkloadSchedule schedule(100.0, {1});
+  schedule.AddPeriod({2});
+  FakeFrontend frontend(&simulator, 10.0);
+  FixedGenerator generator;
+  int completions = 0;
+  ClientPool pool(&simulator, &schedule, 1, &generator, &frontend,
+                  [&completions](const QueryRecord&) { ++completions; });
+  pool.Start();
+  simulator.RunUntil(100.0);
+  // 2 clients, 10 s service, zero think time -> 10 queries each.
+  EXPECT_EQ(completions, 20);
+  EXPECT_EQ(pool.active_clients(), 2);
+}
+
+TEST(ClientPoolTest, PopulationTracksSchedule) {
+  sim::Simulator simulator;
+  WorkloadSchedule schedule(50.0, {1});
+  schedule.AddPeriod({1});
+  schedule.AddPeriod({4});
+  schedule.AddPeriod({2});
+  FakeFrontend frontend(&simulator, 5.0);
+  FixedGenerator generator;
+  ClientPool pool(&simulator, &schedule, 1, &generator, &frontend,
+                  nullptr);
+  pool.Start();
+  simulator.RunUntil(25.0);
+  EXPECT_EQ(pool.active_clients(), 1);
+  simulator.RunUntil(75.0);
+  EXPECT_EQ(pool.active_clients(), 4);
+  simulator.RunUntil(130.0);
+  EXPECT_EQ(pool.active_clients(), 2);
+  simulator.RunUntil(150.0);
+  // Throughput over the whole run matches sum(clients*period/service).
+  EXPECT_EQ(pool.queries_completed(),
+            pool.queries_submitted() - pool.active_clients());
+}
+
+TEST(ClientPoolTest, RecordsCarryClassAndClient) {
+  sim::Simulator simulator;
+  WorkloadSchedule schedule(30.0, {7});
+  schedule.AddPeriod({3});
+  FakeFrontend frontend(&simulator, 10.0);
+  FixedGenerator generator;
+  std::set<int> clients;
+  std::set<uint64_t> ids;
+  ClientPool pool(&simulator, &schedule, 7, &generator, &frontend,
+                  [&](const QueryRecord& r) {
+                    EXPECT_EQ(r.class_id, 7);
+                    clients.insert(r.client_id);
+                    ids.insert(r.query_id);
+                  });
+  pool.Start();
+  simulator.RunUntil(30.0);
+  EXPECT_EQ(clients.size(), 3u);
+  EXPECT_EQ(ids.size(), 9u);  // ids unique
+}
+
+class ClientPoolPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ClientPoolPropertyTest, ConservationUnderRandomSchedules) {
+  Rng rng(GetParam());
+  sim::Simulator simulator;
+  WorkloadSchedule schedule(20.0, {1});
+  int periods = static_cast<int>(rng.UniformInt(2, 6));
+  for (int p = 0; p < periods; ++p) {
+    schedule.AddPeriod({static_cast<int>(rng.UniformInt(0, 8))});
+  }
+  // Final quiet period so the closed loop drains and the run terminates.
+  schedule.AddPeriod({0});
+  FakeFrontend frontend(&simulator, rng.Uniform(0.5, 3.0));
+  FixedGenerator generator;
+  int completions = 0;
+  ClientPool pool(&simulator, &schedule, 1, &generator, &frontend,
+                  [&completions](const QueryRecord&) { ++completions; });
+  pool.Start();
+  simulator.RunToCompletion();
+  // Everything submitted eventually completes (clients retire cleanly).
+  EXPECT_EQ(completions, static_cast<int>(pool.queries_completed()));
+  EXPECT_EQ(pool.queries_submitted(), pool.queries_completed());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClientPoolPropertyTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace qsched::workload

@@ -5,6 +5,12 @@
 //       --seed=7 --period-seconds=600 --system-cost-limit=300000 \
 //       --velocity-csv=/tmp/velocity.csv --summary
 //
+// Observability exports (each enables telemetry for the run):
+//   --trace-out=PATH    Chrome trace_event JSON of per-query spans
+//                       (load in Perfetto / chrome://tracing)
+//   --metrics-out=PATH  Prometheus text exposition of the registry
+//   --audit-out=PATH    planner decision audit trail as JSONL
+//
 // Controllers: no-control | qp-static | qp-priority | query-scheduler |
 //              mpl | qs-direct-oltp
 #include <cstdio>
@@ -14,6 +20,7 @@
 #include "common/flags.h"
 #include "harness/experiment.h"
 #include "metrics/trace_writer.h"
+#include "obs/telemetry.h"
 
 namespace {
 
@@ -52,7 +59,10 @@ int main(int argc, char** argv) {
         "flags: --controller=NAME --seed=N --period-seconds=S\n"
         "       --system-cost-limit=T --control-interval=S\n"
         "       --proactive --velocity-csv=PATH --response-csv=PATH\n"
-        "       --trace-csv=PATH --summary\n");
+        "       --trace-csv=PATH --summary\n"
+        "       --trace-out=PATH (Chrome trace JSON of query spans)\n"
+        "       --metrics-out=PATH (Prometheus text exposition)\n"
+        "       --audit-out=PATH (planner decision JSONL)\n");
     return 0;
   }
 
@@ -74,6 +84,14 @@ int main(int argc, char** argv) {
   config.qs.proactive_planning = flags.GetBool("proactive", false);
   std::string trace_csv = flags.GetString("trace-csv", "");
   config.capture_trace = !trace_csv.empty();
+
+  std::string trace_out = flags.GetString("trace-out", "");
+  std::string metrics_out = flags.GetString("metrics-out", "");
+  std::string audit_out = flags.GetString("audit-out", "");
+  qsched::obs::Telemetry telemetry;
+  if (!trace_out.empty() || !metrics_out.empty() || !audit_out.empty()) {
+    config.telemetry = &telemetry;
+  }
 
   qsched::harness::ExperimentResult result =
       qsched::harness::RunExperiment(config, kind);
@@ -118,6 +136,44 @@ int main(int argc, char** argv) {
     std::printf("wrote %s (%zu records, %llu dropped)\n",
                 trace_csv.c_str(), result.trace->size(),
                 static_cast<unsigned long long>(result.trace->dropped()));
+  }
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   trace_out.c_str());
+      return 1;
+    }
+    telemetry.spans.WriteChromeTrace(out);
+    std::printf("wrote %s (%llu spans, %llu dropped)\n", trace_out.c_str(),
+                static_cast<unsigned long long>(
+                    telemetry.spans.closed_total()),
+                static_cast<unsigned long long>(
+                    telemetry.spans.dropped()));
+  }
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   metrics_out.c_str());
+      return 1;
+    }
+    telemetry.registry.WritePrometheus(out);
+    std::printf("wrote %s (%zu metrics)\n", metrics_out.c_str(),
+                telemetry.registry.size());
+  }
+  if (!audit_out.empty()) {
+    std::ofstream out(audit_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   audit_out.c_str());
+      return 1;
+    }
+    telemetry.audit.WriteJsonl(out);
+    std::printf("wrote %s (%zu records, %llu dropped)\n",
+                audit_out.c_str(), telemetry.audit.size(),
+                static_cast<unsigned long long>(
+                    telemetry.audit.dropped()));
   }
   return 0;
 }

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Checks that every C++ source file conforms to the repo's .clang-format
+# (Google style, 78-column limit). Exits non-zero on the first violation;
+# run clang-format -i over the offending files to fix.
+#
+# Usage: scripts/check_format.sh [clang-format-binary]
+set -u
+
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${1:-}"
+if [ -z "${CLANG_FORMAT}" ]; then
+  for candidate in clang-format clang-format-19 clang-format-18 \
+      clang-format-17 clang-format-16 clang-format-15 clang-format-14; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      CLANG_FORMAT="${candidate}"
+      break
+    fi
+  done
+fi
+if [ -z "${CLANG_FORMAT}" ] || ! command -v "${CLANG_FORMAT}" >/dev/null 2>&1; then
+  echo "check_format: no clang-format binary found on PATH" >&2
+  echo "  install clang-format or pass the binary path as the first arg" >&2
+  exit 2
+fi
+
+FILES=$(find src tests bench examples \
+  \( -name '*.h' -o -name '*.cc' -o -name '*.cpp' \) | sort)
+if [ -z "${FILES}" ]; then
+  echo "check_format: no source files found (run from the repo root?)" >&2
+  exit 2
+fi
+
+# --dry-run --Werror: print diagnostics and fail without rewriting files.
+# shellcheck disable=SC2086
+if "${CLANG_FORMAT}" --dry-run --Werror ${FILES}; then
+  echo "check_format: OK ($(echo "${FILES}" | wc -l) files)"
+else
+  echo "check_format: style violations found (see above);" \
+       "fix with: ${CLANG_FORMAT} -i <files>" >&2
+  exit 1
+fi

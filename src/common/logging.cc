@@ -9,6 +9,7 @@ namespace qsched {
 namespace {
 
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<LogSinkForTesting> g_test_sink{nullptr};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -39,6 +40,10 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
 }
 
+void SetLogSinkForTesting(LogSinkForTesting sink) {
+  g_test_sink.store(sink, std::memory_order_relaxed);
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -49,7 +54,15 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   std::string line = stream_.str();
-  std::fprintf(stderr, "%s\n", line.c_str());
+  LogSinkForTesting sink = g_test_sink.load(std::memory_order_relaxed);
+  if (sink != nullptr) {
+    sink(line);
+    return;
+  }
+  // One stream write per line: concurrent loggers may interleave whole
+  // lines but never bytes within a line.
+  line.push_back('\n');
+  std::fwrite(line.data(), 1, line.size(), stderr);
   (void)level_;
 }
 
@@ -59,7 +72,9 @@ FatalMessage::FatalMessage(const char* file, int line) {
 
 FatalMessage::~FatalMessage() {
   std::string line = stream_.str();
-  std::fprintf(stderr, "%s\n", line.c_str());
+  line.push_back('\n');
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
   std::abort();
 }
 

@@ -8,9 +8,18 @@ namespace qsched {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Process-wide minimum level; messages below it are dropped. Default kInfo.
+/// Process-wide minimum level; messages below it are dropped. Default
+/// kInfo. The level is an atomic, so concurrent readers/writers are safe.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Test-only seam: when set, every formatted log line (without the
+/// trailing newline) is passed to `sink` instead of being written to
+/// stderr. Pass nullptr to restore stderr output. Function pointer (not
+/// std::function) so the global needs no destructor and swapping it is a
+/// single atomic store.
+using LogSinkForTesting = void (*)(const std::string& line);
+void SetLogSinkForTesting(LogSinkForTesting sink);
 
 namespace internal {
 

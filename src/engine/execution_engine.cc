@@ -23,6 +23,37 @@ BufferPool& ExecutionEngine::buffer_pool(DatabaseId id) {
   return id == DatabaseId::kOlap ? olap_pool_ : oltp_pool_;
 }
 
+void ExecutionEngine::set_telemetry(obs::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry_ == nullptr) return;
+  obs::Registry& reg = telemetry_->registry;
+  completed_counter_ = reg.GetCounter("qsched_engine_queries_completed_total");
+  exec_seconds_hist_ = reg.GetHistogram("qsched_engine_exec_seconds");
+  physical_pages_hist_ =
+      reg.GetHistogram("qsched_engine_physical_pages_per_query");
+  active_queries_gauge_ = reg.GetGauge("qsched_engine_active_queries");
+  cpu_active_jobs_gauge_ = reg.GetGauge("qsched_engine_cpu_active_jobs");
+  cpu_utilization_gauge_ = reg.GetGauge("qsched_engine_cpu_utilization");
+  disk_queued_gauge_ = reg.GetGauge("qsched_engine_disk_queued_requests");
+  disk_utilization_gauge_ = reg.GetGauge("qsched_engine_disk_utilization");
+  olap_hit_ratio_gauge_ =
+      reg.GetGauge("qsched_engine_bufferpool_hit_ratio", "db=\"olap\"");
+  oltp_hit_ratio_gauge_ =
+      reg.GetGauge("qsched_engine_bufferpool_hit_ratio", "db=\"oltp\"");
+  RefreshTelemetryGauges();
+}
+
+void ExecutionEngine::RefreshTelemetryGauges() {
+  active_queries_gauge_->Set(static_cast<double>(agents_.size()));
+  cpu_active_jobs_gauge_->Set(static_cast<double>(cpu_pool_.active_jobs()));
+  cpu_utilization_gauge_->Set(cpu_pool_.Utilization());
+  disk_queued_gauge_->Set(
+      static_cast<double>(disk_array_.queued_requests()));
+  disk_utilization_gauge_->Set(disk_array_.Utilization());
+  olap_hit_ratio_gauge_->Set(olap_pool_.ObservedHitRatio());
+  oltp_hit_ratio_gauge_->Set(oltp_pool_.ObservedHitRatio());
+}
+
 void ExecutionEngine::Execute(const QueryJob& job, DoneCallback on_done) {
   uint64_t agent_id = next_agent_id_++;
   Agent agent;
@@ -115,6 +146,12 @@ void ExecutionEngine::FinishQuery(uint64_t agent_id) {
   DoneCallback done = std::move(agent.on_done);
   agents_.erase(it);
   ++queries_completed_;
+  if (telemetry_ != nullptr) {
+    completed_counter_->Inc();
+    exec_seconds_hist_->Record(stats.end_time - stats.start_time);
+    physical_pages_hist_->Record(stats.physical_pages);
+    RefreshTelemetryGauges();
+  }
   if (done) done(stats);
 }
 

@@ -9,6 +9,7 @@
 #include "common/rng.h"
 #include "engine/buffer_pool.h"
 #include "engine/resources.h"
+#include "obs/telemetry.h"
 #include "sim/simulator.h"
 
 namespace qsched::engine {
@@ -94,6 +95,15 @@ class ExecutionEngine {
   size_t active_queries() const { return agents_.size(); }
   uint64_t queries_completed() const { return queries_completed_; }
 
+  /// Enables telemetry (nullptr = off, the default): completion counters,
+  /// execution-time histograms, and CPU/disk/buffer-pool gauges refreshed
+  /// on every query completion. `telemetry` must outlive the engine.
+  void set_telemetry(obs::Telemetry* telemetry);
+  /// Re-reads the utilization/queue/hit-ratio gauges now (they normally
+  /// refresh on query completion); no-op with telemetry off. Call before
+  /// snapshotting the registry at end of run.
+  void RefreshTelemetryGauges();
+
   const EngineConfig& config() const { return config_; }
   ProcessorSharingPool& cpu_pool() { return cpu_pool_; }
   const ProcessorSharingPool& cpu_pool() const { return cpu_pool_; }
@@ -128,6 +138,20 @@ class ExecutionEngine {
   std::unordered_map<uint64_t, Agent> agents_;
   uint64_t next_agent_id_ = 1;
   uint64_t queries_completed_ = 0;
+
+  /// Telemetry handles, cached once so the completion path records
+  /// without registry lookups. All nullptr when telemetry is off.
+  obs::Telemetry* telemetry_ = nullptr;
+  obs::Counter* completed_counter_ = nullptr;
+  obs::Histogram* exec_seconds_hist_ = nullptr;
+  obs::Histogram* physical_pages_hist_ = nullptr;
+  obs::Gauge* active_queries_gauge_ = nullptr;
+  obs::Gauge* cpu_active_jobs_gauge_ = nullptr;
+  obs::Gauge* cpu_utilization_gauge_ = nullptr;
+  obs::Gauge* disk_queued_gauge_ = nullptr;
+  obs::Gauge* disk_utilization_gauge_ = nullptr;
+  obs::Gauge* olap_hit_ratio_gauge_ = nullptr;
+  obs::Gauge* oltp_hit_ratio_gauge_ = nullptr;
 };
 
 }  // namespace qsched::engine

@@ -162,6 +162,7 @@ void BuildController(const ExperimentConfig& config, ControllerKind kind,
       sched::QuerySchedulerConfig qs_config = config.qs;
       qs_config.system_cost_limit = config.system_cost_limit;
       qs_config.interceptor = config.interceptor;
+      qs_config.telemetry = config.telemetry;
       if (kind == ControllerKind::kQsDirectOltp) {
         qs_config.control_oltp_directly = true;
         // Future-work assumption: control inside the DBMS is ~free.
@@ -197,6 +198,9 @@ void BuildBench(const ExperimentConfig& config, ControllerKind kind,
   Rng master(config.seed);
   bench->engine = std::make_unique<engine::ExecutionEngine>(
       &bench->simulator, config.engine, master.Fork(1));
+  if (config.telemetry != nullptr) {
+    bench->engine->set_telemetry(config.telemetry);
+  }
   bench->schedule = config.schedule.has_value()
                         ? *config.schedule
                         : workload::MakeFigure3Schedule(
@@ -231,6 +235,9 @@ void BuildBench(const ExperimentConfig& config, ControllerKind kind,
           collector->Add(record);
           if (trace != nullptr) trace->Add(record);
         }));
+    if (config.telemetry != nullptr) {
+      bench->pools.back()->set_telemetry(config.telemetry);
+    }
   }
   for (auto& pool : bench->pools) pool->Start();
 }
@@ -288,6 +295,11 @@ ExperimentResult RunExperiment(const ExperimentConfig& config,
   result.total_completed = collector->total_records();
   result.engine_queries_completed = bench.engine->queries_completed();
   result.trace = std::move(trace);
+  if (config.telemetry != nullptr) {
+    // Final gauge refresh so the snapshot carries end-of-run utilization.
+    bench.engine->RefreshTelemetryGauges();
+    result.metric_snapshot = config.telemetry->registry.Snapshot();
+  }
   return result;
 }
 

@@ -10,6 +10,7 @@
 
 #include "engine/execution_engine.h"
 #include "metrics/trace_writer.h"
+#include "obs/telemetry.h"
 #include "qp/interceptor.h"
 #include "qp/qp_controller.h"
 #include "scheduler/mpl_controller.h"
@@ -66,6 +67,14 @@ struct ExperimentConfig {
   bool capture_trace = false;
   size_t trace_capacity = 1 << 20;
 
+  /// Telemetry sink (nullptr = observability off, the default). When set,
+  /// the engine, client pools and (for the Query Scheduler controllers)
+  /// the whole control loop record metrics, per-query spans and planner
+  /// audit records into it; RunExperiment also copies a final registry
+  /// snapshot into ExperimentResult::metric_snapshot. Must outlive the
+  /// run.
+  obs::Telemetry* telemetry = nullptr;
+
   /// Overrides; default to the paper's Figure 3 schedule / classes.
   std::optional<workload::WorkloadSchedule> schedule;
   std::optional<sched::ServiceClassSet> classes;
@@ -106,6 +115,10 @@ struct ExperimentResult {
 
   /// Set when ExperimentConfig::capture_trace was true.
   std::shared_ptr<metrics::RecordLog> trace;
+
+  /// End-of-run metrics registry snapshot (empty unless
+  /// ExperimentConfig::telemetry was set).
+  std::vector<obs::MetricSnapshot> metric_snapshot;
 };
 
 /// Runs one full experiment (schedule x controller) and extracts the

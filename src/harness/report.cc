@@ -1,6 +1,7 @@
 #include "harness/report.h"
 
 #include "common/strings.h"
+#include "obs/metrics.h"
 
 namespace qsched::harness {
 
@@ -60,6 +61,18 @@ void PrintPerformanceReport(const ExperimentResult& result,
         "cpu_util=%.2f disk_util=%.2f total_completed=%llu\n",
         result.cpu_utilization, result.disk_utilization,
         static_cast<unsigned long long>(result.total_completed));
+    if (!result.metric_snapshot.empty()) {
+      // End-of-run registry gauges (telemetry-enabled runs only):
+      // engine utilization, buffer-pool hit ratios, queue depths,
+      // current cost limits and SLO standing.
+      out << "gauges:\n";
+      for (const obs::MetricSnapshot& metric : result.metric_snapshot) {
+        if (metric.kind != obs::MetricKind::kGauge) continue;
+        out << "  " << metric.name;
+        if (!metric.labels.empty()) out << "{" << metric.labels << "}";
+        out << StrPrintf(" = %.6g\n", metric.value);
+      }
+    }
   }
 }
 

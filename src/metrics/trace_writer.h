@@ -18,8 +18,14 @@ namespace qsched::metrics {
 /// dropped (and counted).
 class RecordLog {
  public:
+  /// A capacity of 0 is clamped to 1: the log always retains at least the
+  /// newest record, so readers can rely on records().back() being the
+  /// most recent Add() even under the tightest bound.
   explicit RecordLog(size_t capacity = 1 << 20);
 
+  /// Appends `record`. At capacity, the oldest record is evicted first
+  /// (drop-oldest) and dropped() increments — so after N adds to a log of
+  /// capacity C, size() == min(N, C) and dropped() == max(0, N - C).
   void Add(const workload::QueryRecord& record);
 
   /// Adaptor usable as a ClientPool record sink.

@@ -1,0 +1,193 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace qsched::obs {
+
+void Histogram::Record(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[static_cast<size_t>(BucketIndex(value))];
+}
+
+int Histogram::BucketIndex(double value) {
+  if (!(value > kMinValue)) return 0;  // also catches NaN and negatives
+  int index =
+      1 + static_cast<int>(kBucketsPerOctave * std::log2(value / kMinValue));
+  return std::clamp(index, 1, kNumBuckets - 1);
+}
+
+double Histogram::BucketLowerEdge(int index) {
+  if (index <= 0) return 0.0;
+  return kMinValue *
+         std::exp2(static_cast<double>(index - 1) / kBucketsPerOctave);
+}
+
+double Histogram::BucketUpperEdge(int index) {
+  if (index <= 0) return kMinValue;
+  return kMinValue *
+         std::exp2(static_cast<double>(index) / kBucketsPerOctave);
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  double target = q * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    double before = static_cast<double>(seen);
+    seen += buckets_[i];
+    if (static_cast<double>(seen) < target) continue;
+    // Log-linear interpolation inside the winning bucket.
+    double frac = (target - before) / static_cast<double>(buckets_[i]);
+    double lo = std::max(BucketLowerEdge(i), kMinValue);
+    double hi = BucketUpperEdge(i);
+    double estimate = lo * std::pow(hi / lo, std::clamp(frac, 0.0, 1.0));
+    return std::clamp(estimate, min_, max_);
+  }
+  return max_;
+}
+
+Registry::Entry* Registry::FindOrCreate(const std::string& name,
+                                        const std::string& labels,
+                                        MetricKind kind) {
+  auto key = std::make_pair(name, labels);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    QSCHED_CHECK(it->second.kind == kind)
+        << "metric " << name << " re-registered with a different kind";
+    return &it->second;
+  }
+  Entry entry;
+  entry.kind = kind;
+  switch (kind) {
+    case MetricKind::kCounter:
+      entry.counter = std::make_unique<Counter>();
+      break;
+    case MetricKind::kGauge:
+      entry.gauge = std::make_unique<Gauge>();
+      break;
+    case MetricKind::kHistogram:
+      entry.histogram = std::make_unique<Histogram>();
+      break;
+  }
+  return &entries_.emplace(std::move(key), std::move(entry)).first->second;
+}
+
+Counter* Registry::GetCounter(const std::string& name,
+                              const std::string& labels) {
+  return FindOrCreate(name, labels, MetricKind::kCounter)->counter.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name,
+                          const std::string& labels) {
+  return FindOrCreate(name, labels, MetricKind::kGauge)->gauge.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  const std::string& labels) {
+  return FindOrCreate(name, labels, MetricKind::kHistogram)
+      ->histogram.get();
+}
+
+std::vector<MetricSnapshot> Registry::Snapshot() const {
+  std::vector<MetricSnapshot> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    MetricSnapshot snap;
+    snap.name = key.first;
+    snap.labels = key.second;
+    snap.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        snap.value = static_cast<double>(entry.counter->value());
+        break;
+      case MetricKind::kGauge:
+        snap.value = entry.gauge->value();
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        snap.count = h.count();
+        snap.sum = h.sum();
+        snap.min = h.min();
+        snap.max = h.max();
+        snap.p50 = h.Quantile(0.50);
+        snap.p95 = h.Quantile(0.95);
+        snap.p99 = h.Quantile(0.99);
+        break;
+      }
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+namespace {
+
+std::string SampleName(const std::string& name, const std::string& labels,
+                       const std::string& extra_label = "") {
+  std::string all = labels;
+  if (!extra_label.empty()) {
+    if (!all.empty()) all += ",";
+    all += extra_label;
+  }
+  if (all.empty()) return name;
+  return name + "{" + all + "}";
+}
+
+}  // namespace
+
+void Registry::WritePrometheus(std::ostream& out) const {
+  const std::string* last_family = nullptr;
+  for (const auto& [key, entry] : entries_) {
+    const std::string& name = key.first;
+    const std::string& labels = key.second;
+    if (last_family == nullptr || *last_family != name) {
+      const char* type = entry.kind == MetricKind::kCounter ? "counter"
+                         : entry.kind == MetricKind::kGauge ? "gauge"
+                                                            : "summary";
+      out << "# TYPE " << name << " " << type << "\n";
+      last_family = &name;
+    }
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        out << SampleName(name, labels) << " " << entry.counter->value()
+            << "\n";
+        break;
+      case MetricKind::kGauge:
+        out << SampleName(name, labels) << " "
+            << StrPrintf("%.9g", entry.gauge->value()) << "\n";
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        out << SampleName(name, labels, "quantile=\"0.5\"") << " "
+            << StrPrintf("%.9g", h.Quantile(0.50)) << "\n";
+        out << SampleName(name, labels, "quantile=\"0.95\"") << " "
+            << StrPrintf("%.9g", h.Quantile(0.95)) << "\n";
+        out << SampleName(name, labels, "quantile=\"0.99\"") << " "
+            << StrPrintf("%.9g", h.Quantile(0.99)) << "\n";
+        out << SampleName(name, labels, "quantile=\"1\"") << " "
+            << StrPrintf("%.9g", h.max()) << "\n";
+        out << SampleName(name + "_sum", labels) << " "
+            << StrPrintf("%.9g", h.sum()) << "\n";
+        out << SampleName(name + "_count", labels) << " " << h.count()
+            << "\n";
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace qsched::obs

@@ -1,0 +1,145 @@
+#ifndef QSCHED_OBS_METRICS_H_
+#define QSCHED_OBS_METRICS_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qsched::obs {
+
+/// Monotonically increasing event count. Recording is O(1) and
+/// allocation-free; handles returned by Registry stay valid for its
+/// lifetime, so hot paths cache the pointer once and increment directly.
+class Counter {
+ public:
+  void Inc(uint64_t delta = 1) { value_ += delta; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// Point-in-time value (queue depth, utilization, current limit).
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  void Add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Log-bucketed histogram: fixed bucket array whose edges grow
+/// geometrically (4 buckets per factor of two, ~19% wide), covering
+/// [1e-6, ~3e6) — microseconds to weeks of simulated time, or page and
+/// byte counts. Record() is O(1) with no allocation; quantiles are
+/// estimated by log-linear interpolation inside the winning bucket, so
+/// the estimate is within one bucket width (<19%) of the true value.
+class Histogram {
+ public:
+  static constexpr double kMinValue = 1e-6;
+  static constexpr int kBucketsPerOctave = 4;
+  /// Bucket 0 is the underflow bucket (<= kMinValue); the top bucket
+  /// absorbs overflow.
+  static constexpr int kNumBuckets = 168;
+
+  void Record(double value);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  /// Exact observed extremes (0 when empty).
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double Mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+
+  /// Estimated q-quantile, q in [0, 1]; clamped to [min(), max()].
+  /// Returns 0 when empty.
+  double Quantile(double q) const;
+
+  /// Index of the bucket `value` falls in.
+  static int BucketIndex(double value);
+  /// Lower/upper value edges of bucket `index` (bucket 0 starts at 0).
+  static double BucketLowerEdge(int index);
+  static double BucketUpperEdge(int index);
+  const std::array<uint64_t, kNumBuckets>& buckets() const {
+    return buckets_;
+  }
+
+ private:
+  std::array<uint64_t, kNumBuckets> buckets_{};
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// Point-in-time copy of one metric, for reports and tests.
+struct MetricSnapshot {
+  std::string name;
+  /// Prometheus-style label block without braces, e.g. `class="1"`.
+  std::string labels;
+  MetricKind kind = MetricKind::kCounter;
+  /// Counter or gauge value.
+  double value = 0.0;
+  /// Histogram-only fields.
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Named metric store. Get* registers on first use and returns the same
+/// stable pointer on every later call with the same (name, labels) pair;
+/// asking for an existing name with a different kind aborts. The registry
+/// is not thread-safe (the simulator is single-threaded); the returned
+/// metric objects are plain memory writes.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter* GetCounter(const std::string& name,
+                      const std::string& labels = "");
+  Gauge* GetGauge(const std::string& name, const std::string& labels = "");
+  Histogram* GetHistogram(const std::string& name,
+                          const std::string& labels = "");
+
+  size_t size() const { return entries_.size(); }
+
+  std::vector<MetricSnapshot> Snapshot() const;
+
+  /// Prometheus text exposition: `# TYPE` per family, one sample line per
+  /// metric; histograms are rendered as summaries with quantile labels
+  /// (0.5 / 0.95 / 0.99 / 1 = max) plus _sum and _count.
+  void WritePrometheus(std::ostream& out) const;
+
+ private:
+  struct Entry {
+    MetricKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* FindOrCreate(const std::string& name, const std::string& labels,
+                      MetricKind kind);
+
+  /// Ordered by (name, labels) so exposition groups families naturally.
+  std::map<std::pair<std::string, std::string>, Entry> entries_;
+};
+
+}  // namespace qsched::obs
+
+#endif  // QSCHED_OBS_METRICS_H_

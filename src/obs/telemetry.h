@@ -1,0 +1,23 @@
+#ifndef QSCHED_OBS_TELEMETRY_H_
+#define QSCHED_OBS_TELEMETRY_H_
+
+#include "obs/audit.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace qsched::obs {
+
+/// The three observability pillars bundled as one injectable unit.
+/// Components accept a `Telemetry*` (nullptr by default = telemetry off;
+/// instrumented call sites guard on the pointer, so a disabled run pays
+/// nothing but the branch). The owner — typically the experiment driver —
+/// outlives every component it hands the pointer to.
+struct Telemetry {
+  Registry registry;
+  SpanLog spans;
+  PlannerAuditLog audit;
+};
+
+}  // namespace qsched::obs
+
+#endif  // QSCHED_OBS_TELEMETRY_H_

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/strings.h"
 
 namespace qsched::qp {
 
@@ -10,6 +11,35 @@ Interceptor::Interceptor(sim::Simulator* simulator,
                          engine::ExecutionEngine* engine,
                          const InterceptorConfig& config)
     : simulator_(simulator), engine_(engine), config_(config) {}
+
+void Interceptor::set_telemetry(obs::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry_ == nullptr) return;
+  obs::Registry& reg = telemetry_->registry;
+  intercepted_counter_ = reg.GetCounter("qsched_qp_intercepted_total");
+  bypassed_counter_ = reg.GetCounter("qsched_qp_bypassed_total");
+  released_counter_ = reg.GetCounter("qsched_qp_released_total");
+  cancelled_counter_ = reg.GetCounter("qsched_qp_cancelled_total");
+}
+
+obs::Histogram* Interceptor::QueueWaitHistogram(int class_id) {
+  auto it = queue_wait_hists_.find(class_id);
+  if (it != queue_wait_hists_.end()) return it->second;
+  obs::Histogram* hist = telemetry_->registry.GetHistogram(
+      "qsched_qp_queue_wait_seconds",
+      StrPrintf("class=\"%d\"", class_id));
+  queue_wait_hists_.emplace(class_id, hist);
+  return hist;
+}
+
+obs::Histogram* Interceptor::ResponseHistogram(int class_id) {
+  auto it = response_hists_.find(class_id);
+  if (it != response_hists_.end()) return it->second;
+  obs::Histogram* hist = telemetry_->registry.GetHistogram(
+      "qsched_response_seconds", StrPrintf("class=\"%d\"", class_id));
+  response_hists_.emplace(class_id, hist);
+  return hist;
+}
 
 double Interceptor::running_cost(int class_id) const {
   auto it = ledgers_.find(class_id);
@@ -29,6 +59,7 @@ int Interceptor::queued_count(int class_id) const {
 void Interceptor::Intercept(const workload::Query& query,
                             CompleteFn on_complete) {
   ++intercepted_total_;
+  if (telemetry_ != nullptr) intercepted_counter_->Inc();
   PendingQuery pending;
   pending.query = query;
   pending.on_complete = std::move(on_complete);
@@ -59,6 +90,9 @@ void Interceptor::Intercept(const workload::Query& query,
         QSCHED_CHECK(st.ok()) << st.ToString();
         ledgers_[record.class_id].queued += 1;
         queued_.emplace(query_id, std::move(pending));
+        if (telemetry_ != nullptr) {
+          telemetry_->spans.OnEnqueue(query_id, simulator_->Now());
+        }
         if (on_arrived_) on_arrived_(record);
       });
 
@@ -78,6 +112,16 @@ Status Interceptor::Release(uint64_t query_id) {
   QSCHED_RETURN_NOT_OK(table_.MarkReleased(query_id, simulator_->Now()));
   PendingQuery pending = std::move(it->second);
   queued_.erase(it);
+  if (telemetry_ != nullptr) {
+    sim::SimTime now = simulator_->Now();
+    telemetry_->spans.OnDispatch(query_id, now);
+    released_counter_->Inc();
+    const QueryInfoRecord* row = table_.Find(query_id);
+    if (row != nullptr) {
+      QueueWaitHistogram(row->class_id)
+          ->Record(now - row->intercept_time);
+    }
+  }
   ClassLedger& ledger = ledgers_[pending.query.class_id];
   ledger.queued -= 1;
   ledger.running += 1;
@@ -96,6 +140,10 @@ Status Interceptor::CancelQueued(uint64_t query_id) {
   queued_.erase(it);
   ledgers_[pending.query.class_id].queued -= 1;
   ++cancelled_total_;
+  if (telemetry_ != nullptr) {
+    cancelled_counter_->Inc();
+    telemetry_->spans.OnCancel(query_id, simulator_->Now());
+  }
 
   if (on_cancelled_) {
     const QueryInfoRecord* row = table_.Find(query_id);
@@ -142,6 +190,12 @@ void Interceptor::StartOnEngine(uint64_t query_id, PendingQuery pending) {
         workload::QueryRecord record = base;
         record.exec_start_time = stats.start_time;
         record.end_time = stats.end_time;
+        if (telemetry_ != nullptr) {
+          telemetry_->spans.OnComplete(base.query_id, stats.start_time,
+                                       stats.end_time);
+          ResponseHistogram(base.class_id)
+              ->Record(record.ResponseSeconds());
+        }
         const QueryInfoRecord* row = table_.Find(base.query_id);
         if (on_finished_ && row != nullptr) on_finished_(*row);
         if (on_complete) on_complete(record);
@@ -151,6 +205,7 @@ void Interceptor::StartOnEngine(uint64_t query_id, PendingQuery pending) {
 void Interceptor::Bypass(const workload::Query& query,
                          CompleteFn on_complete) {
   ++bypassed_total_;
+  if (telemetry_ != nullptr) bypassed_counter_->Inc();
   workload::QueryRecord base;
   base.query_id = query.id;
   base.class_id = query.class_id;
@@ -160,11 +215,17 @@ void Interceptor::Bypass(const workload::Query& query,
   base.submit_time = simulator_->Now();
 
   engine_->Execute(query.job,
-                   [base, on_complete = std::move(on_complete)](
+                   [this, base, on_complete = std::move(on_complete)](
                        const engine::ExecStats& stats) {
                      workload::QueryRecord record = base;
                      record.exec_start_time = stats.start_time;
                      record.end_time = stats.end_time;
+                     if (telemetry_ != nullptr) {
+                       telemetry_->spans.OnComplete(
+                           base.query_id, stats.start_time, stats.end_time);
+                       ResponseHistogram(base.class_id)
+                           ->Record(record.ResponseSeconds());
+                     }
                      if (on_complete) on_complete(record);
                    });
 }

@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "engine/execution_engine.h"
+#include "obs/telemetry.h"
 #include "qp/control_table.h"
 #include "sim/simulator.h"
 #include "workload/client.h"
@@ -104,6 +105,12 @@ class Interceptor {
   uint64_t intercepted_total() const { return intercepted_total_; }
   uint64_t bypassed_total() const { return bypassed_total_; }
 
+  /// Enables telemetry (nullptr = off): interception counters, per-class
+  /// queue-wait and response histograms, and span transitions for
+  /// enqueue / dispatch / complete / cancel. `telemetry` must outlive
+  /// the interceptor.
+  void set_telemetry(obs::Telemetry* telemetry);
+
  private:
   struct PendingQuery {
     workload::Query query;
@@ -117,6 +124,10 @@ class Interceptor {
   };
 
   void StartOnEngine(uint64_t query_id, PendingQuery pending);
+  /// Cached per-class histogram handles (registered on first use so the
+  /// per-query path never builds label strings).
+  obs::Histogram* QueueWaitHistogram(int class_id);
+  obs::Histogram* ResponseHistogram(int class_id);
 
   sim::Simulator* simulator_;
   engine::ExecutionEngine* engine_;
@@ -131,6 +142,14 @@ class Interceptor {
   uint64_t bypassed_total_ = 0;
   uint64_t cancelled_total_ = 0;
   sim::SimTime last_prune_time_ = 0.0;
+
+  obs::Telemetry* telemetry_ = nullptr;
+  obs::Counter* intercepted_counter_ = nullptr;
+  obs::Counter* bypassed_counter_ = nullptr;
+  obs::Counter* released_counter_ = nullptr;
+  obs::Counter* cancelled_counter_ = nullptr;
+  std::unordered_map<int, obs::Histogram*> queue_wait_hists_;
+  std::unordered_map<int, obs::Histogram*> response_hists_;
 };
 
 }  // namespace qsched::qp

@@ -1,11 +1,33 @@
 #include "scheduler/dispatcher.h"
 
 #include "common/logging.h"
+#include "common/strings.h"
 
 namespace qsched::sched {
 
 Dispatcher::Dispatcher(qp::Interceptor* interceptor)
     : interceptor_(interceptor) {}
+
+void Dispatcher::set_telemetry(obs::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry_ == nullptr) return;
+  obs::Registry& reg = telemetry_->registry;
+  arrived_counter_ = reg.GetCounter("qsched_dispatcher_arrived_total");
+  released_counter_ = reg.GetCounter("qsched_dispatcher_released_total");
+  cancelled_counter_ = reg.GetCounter("qsched_dispatcher_cancelled_total");
+}
+
+void Dispatcher::UpdateQueueGauge(int class_id) {
+  if (telemetry_ == nullptr) return;
+  auto it = queue_depth_gauges_.find(class_id);
+  if (it == queue_depth_gauges_.end()) {
+    obs::Gauge* gauge = telemetry_->registry.GetGauge(
+        "qsched_dispatcher_queue_depth",
+        StrPrintf("class=\"%d\"", class_id));
+    it = queue_depth_gauges_.emplace(class_id, gauge).first;
+  }
+  it->second->Set(static_cast<double>(QueuedFor(class_id)));
+}
 
 void Dispatcher::SetPlan(const SchedulingPlan& plan) {
   plan_ = plan;
@@ -15,6 +37,10 @@ void Dispatcher::SetPlan(const SchedulingPlan& plan) {
 void Dispatcher::OnArrived(const qp::QueryInfoRecord& record) {
   queues_[record.class_id].push_back(
       Waiting{record.query_id, record.cost_timerons});
+  if (telemetry_ != nullptr) {
+    arrived_counter_->Inc();
+    UpdateQueueGauge(record.class_id);
+  }
   TryRelease();
 }
 
@@ -29,6 +55,10 @@ void Dispatcher::OnCancelled(const qp::QueryInfoRecord& record) {
   for (auto q = it->second.begin(); q != it->second.end(); ++q) {
     if (q->query_id == record.query_id) {
       it->second.erase(q);
+      if (telemetry_ != nullptr) {
+        cancelled_counter_->Inc();
+        UpdateQueueGauge(record.class_id);
+      }
       break;
     }
   }
@@ -55,6 +85,10 @@ void Dispatcher::TryRelease() {
       Status st = interceptor_->Release(id);
       QSCHED_CHECK(st.ok()) << st.ToString();
       ++released_total_;
+      if (telemetry_ != nullptr) {
+        released_counter_->Inc();
+        UpdateQueueGauge(class_id);
+      }
       released = true;
     }
   }

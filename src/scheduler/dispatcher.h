@@ -4,6 +4,7 @@
 #include <deque>
 #include <map>
 
+#include "obs/telemetry.h"
 #include "qp/interceptor.h"
 #include "scheduler/solver.h"
 
@@ -38,6 +39,10 @@ class Dispatcher {
   int TotalQueued() const;
   uint64_t released_total() const { return released_total_; }
 
+  /// Enables telemetry (nullptr = off): arrival/release counters and a
+  /// per-class queue-depth gauge kept current on every queue mutation.
+  void set_telemetry(obs::Telemetry* telemetry);
+
  private:
   struct Waiting {
     uint64_t query_id;
@@ -45,11 +50,18 @@ class Dispatcher {
   };
 
   void TryRelease();
+  void UpdateQueueGauge(int class_id);
 
   qp::Interceptor* interceptor_;
   SchedulingPlan plan_;
   std::map<int, std::deque<Waiting>> queues_;
   uint64_t released_total_ = 0;
+
+  obs::Telemetry* telemetry_ = nullptr;
+  obs::Counter* arrived_counter_ = nullptr;
+  obs::Counter* released_counter_ = nullptr;
+  obs::Counter* cancelled_counter_ = nullptr;
+  std::map<int, obs::Gauge*> queue_depth_gauges_;
 };
 
 }  // namespace qsched::sched

@@ -1,13 +1,36 @@
 #include "scheduler/monitor.h"
 
+#include "common/strings.h"
+
 namespace qsched::sched {
 
 Monitor::Monitor(sim::Simulator* simulator) : simulator_(simulator) {
   window_start_ = simulator_->Now();
 }
 
+void Monitor::set_telemetry(obs::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry_ == nullptr) return;
+  records_counter_ =
+      telemetry_->registry.GetCounter("qsched_monitor_records_total");
+}
+
+obs::Histogram* Monitor::VelocityHistogram(int class_id) {
+  auto it = velocity_hists_.find(class_id);
+  if (it == velocity_hists_.end()) {
+    obs::Histogram* hist = telemetry_->registry.GetHistogram(
+        "qsched_monitor_velocity", StrPrintf("class=\"%d\"", class_id));
+    it = velocity_hists_.emplace(class_id, hist).first;
+  }
+  return it->second;
+}
+
 void Monitor::AddRecord(const workload::QueryRecord& record) {
   ++records_total_;
+  if (telemetry_ != nullptr) {
+    records_counter_->Inc();
+    VelocityHistogram(record.class_id)->Record(record.Velocity());
+  }
   Accumulator& acc = acc_[record.class_id];
   acc.completed += 1;
   acc.velocity_sum += record.Velocity();

@@ -3,6 +3,7 @@
 
 #include <map>
 
+#include "obs/telemetry.h"
 #include "sim/simulator.h"
 #include "workload/client.h"
 
@@ -34,7 +35,13 @@ class Monitor {
 
   uint64_t records_total() const { return records_total_; }
 
+  /// Enables telemetry (nullptr = off): a record counter plus a per-class
+  /// velocity histogram of everything fed to the planner.
+  void set_telemetry(obs::Telemetry* telemetry);
+
  private:
+  obs::Histogram* VelocityHistogram(int class_id);
+
   struct Accumulator {
     int completed = 0;
     double velocity_sum = 0.0;
@@ -46,6 +53,10 @@ class Monitor {
   std::map<int, Accumulator> acc_;
   sim::SimTime window_start_ = 0.0;
   uint64_t records_total_ = 0;
+
+  obs::Telemetry* telemetry_ = nullptr;
+  obs::Counter* records_counter_ = nullptr;
+  std::map<int, obs::Histogram*> velocity_hists_;
 };
 
 }  // namespace qsched::sched

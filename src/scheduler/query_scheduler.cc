@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/strings.h"
 
 namespace qsched::sched {
 
@@ -37,7 +38,39 @@ QueryScheduler::QueryScheduler(sim::Simulator* simulator,
   for (const ServiceClassSpec& spec : classes_->classes()) {
     measured_[spec.class_id] = spec.goal_value;
   }
+  if (config_.telemetry != nullptr) {
+    telemetry_ = config_.telemetry;
+    interceptor_.set_telemetry(telemetry_);
+    dispatcher_.set_telemetry(telemetry_);
+    monitor_.set_telemetry(telemetry_);
+    snapshot_.set_telemetry(telemetry_);
+    obs::Registry& reg = telemetry_->registry;
+    planning_cycles_counter_ =
+        reg.GetCounter("qsched_planner_cycles_total");
+    planner_utility_gauge_ = reg.GetGauge("qsched_planner_utility");
+    for (const ServiceClassSpec& spec : classes_->classes()) {
+      std::string labels = StrPrintf("class=\"%d\"", spec.class_id);
+      ClassTelemetry& handles = class_telemetry_[spec.class_id];
+      handles.submitted =
+          reg.GetCounter("qsched_scheduler_submitted_total", labels);
+      handles.slo_goal = reg.GetGauge("qsched_slo_goal", labels);
+      handles.slo_measured = reg.GetGauge("qsched_slo_measured", labels);
+      handles.slo_goal_ratio =
+          reg.GetGauge("qsched_slo_goal_ratio", labels);
+      handles.cost_limit = reg.GetGauge("qsched_cost_limit", labels);
+      handles.slo_goal->Set(spec.goal_value);
+      handles.slo_measured->Set(measured_[spec.class_id]);
+      handles.slo_goal_ratio->Set(
+          spec.GoalRatio(measured_[spec.class_id]));
+    }
+  }
   dispatcher_.SetPlan(InitialPlan());
+  if (telemetry_ != nullptr) {
+    for (const auto& [class_id, limit] : dispatcher_.plan().cost_limits) {
+      auto it = class_telemetry_.find(class_id);
+      if (it != class_telemetry_.end()) it->second.cost_limit->Set(limit);
+    }
+  }
 }
 
 SchedulingPlan QueryScheduler::InitialPlan() const {
@@ -74,8 +107,18 @@ bool QueryScheduler::Classify(const workload::Query& query) const {
 
 void QueryScheduler::Submit(const workload::Query& query,
                             CompleteFn on_complete) {
+  if (telemetry_ != nullptr) {
+    telemetry_->spans.OnSubmit(
+        query.id, query.class_id,
+        query.type == workload::WorkloadType::kOltp, simulator_->Now());
+  }
   QSCHED_CHECK(Classify(query))
       << "query with unknown service class " << query.class_id;
+  if (telemetry_ != nullptr) {
+    telemetry_->spans.OnClassify(query.id, simulator_->Now());
+    auto it = class_telemetry_.find(query.class_id);
+    if (it != class_telemetry_.end()) it->second.submitted->Inc();
+  }
   detector_.RecordArrival(query.class_id);
   bool direct = query.type != workload::WorkloadType::kOltp ||
                 config_.control_oltp_directly;
@@ -122,8 +165,10 @@ void QueryScheduler::PlanOnce() {
 
   // Refresh per-class measurements. A detected workload shift makes the
   // newest measurement authoritative (the smoothed history is stale).
+  // `raw` keeps the un-smoothed interval values for the audit trail.
   double base_alpha = std::clamp(config_.measurement_smoothing, 0.01, 1.0);
   double oltp_response = -1.0;
+  std::map<int, double> raw;
   for (const ServiceClassSpec& spec : classes_->classes()) {
     double alpha = base_alpha;
     auto signal_it = signals.find(spec.class_id);
@@ -131,9 +176,11 @@ void QueryScheduler::PlanOnce() {
         signal_it->second.change_detected) {
       alpha = 1.0;
     }
+    raw[spec.class_id] = -1.0;
     if (spec.type == workload::WorkloadType::kOlap) {
       auto it = stats.find(spec.class_id);
       if (it != stats.end() && it->second.completed > 0) {
+        raw[spec.class_id] = it->second.mean_velocity;
         measured_[spec.class_id] =
             alpha * it->second.mean_velocity +
             (1.0 - alpha) * measured_[spec.class_id];
@@ -144,11 +191,13 @@ void QueryScheduler::PlanOnce() {
     if (config_.control_oltp_directly) {
       auto it = stats.find(spec.class_id);
       if (it != stats.end() && it->second.completed > 0) {
+        raw[spec.class_id] = it->second.mean_response_seconds;
         measured_[spec.class_id] = it->second.mean_response_seconds;
       }
     } else {
       double sampled =
           snapshot_.HarvestAvgResponse(measured_[spec.class_id]);
+      raw[spec.class_id] = sampled;
       measured_[spec.class_id] =
           alpha * sampled + (1.0 - alpha) * measured_[spec.class_id];
     }
@@ -221,7 +270,67 @@ void QueryScheduler::PlanOnce() {
   for (const auto& [class_id, limit] : next.cost_limits) {
     limit_history_[class_id].Append(simulator_->Now(), limit);
   }
+  if (telemetry_ != nullptr) {
+    // Audit before SetPlan so queue depths reflect what the planner saw,
+    // not the releases the new plan triggers.
+    RecordPlanAudit(stats, signals, raw, oltp_response, target, next);
+  }
   dispatcher_.SetPlan(next);
+}
+
+void QueryScheduler::RecordPlanAudit(
+    const std::map<int, ClassIntervalStats>& stats,
+    const std::map<int, WorkloadSignal>& signals,
+    const std::map<int, double>& raw, double oltp_response,
+    const SchedulingPlan& target, const SchedulingPlan& next) {
+  planning_cycles_counter_->Inc();
+  planner_utility_gauge_->Set(target.predicted_utility);
+
+  obs::PlannerAuditRecord record;
+  record.interval = planning_cycles_;
+  record.sim_time = simulator_->Now();
+  record.system_cost_limit = config_.system_cost_limit;
+  record.oltp_response = oltp_response;
+  record.solver_utility = target.predicted_utility;
+  record.allocator =
+      config_.allocator == QuerySchedulerConfig::Allocator::kGreedyAuction
+          ? "greedy-auction"
+          : "utility-search";
+  for (const ServiceClassSpec& spec : classes_->classes()) {
+    obs::PlannerAuditClass cls;
+    cls.class_id = spec.class_id;
+    cls.is_oltp = spec.type == workload::WorkloadType::kOltp;
+    cls.goal = spec.goal_value;
+    auto raw_it = raw.find(spec.class_id);
+    if (raw_it != raw.end()) cls.measured_raw = raw_it->second;
+    cls.measured_smoothed = measured_.at(spec.class_id);
+    cls.goal_ratio = spec.GoalRatio(cls.measured_smoothed);
+    auto stats_it = stats.find(spec.class_id);
+    if (stats_it != stats.end()) {
+      cls.completed_in_interval = stats_it->second.completed;
+    }
+    cls.queue_depth = dispatcher_.QueuedFor(spec.class_id);
+    cls.running = interceptor_.running_count(spec.class_id);
+    cls.running_cost = interceptor_.running_cost(spec.class_id);
+    auto signal_it = signals.find(spec.class_id);
+    if (signal_it != signals.end()) {
+      cls.arrival_rate = signal_it->second.arrival_rate;
+      cls.predicted_rate = signal_it->second.predicted_rate;
+      cls.change_detected = signal_it->second.change_detected;
+    }
+    cls.target_limit = target.LimitFor(spec.class_id);
+    cls.enforced_limit = next.LimitFor(spec.class_id);
+    record.classes.push_back(cls);
+
+    auto handle_it = class_telemetry_.find(spec.class_id);
+    if (handle_it != class_telemetry_.end()) {
+      ClassTelemetry& handles = handle_it->second;
+      handles.slo_measured->Set(cls.measured_smoothed);
+      handles.slo_goal_ratio->Set(cls.goal_ratio);
+      handles.cost_limit->Set(cls.enforced_limit);
+    }
+  }
+  telemetry_->audit.Add(std::move(record));
 }
 
 }  // namespace qsched::sched

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "engine/execution_engine.h"
+#include "obs/telemetry.h"
 #include "qp/interceptor.h"
 #include "scheduler/dispatcher.h"
 #include "scheduler/monitor.h"
@@ -61,6 +62,11 @@ struct QuerySchedulerConfig {
   /// [1/(1+gain), 1+gain] before it scales the inputs.
   double proactive_gain = 0.5;
   WorkloadDetector::Options detector;
+  /// Telemetry sink shared by the scheduler and all its sub-components
+  /// (nullptr = observability off, the default). Must outlive the
+  /// scheduler. When set: per-query spans, SLO/cost-limit gauges, and a
+  /// planner audit record per control interval.
+  obs::Telemetry* telemetry = nullptr;
   qp::InterceptorConfig interceptor;
   SnapshotMonitor::Options snapshot;
   PerformanceSolver::Options solver;
@@ -105,9 +111,28 @@ class QueryScheduler : public workload::QueryFrontend {
   const std::map<int, double>& measurements() const { return measured_; }
 
  private:
+  /// Cached metric handles for one service class (registered once in the
+  /// constructor; the per-query and per-interval paths never build label
+  /// strings).
+  struct ClassTelemetry {
+    obs::Counter* submitted = nullptr;
+    obs::Gauge* slo_goal = nullptr;
+    obs::Gauge* slo_measured = nullptr;
+    obs::Gauge* slo_goal_ratio = nullptr;
+    obs::Gauge* cost_limit = nullptr;
+  };
+
   /// One Scheduling Planner cycle: harvest measurements, update the OLTP
   /// model, solve for new limits, hand the plan to the Dispatcher.
   void PlanOnce();
+  /// Builds the per-interval decision audit record and refreshes the SLO
+  /// gauges. `raw` holds the un-smoothed interval measurements (-1 when
+  /// a class had none).
+  void RecordPlanAudit(const std::map<int, ClassIntervalStats>& stats,
+                       const std::map<int, WorkloadSignal>& signals,
+                       const std::map<int, double>& raw,
+                       double oltp_response, const SchedulingPlan& target,
+                       const SchedulingPlan& next);
   /// The Classifier: validates the query's class against the class set.
   bool Classify(const workload::Query& query) const;
   SchedulingPlan InitialPlan() const;
@@ -134,6 +159,11 @@ class QueryScheduler : public workload::QueryFrontend {
   double prev_olap_total_ = -1.0;
   std::map<int, sim::TimeSeries> limit_history_;
   uint64_t planning_cycles_ = 0;
+
+  obs::Telemetry* telemetry_ = nullptr;
+  obs::Counter* planning_cycles_counter_ = nullptr;
+  obs::Gauge* planner_utility_gauge_ = nullptr;
+  std::map<int, ClassTelemetry> class_telemetry_;
 };
 
 }  // namespace qsched::sched

@@ -7,6 +7,18 @@ SnapshotMonitor::SnapshotMonitor(sim::Simulator* simulator,
                                  const Options& options)
     : simulator_(simulator), engine_(engine), options_(options) {}
 
+void SnapshotMonitor::set_telemetry(obs::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry_ == nullptr) return;
+  obs::Registry& reg = telemetry_->registry;
+  snapshots_counter_ =
+      reg.GetCounter("qsched_snapshot_monitor_snapshots_total");
+  sampled_clients_gauge_ =
+      reg.GetGauge("qsched_snapshot_monitor_sampled_clients");
+  avg_response_hist_ =
+      reg.GetHistogram("qsched_snapshot_monitor_avg_response_seconds");
+}
+
 void SnapshotMonitor::Start(sim::SimTime until) {
   double interval = options_.sample_interval_seconds;
   if (interval <= 0.0) return;
@@ -37,8 +49,15 @@ void SnapshotMonitor::TakeSnapshot() {
     for (const auto& [client, row] : last_response_) {
       sum += row.response_seconds;
     }
-    sample_sum_ += sum / static_cast<double>(last_response_.size());
+    double avg = sum / static_cast<double>(last_response_.size());
+    sample_sum_ += avg;
     sample_count_ += 1;
+    if (telemetry_ != nullptr) avg_response_hist_->Record(avg);
+  }
+  if (telemetry_ != nullptr) {
+    snapshots_counter_->Inc();
+    sampled_clients_gauge_->Set(
+        static_cast<double>(last_response_.size()));
   }
   // Reading the snapshot tables costs CPU per client row.
   double overhead = options_.per_client_cpu_seconds *

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "engine/execution_engine.h"
+#include "obs/telemetry.h"
 #include "sim/simulator.h"
 #include "workload/client.h"
 
@@ -52,6 +53,10 @@ class SnapshotMonitor {
     return total_overhead_cpu_seconds_;
   }
 
+  /// Enables telemetry (nullptr = off): snapshot counter, sampled-client
+  /// gauge and a histogram of per-snapshot average responses.
+  void set_telemetry(obs::Telemetry* telemetry);
+
  private:
   void TakeSnapshot();
 
@@ -70,6 +75,11 @@ class SnapshotMonitor {
   double last_known_avg_ = -1.0;
   uint64_t snapshots_taken_ = 0;
   double total_overhead_cpu_seconds_ = 0.0;
+
+  obs::Telemetry* telemetry_ = nullptr;
+  obs::Counter* snapshots_counter_ = nullptr;
+  obs::Gauge* sampled_clients_gauge_ = nullptr;
+  obs::Histogram* avg_response_hist_ = nullptr;
 };
 
 }  // namespace qsched::sched

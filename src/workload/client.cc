@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/strings.h"
 
 namespace qsched::workload {
 
@@ -22,6 +23,19 @@ ClientPool::ClientPool(sim::Simulator* simulator,
       generator_(generator),
       frontend_(frontend),
       sink_(std::move(sink)) {}
+
+void ClientPool::set_telemetry(obs::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry_ == nullptr) return;
+  obs::Registry& reg = telemetry_->registry;
+  std::string labels = StrPrintf("class=\"%d\"", class_id_);
+  submitted_counter_ =
+      reg.GetCounter("qsched_client_queries_submitted_total", labels);
+  completed_counter_ =
+      reg.GetCounter("qsched_client_queries_completed_total", labels);
+  active_clients_gauge_ =
+      reg.GetGauge("qsched_client_active_clients", labels);
+}
 
 uint64_t ClientPool::NextQueryId() {
   // Brand ids with the class id so records are self-describing in logs.
@@ -63,6 +77,9 @@ void ClientPool::AdjustPopulation() {
       --active_clients_;
     }
   }
+  if (active_clients_gauge_ != nullptr) {
+    active_clients_gauge_->Set(static_cast<double>(active_clients_));
+  }
 }
 
 void ClientPool::IssueNext(int client_id) {
@@ -78,6 +95,7 @@ void ClientPool::IssueNext(int client_id) {
   query.client_id = client_id;
   query.job.query_id = query.id;
   ++queries_submitted_;
+  if (submitted_counter_ != nullptr) submitted_counter_->Inc();
   frontend_->Submit(query, [this, client_id](const QueryRecord& record) {
     OnComplete(client_id, record);
   });
@@ -85,6 +103,7 @@ void ClientPool::IssueNext(int client_id) {
 
 void ClientPool::OnComplete(int client_id, const QueryRecord& record) {
   ++queries_completed_;
+  if (completed_counter_ != nullptr) completed_counter_->Inc();
   if (sink_) sink_(record);
   auto it = client_active_.find(client_id);
   if (it != client_active_.end() && !it->second) {

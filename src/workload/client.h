@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/telemetry.h"
 #include "sim/simulator.h"
 #include "workload/query.h"
 #include "workload/schedule.h"
@@ -87,6 +88,10 @@ class ClientPool {
   /// state; instead each pool brands ids with its class in the high bits.
   uint64_t NextQueryId();
 
+  /// Enables telemetry (nullptr = off): per-class submitted/completed
+  /// counters and an active-clients gauge. Call before Start().
+  void set_telemetry(obs::Telemetry* telemetry);
+
  private:
   /// Brings the population to the scheduled size for the current time.
   void AdjustPopulation();
@@ -108,6 +113,11 @@ class ClientPool {
   uint64_t next_query_seq_ = 1;
   uint64_t queries_submitted_ = 0;
   uint64_t queries_completed_ = 0;
+
+  obs::Telemetry* telemetry_ = nullptr;
+  obs::Counter* submitted_counter_ = nullptr;
+  obs::Counter* completed_counter_ = nullptr;
+  obs::Gauge* active_clients_gauge_ = nullptr;
 };
 
 }  // namespace qsched::workload

@@ -253,6 +253,81 @@ TEST(LoggingTest, LevelFilteringRoundTrip) {
   SetLogLevel(old_level);
 }
 
+/// Captures log lines emitted while in scope (restores stderr + the
+/// previous level on destruction).
+class LogCapture {
+ public:
+  LogCapture() : old_level_(GetLogLevel()) {
+    lines().clear();
+    SetLogSinkForTesting(
+        [](const std::string& line) { lines().push_back(line); });
+  }
+  ~LogCapture() {
+    SetLogSinkForTesting(nullptr);
+    SetLogLevel(old_level_);
+  }
+
+  static std::vector<std::string>& lines() {
+    static std::vector<std::string> storage;
+    return storage;
+  }
+
+ private:
+  LogLevel old_level_;
+};
+
+/// Emits one message at every level and returns how many got through.
+int EmitAtEveryLevel() {
+  size_t before = LogCapture::lines().size();
+  QSCHED_LOG(Debug) << "debug message";
+  QSCHED_LOG(Info) << "info message";
+  QSCHED_LOG(Warning) << "warning message";
+  QSCHED_LOG(Error) << "error message";
+  return static_cast<int>(LogCapture::lines().size() - before);
+}
+
+TEST(LoggingTest, ThresholdAtEveryLevel) {
+  LogCapture capture;
+  // A message passes iff its level >= the configured minimum, so the
+  // count of surviving messages falls by one per threshold step.
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(EmitAtEveryLevel(), 4);
+  SetLogLevel(LogLevel::kInfo);
+  EXPECT_EQ(EmitAtEveryLevel(), 3);
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_EQ(EmitAtEveryLevel(), 2);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(EmitAtEveryLevel(), 1);
+}
+
+TEST(LoggingTest, DebugAtDebugLevelIsLogged) {
+  LogCapture capture;
+  SetLogLevel(LogLevel::kDebug);
+  QSCHED_LOG(Debug) << "must appear";
+  ASSERT_EQ(LogCapture::lines().size(), 1u);
+  EXPECT_NE(LogCapture::lines()[0].find("must appear"), std::string::npos);
+  EXPECT_NE(LogCapture::lines()[0].find("DEBUG"), std::string::npos);
+}
+
+TEST(LoggingTest, SuppressedMessageDoesNotReachSink) {
+  LogCapture capture;
+  SetLogLevel(LogLevel::kError);
+  QSCHED_LOG(Debug) << "no";
+  QSCHED_LOG(Info) << "no";
+  QSCHED_LOG(Warning) << "no";
+  EXPECT_TRUE(LogCapture::lines().empty());
+}
+
+TEST(LoggingTest, LinePrefixCarriesLevelAndLocation) {
+  LogCapture capture;
+  SetLogLevel(LogLevel::kInfo);
+  QSCHED_LOG(Warning) << "prefixed";
+  ASSERT_EQ(LogCapture::lines().size(), 1u);
+  const std::string& line = LogCapture::lines()[0];
+  EXPECT_EQ(line.find("[WARN common_test.cc:"), 0u);
+  EXPECT_NE(line.find("] prefixed"), std::string::npos);
+}
+
 TEST(LoggingTest, CheckPassesOnTrue) {
   QSCHED_CHECK(1 + 1 == 2) << "never printed";
 }

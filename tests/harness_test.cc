@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "harness/experiment.h"
+#include "harness/report.h"
 #include "metrics/period_collector.h"
+#include "obs/telemetry.h"
 
 namespace qsched::harness {
 namespace {
@@ -213,6 +217,28 @@ TEST(HarnessTest, QuerySchedulerRecordsLimitHistory) {
     EXPECT_NEAR(total, config.system_cost_limit, 1.0);
   }
   EXPECT_GT(result.oltp_model_slope, 0.0);
+}
+
+TEST(HarnessTest, ReportSummaryIncludesTelemetryGauges) {
+  ExperimentConfig config = ShortConfig();
+  obs::Telemetry telemetry;
+  config.telemetry = &telemetry;
+  ExperimentResult result =
+      RunExperiment(config, ControllerKind::kQueryScheduler);
+  ASSERT_FALSE(result.metric_snapshot.empty());
+
+  ReportOptions options;
+  options.per_period = false;
+  options.cost_limits = false;
+  options.summary = true;
+  std::ostringstream out;
+  PrintPerformanceReport(result, sched::MakePaperClasses(), options, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("gauges:"), std::string::npos) << text;
+  EXPECT_NE(text.find("qsched_engine_cpu_utilization"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("qsched_cost_limit{class=\"3\"}"), std::string::npos)
+      << text;
 }
 
 TEST(HarnessTest, MeasureOltpResponseIncreasesWithOlapLimit) {

@@ -36,6 +36,28 @@ TEST(RecordLogTest, StoresUpToCapacityThenDropsOldest) {
   EXPECT_EQ(log.records().back().query_id, 5u);
 }
 
+TEST(RecordLogTest, CapacityZeroClampsToOne) {
+  RecordLog log(0);
+  log.Add(MakeRecord(1, 1, 10.0, 0, 0, 1));
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.dropped(), 0u);
+  log.Add(MakeRecord(2, 1, 10.0, 0, 0, 1));
+  // Still holds exactly the newest record; the older one was dropped.
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.dropped(), 1u);
+  EXPECT_EQ(log.records().back().query_id, 2u);
+}
+
+TEST(RecordLogTest, CapacityOneKeepsOnlyNewest) {
+  RecordLog log(1);
+  for (uint64_t i = 1; i <= 4; ++i) {
+    log.Add(MakeRecord(i, 1, 10.0, 0, 0, 1));
+    EXPECT_EQ(log.size(), 1u);
+    EXPECT_EQ(log.records().back().query_id, i);
+  }
+  EXPECT_EQ(log.dropped(), 3u);
+}
+
 TEST(RecordLogTest, SinkAdaptorFeedsLog) {
   RecordLog log(10);
   auto sink = log.Sink();

@@ -1,0 +1,587 @@
+// Tests for the observability subsystem: metrics registry (histogram
+// buckets, quantiles, Prometheus exposition), per-query span lifecycle
+// (including cancellation and the Chrome trace export), and the planner
+// decision audit log (JSONL round-trip plus the end-to-end guarantee
+// that audited cost limits are exactly the limits the dispatcher
+// enforced).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "common/rng.h"
+#include "engine/execution_engine.h"
+#include "obs/audit.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/telemetry.h"
+#include "scheduler/query_scheduler.h"
+#include "sim/simulator.h"
+
+namespace qsched::obs {
+namespace {
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+// ---------------------------------------------------------------------
+// Histogram
+
+TEST(HistogramTest, EmptyHistogramIsAllZero) {
+  Histogram hist;
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(hist.min(), 0.0);
+  EXPECT_DOUBLE_EQ(hist.max(), 0.0);
+  EXPECT_DOUBLE_EQ(hist.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, BucketIndexEdges) {
+  // At or below the minimum -> underflow bucket, including junk values.
+  EXPECT_EQ(Histogram::BucketIndex(0.0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(-3.0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(Histogram::kMinValue), 0);
+  EXPECT_EQ(Histogram::BucketIndex(std::nan("")), 0);
+  // One octave above the minimum spans kBucketsPerOctave buckets.
+  EXPECT_EQ(Histogram::BucketIndex(Histogram::kMinValue * 1.01), 1);
+  EXPECT_EQ(Histogram::BucketIndex(Histogram::kMinValue * 2.01),
+            1 + Histogram::kBucketsPerOctave);
+  // Far beyond the range -> clamped into the top (overflow) bucket.
+  EXPECT_EQ(Histogram::BucketIndex(1e300), Histogram::kNumBuckets - 1);
+}
+
+TEST(HistogramTest, BucketEdgesBracketTheValue) {
+  for (double value : {1e-5, 0.003, 0.5, 7.0, 123.0, 99999.0}) {
+    int index = Histogram::BucketIndex(value);
+    EXPECT_GT(value, Histogram::BucketLowerEdge(index))
+        << "value " << value;
+    EXPECT_LE(value, Histogram::BucketUpperEdge(index))
+        << "value " << value;
+  }
+}
+
+TEST(HistogramTest, CountSumMinMaxMean) {
+  Histogram hist;
+  hist.Record(2.0);
+  hist.Record(4.0);
+  hist.Record(6.0);
+  EXPECT_EQ(hist.count(), 3u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 12.0);
+  EXPECT_DOUBLE_EQ(hist.min(), 2.0);
+  EXPECT_DOUBLE_EQ(hist.max(), 6.0);
+  EXPECT_DOUBLE_EQ(hist.Mean(), 4.0);
+}
+
+TEST(HistogramTest, QuantileWithinBucketResolution) {
+  Histogram hist;
+  for (int i = 1; i <= 1000; ++i) {
+    hist.Record(static_cast<double>(i) / 1000.0);  // 0.001 .. 1.0
+  }
+  // Buckets are < 19% wide, so estimates land within 19% of truth.
+  EXPECT_NEAR(hist.Quantile(0.5), 0.5, 0.5 * 0.19);
+  EXPECT_NEAR(hist.Quantile(0.95), 0.95, 0.95 * 0.19);
+  EXPECT_NEAR(hist.Quantile(0.99), 0.99, 0.99 * 0.19);
+}
+
+TEST(HistogramTest, QuantileClampedToObservedRange) {
+  Histogram hist;
+  hist.Record(0.2);
+  hist.Record(0.3);
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.0), 0.2);
+  EXPECT_DOUBLE_EQ(hist.Quantile(1.0), 0.3);
+  EXPECT_GE(hist.Quantile(0.5), 0.2);
+  EXPECT_LE(hist.Quantile(0.5), 0.3);
+}
+
+TEST(HistogramTest, SingleValueQuantilesCollapse) {
+  Histogram hist;
+  hist.Record(0.125);
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(hist.Quantile(q), 0.125) << "q=" << q;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Registry
+
+TEST(RegistryTest, HandlesAreStableAndShared) {
+  Registry reg;
+  Counter* a = reg.GetCounter("events_total");
+  Counter* b = reg.GetCounter("events_total");
+  EXPECT_EQ(a, b);
+  Counter* labeled = reg.GetCounter("events_total", "class=\"1\"");
+  EXPECT_NE(a, labeled);
+  a->Inc();
+  a->Inc(2);
+  EXPECT_EQ(b->value(), 3u);
+  EXPECT_EQ(labeled->value(), 0u);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(RegistryTest, SnapshotCarriesAllKinds) {
+  Registry reg;
+  reg.GetCounter("c_total")->Inc(5);
+  reg.GetGauge("g")->Set(2.5);
+  Histogram* hist = reg.GetHistogram("h_seconds");
+  hist->Record(1.0);
+  hist->Record(3.0);
+
+  std::vector<MetricSnapshot> snapshot = reg.Snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  // std::map ordering: c_total, g, h_seconds.
+  EXPECT_EQ(snapshot[0].name, "c_total");
+  EXPECT_EQ(snapshot[0].kind, MetricKind::kCounter);
+  EXPECT_DOUBLE_EQ(snapshot[0].value, 5.0);
+  EXPECT_EQ(snapshot[1].name, "g");
+  EXPECT_EQ(snapshot[1].kind, MetricKind::kGauge);
+  EXPECT_DOUBLE_EQ(snapshot[1].value, 2.5);
+  EXPECT_EQ(snapshot[2].name, "h_seconds");
+  EXPECT_EQ(snapshot[2].kind, MetricKind::kHistogram);
+  EXPECT_EQ(snapshot[2].count, 2u);
+  EXPECT_DOUBLE_EQ(snapshot[2].sum, 4.0);
+  EXPECT_DOUBLE_EQ(snapshot[2].min, 1.0);
+  EXPECT_DOUBLE_EQ(snapshot[2].max, 3.0);
+}
+
+TEST(RegistryTest, PrometheusExpositionFormat) {
+  Registry reg;
+  reg.GetCounter("qsched_queries_total", "class=\"1\"")->Inc(7);
+  reg.GetCounter("qsched_queries_total", "class=\"2\"")->Inc(9);
+  reg.GetGauge("qsched_queue_depth", "class=\"1\"")->Set(4.0);
+  reg.GetHistogram("qsched_wait_seconds")->Record(0.5);
+
+  std::ostringstream out;
+  reg.WritePrometheus(out);
+  std::string text = out.str();
+
+  // One # TYPE line per family even with several label sets.
+  size_t first = text.find("# TYPE qsched_queries_total counter");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("# TYPE qsched_queries_total counter", first + 1),
+            std::string::npos);
+  EXPECT_TRUE(Contains(text, "qsched_queries_total{class=\"1\"} 7"));
+  EXPECT_TRUE(Contains(text, "qsched_queries_total{class=\"2\"} 9"));
+  EXPECT_TRUE(Contains(text, "# TYPE qsched_queue_depth gauge"));
+  EXPECT_TRUE(Contains(text, "qsched_queue_depth{class=\"1\"} 4"));
+  // Histograms render as summaries with quantile labels + _sum/_count.
+  EXPECT_TRUE(Contains(text, "# TYPE qsched_wait_seconds summary"));
+  EXPECT_TRUE(Contains(text, "qsched_wait_seconds{quantile=\"0.5\"}"));
+  EXPECT_TRUE(Contains(text, "qsched_wait_seconds{quantile=\"0.99\"}"));
+  EXPECT_TRUE(Contains(text, "qsched_wait_seconds_sum"));
+  EXPECT_TRUE(Contains(text, "qsched_wait_seconds_count 1"));
+}
+
+// ---------------------------------------------------------------------
+// SpanLog
+
+TEST(SpanLogTest, FullLifecycleStampsEveryTransition) {
+  SpanLog spans;
+  spans.OnSubmit(42, 1, false, 10.0);
+  spans.OnClassify(42, 10.0);
+  spans.OnEnqueue(42, 10.35);
+  EXPECT_EQ(spans.open_count(), 1u);
+  ASSERT_NE(spans.FindOpen(42), nullptr);
+  EXPECT_DOUBLE_EQ(spans.FindOpen(42)->enqueue_time, 10.35);
+
+  spans.OnDispatch(42, 12.0);
+  spans.OnComplete(42, 12.0, 20.0);
+  EXPECT_EQ(spans.open_count(), 0u);
+  EXPECT_EQ(spans.closed_total(), 1u);
+  ASSERT_EQ(spans.closed().size(), 1u);
+  const QuerySpan& span = spans.closed().front();
+  EXPECT_EQ(span.query_id, 42u);
+  EXPECT_EQ(span.class_id, 1);
+  EXPECT_FALSE(span.is_oltp);
+  EXPECT_DOUBLE_EQ(span.submit_time, 10.0);
+  EXPECT_DOUBLE_EQ(span.classify_time, 10.0);
+  EXPECT_DOUBLE_EQ(span.enqueue_time, 10.35);
+  EXPECT_DOUBLE_EQ(span.dispatch_time, 12.0);
+  EXPECT_DOUBLE_EQ(span.exec_start_time, 12.0);
+  EXPECT_DOUBLE_EQ(span.end_time, 20.0);
+  EXPECT_FALSE(span.cancelled);
+  EXPECT_TRUE(span.Closed());
+}
+
+TEST(SpanLogTest, CancelledSpanIsFlagged) {
+  SpanLog spans;
+  spans.OnSubmit(7, 2, false, 1.0);
+  spans.OnEnqueue(7, 1.35);
+  spans.OnCancel(7, 5.0);
+  ASSERT_EQ(spans.closed().size(), 1u);
+  const QuerySpan& span = spans.closed().front();
+  EXPECT_TRUE(span.cancelled);
+  EXPECT_DOUBLE_EQ(span.end_time, 5.0);
+  // Never dispatched or executed.
+  EXPECT_DOUBLE_EQ(span.dispatch_time, -1.0);
+  EXPECT_DOUBLE_EQ(span.exec_start_time, -1.0);
+}
+
+TEST(SpanLogTest, UnknownIdTransitionsAreNoOps) {
+  SpanLog spans;
+  spans.OnClassify(99, 1.0);
+  spans.OnEnqueue(99, 1.0);
+  spans.OnDispatch(99, 1.0);
+  spans.OnComplete(99, 1.0, 2.0);
+  spans.OnCancel(99, 2.0);
+  EXPECT_EQ(spans.open_count(), 0u);
+  EXPECT_EQ(spans.closed_total(), 0u);
+  EXPECT_EQ(spans.dropped(), 0u);
+}
+
+TEST(SpanLogTest, DropOldestAtCapacity) {
+  SpanLog spans(2);
+  for (uint64_t id = 1; id <= 3; ++id) {
+    spans.OnSubmit(id, 1, false, 1.0);
+    spans.OnComplete(id, 1.0, 2.0);
+  }
+  EXPECT_EQ(spans.closed().size(), 2u);
+  EXPECT_EQ(spans.closed_total(), 3u);
+  EXPECT_EQ(spans.dropped(), 1u);
+  EXPECT_EQ(spans.closed().front().query_id, 2u);
+  EXPECT_EQ(spans.closed().back().query_id, 3u);
+}
+
+TEST(SpanLogTest, ChromeTraceHasTracksSlicesAndMicroseconds) {
+  SpanLog spans;
+  // Intercepted OLAP query on class 1.
+  spans.OnSubmit(1, 1, false, 1.0);
+  spans.OnEnqueue(1, 1.35);
+  spans.OnDispatch(1, 2.0);
+  spans.OnComplete(1, 2.0, 4.0);
+  // Bypassed OLTP query on class 3 (no enqueue/dispatch).
+  spans.OnSubmit(2, 3, true, 1.5);
+  spans.OnComplete(2, 1.5, 1.6);
+  // Cancelled query on class 2.
+  spans.OnSubmit(3, 2, false, 2.0);
+  spans.OnEnqueue(3, 2.35);
+  spans.OnCancel(3, 3.0);
+
+  std::ostringstream out;
+  spans.WriteChromeTrace(out);
+  std::string json = out.str();
+
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_TRUE(Contains(json, "\"traceEvents\""));
+  // One named track per class, OLAP/OLTP tagged.
+  EXPECT_TRUE(Contains(json, "class 1 (OLAP)"));
+  EXPECT_TRUE(Contains(json, "class 2 (OLAP)"));
+  EXPECT_TRUE(Contains(json, "class 3 (OLTP)"));
+  // Lifecycle slices; the cancelled query gets a `cancelled` slice.
+  EXPECT_TRUE(Contains(json, "\"intercept\""));
+  EXPECT_TRUE(Contains(json, "\"queued\""));
+  EXPECT_TRUE(Contains(json, "\"exec\""));
+  EXPECT_TRUE(Contains(json, "\"cancelled\""));
+  // Sim seconds export as microseconds: 1.5 s -> ts 1500000.
+  EXPECT_TRUE(Contains(json, "1500000.000"));
+}
+
+// ---------------------------------------------------------------------
+// Planner audit log
+
+PlannerAuditRecord MakeAuditRecord(uint64_t interval) {
+  PlannerAuditRecord record;
+  record.interval = interval;
+  record.sim_time = 60.0 * static_cast<double>(interval);
+  record.system_cost_limit = 300000.0;
+  record.oltp_response = 0.1875;
+  record.solver_utility = 5.5;
+  record.allocator = "utility-search";
+
+  PlannerAuditClass olap;
+  olap.class_id = 1;
+  olap.is_oltp = false;
+  olap.goal = 0.4;
+  olap.measured_raw = 0.5;
+  olap.measured_smoothed = 0.4375;
+  olap.goal_ratio = 1.09375;
+  olap.completed_in_interval = 12;
+  olap.queue_depth = 3;
+  olap.running = 2;
+  olap.running_cost = 65536.0;
+  olap.arrival_rate = 0.25;
+  olap.predicted_rate = 0.3125;
+  olap.change_detected = true;
+  olap.target_limit = 120000.0;
+  olap.enforced_limit = 110000.0;
+  record.classes.push_back(olap);
+
+  PlannerAuditClass oltp;
+  oltp.class_id = 3;
+  oltp.is_oltp = true;
+  oltp.goal = 0.25;
+  oltp.measured_raw = -1.0;  // no snapshot landed
+  oltp.measured_smoothed = 0.1875;
+  oltp.goal_ratio = 1.33333333;
+  oltp.queue_depth = 0;
+  oltp.target_limit = 180000.0;
+  oltp.enforced_limit = 190000.0;
+  record.classes.push_back(oltp);
+  return record;
+}
+
+TEST(PlannerAuditTest, JsonRoundTripPreservesEveryField) {
+  PlannerAuditRecord record = MakeAuditRecord(4);
+  std::string json = ToJson(record);
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+
+  PlannerAuditRecord parsed;
+  ASSERT_TRUE(ParsePlannerAuditRecord(json, &parsed));
+  EXPECT_EQ(parsed.interval, 4u);
+  EXPECT_DOUBLE_EQ(parsed.sim_time, 240.0);
+  EXPECT_DOUBLE_EQ(parsed.system_cost_limit, 300000.0);
+  EXPECT_DOUBLE_EQ(parsed.oltp_response, 0.1875);
+  EXPECT_DOUBLE_EQ(parsed.solver_utility, 5.5);
+  EXPECT_EQ(parsed.allocator, "utility-search");
+  ASSERT_EQ(parsed.classes.size(), 2u);
+
+  const PlannerAuditClass& olap = parsed.classes[0];
+  EXPECT_EQ(olap.class_id, 1);
+  EXPECT_FALSE(olap.is_oltp);
+  EXPECT_DOUBLE_EQ(olap.goal, 0.4);
+  EXPECT_DOUBLE_EQ(olap.measured_raw, 0.5);
+  EXPECT_DOUBLE_EQ(olap.measured_smoothed, 0.4375);
+  EXPECT_DOUBLE_EQ(olap.goal_ratio, 1.09375);
+  EXPECT_EQ(olap.completed_in_interval, 12);
+  EXPECT_EQ(olap.queue_depth, 3);
+  EXPECT_EQ(olap.running, 2);
+  EXPECT_DOUBLE_EQ(olap.running_cost, 65536.0);
+  EXPECT_DOUBLE_EQ(olap.arrival_rate, 0.25);
+  EXPECT_DOUBLE_EQ(olap.predicted_rate, 0.3125);
+  EXPECT_TRUE(olap.change_detected);
+  EXPECT_DOUBLE_EQ(olap.target_limit, 120000.0);
+  EXPECT_DOUBLE_EQ(olap.enforced_limit, 110000.0);
+
+  const PlannerAuditClass& oltp = parsed.classes[1];
+  EXPECT_EQ(oltp.class_id, 3);
+  EXPECT_TRUE(oltp.is_oltp);
+  EXPECT_DOUBLE_EQ(oltp.measured_raw, -1.0);
+  EXPECT_FALSE(oltp.change_detected);
+  EXPECT_DOUBLE_EQ(oltp.enforced_limit, 190000.0);
+}
+
+TEST(PlannerAuditTest, ParseRejectsMalformedInput) {
+  PlannerAuditRecord out;
+  EXPECT_FALSE(ParsePlannerAuditRecord("", &out));
+  EXPECT_FALSE(ParsePlannerAuditRecord("not json", &out));
+  EXPECT_FALSE(ParsePlannerAuditRecord("{\"interval\":}", &out));
+}
+
+TEST(PlannerAuditTest, WriteJsonlEmitsOneParsableLinePerRecord) {
+  PlannerAuditLog log;
+  log.Add(MakeAuditRecord(1));
+  log.Add(MakeAuditRecord(2));
+  std::ostringstream out;
+  log.WriteJsonl(out);
+
+  std::istringstream in(out.str());
+  std::string line;
+  uint64_t expected_interval = 1;
+  while (std::getline(in, line)) {
+    PlannerAuditRecord parsed;
+    ASSERT_TRUE(ParsePlannerAuditRecord(line, &parsed)) << line;
+    EXPECT_EQ(parsed.interval, expected_interval);
+    ++expected_interval;
+  }
+  EXPECT_EQ(expected_interval, 3u);
+}
+
+TEST(PlannerAuditTest, DropOldestAtCapacity) {
+  PlannerAuditLog log(2);
+  log.Add(MakeAuditRecord(1));
+  log.Add(MakeAuditRecord(2));
+  log.Add(MakeAuditRecord(3));
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.dropped(), 1u);
+  EXPECT_EQ(log.records().front().interval, 2u);
+  EXPECT_EQ(log.records().back().interval, 3u);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: the scheduler's audit trail vs. the live control loop
+
+workload::Query MakeOlapQuery(uint64_t id, int class_id, double cost) {
+  workload::Query query;
+  query.id = id;
+  query.class_id = class_id;
+  query.type = workload::WorkloadType::kOlap;
+  query.cost_timerons = cost;
+  query.job.query_id = id;
+  query.job.cpu_seconds = 0.1;
+  query.job.logical_pages = 2000.0;
+  query.job.hit_ratio = 0.3;
+  return query;
+}
+
+workload::Query MakeOltpQuery(uint64_t id, int client_id) {
+  workload::Query query;
+  query.id = id;
+  query.class_id = 3;
+  query.client_id = client_id;
+  query.type = workload::WorkloadType::kOltp;
+  query.cost_timerons = 20.0;
+  query.job.query_id = id;
+  query.job.database = engine::DatabaseId::kOltp;
+  query.job.cpu_seconds = 0.01;
+  query.job.logical_pages = 50.0;
+  query.job.hit_ratio = 0.9;
+  return query;
+}
+
+class SchedulerAuditTest : public ::testing::Test {
+ protected:
+  SchedulerAuditTest()
+      : engine_(&simulator_, engine::EngineConfig(), Rng(5)),
+        classes_(sched::MakePaperClasses()) {}
+
+  sim::Simulator simulator_;
+  engine::ExecutionEngine engine_;
+  sched::ServiceClassSet classes_;
+};
+
+TEST_F(SchedulerAuditTest, AuditLimitsExactlyMatchDispatcherEnforcement) {
+  Telemetry telemetry;
+  sched::QuerySchedulerConfig config;
+  config.system_cost_limit = 300000.0;
+  config.control_interval_seconds = 50.0;
+  config.telemetry = &telemetry;
+  sched::QueryScheduler qs(&simulator_, &engine_, &classes_, config);
+  qs.Start(400.0);
+  for (int i = 0; i < 8; ++i) {
+    qs.Submit(MakeOlapQuery(100 + i, 1 + i % 2, 30000.0),
+              [](const workload::QueryRecord&) {});
+    qs.Submit(MakeOltpQuery(200 + i, i), [](const workload::QueryRecord&) {});
+  }
+  simulator_.RunUntil(400.0);
+
+  // Exactly one audit record per planning cycle, numbered sequentially.
+  ASSERT_EQ(telemetry.audit.size(), qs.planning_cycles());
+  ASSERT_EQ(telemetry.audit.size(), 8u);
+  uint64_t expected = 1;
+  for (const PlannerAuditRecord& record : telemetry.audit.records()) {
+    EXPECT_EQ(record.interval, expected);
+    ++expected;
+  }
+
+  // Every audited enforced_limit is bit-for-bit the limit appended to
+  // the scheduler's history and handed to the Dispatcher that interval.
+  for (const sched::ServiceClassSpec& spec : classes_.classes()) {
+    const sim::TimeSeries& history = qs.limit_history().at(spec.class_id);
+    ASSERT_EQ(history.size(), telemetry.audit.size());
+    size_t i = 0;
+    for (const PlannerAuditRecord& record : telemetry.audit.records()) {
+      const PlannerAuditClass* cls = nullptr;
+      for (const PlannerAuditClass& candidate : record.classes) {
+        if (candidate.class_id == spec.class_id) cls = &candidate;
+      }
+      ASSERT_NE(cls, nullptr);
+      EXPECT_EQ(cls->enforced_limit, history.at(i).value);
+      EXPECT_EQ(record.sim_time, history.at(i).time);
+      ++i;
+    }
+    // The final record is the plan the dispatcher is running right now.
+    const PlannerAuditRecord& last = telemetry.audit.records().back();
+    for (const PlannerAuditClass& cls : last.classes) {
+      if (cls.class_id != spec.class_id) continue;
+      EXPECT_EQ(cls.enforced_limit,
+                qs.dispatcher().plan().LimitFor(spec.class_id));
+    }
+  }
+
+  // Each interval's enforced limits sum to the system cost limit.
+  for (const PlannerAuditRecord& record : telemetry.audit.records()) {
+    double sum = 0.0;
+    for (const PlannerAuditClass& cls : record.classes) {
+      sum += cls.enforced_limit;
+    }
+    EXPECT_NEAR(sum, 300000.0, 1.0);
+  }
+
+  // The cost-limit gauges track the final plan too.
+  for (const sched::ServiceClassSpec& spec : classes_.classes()) {
+    Gauge* gauge = telemetry.registry.GetGauge(
+        "qsched_cost_limit",
+        "class=\"" + std::to_string(spec.class_id) + "\"");
+    EXPECT_EQ(gauge->value(),
+              qs.dispatcher().plan().LimitFor(spec.class_id));
+  }
+}
+
+TEST_F(SchedulerAuditTest, SpansCoverInterceptedAndBypassedQueries) {
+  Telemetry telemetry;
+  // The engine is shared infrastructure: the harness (not the
+  // scheduler) owns its telemetry wiring.
+  engine_.set_telemetry(&telemetry);
+  sched::QuerySchedulerConfig config;
+  config.telemetry = &telemetry;
+  sched::QueryScheduler qs(&simulator_, &engine_, &classes_, config);
+
+  qs.Submit(MakeOlapQuery(1, 1, 1000.0), [](const workload::QueryRecord&) {});
+  qs.Submit(MakeOltpQuery(2, 0), [](const workload::QueryRecord&) {});
+  simulator_.RunToCompletion();
+
+  EXPECT_EQ(telemetry.spans.closed_total(), 2u);
+  EXPECT_EQ(telemetry.spans.open_count(), 0u);
+  const QuerySpan* olap = nullptr;
+  const QuerySpan* oltp = nullptr;
+  for (const QuerySpan& span : telemetry.spans.closed()) {
+    if (span.query_id == 1) olap = &span;
+    if (span.query_id == 2) oltp = &span;
+  }
+  ASSERT_NE(olap, nullptr);
+  ASSERT_NE(oltp, nullptr);
+  // The OLAP query went through the full intercept pipeline.
+  EXPECT_FALSE(olap->is_oltp);
+  EXPECT_GE(olap->enqueue_time, 0.35);  // after interception delay
+  EXPECT_GE(olap->dispatch_time, olap->enqueue_time);
+  EXPECT_GE(olap->end_time, olap->exec_start_time);
+  // The OLTP query bypassed interception: no enqueue/dispatch stamps.
+  EXPECT_TRUE(oltp->is_oltp);
+  EXPECT_DOUBLE_EQ(oltp->enqueue_time, -1.0);
+  EXPECT_DOUBLE_EQ(oltp->dispatch_time, -1.0);
+  EXPECT_TRUE(oltp->Closed());
+  EXPECT_FALSE(oltp->cancelled);
+
+  // The registry saw both paths.
+  EXPECT_EQ(
+      telemetry.registry.GetCounter("qsched_qp_intercepted_total")->value(),
+      1u);
+  EXPECT_EQ(
+      telemetry.registry.GetCounter("qsched_qp_bypassed_total")->value(),
+      1u);
+  EXPECT_EQ(
+      telemetry.registry.GetCounter("qsched_engine_queries_completed_total")
+          ->value(),
+      2u);
+}
+
+TEST_F(SchedulerAuditTest, CancelledQueryClosesSpanAsCancelled) {
+  Telemetry telemetry;
+  sched::QuerySchedulerConfig config;
+  config.telemetry = &telemetry;
+  sched::QueryScheduler qs(&simulator_, &engine_, &classes_, config);
+
+  // Saturate class 1 so a second query stays queued, then cancel it.
+  qs.Submit(MakeOlapQuery(1, 1, 90000.0), [](const workload::QueryRecord&) {});
+  qs.Submit(MakeOlapQuery(2, 1, 90000.0), [](const workload::QueryRecord&) {});
+  simulator_.RunUntil(1.0);  // past the interception delay
+  if (qs.dispatcher().QueuedFor(1) > 0) {
+    qs.interceptor().CancelQueued(2);
+  }
+  simulator_.RunToCompletion();
+
+  bool found_cancelled = false;
+  for (const QuerySpan& span : telemetry.spans.closed()) {
+    if (span.query_id == 2 && span.cancelled) found_cancelled = true;
+  }
+  // Whichever way the race went, every span must be closed.
+  EXPECT_EQ(telemetry.spans.open_count(), 0u);
+  if (qs.interceptor().cancelled_total() > 0) {
+    EXPECT_TRUE(found_cancelled);
+  }
+}
+
+}  // namespace
+}  // namespace qsched::obs

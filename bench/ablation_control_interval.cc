@@ -1,20 +1,41 @@
 // Ablation: length of the Scheduling Planner's control interval. Short
 // intervals react fast but see few OLAP completions per interval (noisy
 // velocity estimates); long intervals lag the workload shifts.
+//
+// The sweep points are independent runs; --jobs=J (0 = hardware
+// threads) fans them out across workers, printing in sweep order.
 #include <cstdio>
+#include <vector>
 
+#include "common/flags.h"
 #include "harness/experiment.h"
+#include "harness/parallel.h"
 
-int main() {
+int main(int argc, char** argv) {
+  qsched::FlagParser flags;
+  qsched::Status status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 2;
+  }
+  int jobs = static_cast<int>(flags.GetInt("jobs", 1));
+
+  const std::vector<double> intervals = {15.0, 30.0, 60.0, 120.0, 300.0};
+  std::vector<qsched::harness::ExperimentResult> results(intervals.size());
+  qsched::harness::ParallelFor(
+      static_cast<int>(intervals.size()), jobs, [&](int i) {
+        qsched::harness::ExperimentConfig config;
+        config.qs.control_interval_seconds = intervals[i];
+        results[i] = qsched::harness::RunExperiment(
+            config, qsched::harness::ControllerKind::kQueryScheduler);
+      });
+
   std::printf("=== Control interval ablation ===\n");
   std::printf("interval_s  class1_met  class2_met  class3_met  "
               "class3_mean_resp\n");
-  for (double interval : {15.0, 30.0, 60.0, 120.0, 300.0}) {
-    qsched::harness::ExperimentConfig config;
-    config.qs.control_interval_seconds = interval;
-    auto result = qsched::harness::RunExperiment(
-        config, qsched::harness::ControllerKind::kQueryScheduler);
-    std::printf("%10.0f  %10d  %10d  %10d  %16.3f\n", interval,
+  for (size_t i = 0; i < intervals.size(); ++i) {
+    const auto& result = results[i];
+    std::printf("%10.0f  %10d  %10d  %10d  %16.3f\n", intervals[i],
                 result.periods_meeting_goal.at(1),
                 result.periods_meeting_goal.at(2),
                 result.periods_meeting_goal.at(3),

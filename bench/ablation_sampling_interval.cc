@@ -2,22 +2,44 @@
 // too small, which will incur significant overhead, nor too large, which
 // would decrease accuracy". Sweep the interval and report the OLTP
 // outcome plus the monitoring overhead burned.
+//
+// The sweep points are independent runs; --jobs=J (0 = hardware
+// threads) fans them out across workers, printing in sweep order.
 #include <cstdio>
+#include <vector>
 
+#include "common/flags.h"
 #include "harness/experiment.h"
+#include "harness/parallel.h"
 
-int main() {
+int main(int argc, char** argv) {
+  qsched::FlagParser flags;
+  qsched::Status status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 2;
+  }
+  int jobs = static_cast<int>(flags.GetInt("jobs", 1));
+
+  const std::vector<double> intervals = {1.0, 5.0, 10.0, 30.0, 60.0,
+                                         120.0};
+  std::vector<qsched::harness::ExperimentResult> results(intervals.size());
+  qsched::harness::ParallelFor(
+      static_cast<int>(intervals.size()), jobs, [&](int i) {
+        qsched::harness::ExperimentConfig config;
+        // A 1-s sampling interval reading every client row is expensive;
+        // model it faithfully.
+        config.qs.snapshot.sample_interval_seconds = intervals[i];
+        results[i] = qsched::harness::RunExperiment(
+            config, qsched::harness::ControllerKind::kQueryScheduler);
+      });
+
   std::printf("=== Snapshot sampling interval ablation ===\n");
   std::printf("interval_s  class3_periods_met  class3_mean_resp  "
               "class1_met  class2_met\n");
-  for (double interval : {1.0, 5.0, 10.0, 30.0, 60.0, 120.0}) {
-    qsched::harness::ExperimentConfig config;
-    config.qs.snapshot.sample_interval_seconds = interval;
-    // A 1-s sampling interval reading every client row is expensive;
-    // model it faithfully.
-    auto result = qsched::harness::RunExperiment(
-        config, qsched::harness::ControllerKind::kQueryScheduler);
-    std::printf("%10.0f  %18d  %16.3f  %10d  %10d\n", interval,
+  for (size_t i = 0; i < intervals.size(); ++i) {
+    const auto& result = results[i];
+    std::printf("%10.0f  %18d  %16.3f  %10d  %10d\n", intervals[i],
                 result.periods_meeting_goal.at(3),
                 result.overall_response.at(3),
                 result.periods_meeting_goal.at(1),

@@ -1,19 +1,35 @@
 // Figure 6 with replication: the paper plots a single 24-hour
-// trajectory; this bench repeats the experiment across five seeds and
+// trajectory; this bench repeats the experiment across seeds and
 // reports mean +/- stddev per period, separating the controller's
 // systematic behaviour from run-to-run noise.
+//
+//   fig6_replicated [--replications=N] [--jobs=J]
+//
+// Replications are independent simulations; --jobs fans them out across
+// worker threads (0 = one per hardware thread) with byte-identical
+// aggregates.
 #include <cstdio>
 
+#include "common/flags.h"
 #include "harness/replication.h"
 
-int main() {
+int main(int argc, char** argv) {
+  qsched::FlagParser flags;
+  qsched::Status status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 2;
+  }
   qsched::harness::ExperimentConfig config;
-  const int kReplications = 5;
+  const int replications =
+      static_cast<int>(flags.GetInt("replications", 5));
+  qsched::harness::ReplicationOptions options;
+  options.jobs = static_cast<int>(flags.GetInt("jobs", 1));
   std::printf("=== Figure 6, replicated x%d (mean +/- stddev) ===\n",
-              kReplications);
+              replications);
   auto result = qsched::harness::RunReplicated(
       config, qsched::harness::ControllerKind::kQueryScheduler,
-      kReplications);
+      replications, options);
 
   std::printf("period  class1_vel        class2_vel        "
               "class3_resp_s\n");

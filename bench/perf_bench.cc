@@ -1,0 +1,335 @@
+// Performance benchmark harness, the repo's tracked perf trajectory:
+//
+//   1. Event-queue throughput (events/sec) of the flat 4-ary-heap
+//      simulator vs. an embedded copy of the historical
+//      std::priority_queue + std::function + lazy-cancel design, on an
+//      identical self-scheduling + cancel-churn workload.
+//   2. A full Figure 6 (Query Scheduler) run: wall seconds and
+//      simulator events/sec end to end.
+//   3. N-way replication, serial (--jobs 1) vs parallel (--jobs J)
+//      wall-clock.
+//
+// Emits a JSON report (scripts/run_bench.sh writes it to
+// BENCH_qsched.json at the repo root). All numbers are host-dependent;
+// `hardware_concurrency` is included so the replication speedup is
+// interpretable.
+//
+//   ./build/bench/perf_bench --events=2000000 --outstanding=512 \
+//       --fig6-period-seconds=600 --replications=8 --jobs=4 \
+//       --rep-period-seconds=120 --out=BENCH_qsched.json
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <queue>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/rng.h"
+#include "harness/parallel.h"
+#include "harness/replication.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// The pre-rewrite simulator core, kept verbatim as the measurement
+/// baseline: binary heap via std::priority_queue, type-erased callbacks
+/// via std::function (heap-allocating for captures beyond its SBO), and
+/// lazy cancellation through two unordered_sets.
+class BaselineSimulator {
+ public:
+  using EventId = uint64_t;
+
+  double Now() const { return now_; }
+
+  EventId ScheduleAt(double when, std::function<void()> fn) {
+    if (when < now_) when = now_;
+    EventId id = next_id_++;
+    queue_.push(Event{when, id, std::move(fn)});
+    pending_ids_.insert(id);
+    return id;
+  }
+
+  EventId ScheduleAfter(double delay, std::function<void()> fn) {
+    if (delay < 0.0) delay = 0.0;
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  bool Cancel(EventId id) {
+    auto it = pending_ids_.find(id);
+    if (it == pending_ids_.end()) return false;
+    pending_ids_.erase(it);
+    cancelled_.insert(id);
+    return true;
+  }
+
+  bool Step() {
+    SkimCancelled();
+    if (queue_.empty()) return false;
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    pending_ids_.erase(event.id);
+    now_ = event.when;
+    ++events_processed_;
+    event.fn();
+    return true;
+  }
+
+  size_t RunToCompletion() {
+    size_t processed = 0;
+    while (Step()) ++processed;
+    return processed;
+  }
+
+  uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct Event {
+    double when;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;
+    }
+  };
+
+  void SkimCancelled() {
+    while (!queue_.empty()) {
+      auto it = cancelled_.find(queue_.top().id);
+      if (it == cancelled_.end()) return;
+      cancelled_.erase(it);
+      queue_.pop();
+    }
+  }
+
+  double now_ = 0.0;
+  EventId next_id_ = 1;
+  uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::unordered_set<EventId> pending_ids_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+/// Fires `total_events` events through `sim`: `outstanding` concurrent
+/// self-rescheduling timers (the client/controller pattern) where every
+/// fourth firing also schedules a far-future event and cancels an older
+/// one (the timeout pattern that stresses Cancel). Callbacks capture one
+/// pointer, like real components capturing `this`, so both simulators
+/// get their small-buffer path and the comparison isolates the queue.
+template <typename Sim>
+struct EventWorkload {
+  Sim* sim;
+  uint64_t total_events;
+  int outstanding;
+  qsched::Rng rng{12345};
+  uint64_t fired = 0;
+  std::vector<uint64_t> victims;
+
+  void Arm() {
+    sim->ScheduleAfter(rng.Exponential(1.0), [this] {
+      ++fired;
+      if (fired + static_cast<uint64_t>(outstanding) <= total_events) {
+        Arm();
+      }
+      if (fired % 4 == 0) {
+        victims.push_back(
+            sim->ScheduleAfter(1e6 + rng.NextDouble(), [] {}));
+        if (victims.size() > 32) {
+          sim->Cancel(victims.front());
+          victims.erase(victims.begin());
+        }
+      }
+    });
+  }
+
+  uint64_t Run() {
+    victims.reserve(64);
+    for (int lane = 0; lane < outstanding; ++lane) Arm();
+    sim->RunToCompletion();
+    return fired;
+  }
+};
+
+struct EventQueueNumbers {
+  uint64_t events = 0;
+  double baseline_eps = 0.0;
+  double fast_eps = 0.0;
+};
+
+EventQueueNumbers BenchEventQueue(uint64_t total_events, int outstanding) {
+  EventQueueNumbers numbers;
+  {
+    BaselineSimulator sim;
+    EventWorkload<BaselineSimulator> workload{&sim, total_events,
+                                              outstanding};
+    auto start = Clock::now();
+    numbers.events = workload.Run();
+    double wall = Seconds(start);
+    numbers.baseline_eps =
+        static_cast<double>(sim.events_processed()) / wall;
+  }
+  {
+    qsched::sim::Simulator sim;
+    EventWorkload<qsched::sim::Simulator> workload{&sim, total_events,
+                                                   outstanding};
+    auto start = Clock::now();
+    workload.Run();
+    double wall = Seconds(start);
+    numbers.fast_eps = static_cast<double>(sim.events_processed()) / wall;
+  }
+  return numbers;
+}
+
+qsched::harness::ExperimentConfig Fig6Config(double period_seconds) {
+  qsched::harness::ExperimentConfig config;
+  config.period_seconds = period_seconds;
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  qsched::FlagParser flags;
+  qsched::Status status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 2;
+  }
+  if (flags.Has("help")) {
+    std::printf(
+        "flags: --events=N --outstanding=K --fig6-period-seconds=S\n"
+        "       --replications=R --jobs=J --rep-period-seconds=S\n"
+        "       --out=PATH (JSON report; default stdout only)\n");
+    return 0;
+  }
+  uint64_t total_events =
+      static_cast<uint64_t>(flags.GetInt("events", 2000000));
+  int outstanding = static_cast<int>(flags.GetInt("outstanding", 512));
+  double fig6_period = flags.GetDouble("fig6-period-seconds", 600.0);
+  int replications = static_cast<int>(flags.GetInt("replications", 8));
+  int jobs = qsched::harness::ResolveJobs(
+      static_cast<int>(flags.GetInt("jobs", 0)));
+  double rep_period = flags.GetDouble("rep-period-seconds", 120.0);
+  std::string out_path = flags.GetString("out", "");
+
+  std::printf("== event queue: %llu events, %d outstanding ==\n",
+              static_cast<unsigned long long>(total_events), outstanding);
+  EventQueueNumbers eq = BenchEventQueue(total_events, outstanding);
+  double speedup = eq.baseline_eps > 0.0 ? eq.fast_eps / eq.baseline_eps
+                                         : 0.0;
+  std::printf("baseline (priority_queue): %12.0f events/sec\n",
+              eq.baseline_eps);
+  std::printf("fast (4-ary heap + SBO):   %12.0f events/sec\n",
+              eq.fast_eps);
+  std::printf("speedup: %.2fx\n", speedup);
+
+  std::printf("== Fig. 6 run (period %.0f s) ==\n", fig6_period);
+  qsched::harness::ExperimentResult fig6;
+  {
+    auto config = Fig6Config(fig6_period);
+    fig6 = qsched::harness::RunExperiment(
+        config, qsched::harness::ControllerKind::kQueryScheduler);
+  }
+  double fig6_eps = fig6.wall_seconds > 0.0
+                        ? static_cast<double>(fig6.sim_events_processed) /
+                              fig6.wall_seconds
+                        : 0.0;
+  std::printf("wall %.3f s, %llu sim events, %.0f events/sec\n",
+              fig6.wall_seconds,
+              static_cast<unsigned long long>(fig6.sim_events_processed),
+              fig6_eps);
+
+  std::printf("== replication: %d runs, serial vs --jobs %d ==\n",
+              replications, jobs);
+  auto rep_config = Fig6Config(rep_period);
+  double serial_seconds = 0.0;
+  double parallel_seconds = 0.0;
+  {
+    qsched::harness::ReplicationOptions options;
+    options.jobs = 1;
+    auto start = Clock::now();
+    qsched::harness::RunReplicated(
+        rep_config, qsched::harness::ControllerKind::kQueryScheduler,
+        replications, options);
+    serial_seconds = Seconds(start);
+  }
+  {
+    qsched::harness::ReplicationOptions options;
+    options.jobs = jobs;
+    auto start = Clock::now();
+    qsched::harness::RunReplicated(
+        rep_config, qsched::harness::ControllerKind::kQueryScheduler,
+        replications, options);
+    parallel_seconds = Seconds(start);
+  }
+  double rep_speedup =
+      parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0;
+  std::printf("serial %.3f s, parallel %.3f s, speedup %.2fx\n",
+              serial_seconds, parallel_seconds, rep_speedup);
+
+  std::string json;
+  {
+    char buffer[2048];
+    std::snprintf(
+        buffer, sizeof(buffer),
+        "{\n"
+        "  \"bench\": \"qsched_perf\",\n"
+        "  \"hardware_concurrency\": %u,\n"
+        "  \"event_queue\": {\n"
+        "    \"events\": %llu,\n"
+        "    \"outstanding\": %d,\n"
+        "    \"baseline_events_per_sec\": %.0f,\n"
+        "    \"fast_events_per_sec\": %.0f,\n"
+        "    \"speedup\": %.3f\n"
+        "  },\n"
+        "  \"fig6\": {\n"
+        "    \"period_seconds\": %.0f,\n"
+        "    \"wall_seconds\": %.3f,\n"
+        "    \"sim_events\": %llu,\n"
+        "    \"events_per_sec\": %.0f\n"
+        "  },\n"
+        "  \"replication\": {\n"
+        "    \"replications\": %d,\n"
+        "    \"jobs\": %d,\n"
+        "    \"period_seconds\": %.0f,\n"
+        "    \"serial_seconds\": %.3f,\n"
+        "    \"parallel_seconds\": %.3f,\n"
+        "    \"speedup\": %.3f\n"
+        "  }\n"
+        "}\n",
+        std::thread::hardware_concurrency(),
+        static_cast<unsigned long long>(eq.events), outstanding,
+        eq.baseline_eps, eq.fast_eps, speedup, fig6_period,
+        fig6.wall_seconds,
+        static_cast<unsigned long long>(fig6.sim_events_processed),
+        fig6_eps, replications, jobs, rep_period, serial_seconds,
+        parallel_seconds, rep_speedup);
+    json = buffer;
+  }
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   out_path.c_str());
+      return 1;
+    }
+    out << json;
+    std::printf("wrote %s\n", out_path.c_str());
+  } else {
+    std::printf("%s", json.c_str());
+  }
+  return 0;
+}

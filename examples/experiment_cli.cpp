@@ -11,6 +11,11 @@
 //   --metrics-out=PATH  Prometheus text exposition of the registry
 //   --audit-out=PATH    planner decision audit trail as JSONL
 //
+// Replicated mode: --replications=N repeats the run across derived
+// seeds and prints mean +/- stddev per period; --jobs=J (0 = one per
+// hardware thread) fans the replicas out across worker threads with
+// byte-identical aggregates.
+//
 // Controllers: no-control | qp-static | qp-priority | query-scheduler |
 //              mpl | qs-direct-oltp
 #include <cstdio>
@@ -19,6 +24,7 @@
 
 #include "common/flags.h"
 #include "harness/experiment.h"
+#include "harness/replication.h"
 #include "metrics/trace_writer.h"
 #include "obs/telemetry.h"
 
@@ -62,7 +68,9 @@ int main(int argc, char** argv) {
         "       --trace-csv=PATH --summary\n"
         "       --trace-out=PATH (Chrome trace JSON of query spans)\n"
         "       --metrics-out=PATH (Prometheus text exposition)\n"
-        "       --audit-out=PATH (planner decision JSONL)\n");
+        "       --audit-out=PATH (planner decision JSONL)\n"
+        "       --replications=N (repeat across seeds, mean +/- stddev)\n"
+        "       --jobs=J (worker threads for replicas; 0 = hardware)\n");
     return 0;
   }
 
@@ -89,8 +97,57 @@ int main(int argc, char** argv) {
   std::string metrics_out = flags.GetString("metrics-out", "");
   std::string audit_out = flags.GetString("audit-out", "");
   qsched::obs::Telemetry telemetry;
-  if (!trace_out.empty() || !metrics_out.empty() || !audit_out.empty()) {
-    config.telemetry = &telemetry;
+  bool telemetry_on =
+      !trace_out.empty() || !metrics_out.empty() || !audit_out.empty();
+  if (telemetry_on) config.telemetry = &telemetry;
+
+  int replications = static_cast<int>(flags.GetInt("replications", 1));
+  int jobs = static_cast<int>(flags.GetInt("jobs", 1));
+  if (replications > 1) {
+    // Replicated mode: aggregate figure series across seeds. Replicas
+    // run with telemetry off (see ReplicationOptions); the registry
+    // still receives per-replica wall-clock / events-per-second gauges.
+    qsched::harness::ReplicationOptions options;
+    options.jobs = jobs;
+    if (telemetry_on) options.telemetry = &telemetry;
+    qsched::harness::ReplicatedResult replicated =
+        qsched::harness::RunReplicated(config, kind, replications,
+                                       options);
+    std::printf("controller=%s periods=%d seed=%llu replications=%d "
+                "jobs=%d\n",
+                ControllerKindToString(kind), replicated.num_periods,
+                static_cast<unsigned long long>(config.seed), replications,
+                jobs);
+    std::printf("period  v1                v2                t3\n");
+    for (int p = 0; p < replicated.num_periods; ++p) {
+      std::printf(
+          "%6d  %5.3f +/- %5.3f  %5.3f +/- %5.3f  %5.3f +/- %5.3f\n",
+          p + 1, replicated.velocity.at(1).mean[p],
+          replicated.velocity.at(1).stddev[p],
+          replicated.velocity.at(2).mean[p],
+          replicated.velocity.at(2).stddev[p],
+          replicated.response.at(3).mean[p],
+          replicated.response.at(3).stddev[p]);
+    }
+    if (flags.Has("summary")) {
+      for (const auto& [cls, mean] : replicated.goal_periods_mean) {
+        std::printf("class %d: %.1f +/- %.1f of %d periods met\n", cls,
+                    mean, replicated.goal_periods_stddev.at(cls),
+                    replicated.num_periods);
+      }
+    }
+    if (!metrics_out.empty()) {
+      std::ofstream out(metrics_out);
+      if (!out) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     metrics_out.c_str());
+        return 1;
+      }
+      telemetry.registry.WritePrometheus(out);
+      std::printf("wrote %s (%zu metrics)\n", metrics_out.c_str(),
+                  telemetry.registry.size());
+    }
+    return 0;
   }
 
   qsched::harness::ExperimentResult result =

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Runs the tracked performance benchmark (bench/perf_bench) and writes
+# BENCH_qsched.json at the repo root, validating that the emitted JSON
+# parses. Pass a perf_bench path to override the default build location;
+# extra arguments are forwarded (e.g. --events=... --jobs=...).
+#
+# Usage: run_bench.sh [path-to-perf_bench] [perf_bench flags...]
+set -eu
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BENCH="${ROOT}/build/bench/perf_bench"
+if [ "$#" -ge 1 ] && [ -x "$1" ]; then
+  BENCH="$1"
+  shift
+fi
+if [ ! -x "${BENCH}" ]; then
+  echo "run_bench: ${BENCH} not built (cmake --build build -j)" >&2
+  exit 1
+fi
+
+OUT="${ROOT}/BENCH_qsched.json"
+"${BENCH}" --out="${OUT}" "$@"
+
+# The benchmark's JSON is the tracked artifact — refuse to keep a
+# malformed one.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "${OUT}" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+for section in ("event_queue", "fig6", "replication"):
+    assert section in doc, f"missing section {section}"
+assert doc["event_queue"]["fast_events_per_sec"] > 0
+assert doc["replication"]["serial_seconds"] > 0
+print(f"bench json ok: speedup {doc['event_queue']['speedup']:.2f}x "
+      f"event queue, {doc['replication']['speedup']:.2f}x replication "
+      f"at jobs={doc['replication']['jobs']}")
+EOF
+else
+  grep -q '"event_queue"' "${OUT}"
+  grep -q '"replication"' "${OUT}"
+  echo "bench json ok (python3 unavailable; grep check only)"
+fi
+
+echo "wrote ${OUT}"

@@ -1,5 +1,6 @@
 #include "harness/experiment.h"
 
+#include <chrono>
 #include <memory>
 #include <utility>
 
@@ -258,7 +259,12 @@ ExperimentResult RunExperiment(const ExperimentConfig& config,
   BuildBench(config, kind, &collector, &bench, &collector_box, trace);
 
   double total_seconds = bench.schedule.total_seconds();
+  auto run_start = std::chrono::steady_clock::now();
   bench.simulator.RunUntil(total_seconds);
+  double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    run_start)
+          .count();
 
   ExperimentResult result;
   result.controller = kind;
@@ -294,8 +300,19 @@ ExperimentResult RunExperiment(const ExperimentConfig& config,
   result.disk_utilization = bench.engine->disk_array().Utilization();
   result.total_completed = collector->total_records();
   result.engine_queries_completed = bench.engine->queries_completed();
+  result.sim_events_processed = bench.simulator.events_processed();
+  result.wall_seconds = wall_seconds;
   result.trace = std::move(trace);
   if (config.telemetry != nullptr) {
+    // Simulator throughput for --metrics-out: how fast the DES core
+    // chewed through this run on the host.
+    config.telemetry->registry.GetGauge("qsched_sim_wall_seconds")
+        ->Set(wall_seconds);
+    config.telemetry->registry.GetGauge("qsched_sim_events_per_second")
+        ->Set(wall_seconds > 0.0
+                  ? static_cast<double>(result.sim_events_processed) /
+                        wall_seconds
+                  : 0.0);
     // Final gauge refresh so the snapshot carries end-of-run utilization.
     bench.engine->RefreshTelemetryGauges();
     result.metric_snapshot = config.telemetry->registry.Snapshot();

@@ -113,6 +113,14 @@ struct ExperimentResult {
   uint64_t total_completed = 0;
   uint64_t engine_queries_completed = 0;
 
+  /// Simulator events executed during the run — the DES hot-path work.
+  uint64_t sim_events_processed = 0;
+  /// Host wall-clock seconds spent inside the simulation loop. The only
+  /// non-deterministic field in the result; reported as the
+  /// `qsched_sim_wall_seconds` / `qsched_sim_events_per_second` telemetry
+  /// gauges and by bench/perf_bench.
+  double wall_seconds = 0.0;
+
   /// Set when ExperimentConfig::capture_trace was true.
   std::shared_ptr<metrics::RecordLog> trace;
 

@@ -1,0 +1,64 @@
+#ifndef QSCHED_HARNESS_PARALLEL_H_
+#define QSCHED_HARNESS_PARALLEL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qsched::harness {
+
+/// Fixed-size worker pool for fanning independent simulations out across
+/// host threads. The simulator itself stays single-threaded: each
+/// submitted task owns its whole world (Simulator, RNGs, telemetry), so
+/// the pool needs no synchronization beyond the task queue.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Joins all workers; pending tasks are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Safe to call from any thread.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished running.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers: task or stop
+  std::condition_variable idle_cv_;   // signals Wait(): all tasks done
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // queued + currently running
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Worker count meaning "one per hardware thread" (>= 1 even when the
+/// runtime cannot tell).
+int DefaultJobs();
+
+/// Resolves a user-facing --jobs value: 0 means DefaultJobs(), anything
+/// else is clamped to >= 1.
+int ResolveJobs(int jobs);
+
+/// Runs fn(0), ..., fn(n-1) across `jobs` worker threads and returns when
+/// all calls finished. `jobs <= 1` (or n <= 1) runs inline on the caller,
+/// bit-identically to a plain loop. If any call throws, the first
+/// exception is rethrown after all tasks complete.
+void ParallelFor(int n, int jobs, const std::function<void(int)>& fn);
+
+}  // namespace qsched::harness
+
+#endif  // QSCHED_HARNESS_PARALLEL_H_

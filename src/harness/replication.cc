@@ -1,6 +1,10 @@
 #include "harness/replication.h"
 
 #include <cmath>
+#include <utility>
+
+#include "common/strings.h"
+#include "harness/parallel.h"
 
 namespace qsched::harness {
 namespace {
@@ -27,17 +31,24 @@ SeriesSummary Summarize(const std::vector<std::vector<double>>& runs) {
 }  // namespace
 
 ReplicatedResult RunReplicated(const ExperimentConfig& config,
-                               ControllerKind kind, int replications) {
+                               ControllerKind kind, int replications,
+                               const ReplicationOptions& options) {
   ReplicatedResult result;
   result.controller = kind;
   result.replications = replications;
   if (replications <= 0) return result;
 
-  for (int r = 0; r < replications; ++r) {
+  // Each replica owns its whole simulation; the only shared state is the
+  // pre-sized results vector, written at distinct indices. Merging in
+  // seed (= index) order makes the aggregate independent of `jobs`.
+  std::vector<ExperimentResult> runs(static_cast<size_t>(replications));
+  ParallelFor(replications, options.jobs, [&](int r) {
     ExperimentConfig run_config = config;
     run_config.seed = config.seed + 7919u * static_cast<uint64_t>(r);
-    result.runs.push_back(RunExperiment(run_config, kind));
-  }
+    run_config.telemetry = nullptr;
+    runs[static_cast<size_t>(r)] = RunExperiment(run_config, kind);
+  });
+  result.runs = std::move(runs);
   result.num_periods = result.runs.front().num_periods;
 
   for (const auto& [class_id, series] :
@@ -65,7 +76,27 @@ ReplicatedResult RunReplicated(const ExperimentConfig& config,
             : 0.0;
     (void)series;
   }
+
+  if (options.telemetry != nullptr) {
+    obs::Registry& registry = options.telemetry->registry;
+    for (int r = 0; r < replications; ++r) {
+      const ExperimentResult& run = result.runs[static_cast<size_t>(r)];
+      std::string label = StrPrintf("replica=\"%d\"", r);
+      registry.GetGauge("qsched_replica_wall_seconds", label)
+          ->Set(run.wall_seconds);
+      registry.GetGauge("qsched_replica_events_per_second", label)
+          ->Set(run.wall_seconds > 0.0
+                    ? static_cast<double>(run.sim_events_processed) /
+                          run.wall_seconds
+                    : 0.0);
+    }
+  }
   return result;
+}
+
+ReplicatedResult RunReplicated(const ExperimentConfig& config,
+                               ControllerKind kind, int replications) {
+  return RunReplicated(config, kind, replications, ReplicationOptions{});
 }
 
 }  // namespace qsched::harness

@@ -8,6 +8,22 @@
 
 namespace qsched::harness {
 
+/// How a batch of replicated runs is executed.
+struct ReplicationOptions {
+  /// Worker threads for the replica fan-out: 1 = serial in the calling
+  /// thread, 0 = one per hardware thread. Each replica owns its entire
+  /// world (Simulator, RNGs, collectors) and results are merged in seed
+  /// order, so aggregates are byte-identical for every jobs value.
+  int jobs = 1;
+  /// When set, per-replica wall-clock and events/sec gauges
+  /// (`qsched_replica_wall_seconds{replica="r"}` etc.) are recorded after
+  /// the merge, from the calling thread. Replicas themselves always run
+  /// with telemetry disabled: a shared registry is not thread-safe, and
+  /// keeping serial and parallel runs identical requires treating them
+  /// the same way.
+  obs::Telemetry* telemetry = nullptr;
+};
+
 /// Mean and sample standard deviation of one per-period metric across
 /// replicated runs.
 struct SeriesSummary {
@@ -33,7 +49,14 @@ struct ReplicatedResult {
 };
 
 /// Runs the experiment `replications` times with seeds derived from
-/// `config.seed` and aggregates the figure series.
+/// `config.seed` and aggregates the figure series. Replications are
+/// independent simulations, so `options.jobs` fans them out across
+/// worker threads with byte-identical aggregates.
+ReplicatedResult RunReplicated(const ExperimentConfig& config,
+                               ControllerKind kind, int replications,
+                               const ReplicationOptions& options);
+
+/// Serial convenience overload (jobs = 1).
 ReplicatedResult RunReplicated(const ExperimentConfig& config,
                                ControllerKind kind, int replications);
 

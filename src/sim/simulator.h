@@ -1,10 +1,13 @@
 #ifndef QSCHED_SIM_SIMULATOR_H_
 #define QSCHED_SIM_SIMULATOR_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <functional>
-#include <queue>
-#include <unordered_set>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace qsched::sim {
@@ -13,17 +16,136 @@ namespace qsched::sim {
 using SimTime = double;
 
 /// Opaque handle for cancelling a scheduled event. Id 0 is never issued.
+/// Internally packs (generation << 32 | slot index); a stale handle whose
+/// slot has been reused fails the generation check, so Cancel() needs no
+/// hash-set lookup.
 using EventId = uint64_t;
+
+/// Move-only callable with a small-buffer optimization: callables whose
+/// state fits kInlineCapacity bytes (and are nothrow-movable) live inside
+/// the EventFn itself, so scheduling a typical lambda performs no heap
+/// allocation. Larger callables fall back to a heap box whose pointer is
+/// relocated (not the callable) on move.
+class EventFn {
+ public:
+  static constexpr size_t kInlineCapacity = 48;
+
+  EventFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::remove_cvref_t<F>&>>>
+  EventFn(F&& f) {  // NOLINT: implicit so lambdas convert at call sites
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineCapacity &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      Fn* boxed = new Fn(std::forward<F>(f));
+      std::memcpy(storage_, &boxed, sizeof(boxed));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(other.storage_, storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(other.storage_, storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { Reset(); }
+
+  /// Destroys the held callable (if any); the EventFn becomes empty.
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(storage_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(unsigned char* storage);
+    /// Move-constructs into `to` and destroys `from` (for the heap case,
+    /// only the box pointer moves — the callable itself stays put).
+    void (*relocate)(unsigned char* from, unsigned char* to);
+    void (*destroy)(unsigned char* storage);
+  };
+
+  template <typename Fn>
+  static Fn* Inline(unsigned char* storage) {
+    return std::launder(reinterpret_cast<Fn*>(storage));
+  }
+  template <typename Fn>
+  static Fn* Boxed(unsigned char* storage) {
+    Fn* boxed;
+    std::memcpy(&boxed, storage, sizeof(boxed));
+    return boxed;
+  }
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps = {
+      [](unsigned char* s) { (*Inline<Fn>(s))(); },
+      [](unsigned char* from, unsigned char* to) {
+        ::new (static_cast<void*>(to)) Fn(std::move(*Inline<Fn>(from)));
+        Inline<Fn>(from)->~Fn();
+      },
+      [](unsigned char* s) { Inline<Fn>(s)->~Fn(); },
+  };
+  template <typename Fn>
+  static constexpr Ops kHeapOps = {
+      [](unsigned char* s) { (*Boxed<Fn>(s))(); },
+      [](unsigned char* from, unsigned char* to) {
+        std::memcpy(to, from, sizeof(Fn*));
+      },
+      [](unsigned char* s) { delete Boxed<Fn>(s); },
+  };
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineCapacity];
+  const Ops* ops_ = nullptr;
+};
 
 /// Discrete-event simulation core: a clock plus an ordered queue of
 /// callbacks. Events at equal timestamps fire in scheduling order (FIFO),
 /// which makes runs deterministic.
 ///
+/// Implementation: a flat 4-ary heap of indices into a pooled slot array.
+/// Each slot carries its heap position, so Cancel() finds and removes the
+/// event in O(1) lookup + one sift — no lazy tombstones, no hash sets —
+/// and the slot (including its callback's memory) is reclaimed
+/// immediately. Slots are generation-stamped; freed slots are reused and
+/// a stale EventId fails the generation check. The FIFO tie-break uses a
+/// separate monotonic sequence number, so ordering is bit-for-bit
+/// identical to the historical (time, schedule-order) rule.
+///
 /// All simulated components (clients, controllers, the engine) hold a
 /// Simulator* and express waiting as `ScheduleAfter(delay, callback)`.
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator();
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -33,13 +155,13 @@ class Simulator {
 
   /// Schedules `fn` at absolute time `when`. Times in the past are clamped
   /// to Now(). Returns an id usable with Cancel().
-  EventId ScheduleAt(SimTime when, std::function<void()> fn);
+  EventId ScheduleAt(SimTime when, EventFn fn);
 
   /// Schedules `fn` after `delay` seconds (negative delays clamp to 0).
-  EventId ScheduleAfter(SimTime delay, std::function<void()> fn);
+  EventId ScheduleAfter(SimTime delay, EventFn fn);
 
-  /// Cancels a pending event. Returns false if it already fired, was
-  /// already cancelled, or never existed.
+  /// Cancels a pending event and reclaims its slot immediately. Returns
+  /// false if it already fired, was already cancelled, or never existed.
   bool Cancel(EventId id);
 
   /// Runs a single event. Returns false when the queue is empty.
@@ -52,34 +174,56 @@ class Simulator {
   /// Runs until the queue drains. Returns the number of events processed.
   size_t RunToCompletion();
 
+  /// Pre-sizes the slot pool and heap for `events` concurrent events.
+  void Reserve(size_t events);
+
   /// Number of events currently pending (cancelled events excluded).
-  size_t pending_events() const { return pending_ids_.size(); }
+  size_t pending_events() const { return heap_.size(); }
 
   /// Total events executed so far.
   uint64_t events_processed() const { return events_processed_; }
 
+  /// Slots ever allocated — the high-water mark of concurrently pending
+  /// events. Stays flat under schedule/cancel churn (slot reuse).
+  size_t slot_capacity() const { return slots_.size(); }
+
  private:
-  struct Event {
-    SimTime when;
-    EventId id;  // also the FIFO tie-breaker: lower id scheduled earlier
-    std::function<void()> fn;
-  };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.id > b.id;
-    }
+  static constexpr uint32_t kNoHeapPos = UINT32_MAX;
+
+  struct Slot {
+    SimTime when = 0.0;
+    uint64_t seq = 0;  // FIFO tie-breaker: lower seq scheduled earlier
+    EventFn fn;
+    uint32_t generation = 1;  // bumped on free; 0 never stamped into ids
+    uint32_t heap_pos = kNoHeapPos;  // kNoHeapPos = slot is free
   };
 
-  /// Pops cancelled events off the top of the heap.
-  void SkimCancelled();
+  static EventId PackId(uint32_t generation, uint32_t slot) {
+    return (static_cast<uint64_t>(generation) << 32) | slot;
+  }
+
+  /// True when slot `a`'s event fires strictly before slot `b`'s.
+  bool Before(uint32_t a, uint32_t b) const {
+    const Slot& sa = slots_[a];
+    const Slot& sb = slots_[b];
+    if (sa.when != sb.when) return sa.when < sb.when;
+    return sa.seq < sb.seq;
+  }
+
+  uint32_t AllocSlot();
+  void FreeSlot(uint32_t slot);
+  void SiftUp(uint32_t pos);
+  void SiftDown(uint32_t pos);
+  /// Removes the heap entry at `pos`, restoring heap order.
+  void RemoveAt(uint32_t pos);
 
   SimTime now_ = 0.0;
-  EventId next_id_ = 1;
+  uint64_t next_seq_ = 1;
   uint64_t events_processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
-  std::unordered_set<EventId> pending_ids_;
-  std::unordered_set<EventId> cancelled_;
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;
+  /// 4-ary heap of slot indices ordered by (when, seq).
+  std::vector<uint32_t> heap_;
 };
 
 }  // namespace qsched::sim

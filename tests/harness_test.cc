@@ -1,8 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <sstream>
+#include <stdexcept>
+#include <vector>
 
 #include "harness/experiment.h"
+#include "harness/parallel.h"
+#include "harness/replication.h"
 #include "harness/report.h"
 #include "metrics/period_collector.h"
 #include "obs/telemetry.h"
@@ -190,6 +195,131 @@ TEST(HarnessTest, DeterministicForSeed) {
   EXPECT_EQ(a.overall_completed.at(3), b.overall_completed.at(3));
   EXPECT_EQ(a.velocity_series.at(1), b.velocity_series.at(1));
   EXPECT_EQ(a.response_series.at(3), b.response_series.at(3));
+}
+
+// Golden figure series captured on the pre-rewrite simulator
+// (std::priority_queue + lazy cancellation), printed with %.17g so the
+// literals round-trip exactly. The DES core rewrite must keep event
+// ordering — and therefore every figure — bit-for-bit identical.
+TEST(HarnessTest, GoldenSeriesMatchPreRewriteSimulator) {
+  ExperimentConfig config = ShortConfig();
+  ExperimentResult result =
+      RunExperiment(config, ControllerKind::kQueryScheduler);
+  const std::vector<double> golden_v1 = {0.8303552950287697,
+                                         0.89639846496452358};
+  const std::vector<double> golden_v2 = {0.71103131373012074,
+                                         0.91370319340812778};
+  const std::vector<double> golden_r3 = {0.1336380355124675,
+                                         0.23120148509097962};
+  EXPECT_EQ(result.velocity_series.at(1), golden_v1);
+  EXPECT_EQ(result.velocity_series.at(2), golden_v2);
+  EXPECT_EQ(result.response_series.at(3), golden_r3);
+  EXPECT_EQ(result.overall_completed.at(1), 7);
+  EXPECT_EQ(result.overall_completed.at(2), 6);
+  EXPECT_EQ(result.overall_completed.at(3), 16328);
+  EXPECT_EQ(result.total_completed, 16341u);
+  EXPECT_EQ(result.oltp_model_slope, 7.5000000000000002e-07);
+}
+
+TEST(ParallelForTest, CoversAllIndicesAcrossThreads) {
+  std::vector<int> hits(257, 0);
+  std::atomic<int> calls{0};
+  ParallelFor(257, 4, [&](int i) {
+    hits[static_cast<size_t>(i)] += 1;
+    calls.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(calls.load(), 257);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelForTest, SerialJobsRunInline) {
+  std::vector<int> order;
+  ParallelFor(5, 1, [&](int i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, PropagatesFirstException) {
+  EXPECT_THROW(
+      ParallelFor(8, 4,
+                  [](int i) {
+                    if (i % 2 == 1) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, WaitDrainsAllSubmittedTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 100);
+  // The pool stays usable after Wait.
+  pool.Submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  pool.Wait();
+  EXPECT_EQ(done.load(), 101);
+}
+
+// The determinism contract of the parallel runner: replica fan-out
+// across worker threads merges in seed order, so every aggregate is
+// byte-identical to the serial run.
+TEST(ParallelReplicationTest, JobsDoNotChangeResults) {
+  ExperimentConfig config = ShortConfig();
+  ReplicationOptions serial;
+  serial.jobs = 1;
+  ReplicationOptions parallel;
+  parallel.jobs = 4;
+  ReplicatedResult a = RunReplicated(
+      config, ControllerKind::kQueryScheduler, 8, serial);
+  ReplicatedResult b = RunReplicated(
+      config, ControllerKind::kQueryScheduler, 8, parallel);
+
+  ASSERT_EQ(a.replications, b.replications);
+  ASSERT_EQ(a.num_periods, b.num_periods);
+  for (int cls : {1, 2, 3}) {
+    EXPECT_EQ(a.velocity.at(cls).mean, b.velocity.at(cls).mean);
+    EXPECT_EQ(a.velocity.at(cls).stddev, b.velocity.at(cls).stddev);
+    EXPECT_EQ(a.response.at(cls).mean, b.response.at(cls).mean);
+    EXPECT_EQ(a.response.at(cls).stddev, b.response.at(cls).stddev);
+    EXPECT_EQ(a.goal_periods_mean.at(cls), b.goal_periods_mean.at(cls));
+    EXPECT_EQ(a.goal_periods_stddev.at(cls),
+              b.goal_periods_stddev.at(cls));
+  }
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  for (size_t r = 0; r < a.runs.size(); ++r) {
+    EXPECT_EQ(a.runs[r].velocity_series, b.runs[r].velocity_series);
+    EXPECT_EQ(a.runs[r].response_series, b.runs[r].response_series);
+    EXPECT_EQ(a.runs[r].overall_completed, b.runs[r].overall_completed);
+    EXPECT_EQ(a.runs[r].sim_events_processed,
+              b.runs[r].sim_events_processed);
+  }
+}
+
+TEST(ParallelReplicationTest, RecordsPerReplicaGauges) {
+  ExperimentConfig config = ShortConfig();
+  obs::Telemetry telemetry;
+  ReplicationOptions options;
+  options.jobs = 2;
+  options.telemetry = &telemetry;
+  RunReplicated(config, ControllerKind::kNoControl, 3, options);
+  bool found_wall = false;
+  bool found_eps = false;
+  for (const obs::MetricSnapshot& snapshot :
+       telemetry.registry.Snapshot()) {
+    if (snapshot.name == "qsched_replica_wall_seconds" &&
+        snapshot.labels == "replica=\"2\"") {
+      found_wall = true;
+      EXPECT_GT(snapshot.value, 0.0);
+    }
+    if (snapshot.name == "qsched_replica_events_per_second" &&
+        snapshot.labels == "replica=\"0\"") {
+      found_eps = true;
+      EXPECT_GT(snapshot.value, 0.0);
+    }
+  }
+  EXPECT_TRUE(found_wall);
+  EXPECT_TRUE(found_eps);
 }
 
 TEST(HarnessTest, DifferentSeedsDiffer) {

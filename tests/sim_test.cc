@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <cstring>
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
@@ -157,6 +160,149 @@ TEST_P(SimulatorPropertyTest, RandomOpsPreserveOrderingInvariant) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorPropertyTest,
                          ::testing::Range<uint64_t>(1, 11));
+
+// Golden fire-order checksum captured on the pre-rewrite
+// std::priority_queue simulator: an FNV-1a hash over the exact sequence
+// of (fire-time bits, event tag) for a randomized schedule / cancel /
+// reschedule workload. The 4-ary-heap rewrite must reproduce the event
+// ordering bit-for-bit, so the checksum is invariant.
+TEST(SimulatorTest, GoldenFireOrderMatchesPreRewriteSimulator) {
+  uint64_t hash = 1469598103934665603ull;
+  auto mix = [&hash](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (v >> (8 * i)) & 0xff;
+      hash *= 1099511628211ull;
+    }
+  };
+  qsched::Rng rng(2026);
+  Simulator simulator;
+  std::vector<EventId> live;
+  int next_tag = 0;
+  for (int i = 0; i < 5000; ++i) {
+    double op = rng.NextDouble();
+    if (op < 0.6 || live.empty()) {
+      double when = rng.Uniform(0.0, 500.0);
+      int tag = next_tag++;
+      live.push_back(simulator.ScheduleAt(when, [&, tag] {
+        uint64_t bits;
+        double now = simulator.Now();
+        std::memcpy(&bits, &now, 8);
+        mix(bits);
+        mix(static_cast<uint64_t>(tag));
+        // A quarter of events reschedule themselves once, shifted.
+        if (tag % 4 == 0) {
+          int tag2 = tag + 1000000;
+          simulator.ScheduleAfter(0.25 * (tag % 16), [&, tag2] {
+            uint64_t b2;
+            double n2 = simulator.Now();
+            std::memcpy(&b2, &n2, 8);
+            mix(b2);
+            mix(static_cast<uint64_t>(tag2));
+          });
+        }
+      }));
+    } else {
+      size_t pick = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+      simulator.Cancel(live[pick]);
+      live.erase(live.begin() + static_cast<long>(pick));
+    }
+  }
+  simulator.RunToCompletion();
+  EXPECT_EQ(simulator.events_processed(), 1415u);
+  EXPECT_EQ(hash, 11661479758305775742ull);
+}
+
+// Regression for the old lazy-cancel design, where a cancelled
+// far-future event lingered in `cancelled_` / `pending_ids_` (and its
+// callback's captures stayed alive) until it bubbled to the top of the
+// heap. Cancelling must reclaim the slot immediately: 100k
+// schedule/cancel cycles leave nothing pending and reuse one slot
+// instead of growing storage.
+TEST(SimulatorTest, CancelReclaimsSlotsImmediately) {
+  Simulator simulator;
+  for (int i = 0; i < 100000; ++i) {
+    EventId id = simulator.ScheduleAt(1e9 + i, [] {});
+    ASSERT_TRUE(simulator.Cancel(id));
+  }
+  EXPECT_EQ(simulator.pending_events(), 0u);
+  EXPECT_EQ(simulator.slot_capacity(), 1u);
+
+  // Same with a standing population: capacity tracks the high-water mark
+  // of concurrently pending events, not the total scheduled.
+  std::vector<EventId> batch;
+  for (int round = 0; round < 1000; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      batch.push_back(simulator.ScheduleAt(1e9 + i, [] {}));
+    }
+    for (EventId id : batch) ASSERT_TRUE(simulator.Cancel(id));
+    batch.clear();
+  }
+  EXPECT_EQ(simulator.pending_events(), 0u);
+  EXPECT_LE(simulator.slot_capacity(), 100u);
+}
+
+TEST(SimulatorTest, StaleIdOnReusedSlotIsRejected) {
+  Simulator simulator;
+  EventId first = simulator.ScheduleAt(1.0, [] {});
+  ASSERT_TRUE(simulator.Cancel(first));
+  // The slot is reused for a new event under a fresh generation; the old
+  // handle must not cancel the new event.
+  bool fired = false;
+  EventId second = simulator.ScheduleAt(2.0, [&] { fired = true; });
+  EXPECT_FALSE(simulator.Cancel(first));
+  simulator.RunToCompletion();
+  EXPECT_TRUE(fired);
+  EXPECT_FALSE(simulator.Cancel(second));
+}
+
+TEST(EventFnTest, HoldsMoveOnlyCallable) {
+  auto counter = std::make_unique<int>(0);
+  int* raw = counter.get();
+  EventFn fn = [boxed = std::move(counter)] { ++*boxed; };
+  EXPECT_TRUE(static_cast<bool>(fn));
+  fn();
+  fn();
+  EXPECT_EQ(*raw, 2);
+}
+
+TEST(EventFnTest, MovePreservesInlineState) {
+  // Fits the 48-byte inline buffer: state moves with the EventFn.
+  int hits = 0;
+  std::array<char, 32> payload{};
+  payload[0] = 7;
+  EventFn a = [&hits, payload] { hits += payload[0]; };
+  EventFn b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT: moved-from is empty
+  b();
+  EXPECT_EQ(hits, 7);
+  EventFn c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(hits, 14);
+}
+
+TEST(EventFnTest, LargeCapturesFallBackToHeapBox) {
+  int hits = 0;
+  std::array<char, 128> payload{};  // > kInlineCapacity
+  payload[5] = 3;
+  EventFn a = [&hits, payload] { hits += payload[5]; };
+  EventFn b = std::move(a);
+  b();
+  EXPECT_EQ(hits, 3);
+  b.Reset();
+  EXPECT_FALSE(static_cast<bool>(b));
+}
+
+TEST(EventFnTest, DestroysCapturesOnReset) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  {
+    EventFn fn = [held = std::move(token)] { (void)held; };
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
+}
 
 TEST(WelfordTest, KnownValues) {
   WelfordAccumulator acc;

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_allocators.dir/ablation_allocators.cc.o"
+  "CMakeFiles/ablation_allocators.dir/ablation_allocators.cc.o.d"
+  "ablation_allocators"
+  "ablation_allocators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_allocators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

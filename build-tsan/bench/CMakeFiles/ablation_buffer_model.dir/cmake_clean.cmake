@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_buffer_model.dir/ablation_buffer_model.cc.o"
+  "CMakeFiles/ablation_buffer_model.dir/ablation_buffer_model.cc.o.d"
+  "ablation_buffer_model"
+  "ablation_buffer_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_buffer_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

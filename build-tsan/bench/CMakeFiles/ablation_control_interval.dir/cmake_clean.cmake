@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_control_interval.dir/ablation_control_interval.cc.o"
+  "CMakeFiles/ablation_control_interval.dir/ablation_control_interval.cc.o.d"
+  "ablation_control_interval"
+  "ablation_control_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_control_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

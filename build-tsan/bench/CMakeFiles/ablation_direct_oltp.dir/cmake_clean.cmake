@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_direct_oltp.dir/ablation_direct_oltp.cc.o"
+  "CMakeFiles/ablation_direct_oltp.dir/ablation_direct_oltp.cc.o.d"
+  "ablation_direct_oltp"
+  "ablation_direct_oltp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_direct_oltp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mpl_baseline.dir/ablation_mpl_baseline.cc.o"
+  "CMakeFiles/ablation_mpl_baseline.dir/ablation_mpl_baseline.cc.o.d"
+  "ablation_mpl_baseline"
+  "ablation_mpl_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mpl_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sampling_interval.dir/ablation_sampling_interval.cc.o"
+  "CMakeFiles/ablation_sampling_interval.dir/ablation_sampling_interval.cc.o.d"
+  "ablation_sampling_interval"
+  "ablation_sampling_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sampling_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_solver.dir/ablation_solver.cc.o"
+  "CMakeFiles/ablation_solver.dir/ablation_solver.cc.o.d"
+  "ablation_solver"
+  "ablation_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

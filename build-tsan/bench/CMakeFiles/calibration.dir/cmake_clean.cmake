@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibration.dir/calibration.cc.o"
+  "CMakeFiles/calibration.dir/calibration.cc.o.d"
+  "calibration"
+  "calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_direct_oltp_control.dir/ext_direct_oltp_control.cc.o"
+  "CMakeFiles/ext_direct_oltp_control.dir/ext_direct_oltp_control.cc.o.d"
+  "ext_direct_oltp_control"
+  "ext_direct_oltp_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_direct_oltp_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

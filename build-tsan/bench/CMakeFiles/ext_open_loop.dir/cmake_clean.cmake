@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_open_loop.dir/ext_open_loop.cc.o"
+  "CMakeFiles/ext_open_loop.dir/ext_open_loop.cc.o.d"
+  "ext_open_loop"
+  "ext_open_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_open_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_open_loop.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_workload_detection.dir/ext_workload_detection.cc.o"
+  "CMakeFiles/ext_workload_detection.dir/ext_workload_detection.cc.o.d"
+  "ext_workload_detection"
+  "ext_workload_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_workload_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

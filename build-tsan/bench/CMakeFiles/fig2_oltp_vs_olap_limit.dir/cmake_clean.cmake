@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_oltp_vs_olap_limit.dir/fig2_oltp_vs_olap_limit.cc.o"
+  "CMakeFiles/fig2_oltp_vs_olap_limit.dir/fig2_oltp_vs_olap_limit.cc.o.d"
+  "fig2_oltp_vs_olap_limit"
+  "fig2_oltp_vs_olap_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_oltp_vs_olap_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

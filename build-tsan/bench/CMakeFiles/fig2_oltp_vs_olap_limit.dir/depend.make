@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2_oltp_vs_olap_limit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_workload_schedule.dir/fig3_workload_schedule.cc.o"
+  "CMakeFiles/fig3_workload_schedule.dir/fig3_workload_schedule.cc.o.d"
+  "fig3_workload_schedule"
+  "fig3_workload_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_workload_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

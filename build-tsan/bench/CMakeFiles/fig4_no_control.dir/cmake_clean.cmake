@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_no_control.dir/fig4_no_control.cc.o"
+  "CMakeFiles/fig4_no_control.dir/fig4_no_control.cc.o.d"
+  "fig4_no_control"
+  "fig4_no_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_no_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

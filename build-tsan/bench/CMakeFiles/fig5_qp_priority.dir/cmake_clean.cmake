@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_qp_priority.dir/fig5_qp_priority.cc.o"
+  "CMakeFiles/fig5_qp_priority.dir/fig5_qp_priority.cc.o.d"
+  "fig5_qp_priority"
+  "fig5_qp_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_qp_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_qs_control.dir/fig6_qs_control.cc.o"
+  "CMakeFiles/fig6_qs_control.dir/fig6_qs_control.cc.o.d"
+  "fig6_qs_control"
+  "fig6_qs_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_qs_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_replicated.dir/fig6_replicated.cc.o"
+  "CMakeFiles/fig6_replicated.dir/fig6_replicated.cc.o.d"
+  "fig6_replicated"
+  "fig6_replicated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_replicated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_cost_limits.dir/fig7_cost_limits.cc.o"
+  "CMakeFiles/fig7_cost_limits.dir/fig7_cost_limits.cc.o.d"
+  "fig7_cost_limits"
+  "fig7_cost_limits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_cost_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

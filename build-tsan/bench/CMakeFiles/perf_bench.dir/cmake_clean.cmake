@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_bench.dir/perf_bench.cc.o"
+  "CMakeFiles/perf_bench.dir/perf_bench.cc.o.d"
+  "perf_bench"
+  "perf_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

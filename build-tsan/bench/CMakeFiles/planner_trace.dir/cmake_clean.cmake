@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planner_trace.dir/planner_trace.cc.o"
+  "CMakeFiles/planner_trace.dir/planner_trace.cc.o.d"
+  "planner_trace"
+  "planner_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planner_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

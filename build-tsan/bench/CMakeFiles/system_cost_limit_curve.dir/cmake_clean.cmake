@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_cost_limit_curve.dir/system_cost_limit_curve.cc.o"
+  "CMakeFiles/system_cost_limit_curve.dir/system_cost_limit_curve.cc.o.d"
+  "system_cost_limit_curve"
+  "system_cost_limit_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_cost_limit_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

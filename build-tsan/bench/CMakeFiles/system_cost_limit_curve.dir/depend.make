@@ -1,0 +1,2 @@
+# Empty dependencies file for system_cost_limit_curve.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build-tsan/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(perf_bench_smoke "/root/repo/build-tsan/bench/perf_bench" "--events=20000" "--outstanding=64" "--fig6-period-seconds=20" "--replications=2" "--jobs=2" "--rep-period-seconds=20")
+set_tests_properties(perf_bench_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;35;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/consolidation.cpp" "examples/CMakeFiles/consolidation.dir/consolidation.cpp.o" "gcc" "examples/CMakeFiles/consolidation.dir/consolidation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/harness/CMakeFiles/qsched_harness.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/metrics/CMakeFiles/qsched_metrics.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/scheduler/CMakeFiles/qsched_scheduler.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/qp/CMakeFiles/qsched_qp.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/workload/CMakeFiles/qsched_workload.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/optimizer/CMakeFiles/qsched_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/catalog/CMakeFiles/qsched_catalog.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/engine/CMakeFiles/qsched_engine.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/obs/CMakeFiles/qsched_obs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/qsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/qsched_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

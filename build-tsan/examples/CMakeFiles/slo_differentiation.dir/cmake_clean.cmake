@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slo_differentiation.dir/slo_differentiation.cpp.o"
+  "CMakeFiles/slo_differentiation.dir/slo_differentiation.cpp.o.d"
+  "slo_differentiation"
+  "slo_differentiation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slo_differentiation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

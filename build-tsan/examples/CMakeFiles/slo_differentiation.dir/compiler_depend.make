@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for slo_differentiation.
+# This may be replaced when dependencies are built.

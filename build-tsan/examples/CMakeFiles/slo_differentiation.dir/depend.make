@@ -1,0 +1,2 @@
+# Empty dependencies file for slo_differentiation.
+# This may be replaced when dependencies are built.

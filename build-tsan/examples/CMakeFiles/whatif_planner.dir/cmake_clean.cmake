@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_planner.dir/whatif_planner.cpp.o"
+  "CMakeFiles/whatif_planner.dir/whatif_planner.cpp.o.d"
+  "whatif_planner"
+  "whatif_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

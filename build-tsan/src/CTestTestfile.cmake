@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-tsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("obs")
+subdirs("sim")
+subdirs("catalog")
+subdirs("optimizer")
+subdirs("engine")
+subdirs("workload")
+subdirs("qp")
+subdirs("scheduler")
+subdirs("metrics")
+subdirs("harness")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsched_catalog.dir/schema.cc.o"
+  "CMakeFiles/qsched_catalog.dir/schema.cc.o.d"
+  "CMakeFiles/qsched_catalog.dir/tpcc_catalog.cc.o"
+  "CMakeFiles/qsched_catalog.dir/tpcc_catalog.cc.o.d"
+  "CMakeFiles/qsched_catalog.dir/tpch_catalog.cc.o"
+  "CMakeFiles/qsched_catalog.dir/tpch_catalog.cc.o.d"
+  "libqsched_catalog.a"
+  "libqsched_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsched_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsched_common.dir/flags.cc.o"
+  "CMakeFiles/qsched_common.dir/flags.cc.o.d"
+  "CMakeFiles/qsched_common.dir/logging.cc.o"
+  "CMakeFiles/qsched_common.dir/logging.cc.o.d"
+  "CMakeFiles/qsched_common.dir/rng.cc.o"
+  "CMakeFiles/qsched_common.dir/rng.cc.o.d"
+  "CMakeFiles/qsched_common.dir/status.cc.o"
+  "CMakeFiles/qsched_common.dir/status.cc.o.d"
+  "CMakeFiles/qsched_common.dir/strings.cc.o"
+  "CMakeFiles/qsched_common.dir/strings.cc.o.d"
+  "libqsched_common.a"
+  "libqsched_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsched_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

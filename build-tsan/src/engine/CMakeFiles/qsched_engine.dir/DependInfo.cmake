@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/buffer_pool.cc" "src/engine/CMakeFiles/qsched_engine.dir/buffer_pool.cc.o" "gcc" "src/engine/CMakeFiles/qsched_engine.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/engine/clock_buffer_pool.cc" "src/engine/CMakeFiles/qsched_engine.dir/clock_buffer_pool.cc.o" "gcc" "src/engine/CMakeFiles/qsched_engine.dir/clock_buffer_pool.cc.o.d"
+  "/root/repo/src/engine/execution_engine.cc" "src/engine/CMakeFiles/qsched_engine.dir/execution_engine.cc.o" "gcc" "src/engine/CMakeFiles/qsched_engine.dir/execution_engine.cc.o.d"
+  "/root/repo/src/engine/resources.cc" "src/engine/CMakeFiles/qsched_engine.dir/resources.cc.o" "gcc" "src/engine/CMakeFiles/qsched_engine.dir/resources.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/obs/CMakeFiles/qsched_obs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/qsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/qsched_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

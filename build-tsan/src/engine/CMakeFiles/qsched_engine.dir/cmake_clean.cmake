@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsched_engine.dir/buffer_pool.cc.o"
+  "CMakeFiles/qsched_engine.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/qsched_engine.dir/clock_buffer_pool.cc.o"
+  "CMakeFiles/qsched_engine.dir/clock_buffer_pool.cc.o.d"
+  "CMakeFiles/qsched_engine.dir/execution_engine.cc.o"
+  "CMakeFiles/qsched_engine.dir/execution_engine.cc.o.d"
+  "CMakeFiles/qsched_engine.dir/resources.cc.o"
+  "CMakeFiles/qsched_engine.dir/resources.cc.o.d"
+  "libqsched_engine.a"
+  "libqsched_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsched_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

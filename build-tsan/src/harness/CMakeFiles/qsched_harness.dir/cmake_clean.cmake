@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsched_harness.dir/experiment.cc.o"
+  "CMakeFiles/qsched_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/qsched_harness.dir/parallel.cc.o"
+  "CMakeFiles/qsched_harness.dir/parallel.cc.o.d"
+  "CMakeFiles/qsched_harness.dir/replication.cc.o"
+  "CMakeFiles/qsched_harness.dir/replication.cc.o.d"
+  "CMakeFiles/qsched_harness.dir/report.cc.o"
+  "CMakeFiles/qsched_harness.dir/report.cc.o.d"
+  "libqsched_harness.a"
+  "libqsched_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsched_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/period_collector.cc" "src/metrics/CMakeFiles/qsched_metrics.dir/period_collector.cc.o" "gcc" "src/metrics/CMakeFiles/qsched_metrics.dir/period_collector.cc.o.d"
+  "/root/repo/src/metrics/trace_writer.cc" "src/metrics/CMakeFiles/qsched_metrics.dir/trace_writer.cc.o" "gcc" "src/metrics/CMakeFiles/qsched_metrics.dir/trace_writer.cc.o.d"
+  "/root/repo/src/metrics/workload_stats.cc" "src/metrics/CMakeFiles/qsched_metrics.dir/workload_stats.cc.o" "gcc" "src/metrics/CMakeFiles/qsched_metrics.dir/workload_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/scheduler/CMakeFiles/qsched_scheduler.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/workload/CMakeFiles/qsched_workload.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/qsched_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/qp/CMakeFiles/qsched_qp.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/optimizer/CMakeFiles/qsched_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/catalog/CMakeFiles/qsched_catalog.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/engine/CMakeFiles/qsched_engine.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/obs/CMakeFiles/qsched_obs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/qsched_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsched_metrics.dir/period_collector.cc.o"
+  "CMakeFiles/qsched_metrics.dir/period_collector.cc.o.d"
+  "CMakeFiles/qsched_metrics.dir/trace_writer.cc.o"
+  "CMakeFiles/qsched_metrics.dir/trace_writer.cc.o.d"
+  "CMakeFiles/qsched_metrics.dir/workload_stats.cc.o"
+  "CMakeFiles/qsched_metrics.dir/workload_stats.cc.o.d"
+  "libqsched_metrics.a"
+  "libqsched_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsched_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsched_obs.dir/audit.cc.o"
+  "CMakeFiles/qsched_obs.dir/audit.cc.o.d"
+  "CMakeFiles/qsched_obs.dir/metrics.cc.o"
+  "CMakeFiles/qsched_obs.dir/metrics.cc.o.d"
+  "CMakeFiles/qsched_obs.dir/span.cc.o"
+  "CMakeFiles/qsched_obs.dir/span.cc.o.d"
+  "libqsched_obs.a"
+  "libqsched_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsched_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsched_optimizer.dir/cost_model.cc.o"
+  "CMakeFiles/qsched_optimizer.dir/cost_model.cc.o.d"
+  "CMakeFiles/qsched_optimizer.dir/plan.cc.o"
+  "CMakeFiles/qsched_optimizer.dir/plan.cc.o.d"
+  "libqsched_optimizer.a"
+  "libqsched_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsched_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsched_qp.dir/control_table.cc.o"
+  "CMakeFiles/qsched_qp.dir/control_table.cc.o.d"
+  "CMakeFiles/qsched_qp.dir/governor.cc.o"
+  "CMakeFiles/qsched_qp.dir/governor.cc.o.d"
+  "CMakeFiles/qsched_qp.dir/interceptor.cc.o"
+  "CMakeFiles/qsched_qp.dir/interceptor.cc.o.d"
+  "CMakeFiles/qsched_qp.dir/qp_controller.cc.o"
+  "CMakeFiles/qsched_qp.dir/qp_controller.cc.o.d"
+  "libqsched_qp.a"
+  "libqsched_qp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsched_qp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for qsched_qp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scheduler/dispatcher.cc" "src/scheduler/CMakeFiles/qsched_scheduler.dir/dispatcher.cc.o" "gcc" "src/scheduler/CMakeFiles/qsched_scheduler.dir/dispatcher.cc.o.d"
+  "/root/repo/src/scheduler/greedy_allocator.cc" "src/scheduler/CMakeFiles/qsched_scheduler.dir/greedy_allocator.cc.o" "gcc" "src/scheduler/CMakeFiles/qsched_scheduler.dir/greedy_allocator.cc.o.d"
+  "/root/repo/src/scheduler/monitor.cc" "src/scheduler/CMakeFiles/qsched_scheduler.dir/monitor.cc.o" "gcc" "src/scheduler/CMakeFiles/qsched_scheduler.dir/monitor.cc.o.d"
+  "/root/repo/src/scheduler/mpl_controller.cc" "src/scheduler/CMakeFiles/qsched_scheduler.dir/mpl_controller.cc.o" "gcc" "src/scheduler/CMakeFiles/qsched_scheduler.dir/mpl_controller.cc.o.d"
+  "/root/repo/src/scheduler/perf_models.cc" "src/scheduler/CMakeFiles/qsched_scheduler.dir/perf_models.cc.o" "gcc" "src/scheduler/CMakeFiles/qsched_scheduler.dir/perf_models.cc.o.d"
+  "/root/repo/src/scheduler/query_scheduler.cc" "src/scheduler/CMakeFiles/qsched_scheduler.dir/query_scheduler.cc.o" "gcc" "src/scheduler/CMakeFiles/qsched_scheduler.dir/query_scheduler.cc.o.d"
+  "/root/repo/src/scheduler/service_class.cc" "src/scheduler/CMakeFiles/qsched_scheduler.dir/service_class.cc.o" "gcc" "src/scheduler/CMakeFiles/qsched_scheduler.dir/service_class.cc.o.d"
+  "/root/repo/src/scheduler/snapshot_monitor.cc" "src/scheduler/CMakeFiles/qsched_scheduler.dir/snapshot_monitor.cc.o" "gcc" "src/scheduler/CMakeFiles/qsched_scheduler.dir/snapshot_monitor.cc.o.d"
+  "/root/repo/src/scheduler/solver.cc" "src/scheduler/CMakeFiles/qsched_scheduler.dir/solver.cc.o" "gcc" "src/scheduler/CMakeFiles/qsched_scheduler.dir/solver.cc.o.d"
+  "/root/repo/src/scheduler/utility.cc" "src/scheduler/CMakeFiles/qsched_scheduler.dir/utility.cc.o" "gcc" "src/scheduler/CMakeFiles/qsched_scheduler.dir/utility.cc.o.d"
+  "/root/repo/src/scheduler/workload_detector.cc" "src/scheduler/CMakeFiles/qsched_scheduler.dir/workload_detector.cc.o" "gcc" "src/scheduler/CMakeFiles/qsched_scheduler.dir/workload_detector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/qp/CMakeFiles/qsched_qp.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/workload/CMakeFiles/qsched_workload.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/engine/CMakeFiles/qsched_engine.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/obs/CMakeFiles/qsched_obs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/qsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/qsched_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/optimizer/CMakeFiles/qsched_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/catalog/CMakeFiles/qsched_catalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsched_scheduler.dir/dispatcher.cc.o"
+  "CMakeFiles/qsched_scheduler.dir/dispatcher.cc.o.d"
+  "CMakeFiles/qsched_scheduler.dir/greedy_allocator.cc.o"
+  "CMakeFiles/qsched_scheduler.dir/greedy_allocator.cc.o.d"
+  "CMakeFiles/qsched_scheduler.dir/monitor.cc.o"
+  "CMakeFiles/qsched_scheduler.dir/monitor.cc.o.d"
+  "CMakeFiles/qsched_scheduler.dir/mpl_controller.cc.o"
+  "CMakeFiles/qsched_scheduler.dir/mpl_controller.cc.o.d"
+  "CMakeFiles/qsched_scheduler.dir/perf_models.cc.o"
+  "CMakeFiles/qsched_scheduler.dir/perf_models.cc.o.d"
+  "CMakeFiles/qsched_scheduler.dir/query_scheduler.cc.o"
+  "CMakeFiles/qsched_scheduler.dir/query_scheduler.cc.o.d"
+  "CMakeFiles/qsched_scheduler.dir/service_class.cc.o"
+  "CMakeFiles/qsched_scheduler.dir/service_class.cc.o.d"
+  "CMakeFiles/qsched_scheduler.dir/snapshot_monitor.cc.o"
+  "CMakeFiles/qsched_scheduler.dir/snapshot_monitor.cc.o.d"
+  "CMakeFiles/qsched_scheduler.dir/solver.cc.o"
+  "CMakeFiles/qsched_scheduler.dir/solver.cc.o.d"
+  "CMakeFiles/qsched_scheduler.dir/utility.cc.o"
+  "CMakeFiles/qsched_scheduler.dir/utility.cc.o.d"
+  "CMakeFiles/qsched_scheduler.dir/workload_detector.cc.o"
+  "CMakeFiles/qsched_scheduler.dir/workload_detector.cc.o.d"
+  "libqsched_scheduler.a"
+  "libqsched_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsched_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsched_sim.dir/simulator.cc.o"
+  "CMakeFiles/qsched_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/qsched_sim.dir/stats.cc.o"
+  "CMakeFiles/qsched_sim.dir/stats.cc.o.d"
+  "libqsched_sim.a"
+  "libqsched_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsched_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/client.cc" "src/workload/CMakeFiles/qsched_workload.dir/client.cc.o" "gcc" "src/workload/CMakeFiles/qsched_workload.dir/client.cc.o.d"
+  "/root/repo/src/workload/open_loop.cc" "src/workload/CMakeFiles/qsched_workload.dir/open_loop.cc.o" "gcc" "src/workload/CMakeFiles/qsched_workload.dir/open_loop.cc.o.d"
+  "/root/repo/src/workload/schedule.cc" "src/workload/CMakeFiles/qsched_workload.dir/schedule.cc.o" "gcc" "src/workload/CMakeFiles/qsched_workload.dir/schedule.cc.o.d"
+  "/root/repo/src/workload/tpcc_workload.cc" "src/workload/CMakeFiles/qsched_workload.dir/tpcc_workload.cc.o" "gcc" "src/workload/CMakeFiles/qsched_workload.dir/tpcc_workload.cc.o.d"
+  "/root/repo/src/workload/tpch_workload.cc" "src/workload/CMakeFiles/qsched_workload.dir/tpch_workload.cc.o" "gcc" "src/workload/CMakeFiles/qsched_workload.dir/tpch_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/engine/CMakeFiles/qsched_engine.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/optimizer/CMakeFiles/qsched_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/catalog/CMakeFiles/qsched_catalog.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/obs/CMakeFiles/qsched_obs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/qsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/qsched_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsched_workload.dir/client.cc.o"
+  "CMakeFiles/qsched_workload.dir/client.cc.o.d"
+  "CMakeFiles/qsched_workload.dir/open_loop.cc.o"
+  "CMakeFiles/qsched_workload.dir/open_loop.cc.o.d"
+  "CMakeFiles/qsched_workload.dir/schedule.cc.o"
+  "CMakeFiles/qsched_workload.dir/schedule.cc.o.d"
+  "CMakeFiles/qsched_workload.dir/tpcc_workload.cc.o"
+  "CMakeFiles/qsched_workload.dir/tpcc_workload.cc.o.d"
+  "CMakeFiles/qsched_workload.dir/tpch_workload.cc.o"
+  "CMakeFiles/qsched_workload.dir/tpch_workload.cc.o.d"
+  "libqsched_workload.a"
+  "libqsched_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsched_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

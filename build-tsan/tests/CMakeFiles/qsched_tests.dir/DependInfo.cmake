@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/catalog_test.cc" "tests/CMakeFiles/qsched_tests.dir/catalog_test.cc.o" "gcc" "tests/CMakeFiles/qsched_tests.dir/catalog_test.cc.o.d"
+  "/root/repo/tests/clock_buffer_pool_test.cc" "tests/CMakeFiles/qsched_tests.dir/clock_buffer_pool_test.cc.o" "gcc" "tests/CMakeFiles/qsched_tests.dir/clock_buffer_pool_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/qsched_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/qsched_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/dispatcher_test.cc" "tests/CMakeFiles/qsched_tests.dir/dispatcher_test.cc.o" "gcc" "tests/CMakeFiles/qsched_tests.dir/dispatcher_test.cc.o.d"
+  "/root/repo/tests/engine_test.cc" "tests/CMakeFiles/qsched_tests.dir/engine_test.cc.o" "gcc" "tests/CMakeFiles/qsched_tests.dir/engine_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/qsched_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/qsched_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/flags_test.cc" "tests/CMakeFiles/qsched_tests.dir/flags_test.cc.o" "gcc" "tests/CMakeFiles/qsched_tests.dir/flags_test.cc.o.d"
+  "/root/repo/tests/governor_test.cc" "tests/CMakeFiles/qsched_tests.dir/governor_test.cc.o" "gcc" "tests/CMakeFiles/qsched_tests.dir/governor_test.cc.o.d"
+  "/root/repo/tests/greedy_allocator_test.cc" "tests/CMakeFiles/qsched_tests.dir/greedy_allocator_test.cc.o" "gcc" "tests/CMakeFiles/qsched_tests.dir/greedy_allocator_test.cc.o.d"
+  "/root/repo/tests/harness_test.cc" "tests/CMakeFiles/qsched_tests.dir/harness_test.cc.o" "gcc" "tests/CMakeFiles/qsched_tests.dir/harness_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/qsched_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/qsched_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/metrics_test.cc" "tests/CMakeFiles/qsched_tests.dir/metrics_test.cc.o" "gcc" "tests/CMakeFiles/qsched_tests.dir/metrics_test.cc.o.d"
+  "/root/repo/tests/obs_test.cc" "tests/CMakeFiles/qsched_tests.dir/obs_test.cc.o" "gcc" "tests/CMakeFiles/qsched_tests.dir/obs_test.cc.o.d"
+  "/root/repo/tests/optimizer_test.cc" "tests/CMakeFiles/qsched_tests.dir/optimizer_test.cc.o" "gcc" "tests/CMakeFiles/qsched_tests.dir/optimizer_test.cc.o.d"
+  "/root/repo/tests/qp_test.cc" "tests/CMakeFiles/qsched_tests.dir/qp_test.cc.o" "gcc" "tests/CMakeFiles/qsched_tests.dir/qp_test.cc.o.d"
+  "/root/repo/tests/query_scheduler_test.cc" "tests/CMakeFiles/qsched_tests.dir/query_scheduler_test.cc.o" "gcc" "tests/CMakeFiles/qsched_tests.dir/query_scheduler_test.cc.o.d"
+  "/root/repo/tests/scheduler_test.cc" "tests/CMakeFiles/qsched_tests.dir/scheduler_test.cc.o" "gcc" "tests/CMakeFiles/qsched_tests.dir/scheduler_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/qsched_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/qsched_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/template_test.cc" "tests/CMakeFiles/qsched_tests.dir/template_test.cc.o" "gcc" "tests/CMakeFiles/qsched_tests.dir/template_test.cc.o.d"
+  "/root/repo/tests/workload_detector_test.cc" "tests/CMakeFiles/qsched_tests.dir/workload_detector_test.cc.o" "gcc" "tests/CMakeFiles/qsched_tests.dir/workload_detector_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/qsched_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/qsched_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/harness/CMakeFiles/qsched_harness.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/metrics/CMakeFiles/qsched_metrics.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/scheduler/CMakeFiles/qsched_scheduler.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/qp/CMakeFiles/qsched_qp.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/workload/CMakeFiles/qsched_workload.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/optimizer/CMakeFiles/qsched_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/catalog/CMakeFiles/qsched_catalog.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/engine/CMakeFiles/qsched_engine.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/obs/CMakeFiles/qsched_obs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/qsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/qsched_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/qsched_tests[1]_include.cmake")
+add_test(parallel_replication_tsan "/root/repo/build-tsan/tests/qsched_tests" "--gtest_filter=ParallelReplicationTest.*:ParallelForTest.*:ThreadPoolTest.*")
+set_tests_properties(parallel_replication_tsan PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;33;add_test;/root/repo/tests/CMakeLists.txt;0;")

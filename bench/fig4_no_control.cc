@@ -5,11 +5,17 @@
 
 #include "bench/figure_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   qsched::harness::ExperimentConfig config;
   std::printf("=== Figure 4: performance with no class control ===\n");
   auto result = qsched::harness::RunExperiment(
       config, qsched::harness::ControllerKind::kNoControl);
   qsched::bench::PrintPerformanceFigure(result);
+  const char* report = qsched::bench::ReportHtmlPath(argc, argv);
+  if (report != nullptr) {
+    // No control loop: the report falls back to the per-period series.
+    qsched::bench::WriteHtmlReport(report, result, nullptr,
+                                   "Figure 4: no class control");
+  }
   return 0;
 }

@@ -7,12 +7,17 @@
 
 #include "bench/figure_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   qsched::harness::ExperimentConfig config;
   std::printf("=== Figure 5: DB2 QP priority control ===\n");
   auto result = qsched::harness::RunExperiment(
       config, qsched::harness::ControllerKind::kQpPriority);
   qsched::bench::PrintPerformanceFigure(result);
+  const char* report = qsched::bench::ReportHtmlPath(argc, argv);
+  if (report != nullptr) {
+    qsched::bench::WriteHtmlReport(report, result, nullptr,
+                                   "Figure 5: DB2 QP priority control");
+  }
 
   std::printf("\n--- QP without priority (paper: behaves like no control "
               "between the OLAP classes) ---\n");

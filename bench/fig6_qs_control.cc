@@ -5,14 +5,22 @@
 #include <cstdio>
 
 #include "bench/figure_common.h"
+#include "obs/telemetry.h"
 
-int main() {
+int main(int argc, char** argv) {
   qsched::harness::ExperimentConfig config;
+  qsched::obs::Telemetry telemetry;
+  const char* report = qsched::bench::ReportHtmlPath(argc, argv);
+  if (report != nullptr) config.telemetry = &telemetry;
   std::printf("=== Figure 6: Query Scheduler control ===\n");
   auto result = qsched::harness::RunExperiment(
       config, qsched::harness::ControllerKind::kQueryScheduler);
   qsched::bench::PrintPerformanceFigure(result);
   std::printf("fitted OLTP model slope s=%.3g s/timeron\n",
               result.oltp_model_slope);
+  if (report != nullptr) {
+    qsched::bench::WriteHtmlReport(report, result, &telemetry,
+                                   "Figure 6: Query Scheduler control");
+  }
   return 0;
 }

@@ -5,10 +5,15 @@
 // classes are heaviest there.
 #include <cstdio>
 
+#include "bench/figure_common.h"
 #include "harness/experiment.h"
+#include "obs/telemetry.h"
 
-int main() {
+int main(int argc, char** argv) {
   qsched::harness::ExperimentConfig config;
+  qsched::obs::Telemetry telemetry;
+  const char* report = qsched::bench::ReportHtmlPath(argc, argv);
+  if (report != nullptr) config.telemetry = &telemetry;
   std::printf("=== Figure 7: adjustment of class cost limits (timerons) "
               "===\n");
   auto result = qsched::harness::RunExperiment(
@@ -22,6 +27,10 @@ int main() {
     double c3 = result.period_mean_limits.at(3)[p];
     std::printf("%6d  %12.0f  %12.0f  %12.0f  %11.2f%%\n", p + 1, c1, c2,
                 c3, 100.0 * c3 / total);
+  }
+  if (report != nullptr) {
+    qsched::bench::WriteHtmlReport(report, result, &telemetry,
+                                   "Figure 7: class cost limits");
   }
   return 0;
 }

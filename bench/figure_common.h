@@ -1,8 +1,12 @@
 #ifndef QSCHED_BENCH_FIGURE_COMMON_H_
 #define QSCHED_BENCH_FIGURE_COMMON_H_
 
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <string>
 
+#include "harness/html_report.h"
 #include "harness/report.h"
 
 namespace qsched::bench {
@@ -12,6 +16,38 @@ inline void PrintPerformanceFigure(const harness::ExperimentResult& r) {
   harness::ReportOptions options;
   harness::PrintPerformanceReport(r, sched::MakePaperClasses(), options,
                                   std::cout);
+}
+
+/// Returns the PATH of a `--report-html=PATH` argument, or nullptr when
+/// absent. The fig benches check this before running so they can enable
+/// telemetry for the run the report will describe.
+inline const char* ReportHtmlPath(int argc, char** argv) {
+  const char kPrefix[] = "--report-html=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kPrefix, sizeof(kPrefix) - 1) == 0) {
+      return argv[i] + sizeof(kPrefix) - 1;
+    }
+  }
+  return nullptr;
+}
+
+/// Writes the self-contained HTML run report for `result` to `path`.
+/// Pass the run's telemetry when it had one; nullptr falls back to the
+/// per-period figure series.
+inline void WriteHtmlReport(const char* path,
+                            const harness::ExperimentResult& result,
+                            const obs::Telemetry* telemetry,
+                            const std::string& title) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open " << path << " for writing\n";
+    return;
+  }
+  harness::HtmlReportOptions options;
+  options.title = title;
+  harness::WriteHtmlRunReport(result, sched::MakePaperClasses(),
+                              telemetry, options, out);
+  std::cout << "wrote " << path << "\n";
 }
 
 }  // namespace qsched::bench

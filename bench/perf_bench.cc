@@ -17,6 +17,7 @@
 //   ./build/bench/perf_bench --events=2000000 --outstanding=512 \
 //       --fig6-period-seconds=600 --replications=8 --jobs=4 \
 //       --rep-period-seconds=120 --out=BENCH_qsched.json
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -277,8 +278,21 @@ int main(int argc, char** argv) {
   }
   double rep_speedup =
       parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0;
-  std::printf("serial %.3f s, parallel %.3f s, speedup %.2fx\n",
-              serial_seconds, parallel_seconds, rep_speedup);
+  // Worker threads the parallel pass actually ran (ParallelFor runs
+  // inline for jobs <= 1 and never spawns more workers than tasks).
+  int threads_used = std::max(1, std::min(jobs, replications));
+  std::printf("serial %.3f s, parallel %.3f s, speedup %.2fx "
+              "(%d threads)\n",
+              serial_seconds, parallel_seconds, rep_speedup,
+              threads_used);
+  if (threads_used > 1 && rep_speedup < 1.2) {
+    std::fprintf(stderr,
+                 "WARNING: replication speedup %.2fx < 1.2x with %d "
+                 "threads (hardware_concurrency=%u) — the parallel "
+                 "numbers are not meaningful on this host\n",
+                 rep_speedup, threads_used,
+                 std::thread::hardware_concurrency());
+  }
 
   std::string json;
   {
@@ -304,6 +318,7 @@ int main(int argc, char** argv) {
         "  \"replication\": {\n"
         "    \"replications\": %d,\n"
         "    \"jobs\": %d,\n"
+        "    \"threads_used\": %d,\n"
         "    \"period_seconds\": %.0f,\n"
         "    \"serial_seconds\": %.3f,\n"
         "    \"parallel_seconds\": %.3f,\n"
@@ -315,8 +330,8 @@ int main(int argc, char** argv) {
         eq.baseline_eps, eq.fast_eps, speedup, fig6_period,
         fig6.wall_seconds,
         static_cast<unsigned long long>(fig6.sim_events_processed),
-        fig6_eps, replications, jobs, rep_period, serial_seconds,
-        parallel_seconds, rep_speedup);
+        fig6_eps, replications, jobs, threads_used, rep_period,
+        serial_seconds, parallel_seconds, rep_speedup);
     json = buffer;
   }
   if (!out_path.empty()) {

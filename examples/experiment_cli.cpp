@@ -9,7 +9,13 @@
 //   --trace-out=PATH    Chrome trace_event JSON of per-query spans
 //                       (load in Perfetto / chrome://tracing)
 //   --metrics-out=PATH  Prometheus text exposition of the registry
-//   --audit-out=PATH    planner decision audit trail as JSONL
+//   --audit-out=PATH    planner decision audit trail as JSONL, followed
+//                       by the SLO violation events ("type":"slo_violation")
+//   --timeseries-csv=PATH  per-control-interval table (long-format CSV)
+//   --predictions-csv=PATH prediction-vs-actual ledger records
+//   --report-html=PATH  self-contained HTML run report with inline-SVG
+//                       charts (cost limits, velocity/response vs. goals,
+//                       SLO attainment, model residuals)
 //
 // Replicated mode: --replications=N repeats the run across derived
 // seeds and prints mean +/- stddev per period; --jobs=J (0 = one per
@@ -24,6 +30,7 @@
 
 #include "common/flags.h"
 #include "harness/experiment.h"
+#include "harness/html_report.h"
 #include "harness/replication.h"
 #include "metrics/trace_writer.h"
 #include "obs/telemetry.h"
@@ -68,7 +75,10 @@ int main(int argc, char** argv) {
         "       --trace-csv=PATH --summary\n"
         "       --trace-out=PATH (Chrome trace JSON of query spans)\n"
         "       --metrics-out=PATH (Prometheus text exposition)\n"
-        "       --audit-out=PATH (planner decision JSONL)\n"
+        "       --audit-out=PATH (planner decision + SLO-violation JSONL)\n"
+        "       --timeseries-csv=PATH (per-control-interval table)\n"
+        "       --predictions-csv=PATH (prediction-vs-actual ledger)\n"
+        "       --report-html=PATH (self-contained HTML run report)\n"
         "       --replications=N (repeat across seeds, mean +/- stddev)\n"
         "       --jobs=J (worker threads for replicas; 0 = hardware)\n");
     return 0;
@@ -96,9 +106,13 @@ int main(int argc, char** argv) {
   std::string trace_out = flags.GetString("trace-out", "");
   std::string metrics_out = flags.GetString("metrics-out", "");
   std::string audit_out = flags.GetString("audit-out", "");
+  std::string timeseries_csv = flags.GetString("timeseries-csv", "");
+  std::string predictions_csv = flags.GetString("predictions-csv", "");
+  std::string report_html = flags.GetString("report-html", "");
   qsched::obs::Telemetry telemetry;
-  bool telemetry_on =
-      !trace_out.empty() || !metrics_out.empty() || !audit_out.empty();
+  bool telemetry_on = !trace_out.empty() || !metrics_out.empty() ||
+                      !audit_out.empty() || !timeseries_csv.empty() ||
+                      !predictions_csv.empty() || !report_html.empty();
   if (telemetry_on) config.telemetry = &telemetry;
 
   int replications = static_cast<int>(flags.GetInt("replications", 1));
@@ -110,6 +124,14 @@ int main(int argc, char** argv) {
     qsched::harness::ReplicationOptions options;
     options.jobs = jobs;
     if (telemetry_on) options.telemetry = &telemetry;
+    if (!report_html.empty() || !timeseries_csv.empty() ||
+        !predictions_csv.empty()) {
+      // Replicas run with control-loop telemetry off, so there is no
+      // per-interval record to export in this mode.
+      std::fprintf(stderr,
+                   "--report-html/--timeseries-csv/--predictions-csv "
+                   "need a single run; ignored with --replications>1\n");
+    }
     qsched::harness::ReplicatedResult replicated =
         qsched::harness::RunReplicated(config, kind, replications,
                                        options);
@@ -227,10 +249,59 @@ int main(int argc, char** argv) {
       return 1;
     }
     telemetry.audit.WriteJsonl(out);
-    std::printf("wrote %s (%zu records, %llu dropped)\n",
+    // SLO violation events share the stream, tagged
+    // "type":"slo_violation" so audit readers can filter them.
+    telemetry.slo.WriteEventsJsonl(out);
+    std::printf("wrote %s (%zu records, %zu violation events, "
+                "%llu dropped)\n",
                 audit_out.c_str(), telemetry.audit.size(),
+                telemetry.slo.Events().size(),
                 static_cast<unsigned long long>(
                     telemetry.audit.dropped()));
+  }
+  if (!timeseries_csv.empty()) {
+    std::ofstream out(timeseries_csv);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   timeseries_csv.c_str());
+      return 1;
+    }
+    telemetry.recorder.WriteCsv(out);
+    std::printf("wrote %s (%zu intervals, %llu dropped)\n",
+                timeseries_csv.c_str(), telemetry.recorder.size(),
+                static_cast<unsigned long long>(
+                    telemetry.recorder.dropped()));
+  }
+  if (!predictions_csv.empty()) {
+    std::ofstream out(predictions_csv);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   predictions_csv.c_str());
+      return 1;
+    }
+    telemetry.ledger.WriteCsv(out);
+    std::printf("wrote %s (%zu predictions, %llu dropped)\n",
+                predictions_csv.c_str(), telemetry.ledger.size(),
+                static_cast<unsigned long long>(
+                    telemetry.ledger.dropped()));
+  }
+  if (!report_html.empty()) {
+    std::ofstream out(report_html);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   report_html.c_str());
+      return 1;
+    }
+    qsched::harness::HtmlReportOptions report_options;
+    report_options.title =
+        std::string("qsched run report: ") +
+        ControllerKindToString(kind);
+    qsched::sched::ServiceClassSet classes =
+        config.classes.has_value() ? *config.classes
+                                   : qsched::sched::MakePaperClasses();
+    qsched::harness::WriteHtmlRunReport(result, classes, &telemetry,
+                                        report_options, out);
+    std::printf("wrote %s\n", report_html.c_str());
   }
   return 0;
 }

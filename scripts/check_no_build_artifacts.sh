@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Guards against build trees leaking into version control (a PR 2
+# regression tracked ~525 files under build-tsan/). Fails when any
+# tracked path starts with "build"; .gitignore covers build*/ so new
+# trees stay untracked. Registered with CTest as `no_build_artifacts`
+# (exit 77 = skipped when git or the repo is unavailable).
+#
+# Usage: scripts/check_no_build_artifacts.sh
+set -u
+
+cd "$(dirname "$0")/.."
+
+if ! command -v git >/dev/null 2>&1; then
+  echo "check_no_build_artifacts: git not found; skipping" >&2
+  exit 77
+fi
+if ! git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+  echo "check_no_build_artifacts: not a git work tree; skipping" >&2
+  exit 77
+fi
+
+TRACKED=$(git ls-files | grep -E '^build' || true)
+if [ -n "${TRACKED}" ]; then
+  COUNT=$(printf '%s\n' "${TRACKED}" | wc -l)
+  echo "check_no_build_artifacts: ${COUNT} tracked build artifact(s):" >&2
+  printf '%s\n' "${TRACKED}" | head -10 >&2
+  echo "fix with: git rm -r --cached <build-dir>" >&2
+  exit 1
+fi
+echo "check_no_build_artifacts: OK (no tracked build*/ paths)"

@@ -32,9 +32,17 @@ for section in ("event_queue", "fig6", "replication"):
     assert section in doc, f"missing section {section}"
 assert doc["event_queue"]["fast_events_per_sec"] > 0
 assert doc["replication"]["serial_seconds"] > 0
+rep = doc["replication"]
+assert "threads_used" in rep, "replication is missing threads_used"
+assert 1 <= rep["threads_used"] <= max(1, rep["jobs"], 1), \
+    f"threads_used {rep['threads_used']} inconsistent with jobs {rep['jobs']}"
 print(f"bench json ok: speedup {doc['event_queue']['speedup']:.2f}x "
-      f"event queue, {doc['replication']['speedup']:.2f}x replication "
-      f"at jobs={doc['replication']['jobs']}")
+      f"event queue, {rep['speedup']:.2f}x replication "
+      f"at jobs={rep['jobs']} (threads_used={rep['threads_used']})")
+if rep["threads_used"] > 1 and rep["speedup"] < 1.2:
+    print(f"WARNING: replication speedup {rep['speedup']:.2f}x < 1.2x "
+          f"with {rep['threads_used']} threads — parallel numbers are "
+          f"not meaningful on this host", file=sys.stderr)
 EOF
 else
   grep -q '"event_queue"' "${OUT}"

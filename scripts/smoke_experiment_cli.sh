@@ -62,7 +62,8 @@ grep -q '^qsched_qp_queue_wait_seconds{class="1",quantile="0.5"}' \
   "${METRICS}"
 grep -q '^qsched_engine_queries_completed_total ' "${METRICS}"
 
-# --- Audit JSONL: one JSON object per line carrying the planner fields.
+# --- Audit JSONL: one JSON object per line — planner records first,
+# then the SLO violation events tagged "type":"slo_violation".
 lines=$(wc -l < "${AUDIT}")
 if [ "${lines}" -lt 2 ]; then
   echo "smoke: expected >=2 audit records, got ${lines}" >&2
@@ -72,13 +73,19 @@ if command -v python3 >/dev/null 2>&1; then
   python3 - "${AUDIT}" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
-    records = [json.loads(line) for line in f]
+    rows = [json.loads(line) for line in f]
+records = [r for r in rows if r.get("type") != "slo_violation"]
+events = [r for r in rows if r.get("type") == "slo_violation"]
 for i, rec in enumerate(records):
     assert rec["interval"] == i + 1, (rec["interval"], i + 1)
     assert rec["classes"], "record with no classes"
     total = sum(c["enforced_limit"] for c in rec["classes"])
     assert abs(total - rec["system_cost_limit"]) < 1.0, total
-print(f"audit ok: {len(records)} records")
+for ev in events:
+    assert ev["start_interval"] <= ev["end_interval"], ev
+    assert ev["intervals"] >= 1, ev
+    assert ev["worst_ratio"] < 1.0, ev
+print(f"audit ok: {len(records)} records, {len(events)} violation events")
 EOF
 else
   head -1 "${AUDIT}" | grep -q '"interval":1'

@@ -276,6 +276,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config,
     result.response_series[id] = collector->ResponseSeries(id);
     result.completed_series[id] = collector->CompletedSeries(id);
     result.periods_meeting_goal[id] = collector->PeriodsMeetingGoal(spec);
+    result.attainment_ratio[id] = collector->AttainmentRatio(spec);
     metrics::PeriodClassStats overall = collector->Overall(id);
     result.overall_velocity[id] = overall.MeanVelocity();
     result.overall_response[id] = overall.MeanResponse();
@@ -315,6 +316,17 @@ ExperimentResult RunExperiment(const ExperimentConfig& config,
                   : 0.0);
     // Final gauge refresh so the snapshot carries end-of-run utilization.
     bench.engine->RefreshTelemetryGauges();
+    if (bench.qs != nullptr) {
+      for (const sched::ServiceClassSpec& spec : bench.classes.classes()) {
+        int id = spec.class_id;
+        result.interval_attainment[id] =
+            config.telemetry->slo.OverallAttainment(id);
+        result.slo_violation_events[id] =
+            static_cast<int>(config.telemetry->slo.EventsFor(id).size());
+        result.prediction_residuals[id] =
+            config.telemetry->ledger.StatsFor(id);
+      }
+    }
     result.metric_snapshot = config.telemetry->registry.Snapshot();
   }
   return result;

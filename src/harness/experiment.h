@@ -98,6 +98,9 @@ struct ExperimentResult {
   std::map<int, std::vector<double>> response_series;
   std::map<int, std::vector<int>> completed_series;
   std::map<int, int> periods_meeting_goal;
+  /// SLO attainment per class: periods_meeting_goal over the periods
+  /// that completed at least one query of the class.
+  std::map<int, double> attainment_ratio;
   std::map<int, double> overall_velocity;
   std::map<int, double> overall_response;
   std::map<int, int> overall_completed;
@@ -127,6 +130,14 @@ struct ExperimentResult {
   /// End-of-run metrics registry snapshot (empty unless
   /// ExperimentConfig::telemetry was set).
   std::vector<obs::MetricSnapshot> metric_snapshot;
+
+  /// Derived control-loop observability, filled only for telemetry-enabled
+  /// Query Scheduler runs (empty otherwise): per-class SLO attainment at
+  /// control-interval granularity, violation-event counts, and the
+  /// prediction ledger's residual summaries.
+  std::map<int, double> interval_attainment;
+  std::map<int, int> slo_violation_events;
+  std::map<int, obs::ResidualStats> prediction_residuals;
 };
 
 /// Runs one full experiment (schedule x controller) and extracts the

@@ -1,0 +1,543 @@
+#include "harness/html_report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/strings.h"
+#include "obs/svg.h"
+
+namespace qsched::harness {
+
+namespace {
+
+using obs::HtmlEscape;
+using obs::SvgChartSpec;
+using obs::SvgReferenceLine;
+using obs::SvgSeries;
+
+/// Categorical palette slot for the i-th class (insertion order). Slots
+/// are fixed per entity and never cycled; class sets larger than the
+/// 8-slot palette share the last slot rather than inventing hues.
+int SlotFor(size_t index) {
+  return static_cast<int>(std::min<size_t>(index, 7)) + 1;
+}
+
+std::string ClassLabel(const sched::ServiceClassSpec& spec) {
+  if (!spec.name.empty()) return spec.name;
+  return StrPrintf("class %d", spec.class_id);
+}
+
+std::string GoalText(const sched::ServiceClassSpec& spec) {
+  if (spec.goal_kind == sched::GoalKind::kVelocityFloor) {
+    return StrPrintf("velocity ≥ %.3g", spec.goal_value);
+  }
+  return StrPrintf("response ≤ %.3gs", spec.goal_value);
+}
+
+/// The document-level stylesheet: chart chrome and the categorical
+/// palette as CSS custom properties, with a dark scheme selected from the
+/// same ramps (not an automatic flip). The inline SVGs reference these
+/// variables, so one definition themes every chart.
+const char kStyle[] = R"(
+:root {
+  --surface: #fcfcfb;
+  --ink: #1a1a19;
+  --ink-secondary: #52514e;
+  --ink-muted: #898781;
+  --grid: #e1e0d9;
+  --axis: #c3c2b7;
+  --tile: #f4f3f0;
+  --series-1: #2a78d6;
+  --series-2: #eb6834;
+  --series-3: #1baf7a;
+  --series-4: #8a63d2;
+  --series-5: #b88609;
+  --series-6: #d44f7f;
+  --series-7: #0f9bb5;
+  --series-8: #737165;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface: #1a1a19;
+    --ink: #e7e6e1;
+    --ink-secondary: #c3c2b7;
+    --ink-muted: #898781;
+    --grid: #2c2c2a;
+    --axis: #383835;
+    --tile: #232322;
+    --series-1: #3987e5;
+    --series-2: #d95926;
+    --series-3: #199e70;
+    --series-4: #9b7ae0;
+    --series-5: #a87e14;
+    --series-6: #e0679a;
+    --series-7: #22acc7;
+    --series-8: #8a887c;
+  }
+}
+[data-theme="dark"] {
+  --surface: #1a1a19;
+  --ink: #e7e6e1;
+  --ink-secondary: #c3c2b7;
+  --ink-muted: #898781;
+  --grid: #2c2c2a;
+  --axis: #383835;
+  --tile: #232322;
+  --series-1: #3987e5;
+  --series-2: #d95926;
+  --series-3: #199e70;
+  --series-4: #9b7ae0;
+  --series-5: #a87e14;
+  --series-6: #e0679a;
+  --series-7: #22acc7;
+  --series-8: #8a887c;
+}
+html { background: var(--surface); }
+body {
+  margin: 0 auto;
+  padding: 24px 20px 48px;
+  max-width: 840px;
+  background: var(--surface);
+  color: var(--ink);
+  font: 14px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 28px 0 8px; color: var(--ink); }
+.subtitle { color: var(--ink-secondary); margin: 0 0 20px; }
+.tiles {
+  display: grid;
+  grid-template-columns: repeat(auto-fit, minmax(150px, 1fr));
+  gap: 10px;
+  margin: 16px 0;
+}
+.tile { background: var(--tile); border-radius: 8px; padding: 10px 12px; }
+.tile .value { font-size: 20px; font-weight: 600; }
+.tile .label { color: var(--ink-muted); font-size: 12px; }
+figure { margin: 0 0 8px; }
+figcaption { color: var(--ink-secondary); font-size: 13px; margin: 4px 0 12px; }
+svg { max-width: 100%; height: auto; }
+table { border-collapse: collapse; width: 100%; font-size: 13px; }
+th, td { text-align: right; padding: 4px 10px; border-bottom: 1px solid var(--grid); }
+th { color: var(--ink-secondary); font-weight: 600; }
+th:first-child, td:first-child { text-align: left; }
+td .dot {
+  display: inline-block;
+  width: 9px; height: 9px;
+  border-radius: 50%;
+  margin-right: 6px;
+}
+.note { color: var(--ink-muted); font-size: 12px; }
+)";
+
+void WriteTile(std::ostream& out, const std::string& value,
+               const std::string& label) {
+  out << "<div class=\"tile\"><div class=\"value\">" << HtmlEscape(value)
+      << "</div><div class=\"label\">" << HtmlEscape(label)
+      << "</div></div>\n";
+}
+
+void WriteChart(std::ostream& out, const std::string& heading,
+                const SvgChartSpec& spec, const std::string& caption) {
+  out << "<h2>" << HtmlEscape(heading) << "</h2>\n<figure>\n"
+      << obs::RenderLineChart(spec) << "\n<figcaption>"
+      << HtmlEscape(caption) << "</figcaption>\n</figure>\n";
+}
+
+/// Per-period x axis: periods numbered from 1.
+std::vector<double> PeriodAxis(size_t n) {
+  std::vector<double> xs(n);
+  for (size_t i = 0; i < n; ++i) xs[i] = static_cast<double>(i + 1);
+  return xs;
+}
+
+}  // namespace
+
+void WriteHtmlRunReport(const ExperimentResult& result,
+                        const sched::ServiceClassSet& classes,
+                        const obs::Telemetry* telemetry,
+                        const HtmlReportOptions& options,
+                        std::ostream& out) {
+  // Fixed slot per class, shared by every chart and table row so color
+  // follows the entity.
+  std::vector<int> slots;
+  for (size_t i = 0; i < classes.classes().size(); ++i) {
+    slots.push_back(SlotFor(i));
+  }
+  std::vector<obs::IntervalRow> rows;
+  if (telemetry != nullptr) rows = telemetry->recorder.Rows();
+
+  out << "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
+      << "<meta charset=\"utf-8\">\n"
+      << "<meta name=\"viewport\" content=\"width=device-width, "
+         "initial-scale=1\">\n"
+      << "<title>" << HtmlEscape(options.title) << "</title>\n<style>"
+      << kStyle << "</style>\n</head>\n<body>\n";
+  out << "<h1>" << HtmlEscape(options.title) << "</h1>\n";
+  out << "<p class=\"subtitle\">controller: "
+      << HtmlEscape(ControllerKindToString(result.controller))
+      << " &middot; " << result.num_periods << " periods &times; "
+      << StrPrintf("%.0f", result.period_seconds) << "s</p>\n";
+
+  // ---- Stat tiles ------------------------------------------------------
+  out << "<div class=\"tiles\">\n";
+  WriteTile(out,
+            StrPrintf("%llu", static_cast<unsigned long long>(
+                                  result.total_completed)),
+            "queries completed");
+  WriteTile(out, StrPrintf("%.0f%%", 100.0 * result.cpu_utilization),
+            "CPU utilization");
+  WriteTile(out, StrPrintf("%.0f%%", 100.0 * result.disk_utilization),
+            "disk utilization");
+  if (!rows.empty()) {
+    WriteTile(out, StrPrintf("%zu", rows.size()), "control intervals");
+  }
+  if (result.oltp_model_slope > 0.0) {
+    WriteTile(out, StrPrintf("%.3g", result.oltp_model_slope),
+              "fitted OLTP slope s (s/timeron)");
+  }
+  out << "</div>\n";
+
+  // ---- SLO summary table ----------------------------------------------
+  out << "<h2>SLO attainment</h2>\n<table>\n"
+      << "<tr><th>class</th><th>goal</th><th>periods met</th>"
+      << "<th>period attainment</th>";
+  bool have_intervals = !result.interval_attainment.empty();
+  if (have_intervals) {
+    out << "<th>interval attainment</th><th>violation events</th>";
+  }
+  out << "</tr>\n";
+  for (size_t i = 0; i < classes.classes().size(); ++i) {
+    const sched::ServiceClassSpec& spec = classes.classes()[i];
+    int id = spec.class_id;
+    auto met_it = result.periods_meeting_goal.find(id);
+    auto ratio_it = result.attainment_ratio.find(id);
+    out << "<tr><td><span class=\"dot\" style=\"background:var(--series-"
+        << slots[i] << ")\"></span>" << HtmlEscape(ClassLabel(spec))
+        << "</td><td>" << HtmlEscape(GoalText(spec)) << "</td><td>"
+        << (met_it != result.periods_meeting_goal.end() ? met_it->second
+                                                        : 0)
+        << "/" << result.num_periods << "</td><td>"
+        << StrPrintf("%.1f%%",
+                     100.0 * (ratio_it != result.attainment_ratio.end()
+                                  ? ratio_it->second
+                                  : 0.0))
+        << "</td>";
+    if (have_intervals) {
+      auto ia_it = result.interval_attainment.find(id);
+      auto ev_it = result.slo_violation_events.find(id);
+      out << "<td>"
+          << StrPrintf("%.1f%%",
+                       100.0 *
+                           (ia_it != result.interval_attainment.end()
+                                ? ia_it->second
+                                : 0.0))
+          << "</td><td>"
+          << (ev_it != result.slo_violation_events.end() ? ev_it->second
+                                                         : 0)
+          << "</td>";
+    }
+    out << "</tr>\n";
+  }
+  out << "</table>\n";
+
+  // ---- Chart 1: cost limits -------------------------------------------
+  {
+    SvgChartSpec spec;
+    spec.x_label = "sim time (min)";
+    spec.y_label = "cost limit (timerons)";
+    for (size_t i = 0; i < classes.classes().size(); ++i) {
+      int id = classes.classes()[i].class_id;
+      SvgSeries series;
+      series.label = ClassLabel(classes.classes()[i]);
+      series.color_slot = slots[i];
+      if (!rows.empty()) {
+        for (const obs::IntervalRow& row : rows) {
+          for (const obs::IntervalClassSample& s : row.classes) {
+            if (s.class_id != id) continue;
+            series.xs.push_back(row.sim_time / 60.0);
+            series.ys.push_back(s.cost_limit);
+          }
+        }
+      } else {
+        auto it = result.limit_history.find(id);
+        if (it != result.limit_history.end()) {
+          for (const sim::TimeSeries::Point& p : it->second.points()) {
+            series.xs.push_back(p.time / 60.0);
+            series.ys.push_back(p.value);
+          }
+        }
+      }
+      if (!series.xs.empty()) spec.series.push_back(std::move(series));
+    }
+    WriteChart(out, "Cost limits per control interval", spec,
+               "Per-class cost limits the Dispatcher enforced each "
+               "control interval (the Fig. 7 view). An OLTP class's "
+               "limit is the share reserved for it by holding OLAP "
+               "back.");
+  }
+
+  // ---- Chart 2: OLAP velocity -----------------------------------------
+  {
+    SvgChartSpec spec;
+    spec.x_label = rows.empty() ? "period" : "sim time (min)";
+    spec.y_label = "velocity";
+    spec.y_min = 0.0;
+    spec.y_max = 1.05;
+    for (size_t i = 0; i < classes.classes().size(); ++i) {
+      const sched::ServiceClassSpec& cls = classes.classes()[i];
+      if (cls.goal_kind != sched::GoalKind::kVelocityFloor) continue;
+      SvgSeries series;
+      series.label = ClassLabel(cls);
+      series.color_slot = slots[i];
+      if (!rows.empty()) {
+        for (const obs::IntervalRow& row : rows) {
+          for (const obs::IntervalClassSample& s : row.classes) {
+            if (s.class_id != cls.class_id) continue;
+            series.xs.push_back(row.sim_time / 60.0);
+            series.ys.push_back(s.measured);
+          }
+        }
+      } else {
+        auto it = result.velocity_series.find(cls.class_id);
+        if (it != result.velocity_series.end()) {
+          series.xs = PeriodAxis(it->second.size());
+          series.ys = it->second;
+        }
+      }
+      if (!series.xs.empty()) spec.series.push_back(std::move(series));
+      spec.reference_lines.push_back(
+          {StrPrintf("%s goal", ClassLabel(cls).c_str()), cls.goal_value,
+           slots[i]});
+    }
+    WriteChart(out, "OLAP velocity vs. goals", spec,
+               rows.empty()
+                   ? "Mean velocity per period for each OLAP class; "
+                     "dashed lines mark the velocity-floor SLOs."
+                   : "Smoothed velocity the planner accepted each "
+                     "control interval; dashed lines mark the "
+                     "velocity-floor SLOs.");
+  }
+
+  // ---- Chart 3: OLTP response -----------------------------------------
+  {
+    SvgChartSpec spec;
+    spec.x_label = rows.empty() ? "period" : "sim time (min)";
+    spec.y_label = "response (s)";
+    for (size_t i = 0; i < classes.classes().size(); ++i) {
+      const sched::ServiceClassSpec& cls = classes.classes()[i];
+      if (cls.goal_kind != sched::GoalKind::kAvgResponseCeiling) continue;
+      SvgSeries series;
+      series.label = ClassLabel(cls);
+      series.color_slot = slots[i];
+      if (!rows.empty()) {
+        for (const obs::IntervalRow& row : rows) {
+          for (const obs::IntervalClassSample& s : row.classes) {
+            if (s.class_id != cls.class_id) continue;
+            series.xs.push_back(row.sim_time / 60.0);
+            series.ys.push_back(s.measured);
+          }
+        }
+      } else {
+        auto it = result.response_series.find(cls.class_id);
+        if (it != result.response_series.end()) {
+          series.xs = PeriodAxis(it->second.size());
+          series.ys = it->second;
+        }
+      }
+      if (!series.xs.empty()) spec.series.push_back(std::move(series));
+      spec.reference_lines.push_back(
+          {StrPrintf("%s goal", ClassLabel(cls).c_str()), cls.goal_value,
+           slots[i]});
+    }
+    WriteChart(out, "OLTP response vs. goal", spec,
+               rows.empty()
+                   ? "Mean response time per period for each OLTP class; "
+                     "dashed lines mark the response-ceiling SLOs."
+                   : "Smoothed response time the planner accepted each "
+                     "control interval; dashed lines mark the "
+                     "response-ceiling SLOs.");
+  }
+
+  // ---- Chart 4: SLO attainment ----------------------------------------
+  {
+    SvgChartSpec spec;
+    spec.y_label = "attainment";
+    spec.y_min = 0.0;
+    spec.y_max = 1.05;
+    if (telemetry != nullptr) {
+      spec.x_label = "sim time (min)";
+      for (size_t i = 0; i < classes.classes().size(); ++i) {
+        int id = classes.classes()[i].class_id;
+        SvgSeries series;
+        series.label = ClassLabel(classes.classes()[i]);
+        series.color_slot = slots[i];
+        for (const auto& [time, ratio] :
+             telemetry->slo.AttainmentSeries(id)) {
+          series.xs.push_back(time / 60.0);
+          series.ys.push_back(ratio);
+        }
+        if (!series.xs.empty()) spec.series.push_back(std::move(series));
+      }
+    } else {
+      // Fallback: cumulative per-period attainment from the figure
+      // series.
+      spec.x_label = "period";
+      for (size_t i = 0; i < classes.classes().size(); ++i) {
+        const sched::ServiceClassSpec& cls = classes.classes()[i];
+        const auto& values =
+            cls.goal_kind == sched::GoalKind::kVelocityFloor
+                ? result.velocity_series
+                : result.response_series;
+        auto it = values.find(cls.class_id);
+        auto completed_it = result.completed_series.find(cls.class_id);
+        if (it == values.end()) continue;
+        SvgSeries series;
+        series.label = ClassLabel(cls);
+        series.color_slot = slots[i];
+        int met = 0;
+        int with_data = 0;
+        for (size_t p = 0; p < it->second.size(); ++p) {
+          bool has_data =
+              completed_it != result.completed_series.end() &&
+              p < completed_it->second.size() &&
+              completed_it->second[p] > 0;
+          if (has_data) {
+            ++with_data;
+            if (cls.GoalRatio(it->second[p]) >= 1.0) ++met;
+          }
+          series.xs.push_back(static_cast<double>(p + 1));
+          series.ys.push_back(
+              with_data > 0 ? static_cast<double>(met) / with_data : 0.0);
+        }
+        if (!series.xs.empty()) spec.series.push_back(std::move(series));
+      }
+    }
+    WriteChart(out, "SLO attainment", spec,
+               telemetry != nullptr
+                   ? "Rolling fraction of recent control intervals in "
+                     "which each class met its goal (1.0 = goal met "
+                     "throughout the window)."
+                   : "Cumulative fraction of data-bearing periods in "
+                     "which each class met its goal.");
+  }
+
+  // ---- Chart 5: model residuals (telemetry only) ----------------------
+  bool wrote_residuals = false;
+  if (telemetry != nullptr) {
+    SvgChartSpec spec;
+    spec.x_label = "control interval";
+    spec.y_label = "|observed - predicted|";
+    for (size_t i = 0; i < classes.classes().size(); ++i) {
+      int id = classes.classes()[i].class_id;
+      SvgSeries series;
+      series.label = ClassLabel(classes.classes()[i]);
+      series.color_slot = slots[i];
+      for (const obs::PredictionRecord& rec :
+           telemetry->ledger.Records()) {
+        if (!rec.resolved || rec.class_id != id) continue;
+        series.xs.push_back(static_cast<double>(rec.target_interval));
+        series.ys.push_back(std::abs(rec.observed - rec.predicted));
+      }
+      if (!series.xs.empty()) spec.series.push_back(std::move(series));
+    }
+    if (!spec.series.empty()) {
+      wrote_residuals = true;
+      WriteChart(out, "Model fidelity: prediction residuals", spec,
+                 "Absolute error of the planner's one-interval-ahead "
+                 "performance predictions (velocity for OLAP classes, "
+                 "response seconds for OLTP), from the prediction "
+                 "ledger.");
+    }
+  }
+
+  // ---- Chart 6: fitted OLTP slope trajectory (telemetry only) ---------
+  if (telemetry != nullptr) {
+    std::vector<std::pair<uint64_t, double>> slope =
+        telemetry->ledger.SlopeTrajectory();
+    if (!slope.empty()) {
+      SvgChartSpec spec;
+      spec.x_label = "control interval";
+      spec.y_label = "slope s (s/timeron)";
+      SvgSeries series;
+      series.label = "fitted slope";
+      series.color_slot = 1;
+      for (const auto& [interval, value] : slope) {
+        series.xs.push_back(static_cast<double>(interval));
+        series.ys.push_back(value);
+      }
+      spec.series.push_back(std::move(series));
+      WriteChart(out, "OLTP model slope trajectory", spec,
+                 "Online-fitted slope s of the OLTP response model "
+                 "t' = t + s(C' - C), per control interval.");
+    }
+  }
+
+  // ---- Residual summary table -----------------------------------------
+  if (wrote_residuals) {
+    out << "<h2>Prediction residual summary</h2>\n<table>\n"
+        << "<tr><th>class</th><th>resolved predictions</th>"
+        << "<th>mean |error|</th><th>p95 |error|</th><th>bias</th></tr>\n";
+    for (size_t i = 0; i < classes.classes().size(); ++i) {
+      const sched::ServiceClassSpec& spec = classes.classes()[i];
+      obs::ResidualStats stats =
+          telemetry->ledger.StatsFor(spec.class_id);
+      out << "<tr><td><span class=\"dot\" "
+             "style=\"background:var(--series-"
+          << slots[i] << ")\"></span>" << HtmlEscape(ClassLabel(spec))
+          << "</td><td>" << stats.count << "</td><td>"
+          << StrPrintf("%.4g", stats.mean_abs_error) << "</td><td>"
+          << StrPrintf("%.4g", stats.p95_abs_error) << "</td><td>"
+          << StrPrintf("%+.4g", stats.bias) << "</td></tr>\n";
+    }
+    out << "</table>\n<p class=\"note\">Bias is mean (observed - "
+           "predicted): positive means the model underpredicts.</p>\n";
+  }
+
+  // ---- Violation events table -----------------------------------------
+  if (telemetry != nullptr) {
+    std::vector<obs::SloViolationEvent> events = telemetry->slo.Events();
+    if (!events.empty()) {
+      constexpr size_t kMaxEventRows = 40;
+      out << "<h2>SLO violation events</h2>\n<table>\n"
+          << "<tr><th>class</th><th>start</th><th>end</th>"
+          << "<th>intervals</th><th>worst ratio</th>"
+          << "<th>duration (min)</th></tr>\n";
+      size_t shown = 0;
+      for (const obs::SloViolationEvent& event : events) {
+        if (shown++ >= kMaxEventRows) break;
+        const sched::ServiceClassSpec* spec =
+            classes.Find(event.class_id);
+        size_t index = 0;
+        for (size_t i = 0; i < classes.classes().size(); ++i) {
+          if (classes.classes()[i].class_id == event.class_id) index = i;
+        }
+        out << "<tr><td><span class=\"dot\" "
+               "style=\"background:var(--series-"
+            << slots[index] << ")\"></span>"
+            << HtmlEscape(spec != nullptr
+                              ? ClassLabel(*spec)
+                              : StrPrintf("class %d", event.class_id))
+            << "</td><td>#" << event.start_interval << "</td><td>#"
+            << event.end_interval << (event.open ? " (open)" : "")
+            << "</td><td>" << event.intervals << "</td><td>"
+            << StrPrintf("%.3f", event.worst_ratio) << "</td><td>"
+            << StrPrintf("%.1f", event.duration / 60.0) << "</td></tr>\n";
+      }
+      out << "</table>\n";
+      if (events.size() > kMaxEventRows) {
+        out << "<p class=\"note\">Showing the first " << kMaxEventRows
+            << " of " << events.size()
+            << " events; the full list is in the audit JSONL.</p>\n";
+      }
+    } else {
+      out << "<h2>SLO violation events</h2>\n"
+          << "<p class=\"note\">No violation events: every class met "
+             "its goal in every observed control interval.</p>\n";
+    }
+  }
+
+  out << "</body>\n</html>\n";
+}
+
+}  // namespace qsched::harness

@@ -1,0 +1,36 @@
+#ifndef QSCHED_HARNESS_HTML_REPORT_H_
+#define QSCHED_HARNESS_HTML_REPORT_H_
+
+#include <ostream>
+#include <string>
+
+#include "harness/experiment.h"
+#include "obs/telemetry.h"
+#include "scheduler/service_class.h"
+
+namespace qsched::harness {
+
+/// Options for the self-contained HTML run report.
+struct HtmlReportOptions {
+  std::string title = "qsched run report";
+};
+
+/// Writes a single-file HTML report for one experiment run: stat tiles,
+/// inline-SVG charts (cost limits, velocity, response, SLO attainment,
+/// model residuals), and the residual / violation-event tables. The file
+/// is fully self-contained — inline CSS, no scripts, no external assets —
+/// and honors prefers-color-scheme for dark mode.
+///
+/// `telemetry` may be nullptr: the control-interval charts (attainment at
+/// interval granularity, residuals, solver timings) then fall back to the
+/// per-period series in `result`, or are omitted when no equivalent
+/// exists. Pass the same Telemetry the run used for the full report.
+void WriteHtmlRunReport(const ExperimentResult& result,
+                        const sched::ServiceClassSet& classes,
+                        const obs::Telemetry* telemetry,
+                        const HtmlReportOptions& options,
+                        std::ostream& out);
+
+}  // namespace qsched::harness
+
+#endif  // QSCHED_HARNESS_HTML_REPORT_H_

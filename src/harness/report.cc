@@ -57,6 +57,38 @@ void PrintPerformanceReport(const ExperimentResult& result,
                        result.num_periods);
     }
     out << "\n";
+    out << "slo_attainment:";
+    for (const sched::ServiceClassSpec& spec : classes.classes()) {
+      auto it = result.attainment_ratio.find(spec.class_id);
+      out << StrPrintf(" class%d=%.3f", spec.class_id,
+                       it != result.attainment_ratio.end() ? it->second
+                                                           : 0.0);
+    }
+    out << "\n";
+    if (!result.interval_attainment.empty()) {
+      // Control-interval-granularity view (telemetry-enabled Query
+      // Scheduler runs): finer than the per-period figures above.
+      out << "interval_attainment:";
+      for (const auto& [class_id, ratio] : result.interval_attainment) {
+        auto events_it = result.slo_violation_events.find(class_id);
+        int events = events_it != result.slo_violation_events.end()
+                         ? events_it->second
+                         : 0;
+        out << StrPrintf(" class%d=%.3f(violations=%d)", class_id, ratio,
+                         events);
+      }
+      out << "\n";
+    }
+    if (!result.prediction_residuals.empty()) {
+      out << "model_residuals:";
+      for (const auto& [class_id, stats] : result.prediction_residuals) {
+        out << StrPrintf(" class%d=mae:%.4g,p95:%.4g,bias:%+.4g,n=%llu",
+                         class_id, stats.mean_abs_error,
+                         stats.p95_abs_error, stats.bias,
+                         static_cast<unsigned long long>(stats.count));
+      }
+      out << "\n";
+    }
     out << StrPrintf(
         "cpu_util=%.2f disk_util=%.2f total_completed=%llu\n",
         result.cpu_utilization, result.disk_utilization,

@@ -80,4 +80,14 @@ int PeriodCollector::PeriodsMeetingGoal(
   return met;
 }
 
+double PeriodCollector::AttainmentRatio(
+    const sched::ServiceClassSpec& spec) const {
+  int with_data = 0;
+  for (int p = 0; p < num_periods(); ++p) {
+    if (Get(p, spec.class_id).completed > 0) ++with_data;
+  }
+  if (with_data == 0) return 0.0;
+  return static_cast<double>(PeriodsMeetingGoal(spec)) / with_data;
+}
+
 }  // namespace qsched::metrics

@@ -55,6 +55,11 @@ class PeriodCollector {
   /// goals against mean velocity and response goals against mean response.
   int PeriodsMeetingGoal(const sched::ServiceClassSpec& spec) const;
 
+  /// SLO attainment: PeriodsMeetingGoal over the periods that completed
+  /// at least one query of the class (idle periods are neither met nor
+  /// missed). 0 when no period has data.
+  double AttainmentRatio(const sched::ServiceClassSpec& spec) const;
+
   uint64_t total_records() const { return total_records_; }
 
  private:

@@ -152,6 +152,7 @@ PlannerAuditLog::PlannerAuditLog(size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
 
 void PlannerAuditLog::Add(PlannerAuditRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (records_.size() >= capacity_) {
     records_.pop_front();
     ++dropped_;
@@ -159,7 +160,18 @@ void PlannerAuditLog::Add(PlannerAuditRecord record) {
   records_.push_back(std::move(record));
 }
 
+size_t PlannerAuditLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+uint64_t PlannerAuditLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
 void PlannerAuditLog::WriteJsonl(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const PlannerAuditRecord& record : records_) {
     out << ToJson(record) << "\n";
   }

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -62,7 +63,9 @@ std::string ToJson(const PlannerAuditRecord& record);
 bool ParsePlannerAuditRecord(const std::string& json,
                              PlannerAuditRecord* out);
 
-/// Bounded decision log (drop-oldest with a counter), exportable as JSONL.
+/// Bounded decision log (drop-oldest with a counter), exportable as
+/// JSONL. Add and the counters are thread-safe; records() hands back a
+/// reference, so only read it after concurrent writers have quiesced.
 class PlannerAuditLog {
  public:
   explicit PlannerAuditLog(size_t capacity = 1 << 16);
@@ -72,14 +75,15 @@ class PlannerAuditLog {
 
   void Add(PlannerAuditRecord record);
 
-  size_t size() const { return records_.size(); }
-  uint64_t dropped() const { return dropped_; }
+  size_t size() const;
+  uint64_t dropped() const;
   const std::deque<PlannerAuditRecord>& records() const { return records_; }
 
   /// One ToJson line per record.
   void WriteJsonl(std::ostream& out) const;
 
  private:
+  mutable std::mutex mu_;
   size_t capacity_;
   std::deque<PlannerAuditRecord> records_;
   uint64_t dropped_ = 0;

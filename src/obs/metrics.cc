@@ -9,6 +9,7 @@
 namespace qsched::obs {
 
 void Histogram::Record(double value) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (count_ == 0) {
     min_ = value;
     max_ = value;
@@ -19,6 +20,36 @@ void Histogram::Record(double value) {
   ++count_;
   sum_ += value;
   ++buckets_[static_cast<size_t>(BucketIndex(value))];
+}
+
+uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0.0 : min_;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0.0 : max_;
+}
+
+double Histogram::Mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+std::array<uint64_t, Histogram::kNumBuckets> Histogram::buckets() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buckets_;
 }
 
 int Histogram::BucketIndex(double value) {
@@ -41,6 +72,11 @@ double Histogram::BucketUpperEdge(int index) {
 }
 
 double Histogram::Quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return QuantileLocked(q);
+}
+
+double Histogram::QuantileLocked(double q) const {
   if (count_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
   double target = q * static_cast<double>(count_);
@@ -63,6 +99,7 @@ double Histogram::Quantile(double q) const {
 Registry::Entry* Registry::FindOrCreate(const std::string& name,
                                         const std::string& labels,
                                         MetricKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto key = std::make_pair(name, labels);
   auto it = entries_.find(key);
   if (it != entries_.end()) {
@@ -102,7 +139,13 @@ Histogram* Registry::GetHistogram(const std::string& name,
       ->histogram.get();
 }
 
+size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
 std::vector<MetricSnapshot> Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<MetricSnapshot> out;
   out.reserve(entries_.size());
   for (const auto& [key, entry] : entries_) {
@@ -150,6 +193,7 @@ std::string SampleName(const std::string& name, const std::string& labels,
 }  // namespace
 
 void Registry::WritePrometheus(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const std::string* last_family = nullptr;
   for (const auto& [key, entry] : entries_) {
     const std::string& name = key.first;

@@ -2,9 +2,11 @@
 #define QSCHED_OBS_METRICS_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <utility>
@@ -15,24 +17,35 @@ namespace qsched::obs {
 /// Monotonically increasing event count. Recording is O(1) and
 /// allocation-free; handles returned by Registry stay valid for its
 /// lifetime, so hot paths cache the pointer once and increment directly.
+/// Increments are relaxed atomics, so concurrent writers lose nothing.
 class Counter {
  public:
-  void Inc(uint64_t delta = 1) { value_ += delta; }
-  uint64_t value() const { return value_; }
+  void Inc(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  uint64_t value_ = 0;
+  std::atomic<uint64_t> value_{0};
 };
 
 /// Point-in-time value (queue depth, utilization, current limit).
+/// Atomic set/add so concurrent writers never tear the double.
 class Gauge {
  public:
-  void Set(double value) { value_ = value; }
-  void Add(double delta) { value_ += delta; }
-  double value() const { return value_; }
+  void Set(double value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void Add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// Log-bucketed histogram: fixed bucket array whose edges grow
@@ -41,6 +54,8 @@ class Gauge {
 /// byte counts. Record() is O(1) with no allocation; quantiles are
 /// estimated by log-linear interpolation inside the winning bucket, so
 /// the estimate is within one bucket width (<19%) of the true value.
+/// Record and the readers take an internal mutex, so counts stay exact
+/// under concurrent writers.
 class Histogram {
  public:
   static constexpr double kMinValue = 1e-6;
@@ -49,14 +64,18 @@ class Histogram {
   /// absorbs overflow.
   static constexpr int kNumBuckets = 168;
 
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
   void Record(double value);
 
-  uint64_t count() const { return count_; }
-  double sum() const { return sum_; }
+  uint64_t count() const;
+  double sum() const;
   /// Exact observed extremes (0 when empty).
-  double min() const { return count_ == 0 ? 0.0 : min_; }
-  double max() const { return count_ == 0 ? 0.0 : max_; }
-  double Mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double min() const;
+  double max() const;
+  double Mean() const;
 
   /// Estimated q-quantile, q in [0, 1]; clamped to [min(), max()].
   /// Returns 0 when empty.
@@ -67,11 +86,13 @@ class Histogram {
   /// Lower/upper value edges of bucket `index` (bucket 0 starts at 0).
   static double BucketLowerEdge(int index);
   static double BucketUpperEdge(int index);
-  const std::array<uint64_t, kNumBuckets>& buckets() const {
-    return buckets_;
-  }
+  /// Copy of the bucket counts (consistent under the lock).
+  std::array<uint64_t, kNumBuckets> buckets() const;
 
  private:
+  double QuantileLocked(double q) const;
+
+  mutable std::mutex mu_;
   std::array<uint64_t, kNumBuckets> buckets_{};
   uint64_t count_ = 0;
   double sum_ = 0.0;
@@ -101,9 +122,11 @@ struct MetricSnapshot {
 
 /// Named metric store. Get* registers on first use and returns the same
 /// stable pointer on every later call with the same (name, labels) pair;
-/// asking for an existing name with a different kind aborts. The registry
-/// is not thread-safe (the simulator is single-threaded); the returned
-/// metric objects are plain memory writes.
+/// asking for an existing name with a different kind aborts. Lookup and
+/// export take an internal mutex, and the metric objects themselves are
+/// atomic (counters/gauges) or locked (histograms), so several
+/// replication workers may hammer one shared registry; single-threaded
+/// simulation paths pay only uncontended atomics.
 class Registry {
  public:
   Registry() = default;
@@ -116,7 +139,7 @@ class Registry {
   Histogram* GetHistogram(const std::string& name,
                           const std::string& labels = "");
 
-  size_t size() const { return entries_.size(); }
+  size_t size() const;
 
   std::vector<MetricSnapshot> Snapshot() const;
 
@@ -136,6 +159,7 @@ class Registry {
   Entry* FindOrCreate(const std::string& name, const std::string& labels,
                       MetricKind kind);
 
+  mutable std::mutex mu_;
   /// Ordered by (name, labels) so exposition groups families naturally.
   std::map<std::pair<std::string, std::string>, Entry> entries_;
 };

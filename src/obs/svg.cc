@@ -1,0 +1,271 @@
+#include "obs/svg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/strings.h"
+
+namespace qsched::obs {
+
+namespace {
+
+constexpr double kMarginLeft = 56.0;
+constexpr double kMarginRight = 16.0;
+constexpr double kMarginTop = 22.0;
+constexpr double kMarginBottom = 40.0;
+
+/// Largest "nice" step (1/2/5 x 10^k) giving at most `max_ticks` ticks
+/// over `span`.
+double NiceStep(double span, int max_ticks) {
+  if (span <= 0.0) return 1.0;
+  double rough = span / static_cast<double>(max_ticks);
+  double magnitude = std::pow(10.0, std::floor(std::log10(rough)));
+  for (double mult : {1.0, 2.0, 5.0, 10.0}) {
+    if (magnitude * mult >= rough) return magnitude * mult;
+  }
+  return magnitude * 10.0;
+}
+
+/// Tick label: trims trailing zeros, switches to scientific form for
+/// very large/small magnitudes (cost limits in timerons).
+std::string TickLabel(double value) {
+  double magnitude = std::abs(value);
+  if (magnitude >= 1e5) {
+    return StrPrintf("%.3gk", value / 1000.0);
+  }
+  if (magnitude > 0.0 && magnitude < 1e-3) {
+    return StrPrintf("%.1e", value);
+  }
+  std::string text = StrPrintf("%.4g", value);
+  return text;
+}
+
+struct Range {
+  double min = 0.0;
+  double max = 1.0;
+};
+
+Range DataRange(const SvgChartSpec& spec) {
+  Range range;
+  if (spec.y_min < spec.y_max) {
+    range.min = spec.y_min;
+    range.max = spec.y_max;
+    return range;
+  }
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const SvgSeries& series : spec.series) {
+    for (double y : series.ys) {
+      lo = std::min(lo, y);
+      hi = std::max(hi, y);
+    }
+  }
+  for (const SvgReferenceLine& line : spec.reference_lines) {
+    lo = std::min(lo, line.y);
+    hi = std::max(hi, line.y);
+  }
+  if (!(lo <= hi)) return range;  // no data
+  // Zero-anchor non-negative data (bars-law honesty also suits lines
+  // whose magnitude matters); pad 8% headroom at the top.
+  if (lo >= 0.0) lo = 0.0;
+  double pad = 0.08 * (hi - lo);
+  if (pad <= 0.0) pad = hi != 0.0 ? 0.08 * std::abs(hi) : 1.0;
+  range.min = lo;
+  range.max = hi + pad;
+  return range;
+}
+
+Range XRange(const SvgChartSpec& spec) {
+  Range range;
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const SvgSeries& series : spec.series) {
+    for (double x : series.xs) {
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+    }
+  }
+  if (!(lo < hi)) {
+    range.min = lo <= hi ? lo - 0.5 : 0.0;
+    range.max = lo <= hi ? hi + 0.5 : 1.0;
+    return range;
+  }
+  range.min = lo;
+  range.max = hi;
+  return range;
+}
+
+}  // namespace
+
+std::string HtmlEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string RenderLineChart(const SvgChartSpec& spec) {
+  double w = static_cast<double>(spec.width);
+  double h = static_cast<double>(spec.height);
+  double plot_w = w - kMarginLeft - kMarginRight;
+  double plot_h = h - kMarginTop - kMarginBottom;
+  Range xr = XRange(spec);
+  Range yr = DataRange(spec);
+
+  auto x_of = [&](double x) {
+    return kMarginLeft + (x - xr.min) / (xr.max - xr.min) * plot_w;
+  };
+  auto y_of = [&](double y) {
+    return kMarginTop + (1.0 - (y - yr.min) / (yr.max - yr.min)) * plot_h;
+  };
+
+  std::string svg = StrPrintf(
+      "<svg viewBox=\"0 0 %d %d\" width=\"%d\" height=\"%d\" "
+      "style=\"max-width:100%%;height:auto\" role=\"img\" "
+      "font-family=\"system-ui,-apple-system,'Segoe UI',sans-serif\">\n",
+      spec.width, spec.height, spec.width, spec.height);
+
+  // Horizontal gridlines + y tick labels (recessive hairlines).
+  double y_step = NiceStep(yr.max - yr.min, 5);
+  double first_tick = std::ceil(yr.min / y_step) * y_step;
+  for (double tick = first_tick; tick <= yr.max + 1e-9 * y_step;
+       tick += y_step) {
+    double py = y_of(tick);
+    svg += StrPrintf(
+        "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" "
+        "stroke=\"var(--grid)\" stroke-width=\"1\"/>\n",
+        kMarginLeft, py, w - kMarginRight, py);
+    svg += StrPrintf(
+        "<text x=\"%.1f\" y=\"%.1f\" text-anchor=\"end\" "
+        "font-size=\"11\" fill=\"var(--ink-muted)\">%s</text>\n",
+        kMarginLeft - 6.0, py + 3.5, TickLabel(tick).c_str());
+  }
+
+  // X ticks along the baseline.
+  double x_step = NiceStep(xr.max - xr.min, 7);
+  double first_x = std::ceil(xr.min / x_step) * x_step;
+  for (double tick = first_x; tick <= xr.max + 1e-9 * x_step;
+       tick += x_step) {
+    double px = x_of(tick);
+    svg += StrPrintf(
+        "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" "
+        "stroke=\"var(--axis)\" stroke-width=\"1\"/>\n",
+        px, h - kMarginBottom, px, h - kMarginBottom + 4.0);
+    svg += StrPrintf(
+        "<text x=\"%.1f\" y=\"%.1f\" text-anchor=\"middle\" "
+        "font-size=\"11\" fill=\"var(--ink-muted)\">%s</text>\n",
+        px, h - kMarginBottom + 16.0, TickLabel(tick).c_str());
+  }
+
+  // Baseline axis.
+  svg += StrPrintf(
+      "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" "
+      "stroke=\"var(--axis)\" stroke-width=\"1\"/>\n",
+      kMarginLeft, h - kMarginBottom, w - kMarginRight,
+      h - kMarginBottom);
+
+  // Axis titles: y horizontal at top-left, x centered underneath.
+  if (!spec.y_label.empty()) {
+    svg += StrPrintf(
+        "<text x=\"%.1f\" y=\"%.1f\" font-size=\"11\" "
+        "fill=\"var(--ink-secondary)\">%s</text>\n",
+        2.0, 12.0, HtmlEscape(spec.y_label).c_str());
+  }
+  if (!spec.x_label.empty()) {
+    svg += StrPrintf(
+        "<text x=\"%.1f\" y=\"%.1f\" text-anchor=\"middle\" "
+        "font-size=\"11\" fill=\"var(--ink-secondary)\">%s</text>\n",
+        kMarginLeft + plot_w / 2.0, h - 6.0,
+        HtmlEscape(spec.x_label).c_str());
+  }
+
+  // Reference (goal) lines: dashed, entity-colored, labeled at the
+  // right edge.
+  for (const SvgReferenceLine& line : spec.reference_lines) {
+    if (line.y < yr.min || line.y > yr.max) continue;
+    double py = y_of(line.y);
+    svg += StrPrintf(
+        "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" "
+        "stroke=\"var(--series-%d)\" stroke-width=\"1.5\" "
+        "stroke-dasharray=\"6 4\" opacity=\"0.7\"/>\n",
+        kMarginLeft, py, w - kMarginRight, py, line.color_slot);
+    svg += StrPrintf(
+        "<text x=\"%.1f\" y=\"%.1f\" text-anchor=\"end\" "
+        "font-size=\"10\" fill=\"var(--ink-secondary)\">%s</text>\n",
+        w - kMarginRight - 2.0, py - 4.0,
+        HtmlEscape(line.label).c_str());
+  }
+
+  // Series polylines (2px) plus hover markers when sparse enough.
+  for (const SvgSeries& series : spec.series) {
+    size_t n = std::min(series.xs.size(), series.ys.size());
+    if (n == 0) continue;
+    std::string points;
+    for (size_t i = 0; i < n; ++i) {
+      points += StrPrintf("%.1f,%.1f ", x_of(series.xs[i]),
+                          y_of(series.ys[i]));
+    }
+    svg += StrPrintf(
+        "<polyline points=\"%s\" fill=\"none\" "
+        "stroke=\"var(--series-%d)\" stroke-width=\"2\" "
+        "stroke-linejoin=\"round\"%s><title>%s</title></polyline>\n",
+        points.c_str(), series.color_slot,
+        series.dashed ? " stroke-dasharray=\"4 3\"" : "",
+        HtmlEscape(series.label).c_str());
+    if (n <= static_cast<size_t>(spec.max_marker_points)) {
+      for (size_t i = 0; i < n; ++i) {
+        svg += StrPrintf(
+            "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"3\" "
+            "fill=\"var(--series-%d)\" stroke=\"var(--surface)\" "
+            "stroke-width=\"1\"><title>%s: (%s, %s)</title></circle>\n",
+            x_of(series.xs[i]), y_of(series.ys[i]), series.color_slot,
+            HtmlEscape(series.label).c_str(),
+            TickLabel(series.xs[i]).c_str(),
+            TickLabel(series.ys[i]).c_str());
+      }
+    }
+  }
+
+  // Legend: always present for >= 2 series, top-right inside the plot;
+  // a single series is named by the chart heading instead.
+  if (spec.series.size() >= 2) {
+    double lx = w - kMarginRight - 8.0;
+    double ly = kMarginTop + 4.0;
+    double row = 0.0;
+    for (const SvgSeries& series : spec.series) {
+      double ty = ly + row * 16.0;
+      svg += StrPrintf(
+          "<rect x=\"%.1f\" y=\"%.1f\" width=\"10\" height=\"10\" "
+          "rx=\"2\" fill=\"var(--series-%d)\"/>\n",
+          lx - 10.0, ty, series.color_slot);
+      svg += StrPrintf(
+          "<text x=\"%.1f\" y=\"%.1f\" text-anchor=\"end\" "
+          "font-size=\"11\" fill=\"var(--ink-secondary)\">%s</text>\n",
+          lx - 16.0, ty + 9.0, HtmlEscape(series.label).c_str());
+      row += 1.0;
+    }
+  }
+
+  svg += "</svg>\n";
+  return svg;
+}
+
+}  // namespace qsched::obs

@@ -1,0 +1,57 @@
+#ifndef QSCHED_OBS_SVG_H_
+#define QSCHED_OBS_SVG_H_
+
+#include <string>
+#include <vector>
+
+namespace qsched::obs {
+
+/// One plotted series. `color_slot` indexes the document's categorical
+/// palette (CSS custom properties --series-1..--series-8); the slot is
+/// assigned to the entity (service class) once and reused across every
+/// chart so color follows identity.
+struct SvgSeries {
+  std::string label;
+  std::vector<double> xs;
+  std::vector<double> ys;
+  int color_slot = 1;
+  bool dashed = false;
+};
+
+/// Horizontal reference line (an SLO goal). Colored like the series of
+/// the class it belongs to; drawn dashed so it never reads as data.
+struct SvgReferenceLine {
+  std::string label;
+  double y = 0.0;
+  int color_slot = 1;
+};
+
+/// A single line chart rendered as one self-contained inline <svg>.
+/// Axes, gridlines and text use the document's chrome custom properties
+/// (--grid, --axis, --ink-muted, --ink-secondary).
+struct SvgChartSpec {
+  std::string x_label;
+  std::string y_label;
+  std::vector<SvgSeries> series;
+  std::vector<SvgReferenceLine> reference_lines;
+  int width = 760;
+  int height = 300;
+  /// Force the y range; when min >= max the range is derived from data
+  /// (padded, zero-anchored when all values are non-negative and near 0).
+  double y_min = 0.0;
+  double y_max = 0.0;
+  /// Draw circle markers with native <title> hover tooltips when a
+  /// series has at most this many points (dense series stay line-only).
+  int max_marker_points = 96;
+};
+
+/// Escapes &, <, >, " for text nodes and attribute values.
+std::string HtmlEscape(const std::string& text);
+
+/// Renders the chart. Empty/degenerate input produces a valid empty
+/// chart frame rather than failing.
+std::string RenderLineChart(const SvgChartSpec& spec);
+
+}  // namespace qsched::obs
+
+#endif  // QSCHED_OBS_SVG_H_

@@ -1,6 +1,7 @@
 #include "scheduler/query_scheduler.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "common/logging.h"
@@ -58,6 +59,8 @@ QueryScheduler::QueryScheduler(sim::Simulator* simulator,
       handles.slo_goal_ratio =
           reg.GetGauge("qsched_slo_goal_ratio", labels);
       handles.cost_limit = reg.GetGauge("qsched_cost_limit", labels);
+      handles.slo_attainment =
+          reg.GetGauge("qsched_slo_attainment", labels);
       handles.slo_goal->Set(spec.goal_value);
       handles.slo_measured->Set(measured_[spec.class_id]);
       handles.slo_goal_ratio->Set(
@@ -244,10 +247,15 @@ void QueryScheduler::PlanOnce() {
     }
     input.classes.push_back(state);
   }
+  auto solve_start = std::chrono::steady_clock::now();
   SchedulingPlan target =
       config_.allocator == QuerySchedulerConfig::Allocator::kGreedyAuction
           ? greedy_.Solve(input)
           : solver_.Solve(input);
+  double solver_wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    solve_start)
+          .count();
 
   // Rate-limit: move only part of the way toward the optimum, then
   // renormalize so the limits still sum to the system cost limit.
@@ -273,7 +281,8 @@ void QueryScheduler::PlanOnce() {
   if (telemetry_ != nullptr) {
     // Audit before SetPlan so queue depths reflect what the planner saw,
     // not the releases the new plan triggers.
-    RecordPlanAudit(stats, signals, raw, oltp_response, target, next);
+    RecordPlanAudit(stats, signals, raw, oltp_response, input, target,
+                    next, solver_wall_seconds);
   }
   dispatcher_.SetPlan(next);
 }
@@ -282,7 +291,8 @@ void QueryScheduler::RecordPlanAudit(
     const std::map<int, ClassIntervalStats>& stats,
     const std::map<int, WorkloadSignal>& signals,
     const std::map<int, double>& raw, double oltp_response,
-    const SchedulingPlan& target, const SchedulingPlan& next) {
+    const SolverInput& input, const SchedulingPlan& target,
+    const SchedulingPlan& next, double solver_wall_seconds) {
   planning_cycles_counter_->Inc();
   planner_utility_gauge_->Set(target.predicted_utility);
 
@@ -296,6 +306,11 @@ void QueryScheduler::RecordPlanAudit(
       config_.allocator == QuerySchedulerConfig::Allocator::kGreedyAuction
           ? "greedy-auction"
           : "utility-search";
+  obs::IntervalRow row;
+  row.interval = planning_cycles_;
+  row.sim_time = record.sim_time;
+  row.solver_wall_seconds = solver_wall_seconds;
+  row.solver_utility = target.predicted_utility;
   for (const ServiceClassSpec& spec : classes_->classes()) {
     obs::PlannerAuditClass cls;
     cls.class_id = spec.class_id;
@@ -322,15 +337,49 @@ void QueryScheduler::RecordPlanAudit(
     cls.enforced_limit = next.LimitFor(spec.class_id);
     record.classes.push_back(cls);
 
+    // Resolve last interval's prediction against the same smoothed
+    // measurement the audit record carries (bit-identical doubles), then
+    // fold this interval into the attainment windows.
+    telemetry_->ledger.Observe(planning_cycles_, spec.class_id,
+                               cls.measured_smoothed);
+    telemetry_->slo.Observe(spec.class_id, planning_cycles_,
+                            record.sim_time, cls.goal_ratio);
+
+    obs::IntervalClassSample sample;
+    sample.class_id = spec.class_id;
+    sample.is_oltp = cls.is_oltp;
+    sample.cost_limit = cls.enforced_limit;
+    sample.measured = cls.measured_smoothed;
+    sample.goal_ratio = cls.goal_ratio;
+    sample.queue_depth = cls.queue_depth;
+    sample.admitted_cost = cls.running_cost;
+    sample.completed_in_interval = cls.completed_in_interval;
+    row.classes.push_back(sample);
+
     auto handle_it = class_telemetry_.find(spec.class_id);
     if (handle_it != class_telemetry_.end()) {
       ClassTelemetry& handles = handle_it->second;
       handles.slo_measured->Set(cls.measured_smoothed);
       handles.slo_goal_ratio->Set(cls.goal_ratio);
       handles.cost_limit->Set(cls.enforced_limit);
+      handles.slo_attainment->Set(
+          telemetry_->slo.RollingAttainment(spec.class_id));
     }
   }
   telemetry_->audit.Add(std::move(record));
+  telemetry_->recorder.Append(std::move(row));
+
+  // What the planner expects each class to deliver next interval under
+  // the plan it just enforced — resolved when interval k+1 lands above.
+  std::map<int, double> predicted = PredictPerformance(input, next);
+  double slope = oltp_model_.slope();
+  for (const ServiceClassSpec& spec : classes_->classes()) {
+    auto it = predicted.find(spec.class_id);
+    if (it == predicted.end()) continue;
+    telemetry_->ledger.Predict(planning_cycles_, spec.class_id,
+                               spec.type == workload::WorkloadType::kOltp,
+                               it->second, slope);
+  }
 }
 
 }  // namespace qsched::sched

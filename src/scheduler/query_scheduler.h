@@ -120,19 +120,26 @@ class QueryScheduler : public workload::QueryFrontend {
     obs::Gauge* slo_measured = nullptr;
     obs::Gauge* slo_goal_ratio = nullptr;
     obs::Gauge* cost_limit = nullptr;
+    obs::Gauge* slo_attainment = nullptr;
   };
 
   /// One Scheduling Planner cycle: harvest measurements, update the OLTP
   /// model, solve for new limits, hand the plan to the Dispatcher.
   void PlanOnce();
-  /// Builds the per-interval decision audit record and refreshes the SLO
-  /// gauges. `raw` holds the un-smoothed interval measurements (-1 when
-  /// a class had none).
+  /// Builds the per-interval decision audit record, refreshes the SLO
+  /// gauges, and feeds the derived observability layer: resolves last
+  /// interval's predictions in the ledger, observes SLO attainment,
+  /// appends the interval time-series row, and records this interval's
+  /// model predictions for the enforced plan. `raw` holds the un-smoothed
+  /// interval measurements (-1 when a class had none); `input` is the
+  /// exact state the Performance Solver searched with.
   void RecordPlanAudit(const std::map<int, ClassIntervalStats>& stats,
                        const std::map<int, WorkloadSignal>& signals,
                        const std::map<int, double>& raw,
-                       double oltp_response, const SchedulingPlan& target,
-                       const SchedulingPlan& next);
+                       double oltp_response, const SolverInput& input,
+                       const SchedulingPlan& target,
+                       const SchedulingPlan& next,
+                       double solver_wall_seconds);
   /// The Classifier: validates the query's class against the class set.
   bool Classify(const workload::Query& query) const;
   SchedulingPlan InitialPlan() const;

@@ -18,6 +18,36 @@ double SchedulingPlan::Total() const {
   return total;
 }
 
+std::map<int, double> PredictPerformance(const SolverInput& input,
+                                         const SchedulingPlan& plan) {
+  double olap_old = 0.0;
+  double olap_new = 0.0;
+  for (const auto& cls : input.classes) {
+    if (cls.spec->type == workload::WorkloadType::kOlap) {
+      olap_old += cls.current_limit;
+      olap_new += plan.LimitFor(cls.spec->class_id);
+    }
+  }
+  std::map<int, double> predicted;
+  for (const auto& cls : input.classes) {
+    double new_limit = plan.LimitFor(cls.spec->class_id);
+    double value;
+    if (cls.spec->type == workload::WorkloadType::kOlap) {
+      value = OlapVelocityModel::Predict(cls.measured, cls.current_limit,
+                                         new_limit);
+    } else if (cls.directly_controlled) {
+      double old_limit = std::max(cls.current_limit, 1e-6);
+      value = cls.measured * old_limit / std::max(new_limit, 1e-6);
+    } else {
+      QSCHED_CHECK(input.oltp_model != nullptr)
+          << "OLTP class present but no response model";
+      value = input.oltp_model->Predict(cls.measured, olap_old, olap_new);
+    }
+    predicted[cls.spec->class_id] = value;
+  }
+  return predicted;
+}
+
 PerformanceSolver::PerformanceSolver(Options options)
     : options_(std::move(options)) {}
 

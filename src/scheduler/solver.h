@@ -43,6 +43,16 @@ struct SolverInput {
   const OltpResponseModel* oltp_model = nullptr;
 };
 
+/// Per-class performance predicted by the planner's models (OLAP velocity
+/// scaling, OLTP linear response regression, or direct inverse scaling)
+/// if `plan` were enforced, given the measurements in `input`. This is
+/// the same model the solvers search with, exposed so the prediction
+/// ledger can record exactly what the planner expected before the next
+/// interval's measurements arrive. Keyed by class id; velocity for OLAP,
+/// response seconds for OLTP.
+std::map<int, double> PredictPerformance(const SolverInput& input,
+                                         const SchedulingPlan& plan);
+
 /// The paper's Performance Solver: chooses class cost limits summing to
 /// the system cost limit that maximize total utility, using the OLAP
 /// velocity model and the OLTP linear response model to predict each

@@ -11,10 +11,12 @@
 #include <string>
 
 #include "common/rng.h"
+#include "common/strings.h"
 #include "engine/execution_engine.h"
 #include "obs/audit.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "obs/svg.h"
 #include "obs/telemetry.h"
 #include "scheduler/query_scheduler.h"
 #include "sim/simulator.h"
@@ -400,6 +402,300 @@ TEST(PlannerAuditTest, DropOldestAtCapacity) {
 }
 
 // ---------------------------------------------------------------------
+// TimeSeriesRecorder
+
+IntervalRow MakeIntervalRow(uint64_t interval) {
+  IntervalRow row;
+  row.interval = interval;
+  row.sim_time = 60.0 * static_cast<double>(interval);
+  row.solver_wall_seconds = 1e-4;
+  row.solver_utility = 2.5;
+  IntervalClassSample olap;
+  olap.class_id = 1;
+  olap.cost_limit = 150000.0;
+  olap.measured = 0.75;
+  olap.goal_ratio = 1.07142857;
+  olap.queue_depth = 3;
+  olap.admitted_cost = 42000.0;
+  olap.completed_in_interval = 2;
+  IntervalClassSample oltp;
+  oltp.class_id = 3;
+  oltp.is_oltp = true;
+  oltp.cost_limit = 50000.0;
+  oltp.measured = 1.8;
+  oltp.goal_ratio = 1.11;
+  row.classes = {olap, oltp};
+  return row;
+}
+
+TEST(TimeSeriesRecorderTest, AppendAndReadBack) {
+  TimeSeriesRecorder recorder;
+  recorder.Append(MakeIntervalRow(1));
+  recorder.Append(MakeIntervalRow(2));
+  EXPECT_EQ(recorder.size(), 2u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+  std::vector<IntervalRow> rows = recorder.Rows();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].interval, 1u);
+  EXPECT_EQ(rows[1].interval, 2u);
+  ASSERT_EQ(rows[0].classes.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows[0].classes[0].cost_limit, 150000.0);
+  EXPECT_TRUE(rows[0].classes[1].is_oltp);
+}
+
+TEST(TimeSeriesRecorderTest, CsvIsLongFormatOneLinePerClass) {
+  TimeSeriesRecorder recorder;
+  recorder.Append(MakeIntervalRow(1));
+  std::ostringstream out;
+  recorder.WriteCsv(out);
+  const std::string csv = out.str();
+  EXPECT_TRUE(Contains(
+      csv,
+      "interval,sim_time,class_id,is_oltp,cost_limit,measured,"
+      "goal_ratio,queue_depth,admitted_cost,completed_in_interval,"
+      "solver_wall_seconds,solver_utility"));
+  // One interval with two classes -> header + two data lines.
+  int lines = 0;
+  for (char c : csv) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 3);
+  EXPECT_TRUE(Contains(csv, "1,60,1,0,150000,0.75,"));
+  EXPECT_TRUE(Contains(csv, "1,60,3,1,50000,1.8,"));
+}
+
+TEST(TimeSeriesRecorderTest, JsonCarriesIntervalAndClassColumns) {
+  TimeSeriesRecorder recorder;
+  recorder.Append(MakeIntervalRow(4));
+  std::ostringstream out;
+  recorder.WriteJson(out);
+  const std::string json = out.str();
+  EXPECT_TRUE(Contains(json, "\"interval\":4"));
+  EXPECT_TRUE(Contains(json, "\"sim_time\":240"));
+  EXPECT_TRUE(Contains(json, "\"solver_utility\":2.5"));
+  EXPECT_TRUE(Contains(json, "\"is_oltp\":true"));
+  EXPECT_TRUE(Contains(json, "\"admitted_cost\":42000"));
+  // Valid JSON array delimiters.
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json[json.size() - 2], ']');
+}
+
+TEST(TimeSeriesRecorderTest, DropOldestAtCapacity) {
+  TimeSeriesRecorder recorder(2);
+  recorder.Append(MakeIntervalRow(1));
+  recorder.Append(MakeIntervalRow(2));
+  recorder.Append(MakeIntervalRow(3));
+  EXPECT_EQ(recorder.size(), 2u);
+  EXPECT_EQ(recorder.dropped(), 1u);
+  std::vector<IntervalRow> rows = recorder.Rows();
+  EXPECT_EQ(rows.front().interval, 2u);
+  EXPECT_EQ(rows.back().interval, 3u);
+}
+
+// ---------------------------------------------------------------------
+// PredictionLedger
+
+TEST(PredictionLedgerTest, PredictionResolvesAgainstNextInterval) {
+  PredictionLedger ledger;
+  ledger.Predict(1, 1, false, 0.8, 0.0);
+  // Wrong interval: the pending record targets 2, so 3 is a no-op.
+  ledger.Observe(3, 1, 0.7);
+  EXPECT_EQ(ledger.StatsFor(1).count, 0u);
+  ledger.Observe(2, 1, 0.7);
+  std::vector<PredictionRecord> records = ledger.Records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(records[0].resolved);
+  EXPECT_EQ(records[0].predicted_at, 1u);
+  EXPECT_EQ(records[0].target_interval, 2u);
+  EXPECT_DOUBLE_EQ(records[0].observed, 0.7);
+  const ResidualStats stats = ledger.StatsFor(1);
+  EXPECT_EQ(stats.count, 1u);
+  EXPECT_NEAR(stats.mean_abs_error, 0.1, 1e-12);
+  EXPECT_NEAR(stats.bias, -0.1, 1e-12);
+}
+
+TEST(PredictionLedgerTest, ObserveWithoutPendingIsNoOp) {
+  PredictionLedger ledger;
+  ledger.Observe(1, 1, 0.5);  // first interval: nothing predicted yet
+  EXPECT_EQ(ledger.size(), 0u);
+  EXPECT_EQ(ledger.StatsFor(1).count, 0u);
+}
+
+TEST(PredictionLedgerTest, ResidualStatsExactP95) {
+  PredictionLedger ledger;
+  // 20 resolved predictions for class 7 with |error| = 0.01 .. 0.20.
+  for (int i = 1; i <= 20; ++i) {
+    ledger.Predict(static_cast<uint64_t>(i), 7, true, 1.0, 1e-5);
+    ledger.Observe(static_cast<uint64_t>(i) + 1, 7, 1.0 + 0.01 * i);
+  }
+  const ResidualStats stats = ledger.StatsFor(7);
+  EXPECT_EQ(stats.count, 20u);
+  EXPECT_NEAR(stats.mean_abs_error, 0.105, 1e-9);
+  EXPECT_NEAR(stats.bias, 0.105, 1e-9);  // model underpredicts
+  // Exact sorted p95 of {0.01..0.20} with linear interpolation between
+  // order statistics: rank 0.95*19 = 18.05 -> 0.19 + 0.05*0.01.
+  EXPECT_NEAR(stats.p95_abs_error, 0.1905, 1e-9);
+  // All 20 OLTP predictions logged their slope.
+  EXPECT_EQ(ledger.SlopeTrajectory().size(), 20u);
+}
+
+TEST(PredictionLedgerTest, DropOldestKeepsPendingPointerSafe) {
+  PredictionLedger ledger(2);
+  ledger.Predict(1, 1, false, 0.5, 0.0);
+  ledger.Predict(1, 2, false, 0.6, 0.0);
+  // Capacity reached: this drops class 1's pending record.
+  ledger.Predict(1, 3, false, 0.7, 0.0);
+  EXPECT_EQ(ledger.size(), 2u);
+  EXPECT_EQ(ledger.dropped(), 1u);
+  // Resolving the dropped class must not touch freed memory or record
+  // a residual.
+  ledger.Observe(2, 1, 0.4);
+  EXPECT_EQ(ledger.StatsFor(1).count, 0u);
+  // The surviving classes still resolve normally.
+  ledger.Observe(2, 2, 0.6);
+  ledger.Observe(2, 3, 0.7);
+  EXPECT_EQ(ledger.StatsFor(2).count, 1u);
+  EXPECT_EQ(ledger.StatsFor(3).count, 1u);
+}
+
+TEST(PredictionLedgerTest, CsvAndJsonlCarryResolution) {
+  PredictionLedger ledger;
+  ledger.Predict(5, 1, false, 0.75, 0.0);
+  ledger.Observe(6, 1, 0.5);
+  ledger.Predict(6, 1, false, 0.8, 0.0);  // still pending
+  std::ostringstream csv;
+  ledger.WriteCsv(csv);
+  EXPECT_TRUE(Contains(csv.str(),
+                       "predicted_at,target_interval,class_id,is_oltp,"
+                       "predicted,observed,resolved,residual,model_slope"));
+  EXPECT_TRUE(Contains(csv.str(), "5,6,1,0,0.75,0.5,1,-0.25,0"));
+  EXPECT_TRUE(Contains(csv.str(), "6,7,1,0,0.8,-1,0,0,0"));
+  std::ostringstream jsonl;
+  ledger.WriteJsonl(jsonl);
+  EXPECT_TRUE(Contains(jsonl.str(), "\"resolved\":true"));
+  EXPECT_TRUE(Contains(jsonl.str(), "\"resolved\":false"));
+  EXPECT_TRUE(Contains(jsonl.str(), "\"predicted\":0.75"));
+}
+
+// ---------------------------------------------------------------------
+// SloMonitor
+
+TEST(SloMonitorTest, RollingAndOverallAttainment) {
+  SloMonitor::Options options;
+  options.window = 4;
+  SloMonitor slo(options);
+  EXPECT_DOUBLE_EQ(slo.RollingAttainment(1), 0.0);
+  // 6 intervals: miss, miss, meet, meet, meet, meet.
+  const double ratios[] = {0.8, 0.9, 1.0, 1.2, 1.1, 1.0};
+  for (int i = 0; i < 6; ++i) {
+    slo.Observe(1, static_cast<uint64_t>(i + 1), 60.0 * (i + 1),
+                ratios[i]);
+  }
+  EXPECT_EQ(slo.intervals_observed(1), 6u);
+  // Overall: 4 of 6 met.
+  EXPECT_NEAR(slo.OverallAttainment(1), 4.0 / 6.0, 1e-12);
+  // Rolling window of 4: the last four all met.
+  EXPECT_DOUBLE_EQ(slo.RollingAttainment(1), 1.0);
+  // The attainment series has one point per observation.
+  EXPECT_EQ(slo.AttainmentSeries(1).size(), 6u);
+}
+
+TEST(SloMonitorTest, ViolationEventsTrackRunsAndDepth) {
+  SloMonitor slo;
+  // meet, miss, miss(worse), meet, miss -> one closed 2-interval event
+  // and one open single-interval event.
+  slo.Observe(1, 1, 60.0, 1.1);
+  slo.Observe(1, 2, 120.0, 0.9);
+  slo.Observe(1, 3, 180.0, 0.7);
+  slo.Observe(1, 4, 240.0, 1.0);
+  slo.Observe(1, 5, 300.0, 0.95);
+  std::vector<SloViolationEvent> events = slo.EventsFor(1);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].start_interval, 2u);
+  EXPECT_EQ(events[0].end_interval, 3u);
+  EXPECT_EQ(events[0].intervals, 2);
+  EXPECT_DOUBLE_EQ(events[0].worst_ratio, 0.7);
+  EXPECT_DOUBLE_EQ(events[0].duration, 60.0);
+  EXPECT_FALSE(events[0].open);
+  EXPECT_TRUE(events[1].open);
+  EXPECT_EQ(events[1].intervals, 1);
+  // Events are per class: class 2 has none.
+  EXPECT_TRUE(slo.EventsFor(2).empty());
+}
+
+TEST(SloMonitorTest, EventJsonCarriesTypeTag) {
+  SloMonitor slo;
+  slo.Observe(4, 1, 60.0, 0.5);
+  slo.Observe(4, 2, 120.0, 1.5);
+  std::ostringstream out;
+  slo.WriteEventsJsonl(out);
+  const std::string line = out.str();
+  EXPECT_TRUE(Contains(line, "\"type\":\"slo_violation\""));
+  EXPECT_TRUE(Contains(line, "\"class_id\":4"));
+  EXPECT_TRUE(Contains(line, "\"worst_ratio\":0.5"));
+  EXPECT_TRUE(Contains(line, "\"open\":false"));
+}
+
+// ---------------------------------------------------------------------
+// SVG chart rendering
+
+TEST(SvgTest, HtmlEscapeCoversMarkupCharacters) {
+  EXPECT_EQ(HtmlEscape("a<b>&\"c\""), "a&lt;b&gt;&amp;&quot;c&quot;");
+  EXPECT_EQ(HtmlEscape("plain"), "plain");
+}
+
+TEST(SvgTest, RenderLineChartEmitsSeriesAndReferenceLines) {
+  SvgChartSpec spec;
+  spec.x_label = "time (min)";
+  spec.y_label = "velocity";
+  SvgSeries series;
+  series.label = "class 1";
+  series.xs = {0.0, 1.0, 2.0, 3.0};
+  series.ys = {0.2, 0.4, 0.6, 0.8};
+  series.color_slot = 1;
+  spec.series.push_back(series);
+  SvgReferenceLine goal;
+  goal.label = "goal";
+  goal.y = 0.7;
+  goal.color_slot = 1;
+  spec.reference_lines.push_back(goal);
+  const std::string svg = RenderLineChart(spec);
+  EXPECT_TRUE(Contains(svg, "<svg"));
+  EXPECT_TRUE(Contains(svg, "</svg>"));
+  EXPECT_TRUE(Contains(svg, "<polyline"));
+  EXPECT_TRUE(Contains(svg, "var(--series-1)"));
+  EXPECT_TRUE(Contains(svg, "class 1"));
+  EXPECT_TRUE(Contains(svg, "velocity"));
+  // The goal reference line renders dashed.
+  EXPECT_TRUE(Contains(svg, "stroke-dasharray"));
+  // Sparse series get hoverable circle markers with native tooltips.
+  EXPECT_TRUE(Contains(svg, "<circle"));
+  EXPECT_TRUE(Contains(svg, "<title>"));
+}
+
+TEST(SvgTest, EmptySpecStillRendersAValidFrame) {
+  SvgChartSpec spec;
+  const std::string svg = RenderLineChart(spec);
+  EXPECT_TRUE(Contains(svg, "<svg"));
+  EXPECT_TRUE(Contains(svg, "</svg>"));
+}
+
+TEST(SvgTest, DenseSeriesSkipsMarkers) {
+  SvgChartSpec spec;
+  SvgSeries series;
+  series.label = "dense";
+  for (int i = 0; i < 200; ++i) {
+    series.xs.push_back(static_cast<double>(i));
+    series.ys.push_back(std::sin(0.1 * i));
+  }
+  spec.series.push_back(series);
+  spec.max_marker_points = 96;
+  const std::string svg = RenderLineChart(spec);
+  EXPECT_TRUE(Contains(svg, "<polyline"));
+  EXPECT_FALSE(Contains(svg, "<circle"));
+}
+
+// ---------------------------------------------------------------------
 // End-to-end: the scheduler's audit trail vs. the live control loop
 
 workload::Query MakeOlapQuery(uint64_t id, int class_id, double cost) {
@@ -506,6 +802,89 @@ TEST_F(SchedulerAuditTest, AuditLimitsExactlyMatchDispatcherEnforcement) {
         "class=\"" + std::to_string(spec.class_id) + "\"");
     EXPECT_EQ(gauge->value(),
               qs.dispatcher().plan().LimitFor(spec.class_id));
+  }
+}
+
+TEST_F(SchedulerAuditTest, DerivedAnalyticsStayConsistentWithAudit) {
+  Telemetry telemetry;
+  sched::QuerySchedulerConfig config;
+  config.system_cost_limit = 300000.0;
+  config.control_interval_seconds = 50.0;
+  config.telemetry = &telemetry;
+  sched::QueryScheduler qs(&simulator_, &engine_, &classes_, config);
+  qs.Start(400.0);
+  for (int i = 0; i < 8; ++i) {
+    qs.Submit(MakeOlapQuery(100 + i, 1 + i % 2, 30000.0),
+              [](const workload::QueryRecord&) {});
+    qs.Submit(MakeOltpQuery(200 + i, i), [](const workload::QueryRecord&) {});
+  }
+  simulator_.RunUntil(400.0);
+
+  const size_t cycles = telemetry.audit.size();
+  ASSERT_GT(cycles, 2u);
+  const size_t num_classes = classes_.classes().size();
+
+  // One recorder row per audit record, and every recorder column is
+  // bit-for-bit the value the matching audit record carries.
+  ASSERT_EQ(telemetry.recorder.size(), cycles);
+  std::vector<IntervalRow> rows = telemetry.recorder.Rows();
+  size_t i = 0;
+  for (const PlannerAuditRecord& record : telemetry.audit.records()) {
+    const IntervalRow& row = rows[i++];
+    EXPECT_EQ(row.interval, record.interval);
+    EXPECT_EQ(row.sim_time, record.sim_time);
+    ASSERT_EQ(row.classes.size(), record.classes.size());
+    for (size_t c = 0; c < row.classes.size(); ++c) {
+      EXPECT_EQ(row.classes[c].class_id, record.classes[c].class_id);
+      EXPECT_EQ(row.classes[c].cost_limit,
+                record.classes[c].enforced_limit);
+      EXPECT_EQ(row.classes[c].measured,
+                record.classes[c].measured_smoothed);
+      EXPECT_EQ(row.classes[c].goal_ratio, record.classes[c].goal_ratio);
+    }
+  }
+
+  // One prediction per class per cycle; the final cycle's are pending.
+  ASSERT_EQ(telemetry.ledger.size(), cycles * num_classes);
+  for (const PredictionRecord& pred : telemetry.ledger.Records()) {
+    if (!pred.resolved) {
+      EXPECT_EQ(pred.predicted_at, static_cast<uint64_t>(cycles));
+      continue;
+    }
+    // The resolved observation is bit-identical to the smoothed
+    // measurement the audit recorded at the target interval — and so
+    // the %.9g JSONL renderings of the two artifacts agree exactly.
+    const PlannerAuditRecord& target =
+        telemetry.audit.records()[pred.target_interval - 1];
+    ASSERT_EQ(target.interval, pred.target_interval);
+    const PlannerAuditClass* cls = nullptr;
+    for (const PlannerAuditClass& candidate : target.classes) {
+      if (candidate.class_id == pred.class_id) cls = &candidate;
+    }
+    ASSERT_NE(cls, nullptr);
+    EXPECT_EQ(pred.observed, cls->measured_smoothed);
+    EXPECT_EQ(StrPrintf("%.9g", pred.observed),
+              StrPrintf("%.9g", cls->measured_smoothed));
+  }
+
+  // The SLO monitor saw every (class, interval) pair the planner ran.
+  for (const sched::ServiceClassSpec& spec : classes_.classes()) {
+    EXPECT_EQ(telemetry.slo.intervals_observed(spec.class_id),
+              static_cast<uint64_t>(cycles));
+    const double rolling = telemetry.slo.RollingAttainment(spec.class_id);
+    EXPECT_GE(rolling, 0.0);
+    EXPECT_LE(rolling, 1.0);
+    // The attainment gauge published the monitor's rolling value.
+    Gauge* gauge = telemetry.registry.GetGauge(
+        "qsched_slo_attainment",
+        "class=\"" + std::to_string(spec.class_id) + "\"");
+    EXPECT_EQ(gauge->value(), rolling);
+  }
+
+  // Solver wall time is host wall clock: positive, sub-second sane.
+  for (const IntervalRow& row : rows) {
+    EXPECT_GT(row.solver_wall_seconds, 0.0);
+    EXPECT_LT(row.solver_wall_seconds, 10.0);
   }
 }
 

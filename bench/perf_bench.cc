@@ -8,6 +8,10 @@
 //      simulator events/sec end to end.
 //   3. N-way replication, serial (--jobs 1) vs parallel (--jobs J)
 //      wall-clock.
+//   4. Real-time gateway throughput: a wall-clock run of the rt runtime
+//      (MPMC queue -> gateway workers -> live control loop) reporting
+//      sustained submission QPS, p50/p99 admission latency and
+//      completions/sec including the drain.
 //
 // Emits a JSON report (scripts/run_bench.sh writes it to
 // BENCH_qsched.json at the repo root). All numbers are host-dependent;
@@ -33,7 +37,13 @@
 #include "common/rng.h"
 #include "harness/parallel.h"
 #include "harness/replication.h"
+#include "obs/telemetry.h"
+#include "rt/loadgen.h"
+#include "rt/runtime.h"
+#include "scheduler/service_class.h"
 #include "sim/simulator.h"
+#include "workload/tpcc_workload.h"
+#include "workload/tpch_workload.h"
 
 namespace {
 
@@ -200,6 +210,85 @@ qsched::harness::ExperimentConfig Fig6Config(double period_seconds) {
   return config;
 }
 
+struct RtGatewayNumbers {
+  double qps_target = 0.0;
+  double feed_seconds = 0.0;
+  uint64_t offered = 0;
+  uint64_t shed = 0;
+  uint64_t completed = 0;
+  double sustained_qps = 0.0;
+  double completions_per_sec = 0.0;
+  double admission_p50_seconds = 0.0;
+  double admission_p99_seconds = 0.0;
+};
+
+/// Pushes a mixed OLAP + OLTP load through the live gateway on the wall
+/// clock and measures what the submission path sustains. Admission
+/// latency (enqueue to worker pickup) comes from the gateway's own
+/// telemetry histogram; completions/sec include the post-feed drain so
+/// the number reflects end-to-end service, not just intake.
+RtGatewayNumbers BenchRtGateway(double qps, double duration_seconds) {
+  RtGatewayNumbers numbers;
+  numbers.qps_target = qps;
+
+  qsched::obs::Telemetry telemetry;
+  qsched::rt::RuntimeOptions options;
+  options.time_scale = 60.0;
+  options.horizon_model_seconds =
+      std::max(3600.0, 4.0 * duration_seconds * options.time_scale);
+  options.gateway.queue_capacity = 8192;
+  options.gateway.workers = 4;
+  options.scheduler.control_interval_seconds = 15.0;
+  options.telemetry = &telemetry;
+
+  qsched::sched::ServiceClassSet classes =
+      qsched::sched::MakePaperClasses();
+  qsched::rt::Runtime runtime(classes, options);
+
+  qsched::workload::TpchWorkloadParams tpch;
+  tpch.scale_factor = 0.1;
+  qsched::workload::TpchWorkload olap1(tpch, /*seed=*/7);
+  qsched::workload::TpchWorkload olap2(tpch, /*seed=*/8);
+  qsched::workload::TpccWorkloadParams tpcc;
+  qsched::workload::TpccWorkload oltp(tpcc, /*seed=*/9);
+
+  qsched::rt::LoadGenOptions load;
+  load.pattern = qsched::rt::ArrivalPattern::kConstant;
+  load.qps = qps;
+  load.duration_wall_seconds = duration_seconds;
+  load.seed = 1234;
+
+  auto start = Clock::now();
+  runtime.Start();
+  qsched::rt::LoadGenerator loadgen(
+      &runtime.gateway(),
+      {{&olap1, 1, 3.0}, {&olap2, 2, 3.0}, {&oltp, 3, 94.0}}, load,
+      &telemetry);
+  loadgen.Start();
+  loadgen.Join();
+  numbers.feed_seconds = Seconds(start);
+  qsched::rt::Runtime::Stats stats =
+      runtime.Shutdown(/*drain_timeout_wall_seconds=*/300.0);
+  double total_seconds = Seconds(start);
+
+  numbers.offered = loadgen.offered();
+  numbers.shed = loadgen.shed();
+  numbers.completed = stats.completed;
+  numbers.sustained_qps =
+      numbers.feed_seconds > 0.0
+          ? static_cast<double>(numbers.offered) / numbers.feed_seconds
+          : 0.0;
+  numbers.completions_per_sec =
+      total_seconds > 0.0
+          ? static_cast<double>(stats.completed) / total_seconds
+          : 0.0;
+  const qsched::obs::Histogram* admission =
+      telemetry.registry.GetHistogram("qsched_rt_admission_latency_seconds");
+  numbers.admission_p50_seconds = admission->Quantile(0.5);
+  numbers.admission_p99_seconds = admission->Quantile(0.99);
+  return numbers;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -213,6 +302,7 @@ int main(int argc, char** argv) {
     std::printf(
         "flags: --events=N --outstanding=K --fig6-period-seconds=S\n"
         "       --replications=R --jobs=J --rep-period-seconds=S\n"
+        "       --rt-qps=Q --rt-duration=S (real-time gateway section)\n"
         "       --out=PATH (JSON report; default stdout only)\n");
     return 0;
   }
@@ -224,6 +314,8 @@ int main(int argc, char** argv) {
   int jobs = qsched::harness::ResolveJobs(
       static_cast<int>(flags.GetInt("jobs", 0)));
   double rep_period = flags.GetDouble("rep-period-seconds", 120.0);
+  double rt_qps = flags.GetDouble("rt-qps", 1500.0);
+  double rt_duration = flags.GetDouble("rt-duration", 2.0);
   std::string out_path = flags.GetString("out", "");
 
   std::printf("== event queue: %llu events, %d outstanding ==\n",
@@ -294,9 +386,20 @@ int main(int argc, char** argv) {
                  std::thread::hardware_concurrency());
   }
 
+  std::printf("== rt gateway: %.0f qps for %.1f s wall ==\n", rt_qps,
+              rt_duration);
+  RtGatewayNumbers rt = BenchRtGateway(rt_qps, rt_duration);
+  std::printf("sustained %.0f submissions/sec (offered %llu, shed %llu), "
+              "%.0f completions/sec, admission p50 %.1f us p99 %.1f us\n",
+              rt.sustained_qps,
+              static_cast<unsigned long long>(rt.offered),
+              static_cast<unsigned long long>(rt.shed),
+              rt.completions_per_sec, rt.admission_p50_seconds * 1e6,
+              rt.admission_p99_seconds * 1e6);
+
   std::string json;
   {
-    char buffer[2048];
+    char buffer[4096];
     std::snprintf(
         buffer, sizeof(buffer),
         "{\n"
@@ -323,6 +426,17 @@ int main(int argc, char** argv) {
         "    \"serial_seconds\": %.3f,\n"
         "    \"parallel_seconds\": %.3f,\n"
         "    \"speedup\": %.3f\n"
+        "  },\n"
+        "  \"rt_gateway\": {\n"
+        "    \"qps_target\": %.0f,\n"
+        "    \"duration_seconds\": %.2f,\n"
+        "    \"offered\": %llu,\n"
+        "    \"shed\": %llu,\n"
+        "    \"completed\": %llu,\n"
+        "    \"sustained_qps\": %.0f,\n"
+        "    \"completions_per_sec\": %.0f,\n"
+        "    \"admission_p50_us\": %.1f,\n"
+        "    \"admission_p99_us\": %.1f\n"
         "  }\n"
         "}\n",
         std::thread::hardware_concurrency(),
@@ -331,7 +445,12 @@ int main(int argc, char** argv) {
         fig6.wall_seconds,
         static_cast<unsigned long long>(fig6.sim_events_processed),
         fig6_eps, replications, jobs, threads_used, rep_period,
-        serial_seconds, parallel_seconds, rep_speedup);
+        serial_seconds, parallel_seconds, rep_speedup, rt.qps_target,
+        rt_duration, static_cast<unsigned long long>(rt.offered),
+        static_cast<unsigned long long>(rt.shed),
+        static_cast<unsigned long long>(rt.completed), rt.sustained_qps,
+        rt.completions_per_sec, rt.admission_p50_seconds * 1e6,
+        rt.admission_p99_seconds * 1e6);
     json = buffer;
   }
   if (!out_path.empty()) {

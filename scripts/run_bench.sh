@@ -28,17 +28,26 @@ if command -v python3 >/dev/null 2>&1; then
 import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
-for section in ("event_queue", "fig6", "replication"):
+for section in ("event_queue", "fig6", "replication", "rt_gateway"):
     assert section in doc, f"missing section {section}"
 assert doc["event_queue"]["fast_events_per_sec"] > 0
 assert doc["replication"]["serial_seconds"] > 0
+rt = doc["rt_gateway"]
+assert rt["sustained_qps"] > 0, "rt gateway sustained no load"
+assert rt["completed"] + rt["shed"] == rt["offered"], \
+    "rt gateway lost queries: " \
+    f"offered {rt['offered']} != completed {rt['completed']} " \
+    f"+ shed {rt['shed']}"
+assert rt["admission_p99_us"] >= rt["admission_p50_us"] >= 0
 rep = doc["replication"]
 assert "threads_used" in rep, "replication is missing threads_used"
 assert 1 <= rep["threads_used"] <= max(1, rep["jobs"], 1), \
     f"threads_used {rep['threads_used']} inconsistent with jobs {rep['jobs']}"
 print(f"bench json ok: speedup {doc['event_queue']['speedup']:.2f}x "
       f"event queue, {rep['speedup']:.2f}x replication "
-      f"at jobs={rep['jobs']} (threads_used={rep['threads_used']})")
+      f"at jobs={rep['jobs']} (threads_used={rep['threads_used']}), "
+      f"rt gateway {rt['sustained_qps']:.0f} qps "
+      f"p99 {rt['admission_p99_us']:.0f} us")
 if rep["threads_used"] > 1 and rep["speedup"] < 1.2:
     print(f"WARNING: replication speedup {rep['speedup']:.2f}x < 1.2x "
           f"with {rep['threads_used']} threads — parallel numbers are "

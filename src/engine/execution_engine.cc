@@ -8,7 +8,7 @@
 
 namespace qsched::engine {
 
-ExecutionEngine::ExecutionEngine(sim::Simulator* simulator,
+ExecutionEngine::ExecutionEngine(sim::Clock* simulator,
                                  const EngineConfig& config, Rng rng)
     : simulator_(simulator),
       config_(config),
@@ -44,6 +44,7 @@ void ExecutionEngine::set_telemetry(obs::Telemetry* telemetry) {
 }
 
 void ExecutionEngine::RefreshTelemetryGauges() {
+  if (telemetry_ == nullptr) return;
   active_queries_gauge_->Set(static_cast<double>(agents_.size()));
   cpu_active_jobs_gauge_->Set(static_cast<double>(cpu_pool_.active_jobs()));
   cpu_utilization_gauge_->Set(cpu_pool_.Utilization());

@@ -10,7 +10,7 @@
 #include "engine/buffer_pool.h"
 #include "engine/resources.h"
 #include "obs/telemetry.h"
-#include "sim/simulator.h"
+#include "sim/clock.h"
 
 namespace qsched::engine {
 
@@ -81,7 +81,7 @@ class ExecutionEngine {
  public:
   using DoneCallback = std::function<void(const ExecStats&)>;
 
-  ExecutionEngine(sim::Simulator* simulator, const EngineConfig& config,
+  ExecutionEngine(sim::Clock* simulator, const EngineConfig& config,
                   Rng rng);
 
   ExecutionEngine(const ExecutionEngine&) = delete;
@@ -128,7 +128,7 @@ class ExecutionEngine {
   void OnChunkCpu(uint64_t agent_id);
   void FinishQuery(uint64_t agent_id);
 
-  sim::Simulator* simulator_;
+  sim::Clock* simulator_;
   EngineConfig config_;
   Rng rng_;
   ProcessorSharingPool cpu_pool_;

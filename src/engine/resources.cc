@@ -13,7 +13,7 @@ namespace {
 constexpr double kServiceEpsilon = 1e-9;
 }  // namespace
 
-ProcessorSharingPool::ProcessorSharingPool(sim::Simulator* simulator,
+ProcessorSharingPool::ProcessorSharingPool(sim::Clock* simulator,
                                            int num_servers)
     : simulator_(simulator), num_servers_(std::max(1, num_servers)) {
   last_update_time_ = simulator_->Now();
@@ -103,7 +103,7 @@ double ProcessorSharingPool::Utilization() const {
          (elapsed * static_cast<double>(num_servers_));
 }
 
-DiskArray::DiskArray(sim::Simulator* simulator, int num_disks,
+DiskArray::DiskArray(sim::Clock* simulator, int num_disks,
                      double seconds_per_page,
                      double request_overhead_seconds, Rng rng)
     : simulator_(simulator),

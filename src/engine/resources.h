@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "common/rng.h"
-#include "sim/simulator.h"
+#include "sim/clock.h"
 
 namespace qsched::engine {
 
@@ -19,7 +19,7 @@ namespace qsched::engine {
 /// OLAP work slow down OLTP transactions in the simulated engine.
 class ProcessorSharingPool {
  public:
-  ProcessorSharingPool(sim::Simulator* simulator, int num_servers);
+  ProcessorSharingPool(sim::Clock* simulator, int num_servers);
 
   ProcessorSharingPool(const ProcessorSharingPool&) = delete;
   ProcessorSharingPool& operator=(const ProcessorSharingPool&) = delete;
@@ -51,7 +51,7 @@ class ProcessorSharingPool {
   void OnCompletionEvent();
   double RatePerJob() const;
 
-  sim::Simulator* simulator_;
+  sim::Clock* simulator_;
   int num_servers_;
   std::map<uint64_t, Job> jobs_;
   uint64_t next_job_id_ = 1;
@@ -75,7 +75,7 @@ enum class IoPriority { kHigh, kLow };
 /// data placement put them.
 class DiskArray {
  public:
-  DiskArray(sim::Simulator* simulator, int num_disks,
+  DiskArray(sim::Clock* simulator, int num_disks,
             double seconds_per_page, double request_overhead_seconds,
             Rng rng);
 
@@ -120,7 +120,7 @@ class DiskArray {
   void StartNext(size_t d);
   void BeginService(size_t d, Request request);
 
-  sim::Simulator* simulator_;
+  sim::Clock* simulator_;
   double seconds_per_page_;
   double request_overhead_seconds_;
   Rng rng_;

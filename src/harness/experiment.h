@@ -16,6 +16,7 @@
 #include "scheduler/mpl_controller.h"
 #include "scheduler/query_scheduler.h"
 #include "scheduler/service_class.h"
+#include "sim/simulator.h"
 #include "sim/stats.h"
 #include "workload/schedule.h"
 #include "workload/tpcc_workload.h"

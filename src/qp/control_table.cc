@@ -5,6 +5,7 @@
 namespace qsched::qp {
 
 Status ControlTable::Insert(const QueryInfoRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = rows_.emplace(record.query_id, record);
   if (!inserted) {
     return Status::AlreadyExists(
@@ -15,6 +16,7 @@ Status ControlTable::Insert(const QueryInfoRecord& record) {
 }
 
 Status ControlTable::MarkReleased(uint64_t query_id, sim::SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = rows_.find(query_id);
   if (it == rows_.end()) {
     return Status::NotFound("query not in control table");
@@ -28,6 +30,7 @@ Status ControlTable::MarkReleased(uint64_t query_id, sim::SimTime now) {
 }
 
 Status ControlTable::MarkDone(uint64_t query_id, sim::SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = rows_.find(query_id);
   if (it == rows_.end()) {
     return Status::NotFound("query not in control table");
@@ -41,6 +44,7 @@ Status ControlTable::MarkDone(uint64_t query_id, sim::SimTime now) {
 }
 
 Status ControlTable::MarkCancelled(uint64_t query_id, sim::SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = rows_.find(query_id);
   if (it == rows_.end()) {
     return Status::NotFound("query not in control table");
@@ -53,12 +57,15 @@ Status ControlTable::MarkCancelled(uint64_t query_id, sim::SimTime now) {
   return Status::OK();
 }
 
-const QueryInfoRecord* ControlTable::Find(uint64_t query_id) const {
+std::optional<QueryInfoRecord> ControlTable::Find(uint64_t query_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = rows_.find(query_id);
-  return it != rows_.end() ? &it->second : nullptr;
+  if (it == rows_.end()) return std::nullopt;
+  return it->second;
 }
 
 double ControlTable::RunningCost(int class_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   double total = 0.0;
   for (const auto& [id, row] : rows_) {
     if (row.state == QueryState::kRunning &&
@@ -70,6 +77,7 @@ double ControlTable::RunningCost(int class_id) const {
 }
 
 int ControlTable::RunningCount(int class_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   int n = 0;
   for (const auto& [id, row] : rows_) {
     if (row.state == QueryState::kRunning &&
@@ -81,6 +89,7 @@ int ControlTable::RunningCount(int class_id) const {
 }
 
 int ControlTable::QueuedCount(int class_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   int n = 0;
   for (const auto& [id, row] : rows_) {
     if (row.state == QueryState::kQueued &&
@@ -93,6 +102,7 @@ int ControlTable::QueuedCount(int class_id) const {
 
 std::vector<QueryInfoRecord> ControlTable::DoneInWindow(
     sim::SimTime t_begin, sim::SimTime t_end) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<QueryInfoRecord> out;
   for (const auto& [id, row] : rows_) {
     if (row.state == QueryState::kDone && row.end_time >= t_begin &&
@@ -105,12 +115,14 @@ std::vector<QueryInfoRecord> ControlTable::DoneInWindow(
 
 void ControlTable::ForEachQueued(
     const std::function<void(const QueryInfoRecord&)>& visit) const {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [id, row] : rows_) {
     if (row.state == QueryState::kQueued) visit(row);
   }
 }
 
 size_t ControlTable::PruneDone(sim::SimTime before) {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t removed = 0;
   for (auto it = rows_.begin(); it != rows_.end();) {
     if (it->second.state == QueryState::kDone &&
@@ -122,6 +134,11 @@ size_t ControlTable::PruneDone(sim::SimTime before) {
     }
   }
   return removed;
+}
+
+size_t ControlTable::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rows_.size();
 }
 
 }  // namespace qsched::qp

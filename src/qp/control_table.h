@@ -4,10 +4,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
+#include <optional>
 #include <vector>
 
 #include "common/status.h"
-#include "sim/simulator.h"
+#include "sim/clock.h"
 
 namespace qsched::qp {
 
@@ -36,6 +38,17 @@ struct QueryInfoRecord {
 
 /// In-memory stand-in for the DB2 QP control tables. Keyed by query id;
 /// supports the scans the Monitor and the dispatchers need.
+///
+/// Thread-safety contract: every method takes an internal mutex, so rows
+/// may be inserted, transitioned and scanned from concurrent threads (the
+/// real-time runtime's gateway workers and clock thread both touch the
+/// table). Find() returns a copy — never a pointer into the map — so a
+/// concurrent Prune cannot invalidate what a reader holds. ForEachQueued
+/// holds the lock while visiting: visitors must be short and must not
+/// call back into the same ControlTable (self-deadlock). Compound
+/// check-then-act sequences across calls (e.g. Find then MarkReleased)
+/// still need external serialization — in the rt runtime that is the
+/// core lock; the DES is single-threaded.
 class ControlTable {
  public:
   Status Insert(const QueryInfoRecord& record);
@@ -44,8 +57,8 @@ class ControlTable {
   /// Marks a *queued* query cancelled (the QP admin "cancel" action).
   Status MarkCancelled(uint64_t query_id, sim::SimTime now);
 
-  /// Returns nullptr when absent.
-  const QueryInfoRecord* Find(uint64_t query_id) const;
+  /// Returns a copy of the row, or nullopt when absent.
+  std::optional<QueryInfoRecord> Find(uint64_t query_id) const;
 
   /// Sum of cost over running queries of `class_id` (all classes when
   /// class_id < 0) — the dispatcher's admission ledger.
@@ -60,7 +73,8 @@ class ControlTable {
   std::vector<QueryInfoRecord> DoneInWindow(sim::SimTime t_begin,
                                             sim::SimTime t_end) const;
 
-  /// Visits every queued row (the Governor's sweep).
+  /// Visits every queued row (the Governor's sweep) under the table lock;
+  /// see the class contract for visitor restrictions.
   void ForEachQueued(
       const std::function<void(const QueryInfoRecord&)>& visit) const;
 
@@ -68,9 +82,10 @@ class ControlTable {
   /// runs). Returns the number removed.
   size_t PruneDone(sim::SimTime before);
 
-  size_t size() const { return rows_.size(); }
+  size_t size() const;
 
  private:
+  mutable std::mutex mu_;
   std::map<uint64_t, QueryInfoRecord> rows_;
 };
 

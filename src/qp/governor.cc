@@ -4,7 +4,7 @@
 
 namespace qsched::qp {
 
-Governor::Governor(sim::Simulator* simulator, Interceptor* interceptor,
+Governor::Governor(sim::Clock* simulator, Interceptor* interceptor,
                    const Options& options)
     : simulator_(simulator), interceptor_(interceptor), options_(options) {}
 

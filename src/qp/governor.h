@@ -4,7 +4,7 @@
 #include <cstdint>
 
 #include "qp/interceptor.h"
-#include "sim/simulator.h"
+#include "sim/clock.h"
 
 namespace qsched::qp {
 
@@ -25,7 +25,7 @@ class Governor {
     double sweep_interval_seconds = 30.0;
   };
 
-  Governor(sim::Simulator* simulator, Interceptor* interceptor,
+  Governor(sim::Clock* simulator, Interceptor* interceptor,
            const Options& options);
 
   Governor(const Governor&) = delete;
@@ -40,7 +40,7 @@ class Governor {
   uint64_t total_cancelled() const { return total_cancelled_; }
 
  private:
-  sim::Simulator* simulator_;
+  sim::Clock* simulator_;
   Interceptor* interceptor_;
   Options options_;
   uint64_t total_cancelled_ = 0;

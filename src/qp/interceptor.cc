@@ -7,7 +7,7 @@
 
 namespace qsched::qp {
 
-Interceptor::Interceptor(sim::Simulator* simulator,
+Interceptor::Interceptor(sim::Clock* simulator,
                          engine::ExecutionEngine* engine,
                          const InterceptorConfig& config)
     : simulator_(simulator), engine_(engine), config_(config) {}
@@ -116,8 +116,8 @@ Status Interceptor::Release(uint64_t query_id) {
     sim::SimTime now = simulator_->Now();
     telemetry_->spans.OnDispatch(query_id, now);
     released_counter_->Inc();
-    const QueryInfoRecord* row = table_.Find(query_id);
-    if (row != nullptr) {
+    std::optional<QueryInfoRecord> row = table_.Find(query_id);
+    if (row.has_value()) {
       QueueWaitHistogram(row->class_id)
           ->Record(now - row->intercept_time);
     }
@@ -146,8 +146,8 @@ Status Interceptor::CancelQueued(uint64_t query_id) {
   }
 
   if (on_cancelled_) {
-    const QueryInfoRecord* row = table_.Find(query_id);
-    QSCHED_CHECK(row != nullptr);
+    std::optional<QueryInfoRecord> row = table_.Find(query_id);
+    QSCHED_CHECK(row.has_value());
     on_cancelled_(*row);
   }
 
@@ -196,8 +196,8 @@ void Interceptor::StartOnEngine(uint64_t query_id, PendingQuery pending) {
           ResponseHistogram(base.class_id)
               ->Record(record.ResponseSeconds());
         }
-        const QueryInfoRecord* row = table_.Find(base.query_id);
-        if (on_finished_ && row != nullptr) on_finished_(*row);
+        std::optional<QueryInfoRecord> row = table_.Find(base.query_id);
+        if (on_finished_ && row.has_value()) on_finished_(*row);
         if (on_complete) on_complete(record);
       });
 }

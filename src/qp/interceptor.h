@@ -9,7 +9,7 @@
 #include "engine/execution_engine.h"
 #include "obs/telemetry.h"
 #include "qp/control_table.h"
-#include "sim/simulator.h"
+#include "sim/clock.h"
 #include "workload/client.h"
 #include "workload/query.h"
 
@@ -52,6 +52,14 @@ struct InterceptorConfig {
 /// Scheduler) decide *when* to call Release; the interceptor is pure
 /// mechanism, mirroring how the paper drives DB2 QP through its
 /// block/unblock API.
+///
+/// Thread-safety: the interceptor itself is NOT internally synchronized
+/// (its queued-query map and per-class ledgers are plain state mutated by
+/// Intercept/Release/completion callbacks). The DES drives it from one
+/// thread; the rt runtime serializes every entry point — submissions,
+/// clock callbacks, planner cycles — under its core lock. Only the
+/// embedded ControlTable is independently thread-safe (the Monitor scans
+/// it off the hot path).
 class Interceptor {
  public:
   using CompleteFn = workload::QueryFrontend::CompleteFn;
@@ -60,7 +68,7 @@ class Interceptor {
   /// Invoked when a released query finishes.
   using FinishedFn = std::function<void(const QueryInfoRecord&)>;
 
-  Interceptor(sim::Simulator* simulator, engine::ExecutionEngine* engine,
+  Interceptor(sim::Clock* simulator, engine::ExecutionEngine* engine,
               const InterceptorConfig& config);
 
   Interceptor(const Interceptor&) = delete;
@@ -129,7 +137,7 @@ class Interceptor {
   obs::Histogram* QueueWaitHistogram(int class_id);
   obs::Histogram* ResponseHistogram(int class_id);
 
-  sim::Simulator* simulator_;
+  sim::Clock* simulator_;
   engine::ExecutionEngine* engine_;
   InterceptorConfig config_;
   ControlTable table_;

@@ -12,7 +12,7 @@ QpStaticConfig QpStaticConfig::NoControl(double system_cost_limit) {
   return config;
 }
 
-QpController::QpController(sim::Simulator* simulator,
+QpController::QpController(sim::Clock* simulator,
                            engine::ExecutionEngine* engine,
                            const InterceptorConfig& interceptor_config,
                            const QpStaticConfig& config)

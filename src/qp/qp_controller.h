@@ -8,7 +8,7 @@
 
 #include "engine/execution_engine.h"
 #include "qp/interceptor.h"
-#include "sim/simulator.h"
+#include "sim/clock.h"
 #include "workload/client.h"
 #include "workload/query.h"
 
@@ -57,7 +57,7 @@ struct QpStaticConfig {
 /// paper compares Query Scheduler against (Figures 4 and 5).
 class QpController : public workload::QueryFrontend {
  public:
-  QpController(sim::Simulator* simulator, engine::ExecutionEngine* engine,
+  QpController(sim::Clock* simulator, engine::ExecutionEngine* engine,
                const InterceptorConfig& interceptor_config,
                const QpStaticConfig& config);
 
@@ -86,7 +86,7 @@ class QpController : public workload::QueryFrontend {
   void OnCancelled(const QueryInfoRecord& record);
   void TryDispatch();
 
-  sim::Simulator* simulator_;
+  sim::Clock* simulator_;
   QpStaticConfig config_;
   Interceptor interceptor_;
   std::vector<Waiting> waiting_[3];

@@ -1,0 +1,144 @@
+#include "rt/gateway.h"
+
+#include <utility>
+
+#include "common/strings.h"
+
+namespace qsched::rt {
+
+Gateway::Gateway(WallClock* clock, workload::QueryFrontend* frontend,
+                 const GatewayOptions& options, obs::Telemetry* telemetry)
+    : clock_(clock),
+      frontend_(frontend),
+      options_(options),
+      queue_(options.queue_capacity),
+      telemetry_(telemetry) {
+  if (telemetry_ != nullptr) {
+    obs::Registry& reg = telemetry_->registry;
+    depth_gauge_ = reg.GetGauge("qsched_rt_gateway_queue_depth");
+    admission_latency_hist_ =
+        reg.GetHistogram("qsched_rt_admission_latency_seconds");
+    accepted_counter_ = reg.GetCounter("qsched_rt_accepted_total");
+    rejected_counter_ = reg.GetCounter("qsched_rt_rejected_total");
+    completed_counter_ = reg.GetCounter("qsched_rt_completed_total");
+  }
+}
+
+Gateway::~Gateway() { Drain(); }
+
+void Gateway::Start() {
+  if (pool_ != nullptr) return;
+  pool_ = std::make_unique<harness::ThreadPool>(
+      options_.workers < 1 ? 1 : options_.workers);
+  // Long-running consume loops, one per worker; they return when the
+  // queue is closed and drained.
+  for (int i = 0; i < pool_->num_threads(); ++i) {
+    pool_->Submit([this] { WorkerLoop(); });
+  }
+}
+
+bool Gateway::Offer(workload::Query query) {
+  query.id = next_query_id_.fetch_add(1, std::memory_order_relaxed);
+  Item item{std::move(query), std::chrono::steady_clock::now()};
+  if (!queue_.TryPush(std::move(item))) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (rejected_counter_ != nullptr) rejected_counter_->Inc();
+    return false;
+  }
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  if (telemetry_ != nullptr) {
+    accepted_counter_->Inc();
+    depth_gauge_->Set(static_cast<double>(queue_.size()));
+  }
+  return true;
+}
+
+bool Gateway::Submit(workload::Query query) {
+  query.id = next_query_id_.fetch_add(1, std::memory_order_relaxed);
+  Item item{std::move(query), std::chrono::steady_clock::now()};
+  if (!queue_.Push(std::move(item))) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (rejected_counter_ != nullptr) rejected_counter_->Inc();
+    return false;
+  }
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  if (telemetry_ != nullptr) {
+    accepted_counter_->Inc();
+    depth_gauge_->Set(static_cast<double>(queue_.size()));
+  }
+  return true;
+}
+
+void Gateway::WorkerLoop() {
+  Item item;
+  while (queue_.Pop(&item)) {
+    double wait_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      item.enqueued)
+            .count();
+    if (telemetry_ != nullptr) {
+      admission_latency_hist_->Record(wait_seconds);
+      depth_gauge_->Set(static_cast<double>(queue_.size()));
+    }
+    // Count the admission before entering the frontend: a query can
+    // complete synchronously (cancellation) or on the clock thread
+    // before Submit even returns, and completed must never outrun
+    // admitted or WaitIdle could report idle with work still queued.
+    admitted_.fetch_add(1, std::memory_order_release);
+    // The scheduler and everything behind it are single-threaded model
+    // components: enter them only under the core lock.
+    clock_->Run([&] {
+      frontend_->Submit(item.query,
+                        [this](const workload::QueryRecord& record) {
+                          OnQueryComplete(record);
+                        });
+    });
+  }
+}
+
+void Gateway::OnQueryComplete(const workload::QueryRecord& record) {
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  if (telemetry_ != nullptr) {
+    completed_counter_->Inc();
+    ClassCompletedCounter(record.class_id)->Inc();
+  }
+  if (on_complete_) on_complete_(record);
+  // Take the idle mutex before notifying so the store to completed_
+  // cannot slip between a waiter's predicate check and its sleep.
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+  }
+  idle_cv_.notify_all();
+}
+
+obs::Counter* Gateway::ClassCompletedCounter(int class_id) {
+  std::lock_guard<std::mutex> lock(class_counter_mu_);
+  auto it = class_completed_counters_.find(class_id);
+  if (it != class_completed_counters_.end()) return it->second;
+  obs::Counter* counter = telemetry_->registry.GetCounter(
+      "qsched_rt_class_completed_total",
+      StrPrintf("class=\"%d\"", class_id));
+  class_completed_counters_.emplace(class_id, counter);
+  return counter;
+}
+
+void Gateway::Drain() {
+  queue_.Close();
+  if (pool_ != nullptr) {
+    pool_->Wait();
+    pool_.reset();
+  }
+}
+
+bool Gateway::WaitIdle(double timeout_wall_seconds) {
+  std::unique_lock<std::mutex> lock(idle_mu_);
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::duration<double>(timeout_wall_seconds));
+  return idle_cv_.wait_until(lock, deadline, [this] {
+    return completed_.load(std::memory_order_acquire) >=
+           admitted_.load(std::memory_order_acquire);
+  });
+}
+
+}  // namespace qsched::rt

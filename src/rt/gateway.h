@@ -1,0 +1,126 @@
+#ifndef QSCHED_RT_GATEWAY_H_
+#define QSCHED_RT_GATEWAY_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "harness/parallel.h"
+#include "obs/telemetry.h"
+#include "rt/mpmc_queue.h"
+#include "rt/wall_clock.h"
+#include "workload/client.h"
+#include "workload/query.h"
+
+namespace qsched::rt {
+
+struct GatewayOptions {
+  /// Bound of the submission queue (0 clamps to 1, see MpmcQueue).
+  size_t queue_capacity = 1024;
+  /// Gateway worker threads draining the queue into the scheduler.
+  int workers = 2;
+};
+
+/// The runtime's front door: producers (load generators, client threads)
+/// hand queries to Offer()/Submit(); a pool of gateway workers drains the
+/// bounded MPMC queue, stamps each query with a fresh id, and submits it
+/// to the QueryFrontend (normally the QueryScheduler, which classifies
+/// and admits it) under the WallClock's core lock.
+///
+/// Thread-safety: Offer/Submit are safe from any thread. Completion
+/// callbacks arrive on the clock thread (engine completions are timers);
+/// all counters are atomics, so stats getters are safe from any thread.
+///
+/// Accounting identity (checked by the smoke test): after Drain() +
+/// WaitIdle(), accepted == admitted == completed, and every producer-side
+/// submission is either accepted or rejected — no query is lost or
+/// duplicated.
+class Gateway {
+ public:
+  using CompleteFn = workload::QueryFrontend::CompleteFn;
+
+  /// `clock`, `frontend` and `telemetry` (optional) must outlive the
+  /// gateway. The frontend is only ever called under clock->Run().
+  Gateway(WallClock* clock, workload::QueryFrontend* frontend,
+          const GatewayOptions& options,
+          obs::Telemetry* telemetry = nullptr);
+  ~Gateway();
+
+  Gateway(const Gateway&) = delete;
+  Gateway& operator=(const Gateway&) = delete;
+
+  /// Spawns the worker pool.
+  void Start();
+
+  /// Open-loop submission: enqueues or, when the queue is full or closed,
+  /// sheds (returns false; the query is counted rejected). The query's id
+  /// is assigned by the gateway — the caller's id field is ignored.
+  bool Offer(workload::Query query);
+
+  /// Closed-loop submission: blocks while the queue is full (producer
+  /// backpressure); false only once the gateway is draining.
+  bool Submit(workload::Query query);
+
+  /// Closes intake and joins the workers: every accepted query has been
+  /// handed to the frontend when this returns. Idempotent.
+  void Drain();
+
+  /// Blocks until every admitted query has completed (requires the clock
+  /// thread to be running) or the wall timeout expires. Returns true when
+  /// fully idle. Call after Drain().
+  bool WaitIdle(double timeout_wall_seconds);
+
+  /// Observer invoked (on the completion thread) for every finished
+  /// query, after the gateway's own accounting. Set before Start().
+  void set_on_complete(CompleteFn fn) { on_complete_ = std::move(fn); }
+
+  // Accounting (safe from any thread).
+  uint64_t accepted() const { return accepted_.load(); }
+  uint64_t rejected() const { return rejected_.load(); }
+  uint64_t admitted() const { return admitted_.load(); }
+  uint64_t completed() const { return completed_.load(); }
+  size_t queue_depth() const { return queue_.size(); }
+
+ private:
+  struct Item {
+    workload::Query query;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void WorkerLoop();
+  void OnQueryComplete(const workload::QueryRecord& record);
+  obs::Counter* ClassCompletedCounter(int class_id);
+
+  WallClock* clock_;
+  workload::QueryFrontend* frontend_;
+  GatewayOptions options_;
+  MpmcQueue<Item> queue_;
+  std::unique_ptr<harness::ThreadPool> pool_;
+  CompleteFn on_complete_;
+
+  std::atomic<uint64_t> next_query_id_{1};
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> completed_{0};
+
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+
+  obs::Telemetry* telemetry_;
+  obs::Gauge* depth_gauge_ = nullptr;
+  obs::Histogram* admission_latency_hist_ = nullptr;
+  obs::Counter* accepted_counter_ = nullptr;
+  obs::Counter* rejected_counter_ = nullptr;
+  obs::Counter* completed_counter_ = nullptr;
+  std::mutex class_counter_mu_;
+  std::map<int, obs::Counter*> class_completed_counters_;
+};
+
+}  // namespace qsched::rt
+
+#endif  // QSCHED_RT_GATEWAY_H_

@@ -1,0 +1,125 @@
+#ifndef QSCHED_RT_MPMC_QUEUE_H_
+#define QSCHED_RT_MPMC_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace qsched::rt {
+
+/// Bounded multi-producer multi-consumer queue: the hand-off between the
+/// real-time runtime's submission side (load generators, client threads)
+/// and the gateway workers that feed the scheduler.
+///
+/// Thread-safety: every method is safe to call from any thread. One mutex
+/// guards the deque; two condition variables separate the producer wait
+/// (queue full) from the consumer wait (queue empty), so a Push never
+/// wakes other producers and vice versa.
+///
+/// Capacity semantics: a capacity of 0 is clamped to 1 — a zero-slot
+/// bounded queue cannot make progress (Push would block forever with no
+/// item for Pop to take), so the smallest meaningful bound is used
+/// instead. This is deliberate and tested, not an accident.
+///
+/// Shutdown semantics: Close() wakes everyone; after it, producers fail
+/// immediately (Push/TryPush return false, the item is dropped by the
+/// caller) while consumers keep draining — Pop returns the remaining
+/// items in order and only then starts returning false. This is what
+/// lets the runtime stop intake and still account for every query that
+/// was accepted.
+template <typename T>
+class MpmcQueue {
+ public:
+  explicit MpmcQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  /// Blocks while the queue is full (producer backpressure). Returns
+  /// false — without enqueueing — once the queue is closed.
+  bool Push(T value) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking variant for open-loop producers: returns false when the
+  /// queue is full (the caller sheds the item) or closed.
+  bool TryPush(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(value));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed *and*
+  /// drained. Returns false only in the latter case.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;  // closed and drained
+    *out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking Pop: false when currently empty (closed or not).
+  bool TryPop(T* out) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (items_.empty()) return false;
+      *out = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Closes the queue: wakes all blocked producers (they fail) and
+  /// consumers (they drain, then fail). Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  const size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace qsched::rt
+
+#endif  // QSCHED_RT_MPMC_QUEUE_H_

@@ -1,0 +1,128 @@
+#ifndef QSCHED_RT_WALL_CLOCK_H_
+#define QSCHED_RT_WALL_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "sim/clock.h"
+
+namespace qsched::rt {
+
+/// sim::Clock implemented on std::chrono::steady_clock: the same engine,
+/// Query Patroller and scheduler components that run under the DES run
+/// unmodified on the wall clock, because all they ever see is Now() /
+/// ScheduleAt / Cancel.
+///
+/// Model time = elapsed wall seconds * time_scale. A time_scale above 1
+/// compresses model time (e.g. 30 means one wall second covers 30 model
+/// seconds), so a multi-interval control experiment fits a short live
+/// run; 1 is real time.
+///
+/// Threading model — the "core lock" protocol. The DES components are
+/// written single-threaded, so the WallClock serializes everything that
+/// touches them behind one recursive mutex (the core lock):
+///
+///  * A dedicated clock thread pops each due timer and executes its
+///    callback *while holding the core lock*. Pop-and-execute is one
+///    critical section, which closes the classic timer race: nobody can
+///    observe (or Cancel) an event "in between" being popped and run.
+///  * Any other thread that needs to call into the components — gateway
+///    workers submitting queries, the control-loop thread running a
+///    planning cycle — does so inside Run(fn), which takes the same
+///    lock. Callbacks may re-enter ScheduleAt/Cancel freely (the lock is
+///    recursive), exactly like DES callbacks scheduling follow-on events.
+///
+/// Every Clock method is thread-safe. Semantics match the Simulator:
+/// past times clamp to Now(), equal timestamps fire FIFO, Cancel returns
+/// false once the callback fired.
+class WallClock final : public sim::Clock {
+ public:
+  struct Options {
+    /// Model seconds per wall second (> 0).
+    double time_scale = 1.0;
+  };
+
+  WallClock();  // real time (time_scale 1)
+  explicit WallClock(const Options& options);
+  ~WallClock() override;
+
+  WallClock(const WallClock&) = delete;
+  WallClock& operator=(const WallClock&) = delete;
+
+  /// Spawns the clock thread. Timers scheduled before Start() are held
+  /// and fire once the thread runs.
+  void Start();
+
+  /// Joins the clock thread; pending timers are abandoned (their
+  /// callbacks never run). Idempotent.
+  void Stop();
+
+  // sim::Clock interface (thread-safe).
+  sim::SimTime Now() const override;
+  sim::EventId ScheduleAt(sim::SimTime when, sim::EventFn fn) override;
+  sim::EventId ScheduleAfter(sim::SimTime delay, sim::EventFn fn) override;
+  bool Cancel(sim::EventId id) override;
+
+  /// Runs `fn` while holding the core lock, serialized against timer
+  /// callbacks and every other Run(). This is the only sanctioned way
+  /// for non-clock threads to call into the single-threaded model
+  /// components.
+  template <typename F>
+  auto Run(F&& fn) {
+    std::lock_guard<std::recursive_mutex> lock(core_mu_);
+    return fn();
+  }
+
+  uint64_t timers_fired() const {
+    return timers_fired_.load(std::memory_order_relaxed);
+  }
+  size_t timers_pending() const;
+  double time_scale() const { return options_.time_scale; }
+
+ private:
+  using WallTime = std::chrono::steady_clock::time_point;
+
+  /// Heap key: model time with a monotonic sequence tie-break (FIFO for
+  /// equal timestamps, like the Simulator).
+  struct Key {
+    double when;
+    uint64_t seq;
+    bool operator<(const Key& other) const {
+      if (when != other.when) return when < other.when;
+      return seq < other.seq;
+    }
+  };
+  struct Entry {
+    sim::EventId id = 0;
+    sim::EventFn fn;
+  };
+
+  void ClockLoop();
+  WallTime WallDeadline(double model_time) const;
+
+  const Options options_;
+  const WallTime start_;
+
+  /// The core lock (see class comment). Guards timers_, index_, the id /
+  /// seq counters and stop_, and serializes all component access.
+  mutable std::recursive_mutex core_mu_;
+  std::condition_variable_any cv_;
+  std::map<Key, Entry> timers_;
+  std::unordered_map<sim::EventId, Key> index_;
+  uint64_t next_id_ = 1;
+  uint64_t next_seq_ = 0;
+  bool stop_ = false;
+  std::atomic<uint64_t> timers_fired_{0};
+  std::thread thread_;
+};
+
+}  // namespace qsched::rt
+
+#endif  // QSCHED_RT_WALL_CLOCK_H_

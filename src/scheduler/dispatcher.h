@@ -18,6 +18,11 @@ namespace qsched::sched {
 /// A query whose cost alone exceeds its class limit would starve under the
 /// strict rule, so a class with nothing running may always release its
 /// head ("min-one" rule); DB2 QP behaves the same for over-limit queries.
+///
+/// Thread-safety: not internally synchronized; same contract as the
+/// Interceptor it drives — single-threaded under the DES, serialized by
+/// the rt runtime's core lock otherwise. SetPlan is therefore atomic
+/// with respect to concurrent submissions in both modes.
 class Dispatcher {
  public:
   explicit Dispatcher(qp::Interceptor* interceptor);

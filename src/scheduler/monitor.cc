@@ -4,7 +4,7 @@
 
 namespace qsched::sched {
 
-Monitor::Monitor(sim::Simulator* simulator) : simulator_(simulator) {
+Monitor::Monitor(sim::Clock* simulator) : simulator_(simulator) {
   window_start_ = simulator_->Now();
 }
 
@@ -26,6 +26,7 @@ obs::Histogram* Monitor::VelocityHistogram(int class_id) {
 }
 
 void Monitor::AddRecord(const workload::QueryRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++records_total_;
   if (telemetry_ != nullptr) {
     records_counter_->Inc();
@@ -39,6 +40,7 @@ void Monitor::AddRecord(const workload::QueryRecord& record) {
 }
 
 std::map<int, ClassIntervalStats> Monitor::Harvest() {
+  std::lock_guard<std::mutex> lock(mu_);
   std::map<int, ClassIntervalStats> out;
   double elapsed = simulator_->Now() - window_start_;
   for (const auto& [class_id, acc] : acc_) {
@@ -59,6 +61,11 @@ std::map<int, ClassIntervalStats> Monitor::Harvest() {
   acc_.clear();
   window_start_ = simulator_->Now();
   return out;
+}
+
+uint64_t Monitor::records_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_total_;
 }
 
 }  // namespace qsched::sched

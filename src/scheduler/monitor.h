@@ -2,9 +2,10 @@
 #define QSCHED_SCHEDULER_MONITOR_H_
 
 #include <map>
+#include <mutex>
 
 #include "obs/telemetry.h"
-#include "sim/simulator.h"
+#include "sim/clock.h"
 #include "workload/client.h"
 
 namespace qsched::sched {
@@ -22,18 +23,26 @@ struct ClassIntervalStats {
 /// The paper's Monitor: collects query information (here: completion
 /// records carrying the control-table facts) and turns it into per-class
 /// per-interval performance measurements for the Scheduling Planner.
+///
+/// Thread-safety contract: AddRecord, Harvest and records_total take an
+/// internal mutex, so completion records may be fed from concurrent
+/// threads (the rt runtime's clock thread and gateway workers) while the
+/// control-loop thread harvests. Harvest atomically snapshots-and-resets
+/// the accumulators: a record lands either in this interval or the next,
+/// never both and never lost. set_telemetry is not synchronized — call
+/// it before any concurrent use, like the other components.
 class Monitor {
  public:
-  explicit Monitor(sim::Simulator* simulator);
+  explicit Monitor(sim::Clock* simulator);
 
-  /// Feed one finished query.
+  /// Feed one finished query. Safe to call from any thread.
   void AddRecord(const workload::QueryRecord& record);
 
   /// Returns the aggregates accumulated since the previous Harvest and
-  /// resets the accumulators.
+  /// resets the accumulators. Safe to call concurrently with AddRecord.
   std::map<int, ClassIntervalStats> Harvest();
 
-  uint64_t records_total() const { return records_total_; }
+  uint64_t records_total() const;
 
   /// Enables telemetry (nullptr = off): a record counter plus a per-class
   /// velocity histogram of everything fed to the planner.
@@ -49,7 +58,9 @@ class Monitor {
     double exec_sum = 0.0;
   };
 
-  sim::Simulator* simulator_;
+  sim::Clock* simulator_;
+  /// Guards acc_, window_start_, records_total_ and velocity_hists_.
+  mutable std::mutex mu_;
   std::map<int, Accumulator> acc_;
   sim::SimTime window_start_ = 0.0;
   uint64_t records_total_ = 0;

@@ -7,7 +7,7 @@
 
 namespace qsched::sched {
 
-MplController::MplController(sim::Simulator* simulator,
+MplController::MplController(sim::Clock* simulator,
                              engine::ExecutionEngine* engine,
                              const ServiceClassSet* classes,
                              const Options& options)

@@ -9,7 +9,7 @@
 #include "scheduler/monitor.h"
 #include "scheduler/service_class.h"
 #include "scheduler/snapshot_monitor.h"
-#include "sim/simulator.h"
+#include "sim/clock.h"
 #include "workload/client.h"
 
 namespace qsched::sched {
@@ -39,7 +39,7 @@ class MplController : public workload::QueryFrontend {
     SnapshotMonitor::Options snapshot;
   };
 
-  MplController(sim::Simulator* simulator, engine::ExecutionEngine* engine,
+  MplController(sim::Clock* simulator, engine::ExecutionEngine* engine,
                 const ServiceClassSet* classes, const Options& options);
 
   void Start(sim::SimTime until);
@@ -55,7 +55,7 @@ class MplController : public workload::QueryFrontend {
   void TryRelease();
   void ControlOnce();
 
-  sim::Simulator* simulator_;
+  sim::Clock* simulator_;
   const ServiceClassSet* classes_;
   Options options_;
   qp::Interceptor interceptor_;

@@ -9,7 +9,7 @@
 
 namespace qsched::sched {
 
-QueryScheduler::QueryScheduler(sim::Simulator* simulator,
+QueryScheduler::QueryScheduler(sim::Clock* simulator,
                                engine::ExecutionEngine* engine,
                                const ServiceClassSet* classes,
                                const QuerySchedulerConfig& config)

@@ -14,7 +14,7 @@
 #include "scheduler/snapshot_monitor.h"
 #include "scheduler/solver.h"
 #include "scheduler/workload_detector.h"
-#include "sim/simulator.h"
+#include "sim/clock.h"
 #include "sim/stats.h"
 #include "workload/client.h"
 
@@ -84,7 +84,7 @@ struct QuerySchedulerConfig {
 ///   the OLAP limits when the OLTP class misses its response-time goal.
 class QueryScheduler : public workload::QueryFrontend {
  public:
-  QueryScheduler(sim::Simulator* simulator,
+  QueryScheduler(sim::Clock* simulator,
                  engine::ExecutionEngine* engine,
                  const ServiceClassSet* classes,
                  const QuerySchedulerConfig& config);
@@ -92,6 +92,20 @@ class QueryScheduler : public workload::QueryFrontend {
   /// Starts the planning loop and the snapshot sampler; both run until
   /// simulated time `until`.
   void Start(sim::SimTime until);
+
+  /// Starts only the periodic snapshot sampler (until model time
+  /// `until`). The real-time runtime uses this instead of Start(): its
+  /// dedicated control-loop thread drives planning cycles itself via
+  /// RunPlanningCycle(), so no planner timers are pre-scheduled.
+  void StartSampling(sim::SimTime until) { snapshot_.Start(until); }
+
+  /// Runs one Scheduling Planner cycle on demand: harvest measurements,
+  /// solve, install the new plan (releasing whatever now fits). Under the
+  /// DES this is what the Start()-scheduled timers call; the rt runtime's
+  /// control-loop thread calls it under the core lock, which is what
+  /// makes the new cost limits take effect atomically with respect to
+  /// concurrent submissions.
+  void RunPlanningCycle() { PlanOnce(); }
 
   void Submit(const workload::Query& query, CompleteFn on_complete) override;
 
@@ -145,7 +159,7 @@ class QueryScheduler : public workload::QueryFrontend {
   SchedulingPlan InitialPlan() const;
   double OlapTotalOf(const SchedulingPlan& plan) const;
 
-  sim::Simulator* simulator_;
+  sim::Clock* simulator_;
   engine::ExecutionEngine* engine_;
   const ServiceClassSet* classes_;
   QuerySchedulerConfig config_;

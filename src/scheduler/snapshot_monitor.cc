@@ -2,7 +2,7 @@
 
 namespace qsched::sched {
 
-SnapshotMonitor::SnapshotMonitor(sim::Simulator* simulator,
+SnapshotMonitor::SnapshotMonitor(sim::Clock* simulator,
                                  engine::ExecutionEngine* engine,
                                  const Options& options)
     : simulator_(simulator), engine_(engine), options_(options) {}

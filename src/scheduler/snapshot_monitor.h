@@ -5,7 +5,7 @@
 
 #include "engine/execution_engine.h"
 #include "obs/telemetry.h"
-#include "sim/simulator.h"
+#include "sim/clock.h"
 #include "workload/client.h"
 
 namespace qsched::sched {
@@ -30,7 +30,7 @@ class SnapshotMonitor {
     double staleness_window_seconds = 30.0;
   };
 
-  SnapshotMonitor(sim::Simulator* simulator,
+  SnapshotMonitor(sim::Clock* simulator,
                   engine::ExecutionEngine* engine, const Options& options);
 
   SnapshotMonitor(const SnapshotMonitor&) = delete;
@@ -60,7 +60,7 @@ class SnapshotMonitor {
  private:
   void TakeSnapshot();
 
-  sim::Simulator* simulator_;
+  sim::Clock* simulator_;
   engine::ExecutionEngine* engine_;
   Options options_;
   struct ClientRow {

@@ -5,7 +5,7 @@
 #include <map>
 #include <vector>
 
-#include "sim/simulator.h"
+#include "sim/clock.h"
 
 namespace qsched::sched {
 

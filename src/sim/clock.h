@@ -1,0 +1,166 @@
+#ifndef QSCHED_SIM_CLOCK_H_
+#define QSCHED_SIM_CLOCK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace qsched::sim {
+
+/// Model time in seconds since the start of the run. In the discrete-event
+/// simulator this is virtual time; in the real-time runtime it is scaled
+/// wall-clock time — components cannot tell the difference.
+using SimTime = double;
+
+/// Opaque handle for cancelling a scheduled event. Id 0 is never issued.
+using EventId = uint64_t;
+
+/// Move-only callable with a small-buffer optimization: callables whose
+/// state fits kInlineCapacity bytes (and are nothrow-movable) live inside
+/// the EventFn itself, so scheduling a typical lambda performs no heap
+/// allocation. Larger callables fall back to a heap box whose pointer is
+/// relocated (not the callable) on move.
+class EventFn {
+ public:
+  static constexpr size_t kInlineCapacity = 48;
+
+  EventFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::remove_cvref_t<F>&>>>
+  EventFn(F&& f) {  // NOLINT: implicit so lambdas convert at call sites
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineCapacity &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      Fn* boxed = new Fn(std::forward<F>(f));
+      std::memcpy(storage_, &boxed, sizeof(boxed));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(other.storage_, storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(other.storage_, storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { Reset(); }
+
+  /// Destroys the held callable (if any); the EventFn becomes empty.
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(storage_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(unsigned char* storage);
+    /// Move-constructs into `to` and destroys `from` (for the heap case,
+    /// only the box pointer moves — the callable itself stays put).
+    void (*relocate)(unsigned char* from, unsigned char* to);
+    void (*destroy)(unsigned char* storage);
+  };
+
+  template <typename Fn>
+  static Fn* Inline(unsigned char* storage) {
+    return std::launder(reinterpret_cast<Fn*>(storage));
+  }
+  template <typename Fn>
+  static Fn* Boxed(unsigned char* storage) {
+    Fn* boxed;
+    std::memcpy(&boxed, storage, sizeof(boxed));
+    return boxed;
+  }
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps = {
+      [](unsigned char* s) { (*Inline<Fn>(s))(); },
+      [](unsigned char* from, unsigned char* to) {
+        ::new (static_cast<void*>(to)) Fn(std::move(*Inline<Fn>(from)));
+        Inline<Fn>(from)->~Fn();
+      },
+      [](unsigned char* s) { Inline<Fn>(s)->~Fn(); },
+  };
+  template <typename Fn>
+  static constexpr Ops kHeapOps = {
+      [](unsigned char* s) { (*Boxed<Fn>(s))(); },
+      [](unsigned char* from, unsigned char* to) {
+        std::memcpy(to, from, sizeof(Fn*));
+      },
+      [](unsigned char* s) { delete Boxed<Fn>(s); },
+  };
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineCapacity];
+  const Ops* ops_ = nullptr;
+};
+
+/// The time source every model component (engine, Query Patroller,
+/// scheduler, clients) is written against: read the current model time,
+/// schedule a callback for later, cancel a pending one. Two
+/// implementations exist:
+///
+///  * `sim::Simulator` — virtual time; callbacks fire when the
+///    single-threaded event loop reaches their timestamp. Deterministic.
+///  * `rt::WallClock` — model time derived from `std::chrono::steady_clock`
+///    (optionally compressed by a time-scale factor); callbacks fire on
+///    the real-time runtime's clock thread when the wall deadline passes.
+///
+/// Semantics shared by both: times in the past clamp to Now(); events at
+/// equal timestamps fire in scheduling order (FIFO); Cancel() returns
+/// false once the callback has fired (or the id never existed). Whether
+/// calls may come from multiple threads is an implementation property:
+/// the Simulator is single-threaded, the WallClock is thread-safe.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current model time.
+  virtual SimTime Now() const = 0;
+
+  /// Schedules `fn` at absolute model time `when` (past times clamp to
+  /// Now()). Returns an id usable with Cancel().
+  virtual EventId ScheduleAt(SimTime when, EventFn fn) = 0;
+
+  /// Schedules `fn` after `delay` model seconds (negative delays clamp
+  /// to 0).
+  virtual EventId ScheduleAfter(SimTime delay, EventFn fn) = 0;
+
+  /// Cancels a pending event. Returns false if it already fired, was
+  /// already cancelled, or never existed.
+  virtual bool Cancel(EventId id) = 0;
+};
+
+}  // namespace qsched::sim
+
+#endif  // QSCHED_SIM_CLOCK_H_

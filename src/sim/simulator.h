@@ -3,130 +3,16 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <cstring>
-#include <functional>
-#include <new>
-#include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "sim/clock.h"
+
 namespace qsched::sim {
 
-/// Simulated time in seconds since the start of the run.
-using SimTime = double;
-
-/// Opaque handle for cancelling a scheduled event. Id 0 is never issued.
-/// Internally packs (generation << 32 | slot index); a stale handle whose
-/// slot has been reused fails the generation check, so Cancel() needs no
-/// hash-set lookup.
-using EventId = uint64_t;
-
-/// Move-only callable with a small-buffer optimization: callables whose
-/// state fits kInlineCapacity bytes (and are nothrow-movable) live inside
-/// the EventFn itself, so scheduling a typical lambda performs no heap
-/// allocation. Larger callables fall back to a heap box whose pointer is
-/// relocated (not the callable) on move.
-class EventFn {
- public:
-  static constexpr size_t kInlineCapacity = 48;
-
-  EventFn() noexcept = default;
-
-  template <typename F,
-            typename = std::enable_if_t<
-                !std::is_same_v<std::remove_cvref_t<F>, EventFn> &&
-                std::is_invocable_r_v<void, std::remove_cvref_t<F>&>>>
-  EventFn(F&& f) {  // NOLINT: implicit so lambdas convert at call sites
-    using Fn = std::remove_cvref_t<F>;
-    if constexpr (sizeof(Fn) <= kInlineCapacity &&
-                  alignof(Fn) <= alignof(std::max_align_t) &&
-                  std::is_nothrow_move_constructible_v<Fn>) {
-      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
-      ops_ = &kInlineOps<Fn>;
-    } else {
-      Fn* boxed = new Fn(std::forward<F>(f));
-      std::memcpy(storage_, &boxed, sizeof(boxed));
-      ops_ = &kHeapOps<Fn>;
-    }
-  }
-
-  EventFn(EventFn&& other) noexcept : ops_(other.ops_) {
-    if (ops_ != nullptr) {
-      ops_->relocate(other.storage_, storage_);
-      other.ops_ = nullptr;
-    }
-  }
-
-  EventFn& operator=(EventFn&& other) noexcept {
-    if (this != &other) {
-      Reset();
-      ops_ = other.ops_;
-      if (ops_ != nullptr) {
-        ops_->relocate(other.storage_, storage_);
-        other.ops_ = nullptr;
-      }
-    }
-    return *this;
-  }
-
-  EventFn(const EventFn&) = delete;
-  EventFn& operator=(const EventFn&) = delete;
-
-  ~EventFn() { Reset(); }
-
-  /// Destroys the held callable (if any); the EventFn becomes empty.
-  void Reset() {
-    if (ops_ != nullptr) {
-      ops_->destroy(storage_);
-      ops_ = nullptr;
-    }
-  }
-
-  explicit operator bool() const { return ops_ != nullptr; }
-
-  void operator()() { ops_->invoke(storage_); }
-
- private:
-  struct Ops {
-    void (*invoke)(unsigned char* storage);
-    /// Move-constructs into `to` and destroys `from` (for the heap case,
-    /// only the box pointer moves — the callable itself stays put).
-    void (*relocate)(unsigned char* from, unsigned char* to);
-    void (*destroy)(unsigned char* storage);
-  };
-
-  template <typename Fn>
-  static Fn* Inline(unsigned char* storage) {
-    return std::launder(reinterpret_cast<Fn*>(storage));
-  }
-  template <typename Fn>
-  static Fn* Boxed(unsigned char* storage) {
-    Fn* boxed;
-    std::memcpy(&boxed, storage, sizeof(boxed));
-    return boxed;
-  }
-
-  template <typename Fn>
-  static constexpr Ops kInlineOps = {
-      [](unsigned char* s) { (*Inline<Fn>(s))(); },
-      [](unsigned char* from, unsigned char* to) {
-        ::new (static_cast<void*>(to)) Fn(std::move(*Inline<Fn>(from)));
-        Inline<Fn>(from)->~Fn();
-      },
-      [](unsigned char* s) { Inline<Fn>(s)->~Fn(); },
-  };
-  template <typename Fn>
-  static constexpr Ops kHeapOps = {
-      [](unsigned char* s) { (*Boxed<Fn>(s))(); },
-      [](unsigned char* from, unsigned char* to) {
-        std::memcpy(to, from, sizeof(Fn*));
-      },
-      [](unsigned char* s) { delete Boxed<Fn>(s); },
-  };
-
-  alignas(std::max_align_t) unsigned char storage_[kInlineCapacity];
-  const Ops* ops_ = nullptr;
-};
+// EventId here packs (generation << 32 | slot index); a stale handle
+// whose slot has been reused fails the generation check, so Cancel()
+// needs no hash-set lookup.
 
 /// Discrete-event simulation core: a clock plus an ordered queue of
 /// callbacks. Events at equal timestamps fire in scheduling order (FIFO),
@@ -142,8 +28,10 @@ class EventFn {
 /// identical to the historical (time, schedule-order) rule.
 ///
 /// All simulated components (clients, controllers, the engine) hold a
-/// Simulator* and express waiting as `ScheduleAfter(delay, callback)`.
-class Simulator {
+/// sim::Clock* (this class in DES mode) and express waiting as
+/// `ScheduleAfter(delay, callback)`. Single-threaded: all scheduling and
+/// stepping must happen on the thread driving the event loop.
+class Simulator final : public Clock {
  public:
   Simulator();
 
@@ -151,18 +39,18 @@ class Simulator {
   Simulator& operator=(const Simulator&) = delete;
 
   /// Current simulated time.
-  SimTime Now() const { return now_; }
+  SimTime Now() const override { return now_; }
 
   /// Schedules `fn` at absolute time `when`. Times in the past are clamped
   /// to Now(). Returns an id usable with Cancel().
-  EventId ScheduleAt(SimTime when, EventFn fn);
+  EventId ScheduleAt(SimTime when, EventFn fn) override;
 
   /// Schedules `fn` after `delay` seconds (negative delays clamp to 0).
-  EventId ScheduleAfter(SimTime delay, EventFn fn);
+  EventId ScheduleAfter(SimTime delay, EventFn fn) override;
 
   /// Cancels a pending event and reclaims its slot immediately. Returns
   /// false if it already fired, was already cancelled, or never existed.
-  bool Cancel(EventId id);
+  bool Cancel(EventId id) override;
 
   /// Runs a single event. Returns false when the queue is empty.
   bool Step();

@@ -13,7 +13,7 @@ const char* WorkloadTypeToString(WorkloadType type) {
   return type == WorkloadType::kOlap ? "OLAP" : "OLTP";
 }
 
-ClientPool::ClientPool(sim::Simulator* simulator,
+ClientPool::ClientPool(sim::Clock* simulator,
                        const WorkloadSchedule* schedule, int class_id,
                        QueryGenerator* generator, QueryFrontend* frontend,
                        RecordSink sink)

@@ -8,7 +8,7 @@
 
 #include "common/rng.h"
 #include "obs/telemetry.h"
-#include "sim/simulator.h"
+#include "sim/clock.h"
 #include "workload/query.h"
 #include "workload/schedule.h"
 
@@ -69,7 +69,7 @@ class ClientPool {
  public:
   using RecordSink = std::function<void(const QueryRecord&)>;
 
-  ClientPool(sim::Simulator* simulator, const WorkloadSchedule* schedule,
+  ClientPool(sim::Clock* simulator, const WorkloadSchedule* schedule,
              int class_id, QueryGenerator* generator,
              QueryFrontend* frontend, RecordSink sink);
 
@@ -99,7 +99,7 @@ class ClientPool {
   void IssueNext(int client_id);
   void OnComplete(int client_id, const QueryRecord& record);
 
-  sim::Simulator* simulator_;
+  sim::Clock* simulator_;
   const WorkloadSchedule* schedule_;
   int class_id_;
   QueryGenerator* generator_;

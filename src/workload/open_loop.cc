@@ -4,7 +4,7 @@
 
 namespace qsched::workload {
 
-OpenLoopSource::OpenLoopSource(sim::Simulator* simulator,
+OpenLoopSource::OpenLoopSource(sim::Clock* simulator,
                                const WorkloadSchedule* schedule,
                                int class_id, QueryGenerator* generator,
                                QueryFrontend* frontend,

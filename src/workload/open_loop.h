@@ -4,7 +4,7 @@
 #include <cstdint>
 
 #include "common/rng.h"
-#include "sim/simulator.h"
+#include "sim/clock.h"
 #include "workload/client.h"
 #include "workload/schedule.h"
 
@@ -23,7 +23,7 @@ namespace qsched::workload {
 /// `per_client_rate_per_second`.
 class OpenLoopSource {
  public:
-  OpenLoopSource(sim::Simulator* simulator,
+  OpenLoopSource(sim::Clock* simulator,
                  const WorkloadSchedule* schedule, int class_id,
                  QueryGenerator* generator, QueryFrontend* frontend,
                  ClientPool::RecordSink sink,
@@ -47,7 +47,7 @@ class OpenLoopSource {
   void OnArrival();
   double CurrentRate() const;
 
-  sim::Simulator* simulator_;
+  sim::Clock* simulator_;
   const WorkloadSchedule* schedule_;
   int class_id_;
   QueryGenerator* generator_;

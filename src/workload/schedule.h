@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "common/status.h"
-#include "sim/simulator.h"
+#include "sim/clock.h"
 
 namespace qsched::workload {
 

@@ -1,0 +1,161 @@
+#include "rt/mpmc_queue.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace qsched::rt {
+namespace {
+
+TEST(MpmcQueueTest, CapacityZeroClampsToOne) {
+  MpmcQueue<int> queue(0);
+  EXPECT_EQ(queue.capacity(), 1u);
+  EXPECT_TRUE(queue.TryPush(1));
+  // The single slot is taken: the next non-blocking push fails.
+  EXPECT_FALSE(queue.TryPush(2));
+  int out = 0;
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(queue.TryPush(3));
+}
+
+TEST(MpmcQueueTest, CapacityOneAlternatesPushPop) {
+  MpmcQueue<int> queue(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(queue.TryPush(i));
+    EXPECT_FALSE(queue.TryPush(i + 100));
+    int out = -1;
+    EXPECT_TRUE(queue.TryPop(&out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(MpmcQueueTest, FifoOrderSingleThreaded) {
+  MpmcQueue<int> queue(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(queue.TryPush(i));
+  EXPECT_FALSE(queue.TryPush(8));  // full
+  for (int i = 0; i < 8; ++i) {
+    int out = -1;
+    EXPECT_TRUE(queue.Pop(&out));
+    EXPECT_EQ(out, i);
+  }
+  int dummy = 0;
+  EXPECT_FALSE(queue.TryPop(&dummy));  // drained
+}
+
+TEST(MpmcQueueTest, ProducerBlocksUntilConsumerMakesRoom) {
+  MpmcQueue<int> queue(2);
+  ASSERT_TRUE(queue.TryPush(1));
+  ASSERT_TRUE(queue.TryPush(2));
+
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    // Full: this Push must block until the consumer pops.
+    EXPECT_TRUE(queue.Push(3));
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(pushed.load()) << "Push returned while the queue was full";
+
+  int out = 0;
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(MpmcQueueTest, CloseWhileFullWakesBlockedProducerAndDrains) {
+  MpmcQueue<int> queue(1);
+  ASSERT_TRUE(queue.TryPush(7));
+
+  std::atomic<bool> push_result{true};
+  std::thread producer([&] {
+    // Blocked on the full queue; Close() must wake it with failure.
+    push_result.store(queue.Push(8));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  queue.Close();
+  producer.join();
+  EXPECT_FALSE(push_result.load());
+
+  // Consumers still drain what was accepted before the close...
+  int out = 0;
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 7);
+  // ...and only then see end-of-stream.
+  EXPECT_FALSE(queue.Pop(&out));
+  // Producers fail immediately after close.
+  EXPECT_FALSE(queue.TryPush(9));
+  EXPECT_FALSE(queue.Push(9));
+}
+
+TEST(MpmcQueueTest, CloseWakesBlockedConsumer) {
+  MpmcQueue<int> queue(4);
+  std::atomic<bool> pop_result{true};
+  std::thread consumer([&] {
+    int out = 0;
+    pop_result.store(queue.Pop(&out));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  queue.Close();
+  consumer.join();
+  EXPECT_FALSE(pop_result.load());
+}
+
+// 8 producers / 4 consumers over a small queue: every pushed value is
+// popped exactly once, none invented, none lost. This is the test the
+// TSan gate leans on.
+TEST(MpmcQueueTest, StressEightProducersFourConsumers) {
+  constexpr int kProducers = 8;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 2000;
+  MpmcQueue<uint64_t> queue(64);
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        uint64_t value =
+            (static_cast<uint64_t>(p) << 32) | static_cast<uint64_t>(i);
+        ASSERT_TRUE(queue.Push(value));
+      }
+    });
+  }
+
+  std::mutex seen_mu;
+  std::unordered_set<uint64_t> seen;
+  std::atomic<uint64_t> popped{0};
+  std::vector<std::thread> consumers;
+  consumers.reserve(kConsumers);
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      uint64_t value = 0;
+      while (queue.Pop(&value)) {
+        popped.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(seen_mu);
+        EXPECT_TRUE(seen.insert(value).second)
+            << "duplicate value popped: " << value;
+      }
+    });
+  }
+
+  for (std::thread& t : producers) t.join();
+  queue.Close();
+  for (std::thread& t : consumers) t.join();
+
+  EXPECT_EQ(popped.load(), static_cast<uint64_t>(kProducers) * kPerProducer);
+  EXPECT_EQ(seen.size(), static_cast<size_t>(kProducers) * kPerProducer);
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+}  // namespace
+}  // namespace qsched::rt

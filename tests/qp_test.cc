@@ -52,8 +52,8 @@ TEST(ControlTableTest, LifecycleStateMachine) {
 
   ASSERT_TRUE(table.MarkDone(1, 5.0).ok());
   EXPECT_EQ(table.RunningCount(2), 0);
-  const QueryInfoRecord* row = table.Find(1);
-  ASSERT_NE(row, nullptr);
+  std::optional<QueryInfoRecord> row = table.Find(1);
+  ASSERT_TRUE(row.has_value());
   EXPECT_EQ(row->state, QueryState::kDone);
   EXPECT_DOUBLE_EQ(row->release_time, 2.0);
   EXPECT_DOUBLE_EQ(row->end_time, 5.0);
@@ -63,7 +63,7 @@ TEST(ControlTableTest, MissingQueryErrors) {
   ControlTable table;
   EXPECT_EQ(table.MarkReleased(9, 1.0).code(), StatusCode::kNotFound);
   EXPECT_EQ(table.MarkDone(9, 1.0).code(), StatusCode::kNotFound);
-  EXPECT_EQ(table.Find(9), nullptr);
+  EXPECT_FALSE(table.Find(9).has_value());
 }
 
 TEST(ControlTableTest, DoneWindowAndPrune) {

@@ -12,6 +12,10 @@
 //      (MPMC queue -> gateway workers -> live control loop) reporting
 //      sustained submission QPS, p50/p99 admission latency and
 //      completions/sec including the drain.
+//   5. Network loopback throughput: the same runtime behind the TCP
+//      front-end (src/net), driven by the multi-connection remote load
+//      generator over 127.0.0.1, reporting sustained QPS and p50/p99
+//      on-wire round-trip latency (submit to COMPLETED arrival).
 //
 // Emits a JSON report (scripts/run_bench.sh writes it to
 // BENCH_qsched.json at the repo root). All numbers are host-dependent;
@@ -37,6 +41,8 @@
 #include "common/rng.h"
 #include "harness/parallel.h"
 #include "harness/replication.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "obs/telemetry.h"
 #include "rt/loadgen.h"
 #include "rt/runtime.h"
@@ -289,6 +295,96 @@ RtGatewayNumbers BenchRtGateway(double qps, double duration_seconds) {
   return numbers;
 }
 
+struct NetLoopbackNumbers {
+  double qps_target = 0.0;
+  int connections = 0;
+  double feed_seconds = 0.0;
+  uint64_t offered = 0;
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;
+  uint64_t completed = 0;
+  uint64_t lost = 0;
+  double sustained_qps = 0.0;
+  double rtt_p50_seconds = 0.0;
+  double rtt_p99_seconds = 0.0;
+};
+
+/// The rt gateway benchmark again, but through the TCP front-end: an
+/// in-process Server on an ephemeral loopback port, driven by the
+/// multi-connection RemoteLoadGenerator. Round-trip latency is the
+/// full on-wire path (client submit -> reactor -> gateway -> worker ->
+/// completion mailbox -> reactor -> COMPLETED frame back at the
+/// client), from the `qsched_net_rtt_seconds` histogram.
+NetLoopbackNumbers BenchNetLoopback(double qps, double duration_seconds,
+                                    int connections) {
+  NetLoopbackNumbers numbers;
+  numbers.qps_target = qps;
+  numbers.connections = connections;
+
+  qsched::obs::Telemetry telemetry;
+  qsched::rt::RuntimeOptions options;
+  options.time_scale = 60.0;
+  options.horizon_model_seconds =
+      std::max(3600.0, 4.0 * duration_seconds * options.time_scale);
+  options.gateway.queue_capacity = 8192;
+  options.gateway.workers = 4;
+  options.scheduler.control_interval_seconds = 15.0;
+  options.telemetry = &telemetry;
+
+  qsched::sched::ServiceClassSet classes =
+      qsched::sched::MakePaperClasses();
+  qsched::rt::Runtime runtime(classes, options);
+  runtime.Start();
+
+  qsched::net::ServerOptions server_options;
+  server_options.port = 0;  // ephemeral
+  qsched::net::Server server(&runtime.gateway(), server_options,
+                             &telemetry);
+  qsched::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "net_loopback: server start failed: %s\n",
+                 started.ToString().c_str());
+    runtime.Shutdown();
+    return numbers;
+  }
+
+  qsched::net::RemoteLoadOptions load;
+  load.connections = connections;
+  load.qps = qps;
+  load.duration_wall_seconds = duration_seconds;
+  load.seed = 1234;
+  load.tpch_scale_factor = 0.1;
+
+  auto start = Clock::now();
+  qsched::net::RemoteLoadGenerator loadgen("127.0.0.1", server.port(),
+                                           load, &telemetry);
+  qsched::Status run = loadgen.Run();
+  numbers.feed_seconds = Seconds(start);
+  if (!run.ok()) {
+    std::fprintf(stderr, "net_loopback: load run failed: %s\n",
+                 run.ToString().c_str());
+  }
+  server.Stop();
+  runtime.Shutdown(/*drain_timeout_wall_seconds=*/300.0);
+
+  numbers.offered = loadgen.offered();
+  numbers.accepted = loadgen.accepted();
+  numbers.rejected = loadgen.rejected_queue_full() +
+                     loadgen.rejected_shutting_down();
+  numbers.completed = loadgen.completed();
+  numbers.lost = loadgen.lost_completions() +
+                 loadgen.unmatched_completions();
+  numbers.sustained_qps =
+      numbers.feed_seconds > 0.0
+          ? static_cast<double>(numbers.offered) / numbers.feed_seconds
+          : 0.0;
+  const qsched::obs::Histogram* rtt =
+      telemetry.registry.GetHistogram("qsched_net_rtt_seconds");
+  numbers.rtt_p50_seconds = rtt->Quantile(0.5);
+  numbers.rtt_p99_seconds = rtt->Quantile(0.99);
+  return numbers;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -303,6 +399,8 @@ int main(int argc, char** argv) {
         "flags: --events=N --outstanding=K --fig6-period-seconds=S\n"
         "       --replications=R --jobs=J --rep-period-seconds=S\n"
         "       --rt-qps=Q --rt-duration=S (real-time gateway section)\n"
+        "       --net-qps=Q --net-duration=S --net-connections=C\n"
+        "       (TCP loopback section)\n"
         "       --out=PATH (JSON report; default stdout only)\n");
     return 0;
   }
@@ -316,6 +414,10 @@ int main(int argc, char** argv) {
   double rep_period = flags.GetDouble("rep-period-seconds", 120.0);
   double rt_qps = flags.GetDouble("rt-qps", 1500.0);
   double rt_duration = flags.GetDouble("rt-duration", 2.0);
+  double net_qps = flags.GetDouble("net-qps", 1500.0);
+  double net_duration = flags.GetDouble("net-duration", 2.0);
+  int net_connections =
+      static_cast<int>(flags.GetInt("net-connections", 4));
   std::string out_path = flags.GetString("out", "");
 
   std::printf("== event queue: %llu events, %d outstanding ==\n",
@@ -397,9 +499,24 @@ int main(int argc, char** argv) {
               rt.completions_per_sec, rt.admission_p50_seconds * 1e6,
               rt.admission_p99_seconds * 1e6);
 
+  std::printf("== net loopback: %.0f qps on %d connections for %.1f s ==\n",
+              net_qps, net_connections, net_duration);
+  NetLoopbackNumbers net =
+      BenchNetLoopback(net_qps, net_duration, net_connections);
+  std::printf("sustained %.0f submissions/sec over TCP (offered %llu, "
+              "accepted %llu, rejected %llu, completed %llu, lost %llu), "
+              "rtt p50 %.0f us p99 %.0f us\n",
+              net.sustained_qps,
+              static_cast<unsigned long long>(net.offered),
+              static_cast<unsigned long long>(net.accepted),
+              static_cast<unsigned long long>(net.rejected),
+              static_cast<unsigned long long>(net.completed),
+              static_cast<unsigned long long>(net.lost),
+              net.rtt_p50_seconds * 1e6, net.rtt_p99_seconds * 1e6);
+
   std::string json;
   {
-    char buffer[4096];
+    char buffer[8192];
     std::snprintf(
         buffer, sizeof(buffer),
         "{\n"
@@ -437,6 +554,19 @@ int main(int argc, char** argv) {
         "    \"completions_per_sec\": %.0f,\n"
         "    \"admission_p50_us\": %.1f,\n"
         "    \"admission_p99_us\": %.1f\n"
+        "  },\n"
+        "  \"net_loopback\": {\n"
+        "    \"qps_target\": %.0f,\n"
+        "    \"connections\": %d,\n"
+        "    \"duration_seconds\": %.2f,\n"
+        "    \"offered\": %llu,\n"
+        "    \"accepted\": %llu,\n"
+        "    \"rejected\": %llu,\n"
+        "    \"completed\": %llu,\n"
+        "    \"lost\": %llu,\n"
+        "    \"sustained_qps\": %.0f,\n"
+        "    \"rtt_p50_us\": %.1f,\n"
+        "    \"rtt_p99_us\": %.1f\n"
         "  }\n"
         "}\n",
         std::thread::hardware_concurrency(),
@@ -450,7 +580,13 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(rt.shed),
         static_cast<unsigned long long>(rt.completed), rt.sustained_qps,
         rt.completions_per_sec, rt.admission_p50_seconds * 1e6,
-        rt.admission_p99_seconds * 1e6);
+        rt.admission_p99_seconds * 1e6, net.qps_target, net.connections,
+        net_duration, static_cast<unsigned long long>(net.offered),
+        static_cast<unsigned long long>(net.accepted),
+        static_cast<unsigned long long>(net.rejected),
+        static_cast<unsigned long long>(net.completed),
+        static_cast<unsigned long long>(net.lost), net.sustained_qps,
+        net.rtt_p50_seconds * 1e6, net.rtt_p99_seconds * 1e6);
     json = buffer;
   }
   if (!out_path.empty()) {

@@ -1,0 +1,110 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the TCP front-end: starts net_cli --mode=serve on
+# an ephemeral loopback port, drives it with --mode=netload (>= 2 s,
+# targeting >= 1000 submissions/s), fires malformed frames at it, and
+# checks conservation on both sides: offered = accepted + rejected, every
+# accepted query completed exactly once (lost=0, unmatched=0), and the
+# server's accepted = delivered + dropped. Registered with CTest as
+# `net_smoke`.
+#
+# Usage: net_smoke.sh <path-to-net_cli>
+set -euo pipefail
+
+CLI="${1:?usage: net_smoke.sh <path-to-net_cli>}"
+OUT_DIR="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  [ -n "${SERVER_PID}" ] && kill "${SERVER_PID}" 2>/dev/null || true
+  [ -n "${SERVER_PID}" ] && wait "${SERVER_PID}" 2>/dev/null || true
+  rm -rf "${OUT_DIR}"
+}
+trap cleanup EXIT
+
+PORT_FILE="${OUT_DIR}/port"
+SERVER_LOG="${OUT_DIR}/server.log"
+CLIENT_LOG="${OUT_DIR}/client.log"
+METRICS="${OUT_DIR}/server_metrics.prom"
+
+# Serve on an ephemeral port; generous duration, we SIGTERM it ourselves
+# once the load is done (SIGTERM takes the same drain path as duration
+# expiry).
+"${CLI}" --mode=serve --port=0 --port-file="${PORT_FILE}" \
+  --duration=120 --metrics-out="${METRICS}" >"${SERVER_LOG}" 2>&1 &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+  [ -s "${PORT_FILE}" ] && break
+  if ! kill -0 "${SERVER_PID}" 2>/dev/null; then
+    echo "net_smoke: server died during startup" >&2
+    cat "${SERVER_LOG}" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+PORT="$(cat "${PORT_FILE}")"
+if [ -z "${PORT}" ]; then
+  echo "net_smoke: server never published its port" >&2
+  exit 1
+fi
+
+# >= 2 s of load at 2000 qps offered across 4 connections, plus the
+# malformed-frame injection pass. net_cli exits nonzero on any
+# conservation violation (lost or duplicated completions).
+"${CLI}" --mode=netload --target="127.0.0.1:${PORT}" --connections=4 \
+  --qps=2000 --duration=2.5 --seed=7 --inject-malformed=10 \
+  | tee "${CLIENT_LOG}"
+
+kill -TERM "${SERVER_PID}"
+SERVER_STATUS=0
+wait "${SERVER_PID}" || SERVER_STATUS=$?
+SERVER_PID=""
+if [ "${SERVER_STATUS}" -ne 0 ]; then
+  echo "net_smoke: server exited with ${SERVER_STATUS}" >&2
+  cat "${SERVER_LOG}" >&2
+  exit 1
+fi
+cat "${SERVER_LOG}"
+
+# --- Client-side throughput + conservation from the NETLOAD line.
+NETLOAD_LINE="$(grep '^NETLOAD ' "${CLIENT_LOG}")"
+echo "${NETLOAD_LINE}" | awk '
+  {
+    for (i = 2; i <= NF; ++i) {
+      split($i, kv, "=");
+      v[kv[1]] = kv[2];
+    }
+  }
+  END {
+    if (v["rate"] + 0 < 1000) {
+      print "net_smoke: sustained rate " v["rate"] " < 1000 qps" \
+        > "/dev/stderr";
+      exit 1;
+    }
+    if (v["wall"] + 0 < 2.0) {
+      print "net_smoke: run too short: " v["wall"] "s" > "/dev/stderr";
+      exit 1;
+    }
+    if (v["lost"] + 0 != 0 || v["unmatched"] + 0 != 0) {
+      print "net_smoke: lost=" v["lost"] " unmatched=" v["unmatched"] \
+        > "/dev/stderr";
+      exit 1;
+    }
+    if (v["offered"] + 0 != v["accepted"] + v["rejected"]) {
+      print "net_smoke: offered != accepted + rejected" > "/dev/stderr";
+      exit 1;
+    }
+    if (v["completed"] + 0 != v["accepted"] + 0) {
+      print "net_smoke: completed != accepted" > "/dev/stderr";
+      exit 1;
+    }
+  }'
+
+# --- Server survived the malformed frames and counted them.
+grep -q 'server survived' "${CLIENT_LOG}"
+
+# --- Server-side metrics exposition includes the qsched_net_* family.
+grep -q '^# TYPE qsched_net_frames_in_total counter' "${METRICS}"
+grep -q '^qsched_net_submit_accepted_total ' "${METRICS}"
+grep -q '^# TYPE qsched_net_protocol_errors_total counter' "${METRICS}"
+
+echo "net_smoke: conservation holds over loopback TCP"

@@ -28,7 +28,8 @@ if command -v python3 >/dev/null 2>&1; then
 import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
-for section in ("event_queue", "fig6", "replication", "rt_gateway"):
+for section in ("event_queue", "fig6", "replication", "rt_gateway",
+                "net_loopback"):
     assert section in doc, f"missing section {section}"
 assert doc["event_queue"]["fast_events_per_sec"] > 0
 assert doc["replication"]["serial_seconds"] > 0
@@ -39,6 +40,17 @@ assert rt["completed"] + rt["shed"] == rt["offered"], \
     f"offered {rt['offered']} != completed {rt['completed']} " \
     f"+ shed {rt['shed']}"
 assert rt["admission_p99_us"] >= rt["admission_p50_us"] >= 0
+net = doc["net_loopback"]
+assert net["sustained_qps"] > 0, "net loopback sustained no load"
+assert net["offered"] == net["accepted"] + net["rejected"], \
+    "net loopback accounting broken: " \
+    f"offered {net['offered']} != accepted {net['accepted']} " \
+    f"+ rejected {net['rejected']}"
+assert net["completed"] == net["accepted"], \
+    f"net loopback completions {net['completed']} != accepted " \
+    f"{net['accepted']}"
+assert net["lost"] == 0, f"net loopback lost {net['lost']} completions"
+assert net["rtt_p99_us"] >= net["rtt_p50_us"] >= 0
 rep = doc["replication"]
 assert "threads_used" in rep, "replication is missing threads_used"
 assert 1 <= rep["threads_used"] <= max(1, rep["jobs"], 1), \
@@ -47,7 +59,10 @@ print(f"bench json ok: speedup {doc['event_queue']['speedup']:.2f}x "
       f"event queue, {rep['speedup']:.2f}x replication "
       f"at jobs={rep['jobs']} (threads_used={rep['threads_used']}), "
       f"rt gateway {rt['sustained_qps']:.0f} qps "
-      f"p99 {rt['admission_p99_us']:.0f} us")
+      f"p99 {rt['admission_p99_us']:.0f} us, "
+      f"net loopback {net['sustained_qps']:.0f} qps over "
+      f"{net['connections']} connections "
+      f"rtt p99 {net['rtt_p99_us']:.0f} us")
 if rep["threads_used"] > 1 and rep["speedup"] < 1.2:
     print(f"WARNING: replication speedup {rep['speedup']:.2f}x < 1.2x "
           f"with {rep['threads_used']} threads — parallel numbers are "
@@ -56,6 +71,7 @@ EOF
 else
   grep -q '"event_queue"' "${OUT}"
   grep -q '"replication"' "${OUT}"
+  grep -q '"net_loopback"' "${OUT}"
   echo "bench json ok (python3 unavailable; grep check only)"
 fi
 

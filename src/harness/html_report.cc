@@ -537,6 +537,44 @@ void WriteHtmlRunReport(const ExperimentResult& result,
     }
   }
 
+  // ---- Network front-end ----------------------------------------------
+  // Rendered only when the run was served over TCP (src/net registers
+  // qsched_net_* metrics; a pure in-process run has none).
+  if (telemetry != nullptr) {
+    std::vector<obs::MetricSnapshot> net;
+    for (obs::MetricSnapshot& snap : telemetry->registry.Snapshot()) {
+      if (snap.name.rfind("qsched_net_", 0) == 0) {
+        net.push_back(std::move(snap));
+      }
+    }
+    if (!net.empty()) {
+      out << "<h2>Network front-end</h2>\n<table>\n"
+          << "<tr><th>metric</th><th>value</th>"
+          << "<th>p50</th><th>p99</th><th>max</th></tr>\n";
+      for (const obs::MetricSnapshot& snap : net) {
+        out << "<tr><td>" << HtmlEscape(snap.name);
+        if (!snap.labels.empty()) {
+          out << "{" << HtmlEscape(snap.labels) << "}";
+        }
+        out << "</td>";
+        if (snap.kind == obs::MetricKind::kHistogram) {
+          out << "<td>" << snap.count << " samples</td><td>"
+              << StrPrintf("%.4g", snap.p50) << "</td><td>"
+              << StrPrintf("%.4g", snap.p99) << "</td><td>"
+              << StrPrintf("%.4g", snap.max) << "</td>";
+        } else {
+          out << "<td>" << StrPrintf("%.0f", snap.value)
+              << "</td><td></td><td></td><td></td>";
+        }
+        out << "</tr>\n";
+      }
+      out << "</table>\n<p class=\"note\">qsched_net_* families from "
+             "the TCP front-end (DESIGN.md &sect;9): wire frame and "
+             "rejection accounting, on-wire round-trip and in-server "
+             "turnaround seconds.</p>\n";
+    }
+  }
+
   out << "</body>\n</html>\n";
 }
 

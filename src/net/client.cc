@@ -1,0 +1,646 @@
+#include "net/client.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "workload/tpcc_workload.h"
+#include "workload/tpch_workload.h"
+
+namespace qsched::net {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double SecondsSince(SteadyClock::time_point t0) {
+  return std::chrono::duration<double>(SteadyClock::now() - t0).count();
+}
+
+/// Resolves host:port (IPv4) and connects a blocking TCP socket.
+Result<int> ConnectSocket(const std::string& host, uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string port_str = std::to_string(port);
+  int rc = getaddrinfo(host.c_str(), port_str.c_str(), &hints, &res);
+  if (rc != 0 || res == nullptr) {
+    return Status::InvalidArgument(StrPrintf(
+        "cannot resolve %s: %s", host.c_str(), gai_strerror(rc)));
+  }
+  int fd = socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+  if (fd < 0) {
+    freeaddrinfo(res);
+    return Status::Internal(StrPrintf("socket: %s", std::strerror(errno)));
+  }
+  if (connect(fd, res->ai_addr, res->ai_addrlen) != 0) {
+    const int err = errno;
+    close(fd);
+    freeaddrinfo(res);
+    return Status::Internal(StrPrintf("connect %s:%s: %s", host.c_str(),
+                                      port_str.c_str(),
+                                      std::strerror(err)));
+  }
+  freeaddrinfo(res);
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+ClientCompletion CompletionFromFrame(const Frame& frame) {
+  ClientCompletion c;
+  c.request_id = frame.request_id;
+  c.class_id = frame.class_id;
+  c.response_seconds = frame.response_seconds;
+  c.exec_seconds = frame.exec_seconds;
+  c.cancelled = frame.cancelled;
+  return c;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                uint16_t port) {
+  Result<int> fd = ConnectSocket(host, port);
+  if (!fd.ok()) return fd.status();
+  return std::unique_ptr<Client>(new Client(fd.ValueOrDie()));
+}
+
+Client::~Client() {
+  if (fd_ >= 0) close(fd_);
+}
+
+Status Client::SendAll(const std::vector<uint8_t>& bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n = send(fd_, bytes.data() + sent, bytes.size() - sent,
+                     MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(StrPrintf("send: %s", std::strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Client::ReadFrameInternal(Frame* frame, bool* got_frame) {
+  // One decode attempt from whatever is buffered; callers recv() more
+  // bytes when this reports no complete frame yet.
+  size_t consumed = 0;
+  DecodeStatus ds =
+      DecodeFrame(inbuf_.data(), inbuf_.size(), frame, &consumed);
+  if (ds == DecodeStatus::kOk) {
+    inbuf_.erase(inbuf_.begin(),
+                 inbuf_.begin() + static_cast<long>(consumed));
+    *got_frame = true;
+    return Status::OK();
+  }
+  if (ds != DecodeStatus::kNeedMore) {
+    return Status::Internal(StrPrintf("protocol error from server: %s",
+                                      DecodeStatusToString(ds)));
+  }
+  *got_frame = false;
+  return Status::OK();
+}
+
+Status Client::ReadUntilType(FrameType want, uint64_t request_id,
+                             Frame* out) {
+  while (true) {
+    Frame frame;
+    bool got = false;
+    QSCHED_RETURN_NOT_OK(ReadFrameInternal(&frame, &got));
+    if (!got) {
+      // Need more bytes; block on the socket.
+      uint8_t chunk[16 * 1024];
+      ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::Internal(
+            StrPrintf("recv: %s", std::strerror(errno)));
+      }
+      if (n == 0) {
+        return Status::Internal(
+            "connection closed by server while awaiting reply");
+      }
+      inbuf_.insert(inbuf_.end(), chunk, chunk + n);
+      continue;
+    }
+    if (frame.type == FrameType::kCompleted) {
+      completions_.push_back(CompletionFromFrame(frame));
+      if (outstanding_ > 0) --outstanding_;
+      continue;
+    }
+    if (frame.type == FrameType::kError) {
+      return Status::Internal(
+          StrPrintf("server error %s: %s",
+                    WireErrorToString(frame.error_code),
+                    frame.error_message.c_str()));
+    }
+    if (frame.type == want &&
+        (request_id == 0 || frame.request_id == request_id)) {
+      *out = frame;
+      return Status::OK();
+    }
+    return Status::Internal(StrPrintf("unexpected frame %s while awaiting %s",
+                                      FrameTypeToString(frame.type),
+                                      FrameTypeToString(want)));
+  }
+}
+
+Result<Client::SubmitResult> Client::Submit(const workload::Query& query) {
+  if (drained_) {
+    return Status::FailedPrecondition("connection is drained");
+  }
+  Frame request;
+  request.type = FrameType::kSubmit;
+  request.request_id = next_request_id_++;
+  request.query = query;
+  std::vector<uint8_t> bytes;
+  EncodeFrame(request, &bytes);
+  QSCHED_RETURN_NOT_OK(SendAll(bytes));
+
+  // The verdict for this submit is the next non-COMPLETED frame: the
+  // server acks admissions in submission order on each connection.
+  while (true) {
+    Frame reply;
+    bool got = false;
+    QSCHED_RETURN_NOT_OK(ReadFrameInternal(&reply, &got));
+    if (!got) {
+      uint8_t chunk[16 * 1024];
+      ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::Internal(
+            StrPrintf("recv: %s", std::strerror(errno)));
+      }
+      if (n == 0) {
+        return Status::Internal(
+            "connection closed by server while awaiting verdict");
+      }
+      inbuf_.insert(inbuf_.end(), chunk, chunk + n);
+      continue;
+    }
+    if (reply.type == FrameType::kCompleted) {
+      completions_.push_back(CompletionFromFrame(reply));
+      if (outstanding_ > 0) --outstanding_;
+      continue;
+    }
+    if (reply.type == FrameType::kError) {
+      return Status::Internal(
+          StrPrintf("server error %s: %s",
+                    WireErrorToString(reply.error_code),
+                    reply.error_message.c_str()));
+    }
+    if (reply.request_id != request.request_id) {
+      return Status::Internal("verdict for a different request_id");
+    }
+    SubmitResult result;
+    result.request_id = request.request_id;
+    if (reply.type == FrameType::kAccepted) {
+      result.accepted = true;
+      ++outstanding_;
+      return result;
+    }
+    if (reply.type == FrameType::kRejected) {
+      result.accepted = false;
+      result.reject_reason = reply.reject_reason;
+      return result;
+    }
+    return Status::Internal(StrPrintf("unexpected verdict frame %s",
+                                      FrameTypeToString(reply.type)));
+  }
+}
+
+Result<ClientCompletion> Client::NextCompletion() {
+  Result<PolledCompletion> polled = PollCompletion(-1.0);
+  if (!polled.ok()) return polled.status();
+  if (!polled.ValueOrDie().found) {
+    return Status::NotFound("no completion available");
+  }
+  return polled.ValueOrDie().completion;
+}
+
+Result<Client::PolledCompletion> Client::PollCompletion(
+    double timeout_seconds) {
+  PolledCompletion result;
+  if (!completions_.empty()) {
+    result.found = true;
+    result.completion = completions_.front();
+    completions_.pop_front();
+    return result;
+  }
+  if (drained_) return result;  // Nothing buffered, nothing coming.
+
+  const SteadyClock::time_point t0 = SteadyClock::now();
+  while (true) {
+    Frame frame;
+    bool got = false;
+    QSCHED_RETURN_NOT_OK(ReadFrameInternal(&frame, &got));
+    if (got) {
+      if (frame.type == FrameType::kCompleted) {
+        if (outstanding_ > 0) --outstanding_;
+        result.found = true;
+        result.completion = CompletionFromFrame(frame);
+        return result;
+      }
+      if (frame.type == FrameType::kError) {
+        return Status::Internal(
+            StrPrintf("server error %s: %s",
+                      WireErrorToString(frame.error_code),
+                      frame.error_message.c_str()));
+      }
+      return Status::Internal(
+          StrPrintf("unexpected frame %s while polling completions",
+                    FrameTypeToString(frame.type)));
+    }
+    // Wait for readability, bounded by what remains of the timeout.
+    int poll_ms = -1;
+    if (timeout_seconds >= 0.0) {
+      const double remaining = timeout_seconds - SecondsSince(t0);
+      if (remaining <= 0.0) return result;  // found=false
+      poll_ms = static_cast<int>(remaining * 1000.0) + 1;
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    int rc = poll(&pfd, 1, poll_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(StrPrintf("poll: %s", std::strerror(errno)));
+    }
+    if (rc == 0) return result;  // found=false
+    uint8_t chunk[16 * 1024];
+    ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return Status::Internal(StrPrintf("recv: %s", std::strerror(errno)));
+    }
+    if (n == 0) {
+      return Status::Internal(
+          "connection closed by server with completions outstanding");
+    }
+    inbuf_.insert(inbuf_.end(), chunk, chunk + n);
+  }
+}
+
+Status Client::Ping() {
+  Frame request;
+  request.type = FrameType::kPing;
+  request.request_id = next_request_id_++;
+  std::vector<uint8_t> bytes;
+  EncodeFrame(request, &bytes);
+  QSCHED_RETURN_NOT_OK(SendAll(bytes));
+  Frame reply;
+  return ReadUntilType(FrameType::kPong, request.request_id, &reply);
+}
+
+Result<WireStats> Client::Stats() {
+  Frame request;
+  request.type = FrameType::kStats;
+  request.request_id = next_request_id_++;
+  std::vector<uint8_t> bytes;
+  EncodeFrame(request, &bytes);
+  QSCHED_RETURN_NOT_OK(SendAll(bytes));
+  Frame reply;
+  QSCHED_RETURN_NOT_OK(
+      ReadUntilType(FrameType::kStatsReply, request.request_id, &reply));
+  return reply.stats;
+}
+
+Status Client::Drain() {
+  if (drained_) return Status::OK();
+  Frame request;
+  request.type = FrameType::kDrain;
+  request.request_id = next_request_id_++;
+  std::vector<uint8_t> bytes;
+  EncodeFrame(request, &bytes);
+  QSCHED_RETURN_NOT_OK(SendAll(bytes));
+  Frame reply;
+  QSCHED_RETURN_NOT_OK(
+      ReadUntilType(FrameType::kDrained, request.request_id, &reply));
+  drained_ = true;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// RemoteLoadGenerator
+// ---------------------------------------------------------------------------
+
+RemoteLoadGenerator::RemoteLoadGenerator(std::string host, uint16_t port,
+                                         const RemoteLoadOptions& options,
+                                         obs::Telemetry* telemetry)
+    : host_(std::move(host)),
+      port_(port),
+      options_(options),
+      telemetry_(telemetry) {
+  if (options_.mix.empty()) {
+    // The paper's mix: two OLAP service classes and the OLTP class, with
+    // OLTP dominating the arrival count (Section V).
+    options_.mix = {{1, 3.0, workload::WorkloadType::kOlap},
+                    {2, 3.0, workload::WorkloadType::kOlap},
+                    {3, 94.0, workload::WorkloadType::kOltp}};
+  }
+  if (telemetry_ != nullptr) {
+    auto& reg = telemetry_->registry;
+    rtt_hist_ = reg.GetHistogram("qsched_net_rtt_seconds");
+    offered_counter_ = reg.GetCounter("qsched_net_client_offered_total");
+    completed_counter_ =
+        reg.GetCounter("qsched_net_client_completed_total");
+  }
+}
+
+Status RemoteLoadGenerator::Run() {
+  const int n = options_.connections > 0 ? options_.connections : 1;
+  std::vector<std::thread> threads;
+  std::vector<Status> statuses(static_cast<size_t>(n));
+  threads.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads.emplace_back(
+        [this, i, &statuses] { statuses[static_cast<size_t>(i)] = RunConnection(i); });
+  }
+  for (auto& t : threads) t.join();
+  for (const Status& st : statuses) {
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+Status RemoteLoadGenerator::RunConnection(int index) {
+  Result<std::unique_ptr<Client>> connected = Client::Connect(host_, port_);
+  if (!connected.ok()) return connected.status();
+  std::unique_ptr<Client> client = std::move(connected).ValueOrDie();
+
+  // Per-connection generators, independently seeded so connections do not
+  // replay each other's draw sequences.
+  const uint64_t seed = options_.seed + static_cast<uint64_t>(index) * 7919;
+  workload::TpchWorkloadParams tpch_params;
+  tpch_params.scale_factor = options_.tpch_scale_factor;
+  workload::TpchWorkload olap(tpch_params, seed);
+  workload::TpccWorkload oltp(workload::TpccWorkloadParams{}, seed + 1);
+  Rng rng(seed, 0x9e3779b97f4a7c15ULL);
+
+  std::vector<double> weights;
+  weights.reserve(options_.mix.size());
+  for (const RemoteMixEntry& entry : options_.mix) {
+    weights.push_back(entry.weight);
+  }
+
+  // Reuse the in-process generator's rate envelope so --pattern shapes the
+  // remote load the same way it shapes rt::LoadGenerator.
+  rt::LoadGenOptions envelope;
+  envelope.pattern = options_.pattern;
+  envelope.burst_period_seconds = options_.burst_period_seconds;
+  envelope.burst_duty = options_.burst_duty;
+  envelope.burst_factor = options_.burst_factor;
+  envelope.diurnal_period_seconds = options_.diurnal_period_seconds;
+  envelope.diurnal_amplitude = options_.diurnal_amplitude;
+
+  const double per_conn_qps =
+      options_.qps / static_cast<double>(options_.connections > 0
+                                             ? options_.connections
+                                             : 1);
+  const SteadyClock::time_point start = SteadyClock::now();
+  SteadyClock::time_point next_arrival = start;
+  uint64_t submitted = 0;
+
+  // request_id -> submit wall time, for RTT + conservation accounting.
+  std::unordered_map<uint64_t, SteadyClock::time_point> pending;
+
+  auto absorb = [&](const ClientCompletion& completion) {
+    auto it = pending.find(completion.request_id);
+    if (it == pending.end()) {
+      unmatched_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    const double rtt =
+        std::chrono::duration<double>(SteadyClock::now() - it->second)
+            .count();
+    pending.erase(it);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    if (completed_counter_ != nullptr) completed_counter_->Inc();
+    if (rtt_hist_ != nullptr) rtt_hist_->Record(rtt);
+  };
+
+  while (true) {
+    const double t = SecondsSince(start);
+    if (t >= options_.duration_wall_seconds) break;
+
+    // Drain any completions that arrived, then wait out the gap to the
+    // next arrival doing the same.
+    while (true) {
+      const double wait = std::chrono::duration<double>(
+                              next_arrival - SteadyClock::now())
+                              .count();
+      Result<Client::PolledCompletion> polled =
+          client->PollCompletion(wait > 0.0 ? wait : 0.0);
+      if (!polled.ok()) return polled.status();
+      if (polled.ValueOrDie().found) {
+        absorb(polled.ValueOrDie().completion);
+        continue;
+      }
+      break;  // Timed out: the arrival is due (or overdue).
+    }
+    if (SteadyClock::now() < next_arrival) continue;
+
+    // Draw and submit one query.
+    const size_t pick = rng.Categorical(weights);
+    const RemoteMixEntry& entry = options_.mix[pick];
+    workload::Query query =
+        entry.type == workload::WorkloadType::kOlap ? olap.Next()
+                                                    : oltp.Next();
+    query.class_id = entry.class_id;
+    query.client_id =
+        index * options_.num_clients +
+        static_cast<int>(submitted % static_cast<uint64_t>(
+                                         options_.num_clients > 0
+                                             ? options_.num_clients
+                                             : 1));
+    ++submitted;
+    offered_.fetch_add(1, std::memory_order_relaxed);
+    if (offered_counter_ != nullptr) offered_counter_->Inc();
+    const SteadyClock::time_point sent_at = SteadyClock::now();
+    Result<Client::SubmitResult> verdict = client->Submit(query);
+    if (!verdict.ok()) return verdict.status();
+    const Client::SubmitResult& sr = verdict.ValueOrDie();
+    if (sr.accepted) {
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+      pending.emplace(sr.request_id, sent_at);
+    } else if (sr.reject_reason == rt::RejectReason::kShuttingDown) {
+      rejected_shutting_down_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    // Schedule the next arrival from the pattern's current rate.
+    const double rate = per_conn_qps * rt::LoadGenerator::RateFactorAt(
+                                           SecondsSince(start), envelope);
+    const double dt = rate > 0.0 ? rng.Exponential(1.0 / rate) : 0.010;
+    next_arrival += std::chrono::duration_cast<SteadyClock::duration>(
+        std::chrono::duration<double>(dt));
+    // An overloaded client falls behind; do not let the backlog of
+    // arrivals explode unboundedly.
+    const SteadyClock::time_point now = SteadyClock::now();
+    if (next_arrival < now) next_arrival = now;
+  }
+
+  // Drain: collect every outstanding completion, then reconcile.
+  Status drained = client->Drain();
+  if (!drained.ok()) return drained;
+  while (true) {
+    Result<Client::PolledCompletion> polled = client->PollCompletion(0.0);
+    if (!polled.ok()) return polled.status();
+    if (!polled.ValueOrDie().found) break;
+    absorb(polled.ValueOrDie().completion);
+  }
+  lost_.fetch_add(pending.size(), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Malformed-frame injection
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Sends `bytes` then reads until EOF or an ERROR frame, with a deadline.
+/// OK when the server answered with ERROR and/or closed the connection.
+Status ProbeOnce(const std::string& host, uint16_t port,
+                 const std::vector<uint8_t>& bytes) {
+  Result<int> connected = ConnectSocket(host, port);
+  if (!connected.ok()) return connected.status();
+  const int fd = connected.ValueOrDie();
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n =
+        send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // The server may already have closed on us mid-send; that counts
+      // as surviving the injection.
+      close(fd);
+      return Status::OK();
+    }
+    sent += static_cast<size_t>(n);
+  }
+  // Half-close so a probe the server legitimately treats as a truncated
+  // stream prefix (waiting for more bytes) resolves to EOF + close.
+  shutdown(fd, SHUT_WR);
+  std::vector<uint8_t> inbuf;
+  const SteadyClock::time_point t0 = SteadyClock::now();
+  bool saw_error_frame = false;
+  while (SecondsSince(t0) < 5.0) {
+    pollfd pfd{fd, POLLIN, 0};
+    int rc = poll(&pfd, 1, 200);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (rc == 0) continue;
+    uint8_t chunk[4096];
+    ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // RST etc. — the server dropped us, which is fine.
+    }
+    if (n == 0) {
+      close(fd);
+      return Status::OK();  // Clean close after (optionally) the ERROR.
+    }
+    inbuf.insert(inbuf.end(), chunk, chunk + n);
+    Frame frame;
+    size_t consumed = 0;
+    if (DecodeFrame(inbuf.data(), inbuf.size(), &frame, &consumed) ==
+            DecodeStatus::kOk &&
+        frame.type == FrameType::kError) {
+      saw_error_frame = true;
+      inbuf.erase(inbuf.begin(), inbuf.begin() + static_cast<long>(consumed));
+    }
+  }
+  close(fd);
+  if (saw_error_frame) return Status::OK();
+  return Status::Internal(
+      "server neither replied with ERROR nor closed the connection "
+      "within 5s of a malformed frame");
+}
+
+}  // namespace
+
+Status InjectMalformedFrames(const std::string& host, uint16_t port,
+                             int count, uint64_t seed) {
+  Rng rng(seed, 0xda3e39cb94b95bdbULL);
+  for (int i = 0; i < count; ++i) {
+    std::vector<uint8_t> bytes;
+    switch (i % 5) {
+      case 0: {
+        // Bad version.
+        Frame frame;
+        frame.type = FrameType::kPing;
+        frame.request_id = 1;
+        EncodeFrame(frame, &bytes);
+        bytes[4] = 0xEE;  // version byte
+        break;
+      }
+      case 1: {
+        // Unknown frame type.
+        Frame frame;
+        frame.type = FrameType::kPing;
+        frame.request_id = 2;
+        EncodeFrame(frame, &bytes);
+        bytes[5] = 0xC8;  // type byte
+        break;
+      }
+      case 2: {
+        // Oversized payload_length (claims 16 MiB).
+        const uint32_t huge = 16u * 1024u * 1024u;
+        bytes = {static_cast<uint8_t>(huge & 0xFF),
+                 static_cast<uint8_t>((huge >> 8) & 0xFF),
+                 static_cast<uint8_t>((huge >> 16) & 0xFF),
+                 static_cast<uint8_t>((huge >> 24) & 0xFF),
+                 kProtocolVersion,
+                 static_cast<uint8_t>(FrameType::kSubmit)};
+        break;
+      }
+      case 3: {
+        // SUBMIT whose payload_length covers only the header: the body
+        // is missing, which is malformed (not merely short).
+        bytes = {10, 0, 0, 0, kProtocolVersion,
+                 static_cast<uint8_t>(FrameType::kSubmit),
+                 0, 0, 0, 0, 0, 0, 0, 7};
+        break;
+      }
+      default: {
+        // Random garbage with a random claimed length.
+        const size_t len = static_cast<size_t>(rng.UniformInt(4, 64));
+        bytes.resize(len);
+        for (auto& b : bytes) {
+          b = static_cast<uint8_t>(rng.NextU32() & 0xFF);
+        }
+        // Claim exactly the bytes that follow the length field, so the
+        // frame is complete and judged rather than waited for.
+        bytes[0] = static_cast<uint8_t>(len - 4);
+        bytes[1] = 0;
+        bytes[2] = 0;
+        bytes[3] = 0;
+        break;
+      }
+    }
+    QSCHED_RETURN_NOT_OK(ProbeOnce(host, port, bytes));
+  }
+  return Status::OK();
+}
+
+}  // namespace qsched::net

@@ -1,0 +1,194 @@
+#ifndef QSCHED_NET_CLIENT_H_
+#define QSCHED_NET_CLIENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "net/frame.h"
+#include "obs/telemetry.h"
+#include "rt/loadgen.h"
+#include "workload/query.h"
+
+namespace qsched::net {
+
+/// One finished query as seen by a client.
+struct ClientCompletion {
+  uint64_t request_id = 0;
+  int32_t class_id = 0;
+  double response_seconds = 0.0;
+  double exec_seconds = 0.0;
+  bool cancelled = false;
+};
+
+/// Blocking client for the wire protocol: one TCP connection, one owning
+/// thread (the class is not thread-safe). Submit() returns the admission
+/// verdict; COMPLETED frames arriving while waiting for something else
+/// are buffered and handed out by NextCompletion()/PollCompletion().
+class Client {
+ public:
+  /// Connects (blocking) to host:port.
+  static Result<std::unique_ptr<Client>> Connect(const std::string& host,
+                                                 uint16_t port);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  struct SubmitResult {
+    bool accepted = false;
+    rt::RejectReason reject_reason = rt::RejectReason::kQueueFull;
+    uint64_t request_id = 0;
+  };
+
+  /// Sends SUBMIT and blocks until the ACCEPTED / REJECTED verdict for
+  /// it arrives (completions of earlier queries are buffered en route).
+  Result<SubmitResult> Submit(const workload::Query& query);
+
+  /// Next completion: from the buffer, else blocks reading the socket.
+  Result<ClientCompletion> NextCompletion();
+
+  /// Non-blocking-ish variant: waits at most `timeout_seconds` for a
+  /// completion to become available. ok() with found=false on timeout.
+  struct PolledCompletion {
+    bool found = false;
+    ClientCompletion completion;
+  };
+  Result<PolledCompletion> PollCompletion(double timeout_seconds);
+
+  /// PING round-trip.
+  Status Ping();
+
+  /// STATS round-trip.
+  Result<WireStats> Stats();
+
+  /// Sends DRAIN and blocks until the server's DRAINED, buffering every
+  /// COMPLETED that precedes it; after this the server closes the
+  /// connection and submissions fail. Buffered completions remain
+  /// readable via PollCompletion/NextCompletion (which no longer block).
+  Status Drain();
+
+  /// Accepted-but-not-yet-completed queries on this connection.
+  size_t outstanding() const { return outstanding_; }
+  /// Completions received and buffered but not yet handed out.
+  size_t buffered_completions() const { return completions_.size(); }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  /// One non-blocking decode attempt against the input buffer: sets
+  /// *got_frame when a complete frame was decoded (and consumed).
+  Status ReadFrameInternal(Frame* frame, bool* got_frame);
+  Status ReadUntilType(FrameType want, uint64_t request_id, Frame* out);
+  Status SendAll(const std::vector<uint8_t>& bytes);
+
+  int fd_ = -1;
+  bool drained_ = false;
+  uint64_t next_request_id_ = 1;
+  size_t outstanding_ = 0;
+  std::vector<uint8_t> inbuf_;
+  std::deque<ClientCompletion> completions_;
+};
+
+/// Mix entry for the remote load generator: a service class, its weight
+/// in the draw, and which generator family feeds it.
+struct RemoteMixEntry {
+  int class_id = 0;
+  double weight = 1.0;
+  workload::WorkloadType type = workload::WorkloadType::kOlap;
+};
+
+struct RemoteLoadOptions {
+  int connections = 4;
+  /// Total offered rate across all connections (queries/wall second).
+  double qps = 1000.0;
+  double duration_wall_seconds = 2.0;
+  uint64_t seed = 42;
+  rt::ArrivalPattern pattern = rt::ArrivalPattern::kConstant;
+  /// Pattern shape knobs, as in rt::LoadGenOptions.
+  double burst_period_seconds = 0.5;
+  double burst_duty = 0.3;
+  double burst_factor = 4.0;
+  double diurnal_period_seconds = 2.0;
+  double diurnal_amplitude = 0.8;
+  /// Synthetic client ids are spread over this many ids per connection.
+  int num_clients = 16;
+  /// TPC-H scale for the OLAP entries' generators.
+  double tpch_scale_factor = 0.1;
+  /// Class mix; empty = the paper's 1:3 / 2:3 / 3:94 default.
+  std::vector<RemoteMixEntry> mix;
+};
+
+/// Multi-connection remote load generator: each connection gets its own
+/// thread, generators (seeded seed + index) and open-loop Poisson
+/// arrival process at qps/connections; at the end every connection
+/// DRAINs and reconciles its completions. The on-wire round-trip of
+/// every completed query (submit to COMPLETED arrival, wall seconds)
+/// lands in the `qsched_net_rtt_seconds` histogram.
+class RemoteLoadGenerator {
+ public:
+  RemoteLoadGenerator(std::string host, uint16_t port,
+                      const RemoteLoadOptions& options,
+                      obs::Telemetry* telemetry = nullptr);
+
+  RemoteLoadGenerator(const RemoteLoadGenerator&) = delete;
+  RemoteLoadGenerator& operator=(const RemoteLoadGenerator&) = delete;
+
+  /// Runs the full generation + drain phase, blocking. Returns the first
+  /// connection-level error, or OK; per-query rejections are not errors.
+  Status Run();
+
+  // Totals across connections (valid after Run; atomics, so mid-run
+  // reads from another thread see a consistent monotonic view).
+  uint64_t offered() const { return offered_; }
+  uint64_t accepted() const { return accepted_; }
+  uint64_t rejected_queue_full() const { return rejected_queue_full_; }
+  uint64_t rejected_shutting_down() const {
+    return rejected_shutting_down_;
+  }
+  uint64_t completed() const { return completed_; }
+  /// Completions that did not match an outstanding accepted request
+  /// (duplicates or unknown ids) — must stay 0.
+  uint64_t unmatched_completions() const { return unmatched_; }
+  /// Accepted queries that never got a COMPLETED — must end 0.
+  uint64_t lost_completions() const { return lost_; }
+
+ private:
+  Status RunConnection(int index);
+
+  std::string host_;
+  uint16_t port_;
+  RemoteLoadOptions options_;
+  obs::Telemetry* telemetry_;
+
+  std::atomic<uint64_t> offered_{0};
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> rejected_queue_full_{0};
+  std::atomic<uint64_t> rejected_shutting_down_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> unmatched_{0};
+  std::atomic<uint64_t> lost_{0};
+
+  obs::Histogram* rtt_hist_ = nullptr;
+  obs::Counter* offered_counter_ = nullptr;
+  obs::Counter* completed_counter_ = nullptr;
+};
+
+/// Adversarial probe for the protocol-hardening acceptance criterion:
+/// opens a connection and sends `count` deliberately broken frames
+/// (truncated bodies, bad versions, unknown types, oversized lengths,
+/// random garbage — seeded by `seed`), expecting the server to answer
+/// with an ERROR frame and close, never crash. Returns OK when the
+/// server survived (responded and/or closed); Internal when the
+/// connection behaved unexpectedly.
+Status InjectMalformedFrames(const std::string& host, uint16_t port,
+                             int count, uint64_t seed);
+
+}  // namespace qsched::net
+
+#endif  // QSCHED_NET_CLIENT_H_

@@ -1,0 +1,380 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+namespace qsched::net {
+
+namespace {
+
+/// Little-endian append helpers. The payload-length word is patched in
+/// after the body is written, so encoding is single-pass.
+void PutU8(std::vector<uint8_t>* out, uint8_t v) { out->push_back(v); }
+
+void PutU16(std::vector<uint8_t>* out, uint16_t v) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutI32(std::vector<uint8_t>* out, int32_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+}
+
+void PutF64(std::vector<uint8_t>* out, double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutString(std::vector<uint8_t>* out, const std::string& s,
+               size_t max_bytes) {
+  size_t n = s.size() > max_bytes ? max_bytes : s.size();
+  PutU16(out, static_cast<uint16_t>(n));
+  out->insert(out->end(), s.begin(), s.begin() + n);
+}
+
+/// Bounds-checked little-endian cursor over one frame's payload. Every
+/// getter fails (returns false) instead of reading past the end; the
+/// caller maps any failure to kMalformed.
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  size_t remaining() const { return size_ - pos_; }
+
+  bool GetU8(uint8_t* v) {
+    if (remaining() < 1) return false;
+    *v = data_[pos_++];
+    return true;
+  }
+
+  bool GetU16(uint16_t* v) {
+    if (remaining() < 2) return false;
+    *v = static_cast<uint16_t>(data_[pos_]) |
+         static_cast<uint16_t>(data_[pos_ + 1]) << 8;
+    pos_ += 2;
+    return true;
+  }
+
+  bool GetU64(uint64_t* v) {
+    if (remaining() < 8) return false;
+    uint64_t r = 0;
+    for (int i = 0; i < 8; ++i) {
+      r |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    *v = r;
+    return true;
+  }
+
+  bool GetI32(int32_t* v) {
+    if (remaining() < 4) return false;
+    uint32_t r = 0;
+    for (int i = 0; i < 4; ++i) {
+      r |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    *v = static_cast<int32_t>(r);
+    return true;
+  }
+
+  bool GetF64(double* v) {
+    uint64_t bits;
+    if (!GetU64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+
+  bool GetString(std::string* s, size_t max_bytes) {
+    uint16_t n;
+    if (!GetU16(&n)) return false;
+    if (n > max_bytes || remaining() < n) return false;
+    s->assign(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return true;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+void EncodeBody(const Frame& frame, std::vector<uint8_t>* out) {
+  switch (frame.type) {
+    case FrameType::kSubmit: {
+      const workload::Query& q = frame.query;
+      PutI32(out, q.class_id);
+      PutU8(out, q.type == workload::WorkloadType::kOltp ? 1 : 0);
+      PutU8(out, q.job.database == engine::DatabaseId::kOltp ? 1 : 0);
+      PutI32(out, q.client_id);
+      PutF64(out, q.cost_timerons);
+      PutF64(out, q.job.cpu_seconds);
+      PutF64(out, q.job.logical_pages);
+      PutF64(out, q.job.write_pages);
+      PutF64(out, q.job.hit_ratio);
+      PutString(out, q.template_name, kMaxTemplateNameBytes);
+      break;
+    }
+    case FrameType::kRejected:
+      PutU8(out, static_cast<uint8_t>(frame.reject_reason));
+      break;
+    case FrameType::kCompleted:
+      PutI32(out, frame.class_id);
+      PutF64(out, frame.response_seconds);
+      PutF64(out, frame.exec_seconds);
+      PutU8(out, frame.cancelled ? 1 : 0);
+      break;
+    case FrameType::kStatsReply:
+      PutU64(out, frame.stats.accepted);
+      PutU64(out, frame.stats.rejected_queue_full);
+      PutU64(out, frame.stats.rejected_shutting_down);
+      PutU64(out, frame.stats.completed);
+      PutU64(out, frame.stats.queue_depth);
+      PutU64(out, frame.stats.connections);
+      break;
+    case FrameType::kError:
+      PutU8(out, static_cast<uint8_t>(frame.error_code));
+      PutString(out, frame.error_message, kMaxErrorMessageBytes);
+      break;
+    case FrameType::kPing:
+    case FrameType::kDrain:
+    case FrameType::kStats:
+    case FrameType::kAccepted:
+    case FrameType::kPong:
+    case FrameType::kDrained:
+      break;  // header-only frames
+  }
+}
+
+bool DecodeBody(Reader* reader, Frame* frame) {
+  switch (frame->type) {
+    case FrameType::kSubmit: {
+      workload::Query& q = frame->query;
+      uint8_t workload_type, database;
+      if (!reader->GetI32(&q.class_id)) return false;
+      if (!reader->GetU8(&workload_type) || workload_type > 1) return false;
+      if (!reader->GetU8(&database) || database > 1) return false;
+      if (!reader->GetI32(&q.client_id)) return false;
+      if (!reader->GetF64(&q.cost_timerons)) return false;
+      if (!reader->GetF64(&q.job.cpu_seconds)) return false;
+      if (!reader->GetF64(&q.job.logical_pages)) return false;
+      if (!reader->GetF64(&q.job.write_pages)) return false;
+      if (!reader->GetF64(&q.job.hit_ratio)) return false;
+      if (!reader->GetString(&q.template_name, kMaxTemplateNameBytes)) {
+        return false;
+      }
+      q.type = workload_type == 1 ? workload::WorkloadType::kOltp
+                                  : workload::WorkloadType::kOlap;
+      q.job.database = database == 1 ? engine::DatabaseId::kOltp
+                                     : engine::DatabaseId::kOlap;
+      return true;
+    }
+    case FrameType::kRejected: {
+      uint8_t reason;
+      if (!reader->GetU8(&reason)) return false;
+      if (reason != static_cast<uint8_t>(rt::RejectReason::kQueueFull) &&
+          reason !=
+              static_cast<uint8_t>(rt::RejectReason::kShuttingDown)) {
+        return false;
+      }
+      frame->reject_reason = static_cast<rt::RejectReason>(reason);
+      return true;
+    }
+    case FrameType::kCompleted: {
+      uint8_t cancelled;
+      if (!reader->GetI32(&frame->class_id)) return false;
+      if (!reader->GetF64(&frame->response_seconds)) return false;
+      if (!reader->GetF64(&frame->exec_seconds)) return false;
+      if (!reader->GetU8(&cancelled) || cancelled > 1) return false;
+      frame->cancelled = cancelled == 1;
+      return true;
+    }
+    case FrameType::kStatsReply:
+      return reader->GetU64(&frame->stats.accepted) &&
+             reader->GetU64(&frame->stats.rejected_queue_full) &&
+             reader->GetU64(&frame->stats.rejected_shutting_down) &&
+             reader->GetU64(&frame->stats.completed) &&
+             reader->GetU64(&frame->stats.queue_depth) &&
+             reader->GetU64(&frame->stats.connections);
+    case FrameType::kError: {
+      uint8_t code;
+      if (!reader->GetU8(&code) || code < 1 ||
+          code > static_cast<uint8_t>(WireError::kBadState)) {
+        return false;
+      }
+      frame->error_code = static_cast<WireError>(code);
+      return reader->GetString(&frame->error_message,
+                               kMaxErrorMessageBytes);
+    }
+    case FrameType::kPing:
+    case FrameType::kDrain:
+    case FrameType::kStats:
+    case FrameType::kAccepted:
+    case FrameType::kPong:
+    case FrameType::kDrained:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool FrameTypeIsKnown(uint8_t raw) {
+  switch (static_cast<FrameType>(raw)) {
+    case FrameType::kSubmit:
+    case FrameType::kPing:
+    case FrameType::kDrain:
+    case FrameType::kStats:
+    case FrameType::kAccepted:
+    case FrameType::kRejected:
+    case FrameType::kCompleted:
+    case FrameType::kPong:
+    case FrameType::kDrained:
+    case FrameType::kStatsReply:
+    case FrameType::kError:
+      return true;
+  }
+  return false;
+}
+
+const char* FrameTypeToString(FrameType type) {
+  switch (type) {
+    case FrameType::kSubmit:
+      return "SUBMIT";
+    case FrameType::kPing:
+      return "PING";
+    case FrameType::kDrain:
+      return "DRAIN";
+    case FrameType::kStats:
+      return "STATS";
+    case FrameType::kAccepted:
+      return "ACCEPTED";
+    case FrameType::kRejected:
+      return "REJECTED";
+    case FrameType::kCompleted:
+      return "COMPLETED";
+    case FrameType::kPong:
+      return "PONG";
+    case FrameType::kDrained:
+      return "DRAINED";
+    case FrameType::kStatsReply:
+      return "STATS_REPLY";
+    case FrameType::kError:
+      return "ERROR";
+  }
+  return "unknown";
+}
+
+const char* WireErrorToString(WireError error) {
+  switch (error) {
+    case WireError::kBadVersion:
+      return "bad_version";
+    case WireError::kBadType:
+      return "bad_type";
+    case WireError::kMalformed:
+      return "malformed";
+    case WireError::kOversized:
+      return "oversized";
+    case WireError::kBadState:
+      return "bad_state";
+  }
+  return "unknown";
+}
+
+const char* DecodeStatusToString(DecodeStatus status) {
+  switch (status) {
+    case DecodeStatus::kOk:
+      return "ok";
+    case DecodeStatus::kNeedMore:
+      return "need_more";
+    case DecodeStatus::kBadVersion:
+      return "bad_version";
+    case DecodeStatus::kBadType:
+      return "bad_type";
+    case DecodeStatus::kMalformed:
+      return "malformed";
+    case DecodeStatus::kOversized:
+      return "oversized";
+  }
+  return "unknown";
+}
+
+WireError DecodeStatusToWireError(DecodeStatus status) {
+  switch (status) {
+    case DecodeStatus::kBadVersion:
+      return WireError::kBadVersion;
+    case DecodeStatus::kBadType:
+      return WireError::kBadType;
+    case DecodeStatus::kOversized:
+      return WireError::kOversized;
+    case DecodeStatus::kOk:
+    case DecodeStatus::kNeedMore:
+    case DecodeStatus::kMalformed:
+      break;
+  }
+  return WireError::kMalformed;
+}
+
+void EncodeFrame(const Frame& frame, std::vector<uint8_t>* out) {
+  size_t length_at = out->size();
+  PutU32(out, 0);  // patched below
+  size_t payload_at = out->size();
+  PutU8(out, kProtocolVersion);
+  PutU8(out, static_cast<uint8_t>(frame.type));
+  PutU64(out, frame.request_id);
+  EncodeBody(frame, out);
+  uint32_t payload_length = static_cast<uint32_t>(out->size() - payload_at);
+  (*out)[length_at] = static_cast<uint8_t>(payload_length);
+  (*out)[length_at + 1] = static_cast<uint8_t>(payload_length >> 8);
+  (*out)[length_at + 2] = static_cast<uint8_t>(payload_length >> 16);
+  (*out)[length_at + 3] = static_cast<uint8_t>(payload_length >> 24);
+}
+
+DecodeStatus DecodeFrame(const uint8_t* data, size_t size, Frame* frame,
+                         size_t* consumed, size_t max_payload) {
+  if (size < 4) return DecodeStatus::kNeedMore;
+  uint32_t payload_length = static_cast<uint32_t>(data[0]) |
+                            static_cast<uint32_t>(data[1]) << 8 |
+                            static_cast<uint32_t>(data[2]) << 16 |
+                            static_cast<uint32_t>(data[3]) << 24;
+  // Validate the length word before waiting for the payload: a hostile
+  // length must fail now, not stall the connection "needing more".
+  if (payload_length > max_payload) return DecodeStatus::kOversized;
+  // version + type + request_id is the minimum payload of any frame.
+  if (payload_length < 1 + 1 + 8) return DecodeStatus::kMalformed;
+  if (size < 4 + static_cast<size_t>(payload_length)) {
+    return DecodeStatus::kNeedMore;
+  }
+
+  const uint8_t* payload = data + 4;
+  if (payload[0] != kProtocolVersion) return DecodeStatus::kBadVersion;
+  if (!FrameTypeIsKnown(payload[1])) return DecodeStatus::kBadType;
+
+  Frame decoded;
+  decoded.type = static_cast<FrameType>(payload[1]);
+  Reader reader(payload + 2, payload_length - 2);
+  if (!reader.GetU64(&decoded.request_id)) return DecodeStatus::kMalformed;
+  if (!DecodeBody(&reader, &decoded)) return DecodeStatus::kMalformed;
+  // The body must account for every payload byte: trailing garbage means
+  // the peer and we disagree about the layout — fail loudly.
+  if (reader.remaining() != 0) return DecodeStatus::kMalformed;
+
+  *frame = std::move(decoded);
+  *consumed = 4 + static_cast<size_t>(payload_length);
+  return DecodeStatus::kOk;
+}
+
+}  // namespace qsched::net

@@ -1,0 +1,140 @@
+#ifndef QSCHED_NET_FRAME_H_
+#define QSCHED_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rt/gateway.h"
+#include "workload/query.h"
+
+namespace qsched::net {
+
+/// Wire protocol of the TCP front-end. Framing:
+///
+///   u32  payload_length   little-endian, bytes after this field
+///   u8   version          kProtocolVersion
+///   u8   type             FrameType
+///   u64  request_id       client-chosen correlation id
+///   ...  body             type-specific, fixed little-endian layout
+///
+/// All multi-byte integers are little-endian; doubles travel as the
+/// little-endian bytes of their IEEE-754 bit pattern. A frame's payload
+/// must be exactly header + body — trailing bytes are malformed, as is a
+/// body that ends early. Oversized payload lengths are rejected before
+/// any allocation, so a hostile length field cannot balloon memory.
+inline constexpr uint8_t kProtocolVersion = 1;
+
+/// Hard ceiling on payload_length a decoder will accept. SUBMIT (the
+/// largest frame) is well under 1 KiB; anything bigger is a corrupt or
+/// hostile stream.
+inline constexpr size_t kMaxPayloadBytes = 64 * 1024;
+
+/// Longest template_name accepted in a SUBMIT body.
+inline constexpr size_t kMaxTemplateNameBytes = 256;
+/// Longest message accepted in an ERROR body.
+inline constexpr size_t kMaxErrorMessageBytes = 512;
+
+enum class FrameType : uint8_t {
+  // Requests (client -> server).
+  kSubmit = 1,  // one query; server replies ACCEPTED or REJECTED now,
+                // COMPLETED later on the same connection
+  kPing = 2,    // liveness; server replies PONG
+  kDrain = 3,   // stop intake on this connection; server replies DRAINED
+                // once every in-flight query has COMPLETED, then closes
+  kStats = 4,   // server replies STATS_REPLY with gateway accounting
+
+  // Responses (server -> client).
+  kAccepted = 16,
+  kRejected = 17,  // body: reason (rt::RejectReason)
+  kCompleted = 18,
+  kPong = 19,
+  kDrained = 20,
+  kStatsReply = 21,
+  kError = 22,  // protocol error; server closes the connection after it
+};
+
+bool FrameTypeIsKnown(uint8_t raw);
+const char* FrameTypeToString(FrameType type);
+
+/// Protocol error codes carried in an ERROR frame body.
+enum class WireError : uint8_t {
+  kBadVersion = 1,
+  kBadType = 2,
+  kMalformed = 3,  // body inconsistent with payload_length
+  kOversized = 4,  // payload_length above the decoder's limit
+  kBadState = 5,   // e.g. SUBMIT after DRAIN on the same connection
+};
+
+const char* WireErrorToString(WireError error);
+
+/// Gateway accounting snapshot carried by STATS_REPLY.
+struct WireStats {
+  uint64_t accepted = 0;
+  uint64_t rejected_queue_full = 0;
+  uint64_t rejected_shutting_down = 0;
+  uint64_t completed = 0;
+  uint64_t queue_depth = 0;
+  uint64_t connections = 0;
+};
+
+/// One decoded frame: `type` + `request_id` are always meaningful; the
+/// remaining fields only for the frame types that carry them.
+struct Frame {
+  FrameType type = FrameType::kPing;
+  uint64_t request_id = 0;
+
+  // kSubmit: the query to run. `query.id` / `query.job.query_id` are
+  // server-assigned and not transmitted.
+  workload::Query query;
+
+  // kRejected.
+  rt::RejectReason reject_reason = rt::RejectReason::kQueueFull;
+
+  // kCompleted.
+  int32_t class_id = 0;
+  double response_seconds = 0.0;
+  double exec_seconds = 0.0;
+  bool cancelled = false;
+
+  // kStatsReply.
+  WireStats stats;
+
+  // kError.
+  WireError error_code = WireError::kMalformed;
+  std::string error_message;
+};
+
+/// Appends the encoded frame to `out`. Strings longer than the wire
+/// limits are truncated at encode time, so every encoded frame decodes.
+void EncodeFrame(const Frame& frame, std::vector<uint8_t>* out);
+
+enum class DecodeStatus {
+  kOk,         // *frame and *consumed are set
+  kNeedMore,   // the buffer holds a prefix of a valid-so-far frame
+  kBadVersion,
+  kBadType,
+  kMalformed,  // length/body inconsistency inside a complete frame
+  kOversized,  // payload_length above max_payload
+};
+
+const char* DecodeStatusToString(DecodeStatus status);
+
+/// Attempts to decode one frame from the first `size` bytes of `data`.
+/// kOk fills *frame and sets *consumed to the bytes eaten; every other
+/// status leaves both untouched. kNeedMore means "wait for more bytes";
+/// the error statuses mean the stream is unrecoverable (framing is lost)
+/// and the connection should be errored out and closed. Never reads past
+/// `size`, never allocates proportionally to a hostile length field.
+DecodeStatus DecodeFrame(const uint8_t* data, size_t size, Frame* frame,
+                         size_t* consumed,
+                         size_t max_payload = kMaxPayloadBytes);
+
+/// Maps a decode error (not kOk/kNeedMore) to the WireError an ERROR
+/// reply should carry.
+WireError DecodeStatusToWireError(DecodeStatus status);
+
+}  // namespace qsched::net
+
+#endif  // QSCHED_NET_FRAME_H_

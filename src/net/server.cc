@@ -1,0 +1,568 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "common/strings.h"
+
+namespace qsched::net {
+
+namespace {
+
+bool SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+void Server::Mailbox::Post(PendingCompletion completion) {
+  std::lock_guard<std::mutex> lock(mu);
+  if (closed) return;  // server gone; the gateway still accounted it
+  items.push_back(completion);
+  if (wakeup_fd >= 0) {
+    // One byte is enough to make poll() return; a full pipe already
+    // guarantees a pending wakeup, so EAGAIN is fine.
+    char byte = 1;
+    ssize_t ignored = write(wakeup_fd, &byte, 1);
+    (void)ignored;
+  }
+}
+
+Server::Server(rt::Gateway* gateway, const ServerOptions& options,
+               obs::Telemetry* telemetry)
+    : gateway_(gateway),
+      options_(options),
+      telemetry_(telemetry),
+      mailbox_(std::make_shared<Mailbox>()) {
+  if (telemetry_ != nullptr) {
+    obs::Registry& reg = telemetry_->registry;
+    connections_gauge_ = reg.GetGauge("qsched_net_connections");
+    connections_counter_ = reg.GetCounter("qsched_net_connections_total");
+    frames_in_counter_ = reg.GetCounter("qsched_net_frames_in_total");
+    frames_out_counter_ = reg.GetCounter("qsched_net_frames_out_total");
+    protocol_errors_counter_ =
+        reg.GetCounter("qsched_net_protocol_errors_total");
+    submit_accepted_counter_ =
+        reg.GetCounter("qsched_net_submit_accepted_total");
+    submit_rejected_full_counter_ = reg.GetCounter(
+        "qsched_net_submit_rejected_total", "reason=\"queue_full\"");
+    submit_rejected_shutdown_counter_ = reg.GetCounter(
+        "qsched_net_submit_rejected_total", "reason=\"shutting_down\"");
+    completions_dropped_counter_ =
+        reg.GetCounter("qsched_net_completions_dropped_total");
+    turnaround_hist_ =
+        reg.GetHistogram("qsched_net_server_turnaround_seconds");
+  }
+}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    if (started_) return Status::FailedPrecondition("server already started");
+  }
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(StrPrintf("socket: %s", strerror(errno)));
+  }
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument(
+        StrPrintf("bad bind address %s", options_.bind_address.c_str()));
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status status = Status::Internal(StrPrintf(
+        "bind %s:%u: %s", options_.bind_address.c_str(),
+        static_cast<unsigned>(options_.port), strerror(errno)));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                  &addr_len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  if (listen(listen_fd_, 128) < 0 || !SetNonBlocking(listen_fd_)) {
+    Status status =
+        Status::Internal(StrPrintf("listen: %s", strerror(errno)));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+
+  int pipe_fds[2];
+  if (pipe(pipe_fds) < 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal(StrPrintf("pipe: %s", strerror(errno)));
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  SetNonBlocking(wake_read_fd_);
+  SetNonBlocking(wake_write_fd_);
+  {
+    std::lock_guard<std::mutex> lock(mailbox_->mu);
+    mailbox_->wakeup_fd = wake_write_fd_;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    started_ = true;
+    reactor_done_ = false;
+  }
+  reactor_ = std::thread([this] { ReactorLoop(); });
+  return Status::OK();
+}
+
+void Server::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    if (!started_ || stopped_) return;
+    stopped_ = true;
+  }
+  stop_requested_.store(true);
+  Wakeup();
+  {
+    std::unique_lock<std::mutex> lock(lifecycle_mu_);
+    bool drained = lifecycle_cv_.wait_for(
+        lock,
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::duration<double>(
+                options_.stop_drain_timeout_seconds)),
+        [this] { return reactor_done_; });
+    if (!drained) {
+      force_stop_.store(true);
+      Wakeup();
+      lifecycle_cv_.wait(lock, [this] { return reactor_done_; });
+    }
+  }
+  if (reactor_.joinable()) reactor_.join();
+
+  {
+    std::lock_guard<std::mutex> lock(mailbox_->mu);
+    mailbox_->closed = true;
+    mailbox_->wakeup_fd = -1;
+  }
+  if (listen_fd_ >= 0) close(listen_fd_);
+  if (wake_read_fd_ >= 0) close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) close(wake_write_fd_);
+  listen_fd_ = wake_read_fd_ = wake_write_fd_ = -1;
+}
+
+void Server::Wakeup() {
+  std::lock_guard<std::mutex> lock(mailbox_->mu);
+  if (mailbox_->wakeup_fd >= 0) {
+    char byte = 1;
+    ssize_t ignored = write(mailbox_->wakeup_fd, &byte, 1);
+    (void)ignored;
+  }
+}
+
+void Server::ReactorLoop() {
+  std::vector<pollfd> fds;
+  std::vector<uint64_t> fd_conn;  // conn_id per pollfd (0 = listen/wake)
+
+  while (true) {
+    if (force_stop_.load()) break;
+    bool stopping = stop_requested_.load();
+
+    // Graceful exit: stopping, nothing in flight anywhere, all flushed.
+    if (stopping) {
+      bool busy = false;
+      for (const auto& [id, conn] : conns_) {
+        if (conn.in_flight > 0 ||
+            conn.outbuf.size() > conn.out_offset) {
+          busy = true;
+          break;
+        }
+      }
+      if (!busy) break;
+    }
+
+    fds.clear();
+    fd_conn.clear();
+    if (!stopping) {
+      fds.push_back({listen_fd_, POLLIN, 0});
+      fd_conn.push_back(0);
+    }
+    fds.push_back({wake_read_fd_, POLLIN, 0});
+    fd_conn.push_back(0);
+    for (const auto& [id, conn] : conns_) {
+      short events = 0;
+      if (!conn.input_done && !conn.closing) events |= POLLIN;
+      if (conn.outbuf.size() > conn.out_offset) events |= POLLOUT;
+      if (events == 0) continue;
+      fds.push_back({conn.fd, events, 0});
+      fd_conn.push_back(id);
+    }
+
+    // 100 ms cap so stop/force flags are rechecked even with no traffic.
+    poll(fds.data(), fds.size(), 100);
+
+    for (size_t i = 0; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      if (fds[i].fd == wake_read_fd_) {
+        char buf[256];
+        while (read(wake_read_fd_, buf, sizeof(buf)) > 0) {
+        }
+        continue;
+      }
+      if (fds[i].fd == listen_fd_) {
+        AcceptNew();
+        continue;
+      }
+      uint64_t conn_id = fd_conn[i];
+      if (conns_.find(conn_id) == conns_.end()) continue;
+      // POLLHUP can coexist with buffered readable data (half-close
+      // after a DRAIN, say) — always let recv() discover the EOF.
+      if (fds[i].revents & (POLLIN | POLLHUP | POLLERR | POLLNVAL)) {
+        ReadFromConnection(conn_id);
+      }
+      if (conns_.count(conn_id) && (fds[i].revents & POLLOUT)) {
+        FlushConnection(conn_id);
+      }
+    }
+
+    // Completions can arrive at any moment; drain after I/O so frames
+    // queued here are flushed either immediately below or next round.
+    DrainMailbox();
+
+    // Opportunistic flush + deferred closes.
+    std::vector<uint64_t> to_close;
+    for (auto& [id, conn] : conns_) {
+      FlushConnection(id);
+    }
+    for (auto& [id, conn] : conns_) {
+      bool flushed = conn.outbuf.size() <= conn.out_offset;
+      if (conn.closing && flushed) to_close.push_back(id);
+      // Peer hung up and nothing is coming back to it anymore.
+      if (conn.input_done && conn.in_flight == 0 && flushed) {
+        to_close.push_back(id);
+      }
+    }
+    for (uint64_t id : to_close) CloseConnection(id);
+  }
+
+  // Reactor exit: close whatever is left (force stop or drained stop).
+  std::vector<uint64_t> remaining;
+  remaining.reserve(conns_.size());
+  for (const auto& [id, conn] : conns_) remaining.push_back(id);
+  for (uint64_t id : remaining) CloseConnection(id);
+
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    reactor_done_ = true;
+  }
+  lifecycle_cv_.notify_all();
+}
+
+void Server::AcceptNew() {
+  while (true) {
+    int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or transient error: try next round
+    if (conns_.size() >=
+            static_cast<size_t>(options_.max_connections < 1
+                                    ? 1
+                                    : options_.max_connections) ||
+        stop_requested_.load()) {
+      close(fd);
+      connections_refused_.fetch_add(1);
+      continue;
+    }
+    SetNonBlocking(fd);
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    uint64_t id = next_conn_id_++;
+    Connection conn;
+    conn.fd = fd;
+    conns_.emplace(id, std::move(conn));
+    connections_accepted_.fetch_add(1);
+    active_connections_.store(conns_.size());
+    if (connections_counter_ != nullptr) connections_counter_->Inc();
+    if (connections_gauge_ != nullptr) {
+      connections_gauge_->Set(static_cast<double>(conns_.size()));
+    }
+  }
+}
+
+void Server::ReadFromConnection(uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  Connection& conn = it->second;
+
+  char buf[64 * 1024];
+  while (true) {
+    ssize_t n = recv(conn.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn.inbuf.insert(conn.inbuf.end(), buf, buf + n);
+      if (n < static_cast<ssize_t>(sizeof(buf))) break;
+      continue;
+    }
+    if (n == 0) {
+      conn.input_done = true;  // EOF; keep delivering completions
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    conn.input_done = true;
+    break;
+  }
+
+  size_t offset = 0;
+  while (!conn.closing) {
+    Frame frame;
+    size_t consumed = 0;
+    DecodeStatus status =
+        DecodeFrame(conn.inbuf.data() + offset, conn.inbuf.size() - offset,
+                    &frame, &consumed, options_.max_frame_payload);
+    if (status == DecodeStatus::kNeedMore) break;
+    if (status != DecodeStatus::kOk) {
+      // Framing is lost: tell the peer exactly why, then drop it.
+      protocol_errors_.fetch_add(1);
+      if (protocol_errors_counter_ != nullptr) {
+        protocol_errors_counter_->Inc();
+      }
+      Frame error;
+      error.type = FrameType::kError;
+      error.error_code = DecodeStatusToWireError(status);
+      error.error_message = DecodeStatusToString(status);
+      SendFrame(&conn, error);
+      conn.closing = true;
+      conn.input_done = true;
+      break;
+    }
+    offset += consumed;
+    frames_received_.fetch_add(1);
+    if (frames_in_counter_ != nullptr) frames_in_counter_->Inc();
+    if (!HandleFrame(conn_id, frame)) break;
+    // HandleFrame may have invalidated the iterator's connection.
+    auto again = conns_.find(conn_id);
+    if (again == conns_.end()) return;
+  }
+  if (offset > 0) {
+    conn.inbuf.erase(conn.inbuf.begin(),
+                     conn.inbuf.begin() + static_cast<ptrdiff_t>(offset));
+  }
+}
+
+bool Server::HandleFrame(uint64_t conn_id, const Frame& frame) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return false;
+  Connection& conn = it->second;
+
+  switch (frame.type) {
+    case FrameType::kSubmit: {
+      Frame reply;
+      reply.request_id = frame.request_id;
+      if (conn.draining || stop_requested_.load()) {
+        reply.type = FrameType::kRejected;
+        reply.reject_reason = rt::RejectReason::kShuttingDown;
+        submits_rejected_.fetch_add(1);
+        if (submit_rejected_shutdown_counter_ != nullptr) {
+          submit_rejected_shutdown_counter_->Inc();
+        }
+        SendFrame(&conn, reply);
+        return true;
+      }
+      auto submitted = std::chrono::steady_clock::now();
+      rt::RejectReason reason = rt::RejectReason::kQueueFull;
+      bool accepted = gateway_->Offer(
+          frame.query,
+          [mailbox = mailbox_, conn_id, request_id = frame.request_id,
+           submitted](const workload::QueryRecord& record) {
+            mailbox->Post({conn_id, request_id, record.class_id,
+                           record.ResponseSeconds(), record.ExecSeconds(),
+                           record.cancelled, submitted});
+          },
+          &reason);
+      if (accepted) {
+        conn.in_flight += 1;
+        reply.type = FrameType::kAccepted;
+        submits_accepted_.fetch_add(1);
+        if (submit_accepted_counter_ != nullptr) {
+          submit_accepted_counter_->Inc();
+        }
+      } else {
+        reply.type = FrameType::kRejected;
+        reply.reject_reason = reason;
+        submits_rejected_.fetch_add(1);
+        if (reason == rt::RejectReason::kQueueFull) {
+          if (submit_rejected_full_counter_ != nullptr) {
+            submit_rejected_full_counter_->Inc();
+          }
+        } else if (submit_rejected_shutdown_counter_ != nullptr) {
+          submit_rejected_shutdown_counter_->Inc();
+        }
+      }
+      SendFrame(&conn, reply);
+      return true;
+    }
+    case FrameType::kPing: {
+      Frame reply;
+      reply.type = FrameType::kPong;
+      reply.request_id = frame.request_id;
+      SendFrame(&conn, reply);
+      return true;
+    }
+    case FrameType::kStats: {
+      Frame reply;
+      reply.type = FrameType::kStatsReply;
+      reply.request_id = frame.request_id;
+      reply.stats.accepted = gateway_->accepted();
+      reply.stats.rejected_queue_full = gateway_->rejected_queue_full();
+      reply.stats.rejected_shutting_down =
+          gateway_->rejected_shutting_down();
+      reply.stats.completed = gateway_->completed();
+      reply.stats.queue_depth = gateway_->queue_depth();
+      reply.stats.connections = conns_.size();
+      SendFrame(&conn, reply);
+      return true;
+    }
+    case FrameType::kDrain: {
+      conn.draining = true;
+      conn.drain_request_id = frame.request_id;
+      MaybeFinishDrain(conn_id);
+      return true;
+    }
+    case FrameType::kAccepted:
+    case FrameType::kRejected:
+    case FrameType::kCompleted:
+    case FrameType::kPong:
+    case FrameType::kDrained:
+    case FrameType::kStatsReply:
+    case FrameType::kError: {
+      // Response frames are server-to-client only.
+      protocol_errors_.fetch_add(1);
+      if (protocol_errors_counter_ != nullptr) {
+        protocol_errors_counter_->Inc();
+      }
+      Frame error;
+      error.type = FrameType::kError;
+      error.request_id = frame.request_id;
+      error.error_code = WireError::kBadState;
+      error.error_message = StrPrintf(
+          "%s is a response type", FrameTypeToString(frame.type));
+      SendFrame(&conn, error);
+      conn.closing = true;
+      conn.input_done = true;
+      return false;
+    }
+  }
+  return true;
+}
+
+void Server::DrainMailbox() {
+  std::vector<PendingCompletion> batch;
+  {
+    std::lock_guard<std::mutex> lock(mailbox_->mu);
+    batch.swap(mailbox_->items);
+  }
+  for (const PendingCompletion& completion : batch) {
+    auto it = conns_.find(completion.conn_id);
+    if (it == conns_.end()) {
+      completions_dropped_.fetch_add(1);
+      if (completions_dropped_counter_ != nullptr) {
+        completions_dropped_counter_->Inc();
+      }
+      continue;
+    }
+    Connection& conn = it->second;
+    Frame frame;
+    frame.type = FrameType::kCompleted;
+    frame.request_id = completion.request_id;
+    frame.class_id = completion.class_id;
+    frame.response_seconds = completion.response_seconds;
+    frame.exec_seconds = completion.exec_seconds;
+    frame.cancelled = completion.cancelled;
+    SendFrame(&conn, frame);
+    if (conn.in_flight > 0) conn.in_flight -= 1;
+    completions_delivered_.fetch_add(1);
+    if (turnaround_hist_ != nullptr) {
+      turnaround_hist_->Record(std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() -
+                                   completion.submitted_wall)
+                                   .count());
+    }
+    MaybeFinishDrain(completion.conn_id);
+  }
+}
+
+void Server::MaybeFinishDrain(uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  Connection& conn = it->second;
+  if (!conn.draining || conn.in_flight > 0 || conn.closing) return;
+  Frame frame;
+  frame.type = FrameType::kDrained;
+  frame.request_id = conn.drain_request_id;
+  SendFrame(&conn, frame);
+  conn.closing = true;
+}
+
+void Server::SendFrame(Connection* conn, const Frame& frame) {
+  EncodeFrame(frame, &conn->outbuf);
+  frames_sent_.fetch_add(1);
+  if (frames_out_counter_ != nullptr) frames_out_counter_->Inc();
+}
+
+void Server::FlushConnection(uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  Connection& conn = it->second;
+  while (conn.out_offset < conn.outbuf.size()) {
+    ssize_t n = send(conn.fd, conn.outbuf.data() + conn.out_offset,
+                     conn.outbuf.size() - conn.out_offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_offset += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    // Peer is unreachable; everything still buffered is undeliverable.
+    conn.outbuf.clear();
+    conn.out_offset = 0;
+    conn.input_done = true;
+    conn.closing = true;
+    return;
+  }
+  if (conn.out_offset > 0) {
+    conn.outbuf.clear();
+    conn.out_offset = 0;
+  }
+}
+
+void Server::CloseConnection(uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  // Completions still in flight for this connection will be dropped by
+  // DrainMailbox when they surface.
+  close(it->second.fd);
+  conns_.erase(it);
+  active_connections_.store(conns_.size());
+  if (connections_gauge_ != nullptr) {
+    connections_gauge_->Set(static_cast<double>(conns_.size()));
+  }
+}
+
+}  // namespace qsched::net

@@ -1,0 +1,198 @@
+#ifndef QSCHED_NET_SERVER_H_
+#define QSCHED_NET_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "net/frame.h"
+#include "obs/telemetry.h"
+#include "rt/gateway.h"
+
+namespace qsched::net {
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  /// 0 = ephemeral; the bound port is available via port() after Start().
+  uint16_t port = 0;
+  /// Connections beyond this are accepted and immediately closed.
+  int max_connections = 64;
+  /// Decoder payload ceiling (bytes) for inbound frames.
+  size_t max_frame_payload = kMaxPayloadBytes;
+  /// How long Stop() waits for in-flight queries to complete and their
+  /// COMPLETED frames to flush before force-closing.
+  double stop_drain_timeout_seconds = 30.0;
+};
+
+/// TCP front-end of the real-time runtime: one reactor thread multiplexes
+/// N client connections with poll(), decodes length-prefixed frames
+/// (net/frame.h), and feeds SUBMITs into the rt::Gateway. Admission
+/// verdicts go back immediately (ACCEPTED, or REJECTED{reason} straight
+/// from the gateway's backpressure — a full queue is never a silent
+/// drop), and each query's COMPLETED frame is routed to the connection
+/// that submitted it via the gateway's per-query completion hook.
+///
+/// Threading model (see DESIGN.md §9): the reactor thread owns every
+/// connection object and all socket I/O. Completion callbacks fire on the
+/// runtime's clock thread, under the core lock — they must not touch
+/// sockets, so they post {connection, request_id, outcome} records to a
+/// mutex-guarded completion mailbox and tickle the reactor through a
+/// wakeup pipe; the reactor drains the mailbox and writes the frames.
+/// The mailbox is shared via shared_ptr with every pending callback, so a
+/// completion that outlives Stop() lands in a closed mailbox instead of
+/// freed memory.
+///
+/// Shutdown is drain-then-close: Stop() ends accepting, rejects new
+/// SUBMITs (REJECTED{SHUTTING_DOWN}), waits until every in-flight query
+/// has completed and every outbound byte has flushed, then closes all
+/// connections. A client that got ACCEPTED therefore gets its COMPLETED
+/// even when Stop() races its submission.
+///
+/// Protocol errors (malformed / truncated / oversized / bad-version
+/// frames) never crash the server: the offender gets an ERROR frame with
+/// the specific code and its connection is closed; other connections are
+/// unaffected.
+class Server {
+ public:
+  /// `gateway` (started) and `telemetry` (optional) must outlive the
+  /// server. The runtime that owns the gateway must stay up until Stop()
+  /// returns, so completions can drain.
+  Server(rt::Gateway* gateway, const ServerOptions& options,
+         obs::Telemetry* telemetry = nullptr);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and spawns the reactor thread.
+  Status Start();
+
+  /// The actually-bound port (after Start(); 0 before).
+  uint16_t port() const { return port_; }
+
+  /// Graceful drain-then-close (see class comment). Idempotent.
+  void Stop();
+
+  // Accounting (safe from any thread).
+  uint64_t connections_accepted() const { return connections_accepted_; }
+  uint64_t connections_refused() const { return connections_refused_; }
+  size_t active_connections() const { return active_connections_; }
+  uint64_t frames_received() const { return frames_received_; }
+  uint64_t frames_sent() const { return frames_sent_; }
+  uint64_t protocol_errors() const { return protocol_errors_; }
+  uint64_t submits_accepted() const { return submits_accepted_; }
+  uint64_t submits_rejected() const { return submits_rejected_; }
+  uint64_t completions_delivered() const { return completions_delivered_; }
+  /// Completions whose connection was already gone (client disconnected
+  /// with queries in flight); the queries still ran and are accounted by
+  /// the gateway.
+  uint64_t completions_dropped() const { return completions_dropped_; }
+
+ private:
+  /// One finished query on its way back to a connection. Posted by the
+  /// gateway completion callback (clock thread), consumed by the reactor.
+  struct PendingCompletion {
+    uint64_t conn_id = 0;
+    uint64_t request_id = 0;
+    int32_t class_id = 0;
+    double response_seconds = 0.0;
+    double exec_seconds = 0.0;
+    bool cancelled = false;
+    std::chrono::steady_clock::time_point submitted_wall;
+  };
+
+  /// The completion mailbox shared with in-flight callbacks (see class
+  /// comment). `wakeup_fd` is the pipe's write end; -1 once closed.
+  struct Mailbox {
+    std::mutex mu;
+    std::vector<PendingCompletion> items;
+    int wakeup_fd = -1;
+    bool closed = false;
+
+    void Post(PendingCompletion completion);
+  };
+
+  struct Connection {
+    int fd = -1;
+    std::vector<uint8_t> inbuf;
+    std::vector<uint8_t> outbuf;
+    size_t out_offset = 0;
+    uint64_t in_flight = 0;
+    /// DRAIN received: no more SUBMITs; DRAINED + close once idle.
+    bool draining = false;
+    uint64_t drain_request_id = 0;
+    /// Flush outbuf, then close (protocol error or completed drain).
+    bool closing = false;
+    /// Input is done (peer EOF or error); stop polling POLLIN.
+    bool input_done = false;
+  };
+
+  void ReactorLoop();
+  void AcceptNew();
+  void ReadFromConnection(uint64_t conn_id);
+  /// Returns false when the connection errored and should stop reading.
+  bool HandleFrame(uint64_t conn_id, const Frame& frame);
+  void DrainMailbox();
+  void SendFrame(Connection* conn, const Frame& frame);
+  void FlushConnection(uint64_t conn_id);
+  void CloseConnection(uint64_t conn_id);
+  void MaybeFinishDrain(uint64_t conn_id);
+  void Wakeup();
+
+  rt::Gateway* gateway_;
+  ServerOptions options_;
+  obs::Telemetry* telemetry_;
+
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread reactor_;
+  std::shared_ptr<Mailbox> mailbox_;
+
+  std::mutex lifecycle_mu_;
+  std::condition_variable lifecycle_cv_;
+  bool started_ = false;
+  bool stopped_ = false;
+  bool reactor_done_ = false;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> force_stop_{false};
+
+  /// Reactor-owned; only sizes/counters leak out through atomics.
+  std::map<uint64_t, Connection> conns_;
+  uint64_t next_conn_id_ = 1;
+
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_refused_{0};
+  std::atomic<size_t> active_connections_{0};
+  std::atomic<uint64_t> frames_received_{0};
+  std::atomic<uint64_t> frames_sent_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> submits_accepted_{0};
+  std::atomic<uint64_t> submits_rejected_{0};
+  std::atomic<uint64_t> completions_delivered_{0};
+  std::atomic<uint64_t> completions_dropped_{0};
+
+  obs::Gauge* connections_gauge_ = nullptr;
+  obs::Counter* connections_counter_ = nullptr;
+  obs::Counter* frames_in_counter_ = nullptr;
+  obs::Counter* frames_out_counter_ = nullptr;
+  obs::Counter* protocol_errors_counter_ = nullptr;
+  obs::Counter* submit_accepted_counter_ = nullptr;
+  obs::Counter* submit_rejected_full_counter_ = nullptr;
+  obs::Counter* submit_rejected_shutdown_counter_ = nullptr;
+  obs::Counter* completions_dropped_counter_ = nullptr;
+  obs::Histogram* turnaround_hist_ = nullptr;
+};
+
+}  // namespace qsched::net
+
+#endif  // QSCHED_NET_SERVER_H_

@@ -6,6 +6,16 @@
 
 namespace qsched::rt {
 
+const char* RejectReasonToString(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kQueueFull:
+      return "queue_full";
+    case RejectReason::kShuttingDown:
+      return "shutting_down";
+  }
+  return "unknown";
+}
+
 Gateway::Gateway(WallClock* clock, workload::QueryFrontend* frontend,
                  const GatewayOptions& options, obs::Telemetry* telemetry)
     : clock_(clock),
@@ -20,6 +30,12 @@ Gateway::Gateway(WallClock* clock, workload::QueryFrontend* frontend,
         reg.GetHistogram("qsched_rt_admission_latency_seconds");
     accepted_counter_ = reg.GetCounter("qsched_rt_accepted_total");
     rejected_counter_ = reg.GetCounter("qsched_rt_rejected_total");
+    rejected_queue_full_counter_ =
+        reg.GetCounter("qsched_rt_rejected_by_reason_total",
+                       "reason=\"queue_full\"");
+    rejected_shutting_down_counter_ =
+        reg.GetCounter("qsched_rt_rejected_by_reason_total",
+                       "reason=\"shutting_down\"");
     completed_counter_ = reg.GetCounter("qsched_rt_completed_total");
   }
 }
@@ -37,36 +53,49 @@ void Gateway::Start() {
   }
 }
 
-bool Gateway::Offer(workload::Query query) {
-  query.id = next_query_id_.fetch_add(1, std::memory_order_relaxed);
-  Item item{std::move(query), std::chrono::steady_clock::now()};
-  if (!queue_.TryPush(std::move(item))) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
-    if (rejected_counter_ != nullptr) rejected_counter_->Inc();
-    return false;
+bool Gateway::RecordPushOutcome(QueuePush outcome, RejectReason* reason) {
+  switch (outcome) {
+    case QueuePush::kOk:
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+      if (telemetry_ != nullptr) {
+        accepted_counter_->Inc();
+        depth_gauge_->Set(static_cast<double>(queue_.size()));
+      }
+      return true;
+    case QueuePush::kFull:
+      rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
+      if (reason != nullptr) *reason = RejectReason::kQueueFull;
+      if (telemetry_ != nullptr) {
+        rejected_counter_->Inc();
+        rejected_queue_full_counter_->Inc();
+      }
+      return false;
+    case QueuePush::kClosed:
+      rejected_shutting_down_.fetch_add(1, std::memory_order_relaxed);
+      if (reason != nullptr) *reason = RejectReason::kShuttingDown;
+      if (telemetry_ != nullptr) {
+        rejected_counter_->Inc();
+        rejected_shutting_down_counter_->Inc();
+      }
+      return false;
   }
-  accepted_.fetch_add(1, std::memory_order_relaxed);
-  if (telemetry_ != nullptr) {
-    accepted_counter_->Inc();
-    depth_gauge_->Set(static_cast<double>(queue_.size()));
-  }
-  return true;
+  return false;
 }
 
-bool Gateway::Submit(workload::Query query) {
+bool Gateway::Offer(workload::Query query, CompleteFn on_complete,
+                    RejectReason* reason) {
   query.id = next_query_id_.fetch_add(1, std::memory_order_relaxed);
-  Item item{std::move(query), std::chrono::steady_clock::now()};
-  if (!queue_.Push(std::move(item))) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
-    if (rejected_counter_ != nullptr) rejected_counter_->Inc();
-    return false;
-  }
-  accepted_.fetch_add(1, std::memory_order_relaxed);
-  if (telemetry_ != nullptr) {
-    accepted_counter_->Inc();
-    depth_gauge_->Set(static_cast<double>(queue_.size()));
-  }
-  return true;
+  Item item{std::move(query), std::chrono::steady_clock::now(),
+            std::move(on_complete)};
+  return RecordPushOutcome(queue_.TryPushOutcome(std::move(item)), reason);
+}
+
+bool Gateway::Submit(workload::Query query, CompleteFn on_complete,
+                     RejectReason* reason) {
+  query.id = next_query_id_.fetch_add(1, std::memory_order_relaxed);
+  Item item{std::move(query), std::chrono::steady_clock::now(),
+            std::move(on_complete)};
+  return RecordPushOutcome(queue_.PushOutcome(std::move(item)), reason);
 }
 
 void Gateway::WorkerLoop() {
@@ -88,20 +117,24 @@ void Gateway::WorkerLoop() {
     // The scheduler and everything behind it are single-threaded model
     // components: enter them only under the core lock.
     clock_->Run([&] {
-      frontend_->Submit(item.query,
-                        [this](const workload::QueryRecord& record) {
-                          OnQueryComplete(record);
-                        });
+      frontend_->Submit(
+          item.query,
+          [this, per_query = std::move(item.on_complete)](
+              const workload::QueryRecord& record) {
+            OnQueryComplete(record, per_query);
+          });
     });
   }
 }
 
-void Gateway::OnQueryComplete(const workload::QueryRecord& record) {
+void Gateway::OnQueryComplete(const workload::QueryRecord& record,
+                              const CompleteFn& per_query) {
   completed_.fetch_add(1, std::memory_order_relaxed);
   if (telemetry_ != nullptr) {
     completed_counter_->Inc();
     ClassCompletedCounter(record.class_id)->Inc();
   }
+  if (per_query) per_query(record);
   if (on_complete_) on_complete_(record);
   // Take the idle mutex before notifying so the store to completed_
   // cannot slip between a waiter's predicate check and its sleep.

@@ -25,6 +25,17 @@ struct GatewayOptions {
   int workers = 2;
 };
 
+/// Why a submission was turned away. kQueueFull is open-loop shedding
+/// (transient backpressure — retrying makes sense); kShuttingDown means
+/// intake is closed for good. The network layer forwards this verbatim
+/// as the wire REJECTED{reason}.
+enum class RejectReason : uint8_t {
+  kQueueFull = 1,
+  kShuttingDown = 2,
+};
+
+const char* RejectReasonToString(RejectReason reason);
+
 /// The runtime's front door: producers (load generators, client threads)
 /// hand queries to Offer()/Submit(); a pool of gateway workers drains the
 /// bounded MPMC queue, stamps each query with a fresh id, and submits it
@@ -59,11 +70,20 @@ class Gateway {
   /// Open-loop submission: enqueues or, when the queue is full or closed,
   /// sheds (returns false; the query is counted rejected). The query's id
   /// is assigned by the gateway — the caller's id field is ignored.
-  bool Offer(workload::Query query);
+  ///
+  /// `on_complete` (optional) is invoked exactly once for this query,
+  /// on the completion thread, after the gateway's accounting and before
+  /// the global set_on_complete observer — the hook the network server
+  /// uses to route a COMPLETED frame back to the originating connection.
+  /// On rejection it is never invoked; `reason` (optional) then says why.
+  bool Offer(workload::Query query, CompleteFn on_complete = nullptr,
+             RejectReason* reason = nullptr);
 
   /// Closed-loop submission: blocks while the queue is full (producer
-  /// backpressure); false only once the gateway is draining.
-  bool Submit(workload::Query query);
+  /// backpressure); false only once the gateway is draining (`reason`,
+  /// when set, is then always kShuttingDown). `on_complete` as in Offer.
+  bool Submit(workload::Query query, CompleteFn on_complete = nullptr,
+              RejectReason* reason = nullptr);
 
   /// Closes intake and joins the workers: every accepted query has been
   /// handed to the frontend when this returns. Idempotent.
@@ -80,7 +100,15 @@ class Gateway {
 
   // Accounting (safe from any thread).
   uint64_t accepted() const { return accepted_.load(); }
-  uint64_t rejected() const { return rejected_.load(); }
+  uint64_t rejected() const {
+    return rejected_queue_full_.load() + rejected_shutting_down_.load();
+  }
+  uint64_t rejected_queue_full() const {
+    return rejected_queue_full_.load();
+  }
+  uint64_t rejected_shutting_down() const {
+    return rejected_shutting_down_.load();
+  }
   uint64_t admitted() const { return admitted_.load(); }
   uint64_t completed() const { return completed_.load(); }
   size_t queue_depth() const { return queue_.size(); }
@@ -89,10 +117,13 @@ class Gateway {
   struct Item {
     workload::Query query;
     std::chrono::steady_clock::time_point enqueued;
+    CompleteFn on_complete;
   };
 
+  bool RecordPushOutcome(QueuePush outcome, RejectReason* reason);
   void WorkerLoop();
-  void OnQueryComplete(const workload::QueryRecord& record);
+  void OnQueryComplete(const workload::QueryRecord& record,
+                       const CompleteFn& per_query);
   obs::Counter* ClassCompletedCounter(int class_id);
 
   WallClock* clock_;
@@ -104,7 +135,8 @@ class Gateway {
 
   std::atomic<uint64_t> next_query_id_{1};
   std::atomic<uint64_t> accepted_{0};
-  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> rejected_queue_full_{0};
+  std::atomic<uint64_t> rejected_shutting_down_{0};
   std::atomic<uint64_t> admitted_{0};
   std::atomic<uint64_t> completed_{0};
 
@@ -116,6 +148,8 @@ class Gateway {
   obs::Histogram* admission_latency_hist_ = nullptr;
   obs::Counter* accepted_counter_ = nullptr;
   obs::Counter* rejected_counter_ = nullptr;
+  obs::Counter* rejected_queue_full_counter_ = nullptr;
+  obs::Counter* rejected_shutting_down_counter_ = nullptr;
   obs::Counter* completed_counter_ = nullptr;
   std::mutex class_counter_mu_;
   std::map<int, obs::Counter*> class_completed_counters_;

@@ -9,6 +9,12 @@
 
 namespace qsched::rt {
 
+/// Why a push did not enqueue (or kOk). Distinguishing kFull from
+/// kClosed is what lets the gateway report *why* a query was rejected
+/// (queue-full shedding vs shutting-down), which the network layer
+/// forwards to remote clients as REJECTED{reason}.
+enum class QueuePush { kOk, kFull, kClosed };
+
 /// Bounded multi-producer multi-consumer queue: the hand-off between the
 /// real-time runtime's submission side (load generators, client threads)
 /// and the gateway workers that feed the scheduler.
@@ -40,27 +46,37 @@ class MpmcQueue {
 
   /// Blocks while the queue is full (producer backpressure). Returns
   /// false — without enqueueing — once the queue is closed.
-  bool Push(T value) {
+  bool Push(T value) { return PushOutcome(std::move(value)) == QueuePush::kOk; }
+
+  /// Push with a reason: blocking producers only ever fail because the
+  /// queue closed, so the outcome is kOk or kClosed (never kFull).
+  QueuePush PushOutcome(T value) {
     std::unique_lock<std::mutex> lock(mu_);
     not_full_.wait(lock,
                    [this] { return closed_ || items_.size() < capacity_; });
-    if (closed_) return false;
+    if (closed_) return QueuePush::kClosed;
     items_.push_back(std::move(value));
     lock.unlock();
     not_empty_.notify_one();
-    return true;
+    return QueuePush::kOk;
   }
 
   /// Non-blocking variant for open-loop producers: returns false when the
   /// queue is full (the caller sheds the item) or closed.
   bool TryPush(T value) {
+    return TryPushOutcome(std::move(value)) == QueuePush::kOk;
+  }
+
+  /// TryPush with a reason: kFull (the caller sheds the item) or kClosed.
+  QueuePush TryPushOutcome(T value) {
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (closed_ || items_.size() >= capacity_) return false;
+      if (closed_) return QueuePush::kClosed;
+      if (items_.size() >= capacity_) return QueuePush::kFull;
       items_.push_back(std::move(value));
     }
     not_empty_.notify_one();
-    return true;
+    return QueuePush::kOk;
   }
 
   /// Blocks until an item is available or the queue is closed *and*

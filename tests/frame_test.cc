@@ -1,0 +1,397 @@
+// Wire-protocol hardening tests: a fuzz-style table of malformed inputs
+// (truncated, oversized, bad version, bad type, trailing garbage), a
+// random-bytes never-crash sweep, and a seeded encode/decode round-trip
+// property test. See net/frame.h for the framing contract.
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "net/frame.h"
+
+namespace qsched::net {
+namespace {
+
+std::vector<uint8_t> EncodePing(uint64_t request_id,
+                                uint8_t version = kProtocolVersion) {
+  Frame frame;
+  frame.type = FrameType::kPing;
+  frame.request_id = request_id;
+  std::vector<uint8_t> bytes;
+  EncodeFrame(frame, &bytes);
+  bytes[4] = version;
+  return bytes;
+}
+
+workload::Query MakeQuery() {
+  workload::Query q;
+  q.class_id = 2;
+  q.type = workload::WorkloadType::kOlap;
+  q.template_name = "q6";
+  q.cost_timerons = 1234.5;
+  q.client_id = 7;
+  q.job.database = engine::DatabaseId::kOlap;
+  q.job.cpu_seconds = 0.25;
+  q.job.logical_pages = 5000.0;
+  q.job.write_pages = 12.0;
+  q.job.hit_ratio = 0.8;
+  return q;
+}
+
+TEST(FrameTest, RoundTripSubmit) {
+  Frame in;
+  in.type = FrameType::kSubmit;
+  in.request_id = 99;
+  in.query = MakeQuery();
+  std::vector<uint8_t> bytes;
+  EncodeFrame(in, &bytes);
+
+  Frame out;
+  size_t consumed = 0;
+  ASSERT_EQ(DecodeFrame(bytes.data(), bytes.size(), &out, &consumed),
+            DecodeStatus::kOk);
+  EXPECT_EQ(consumed, bytes.size());
+  EXPECT_EQ(out.type, FrameType::kSubmit);
+  EXPECT_EQ(out.request_id, 99u);
+  EXPECT_EQ(out.query.class_id, 2);
+  EXPECT_EQ(out.query.type, workload::WorkloadType::kOlap);
+  EXPECT_EQ(out.query.template_name, "q6");
+  EXPECT_DOUBLE_EQ(out.query.cost_timerons, 1234.5);
+  EXPECT_EQ(out.query.client_id, 7);
+  EXPECT_EQ(out.query.job.database, engine::DatabaseId::kOlap);
+  EXPECT_DOUBLE_EQ(out.query.job.cpu_seconds, 0.25);
+  EXPECT_DOUBLE_EQ(out.query.job.logical_pages, 5000.0);
+  EXPECT_DOUBLE_EQ(out.query.job.write_pages, 12.0);
+  EXPECT_DOUBLE_EQ(out.query.job.hit_ratio, 0.8);
+}
+
+TEST(FrameTest, RoundTripResponses) {
+  {
+    Frame in;
+    in.type = FrameType::kRejected;
+    in.request_id = 3;
+    in.reject_reason = rt::RejectReason::kShuttingDown;
+    std::vector<uint8_t> bytes;
+    EncodeFrame(in, &bytes);
+    Frame out;
+    size_t consumed = 0;
+    ASSERT_EQ(DecodeFrame(bytes.data(), bytes.size(), &out, &consumed),
+              DecodeStatus::kOk);
+    EXPECT_EQ(out.type, FrameType::kRejected);
+    EXPECT_EQ(out.reject_reason, rt::RejectReason::kShuttingDown);
+  }
+  {
+    Frame in;
+    in.type = FrameType::kCompleted;
+    in.request_id = 4;
+    in.class_id = 3;
+    in.response_seconds = 1.5;
+    in.exec_seconds = 0.75;
+    in.cancelled = true;
+    std::vector<uint8_t> bytes;
+    EncodeFrame(in, &bytes);
+    Frame out;
+    size_t consumed = 0;
+    ASSERT_EQ(DecodeFrame(bytes.data(), bytes.size(), &out, &consumed),
+              DecodeStatus::kOk);
+    EXPECT_EQ(out.class_id, 3);
+    EXPECT_DOUBLE_EQ(out.response_seconds, 1.5);
+    EXPECT_DOUBLE_EQ(out.exec_seconds, 0.75);
+    EXPECT_TRUE(out.cancelled);
+  }
+  {
+    Frame in;
+    in.type = FrameType::kStatsReply;
+    in.request_id = 5;
+    in.stats = {100, 5, 2, 93, 11, 3};
+    std::vector<uint8_t> bytes;
+    EncodeFrame(in, &bytes);
+    Frame out;
+    size_t consumed = 0;
+    ASSERT_EQ(DecodeFrame(bytes.data(), bytes.size(), &out, &consumed),
+              DecodeStatus::kOk);
+    EXPECT_EQ(out.stats.accepted, 100u);
+    EXPECT_EQ(out.stats.rejected_queue_full, 5u);
+    EXPECT_EQ(out.stats.rejected_shutting_down, 2u);
+    EXPECT_EQ(out.stats.completed, 93u);
+    EXPECT_EQ(out.stats.queue_depth, 11u);
+    EXPECT_EQ(out.stats.connections, 3u);
+  }
+  {
+    Frame in;
+    in.type = FrameType::kError;
+    in.request_id = 6;
+    in.error_code = WireError::kOversized;
+    in.error_message = "too big";
+    std::vector<uint8_t> bytes;
+    EncodeFrame(in, &bytes);
+    Frame out;
+    size_t consumed = 0;
+    ASSERT_EQ(DecodeFrame(bytes.data(), bytes.size(), &out, &consumed),
+              DecodeStatus::kOk);
+    EXPECT_EQ(out.error_code, WireError::kOversized);
+    EXPECT_EQ(out.error_message, "too big");
+  }
+}
+
+TEST(FrameTest, StreamPrefixesNeedMore) {
+  // Every strict prefix of a valid frame is kNeedMore, never an error:
+  // a slow sender must not be mistaken for a hostile one.
+  std::vector<uint8_t> bytes;
+  Frame frame;
+  frame.type = FrameType::kSubmit;
+  frame.request_id = 1;
+  frame.query = MakeQuery();
+  EncodeFrame(frame, &bytes);
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    Frame out;
+    size_t consumed = 0;
+    EXPECT_EQ(DecodeFrame(bytes.data(), len, &out, &consumed),
+              DecodeStatus::kNeedMore)
+        << "prefix length " << len;
+  }
+}
+
+TEST(FrameTest, MalformedInputTable) {
+  struct Case {
+    const char* name;
+    std::vector<uint8_t> bytes;
+    DecodeStatus want;
+  };
+  std::vector<Case> cases;
+
+  cases.push_back({"bad version", EncodePing(1, /*version=*/0xEE),
+                   DecodeStatus::kBadVersion});
+  {
+    std::vector<uint8_t> bytes = EncodePing(2);
+    bytes[5] = 0xC8;  // unknown type
+    cases.push_back({"bad type", bytes, DecodeStatus::kBadType});
+  }
+  {
+    // payload_length = 16 MiB: rejected from the length word alone.
+    std::vector<uint8_t> bytes = {0x00, 0x00, 0x00, 0x01};
+    cases.push_back({"oversized", bytes, DecodeStatus::kOversized});
+  }
+  {
+    // payload_length below the version+type+request_id minimum.
+    std::vector<uint8_t> bytes = {0x05, 0x00, 0x00, 0x00};
+    cases.push_back({"short payload", bytes, DecodeStatus::kMalformed});
+  }
+  {
+    // PING with one trailing byte the body did not account for.
+    std::vector<uint8_t> bytes = EncodePing(3);
+    bytes.push_back(0x55);
+    bytes[0] += 1;  // claim the extra byte as payload
+    cases.push_back({"trailing garbage", bytes, DecodeStatus::kMalformed});
+  }
+  {
+    // SUBMIT whose payload is just the header: the body is missing.
+    std::vector<uint8_t> bytes = {10, 0, 0, 0, kProtocolVersion,
+                                  static_cast<uint8_t>(FrameType::kSubmit),
+                                  0, 0, 0, 0, 0, 0, 0, 7};
+    cases.push_back({"submit no body", bytes, DecodeStatus::kMalformed});
+  }
+  {
+    // REJECTED with an out-of-range reason byte.
+    Frame frame;
+    frame.type = FrameType::kRejected;
+    frame.request_id = 8;
+    std::vector<uint8_t> bytes;
+    EncodeFrame(frame, &bytes);
+    bytes.back() = 0x77;
+    cases.push_back({"bad reject reason", bytes, DecodeStatus::kMalformed});
+  }
+  {
+    // SUBMIT with a template_name length pointing past the payload.
+    Frame frame;
+    frame.type = FrameType::kSubmit;
+    frame.request_id = 9;
+    frame.query = MakeQuery();
+    std::vector<uint8_t> bytes;
+    EncodeFrame(frame, &bytes);
+    // The u16 string length sits 2 + name bytes from the end.
+    bytes[bytes.size() - 2 - frame.query.template_name.size()] = 0xFF;
+    cases.push_back({"string overrun", bytes, DecodeStatus::kMalformed});
+  }
+
+  for (const Case& c : cases) {
+    Frame out;
+    size_t consumed = 0;
+    EXPECT_EQ(DecodeFrame(c.bytes.data(), c.bytes.size(), &out, &consumed),
+              c.want)
+        << c.name;
+  }
+}
+
+TEST(FrameTest, OversizedRejectedBeforePayloadArrives) {
+  // Only the length word is present; a cooperative decoder would wait
+  // for 16 MiB, ours must fail immediately.
+  std::vector<uint8_t> bytes = {0x00, 0x00, 0x00, 0x01};
+  Frame out;
+  size_t consumed = 0;
+  EXPECT_EQ(DecodeFrame(bytes.data(), bytes.size(), &out, &consumed),
+            DecodeStatus::kOversized);
+  // A tighter per-connection limit applies the same way.
+  std::vector<uint8_t> small = EncodePing(1);
+  EXPECT_EQ(DecodeFrame(small.data(), small.size(), &out, &consumed,
+                        /*max_payload=*/4),
+            DecodeStatus::kOversized);
+}
+
+TEST(FrameTest, RandomBytesNeverCrashAndNeverOverread) {
+  // 10k random buffers: decode must always return a verdict without
+  // crashing, and kOk must never claim more bytes than provided.
+  Rng rng(20260806);
+  int ok = 0, errors = 0, need_more = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const size_t len = static_cast<size_t>(rng.UniformInt(0, 128));
+    std::vector<uint8_t> bytes(len);
+    for (auto& b : bytes) b = static_cast<uint8_t>(rng.NextU32() & 0xFF);
+    Frame out;
+    size_t consumed = 0;
+    DecodeStatus st =
+        DecodeFrame(bytes.data(), bytes.size(), &out, &consumed);
+    switch (st) {
+      case DecodeStatus::kOk:
+        ++ok;
+        EXPECT_LE(consumed, bytes.size());
+        break;
+      case DecodeStatus::kNeedMore:
+        ++need_more;
+        break;
+      default:
+        ++errors;
+        break;
+    }
+  }
+  // Random bytes are overwhelmingly rejected; the exact split is
+  // seed-dependent but every path must have been exercised.
+  EXPECT_GT(errors, 0);
+  EXPECT_GT(need_more, 0);
+  (void)ok;
+}
+
+TEST(FrameTest, SeededRoundTripProperty) {
+  // Property: encode(frame) always decodes back to an equal frame, for
+  // randomized frames of every type, including extreme doubles and
+  // maximum-length strings (encode truncates to the wire limit).
+  Rng rng(7);
+  const FrameType kTypes[] = {
+      FrameType::kSubmit,   FrameType::kPing,    FrameType::kDrain,
+      FrameType::kStats,    FrameType::kAccepted, FrameType::kRejected,
+      FrameType::kCompleted, FrameType::kPong,   FrameType::kDrained,
+      FrameType::kStatsReply, FrameType::kError};
+  for (int i = 0; i < 2000; ++i) {
+    Frame in;
+    in.type = kTypes[rng.UniformInt(0, 10)];
+    in.request_id = rng.NextU64();
+    in.query.class_id = static_cast<int>(rng.UniformInt(-3, 1000));
+    in.query.type = rng.Bernoulli(0.5) ? workload::WorkloadType::kOlap
+                                       : workload::WorkloadType::kOltp;
+    in.query.job.database = rng.Bernoulli(0.5)
+                                ? engine::DatabaseId::kOlap
+                                : engine::DatabaseId::kOltp;
+    in.query.client_id = static_cast<int>(rng.UniformInt(-1, 4096));
+    in.query.cost_timerons = rng.Uniform(-1e12, 1e12);
+    in.query.job.cpu_seconds = rng.Uniform(0.0, 1e6);
+    in.query.job.logical_pages = rng.Uniform(0.0, 1e9);
+    in.query.job.write_pages = rng.Uniform(0.0, 1e9);
+    in.query.job.hit_ratio = rng.Uniform(-2.0, 2.0);
+    in.query.template_name.assign(
+        static_cast<size_t>(rng.UniformInt(0, 300)), 'x');
+    in.reject_reason = rng.Bernoulli(0.5) ? rt::RejectReason::kQueueFull
+                                          : rt::RejectReason::kShuttingDown;
+    in.class_id = static_cast<int>(rng.UniformInt(0, 100));
+    in.response_seconds = rng.Uniform(0.0, 1e5);
+    in.exec_seconds = rng.Uniform(0.0, 1e5);
+    in.cancelled = rng.Bernoulli(0.3);
+    in.stats.accepted = rng.NextU64();
+    in.stats.completed = rng.NextU64();
+    in.error_code = static_cast<WireError>(rng.UniformInt(1, 5));
+    in.error_message.assign(static_cast<size_t>(rng.UniformInt(0, 600)),
+                            'e');
+
+    std::vector<uint8_t> bytes;
+    EncodeFrame(in, &bytes);
+    Frame out;
+    size_t consumed = 0;
+    ASSERT_EQ(DecodeFrame(bytes.data(), bytes.size(), &out, &consumed),
+              DecodeStatus::kOk)
+        << "type " << FrameTypeToString(in.type) << " iteration " << i;
+    ASSERT_EQ(consumed, bytes.size());
+    EXPECT_EQ(out.type, in.type);
+    EXPECT_EQ(out.request_id, in.request_id);
+    switch (in.type) {
+      case FrameType::kSubmit: {
+        EXPECT_EQ(out.query.class_id, in.query.class_id);
+        EXPECT_EQ(out.query.type, in.query.type);
+        EXPECT_EQ(out.query.job.database, in.query.job.database);
+        EXPECT_EQ(out.query.client_id, in.query.client_id);
+        EXPECT_DOUBLE_EQ(out.query.cost_timerons, in.query.cost_timerons);
+        EXPECT_DOUBLE_EQ(out.query.job.cpu_seconds,
+                         in.query.job.cpu_seconds);
+        EXPECT_DOUBLE_EQ(out.query.job.hit_ratio, in.query.job.hit_ratio);
+        // Encode truncates to the wire limit; the prefix survives.
+        const size_t want = in.query.template_name.size() >
+                                    kMaxTemplateNameBytes
+                                ? kMaxTemplateNameBytes
+                                : in.query.template_name.size();
+        EXPECT_EQ(out.query.template_name.size(), want);
+        break;
+      }
+      case FrameType::kRejected:
+        EXPECT_EQ(out.reject_reason, in.reject_reason);
+        break;
+      case FrameType::kCompleted:
+        EXPECT_EQ(out.class_id, in.class_id);
+        EXPECT_DOUBLE_EQ(out.response_seconds, in.response_seconds);
+        EXPECT_DOUBLE_EQ(out.exec_seconds, in.exec_seconds);
+        EXPECT_EQ(out.cancelled, in.cancelled);
+        break;
+      case FrameType::kStatsReply:
+        EXPECT_EQ(out.stats.accepted, in.stats.accepted);
+        EXPECT_EQ(out.stats.completed, in.stats.completed);
+        break;
+      case FrameType::kError: {
+        EXPECT_EQ(out.error_code, in.error_code);
+        const size_t want = in.error_message.size() > kMaxErrorMessageBytes
+                                ? kMaxErrorMessageBytes
+                                : in.error_message.size();
+        EXPECT_EQ(out.error_message.size(), want);
+        break;
+      }
+      default:
+        break;  // header-only frames: type + request_id checked above
+    }
+  }
+}
+
+TEST(FrameTest, BackToBackFramesConsumeExactly) {
+  // Two frames in one buffer: the first decode consumes exactly the
+  // first frame, leaving the second intact.
+  std::vector<uint8_t> bytes = EncodePing(1);
+  const size_t first = bytes.size();
+  Frame submit;
+  submit.type = FrameType::kSubmit;
+  submit.request_id = 2;
+  submit.query = MakeQuery();
+  EncodeFrame(submit, &bytes);
+
+  Frame out;
+  size_t consumed = 0;
+  ASSERT_EQ(DecodeFrame(bytes.data(), bytes.size(), &out, &consumed),
+            DecodeStatus::kOk);
+  EXPECT_EQ(consumed, first);
+  EXPECT_EQ(out.type, FrameType::kPing);
+  ASSERT_EQ(DecodeFrame(bytes.data() + consumed, bytes.size() - consumed,
+                        &out, &consumed),
+            DecodeStatus::kOk);
+  EXPECT_EQ(out.type, FrameType::kSubmit);
+  EXPECT_EQ(out.request_id, 2u);
+}
+
+}  // namespace
+}  // namespace qsched::net

@@ -37,6 +37,40 @@ TEST(MpmcQueueTest, CapacityOneAlternatesPushPop) {
   EXPECT_EQ(queue.size(), 0u);
 }
 
+TEST(MpmcQueueTest, TryPushOutcomeDistinguishesFullFromClosed) {
+  MpmcQueue<int> queue(1);
+  EXPECT_EQ(queue.TryPushOutcome(1), QueuePush::kOk);
+  // Full and closed are different rejections: one is transient
+  // backpressure, the other is permanent.
+  EXPECT_EQ(queue.TryPushOutcome(2), QueuePush::kFull);
+  queue.Close();
+  EXPECT_EQ(queue.TryPushOutcome(3), QueuePush::kClosed);
+  // Closed wins over full: the queue still holds an item.
+  int out = 0;
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 1);
+  EXPECT_EQ(queue.TryPushOutcome(4), QueuePush::kClosed);
+}
+
+TEST(MpmcQueueTest, PushOutcomeBlocksOnFullAndFailsClosed) {
+  MpmcQueue<int> queue(1);
+  ASSERT_EQ(queue.PushOutcome(1), QueuePush::kOk);
+  std::atomic<bool> unblocked{false};
+  std::thread producer([&] {
+    // Blocks until the consumer below makes room; kOk, never kFull.
+    EXPECT_EQ(queue.PushOutcome(2), QueuePush::kOk);
+    unblocked.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(unblocked.load());
+  int out = 0;
+  EXPECT_TRUE(queue.Pop(&out));
+  producer.join();
+  EXPECT_TRUE(unblocked.load());
+  queue.Close();
+  EXPECT_EQ(queue.PushOutcome(3), QueuePush::kClosed);
+}
+
 TEST(MpmcQueueTest, FifoOrderSingleThreaded) {
   MpmcQueue<int> queue(8);
   for (int i = 0; i < 8; ++i) EXPECT_TRUE(queue.TryPush(i));

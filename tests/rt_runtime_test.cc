@@ -271,5 +271,96 @@ TEST(RtRuntimeTest, SubmissionAfterShutdownIsRejected) {
   EXPECT_FALSE(runtime.gateway().Offer(std::move(query)));
 }
 
+/// Frontend that swallows queries without completing them, so the
+/// gateway queue stays exactly as the test filled it.
+class BlackholeFrontend : public workload::QueryFrontend {
+ public:
+  void Submit(const workload::Query&, CompleteFn) override {}
+};
+
+// The two rejection reasons are reported distinctly, with matching
+// per-reason counters and telemetry labels.
+TEST(RtRuntimeTest, OfferReportsRejectReason) {
+  WallClock clock(WallClock::Options{/*time_scale=*/1.0});
+  BlackholeFrontend frontend;
+  obs::Telemetry telemetry;
+  GatewayOptions options;
+  options.queue_capacity = 2;
+  // Workers never started: the queue fills and stays full.
+  Gateway gateway(&clock, &frontend, options, &telemetry);
+
+  workload::TpccWorkloadParams tpcc;
+  workload::TpccWorkload oltp(tpcc, /*seed=*/5);
+  EXPECT_TRUE(gateway.Offer(oltp.Next()));
+  EXPECT_TRUE(gateway.Offer(oltp.Next()));
+  RejectReason reason = RejectReason::kShuttingDown;
+  EXPECT_FALSE(gateway.Offer(oltp.Next(), nullptr, &reason));
+  EXPECT_EQ(reason, RejectReason::kQueueFull);
+  EXPECT_EQ(gateway.rejected_queue_full(), 1u);
+  EXPECT_EQ(gateway.rejected_shutting_down(), 0u);
+
+  gateway.Drain();
+  reason = RejectReason::kQueueFull;
+  EXPECT_FALSE(gateway.Offer(oltp.Next(), nullptr, &reason));
+  EXPECT_EQ(reason, RejectReason::kShuttingDown);
+  EXPECT_FALSE(gateway.Submit(oltp.Next(), nullptr, &reason));
+  EXPECT_EQ(reason, RejectReason::kShuttingDown);
+  EXPECT_EQ(gateway.rejected_shutting_down(), 2u);
+  EXPECT_EQ(gateway.rejected(), 3u);
+
+  obs::Registry& reg = telemetry.registry;
+  EXPECT_EQ(reg.GetCounter("qsched_rt_rejected_total")->value(), 3u);
+  EXPECT_EQ(reg.GetCounter("qsched_rt_rejected_by_reason_total",
+                           "reason=\"queue_full\"")
+                ->value(),
+            1u);
+  EXPECT_EQ(reg.GetCounter("qsched_rt_rejected_by_reason_total",
+                           "reason=\"shutting_down\"")
+                ->value(),
+            2u);
+}
+
+// The per-query completion hook fires exactly once per accepted query,
+// before the global observer, and never for rejected submissions.
+TEST(RtRuntimeTest, PerQueryCompletionHookFiresExactlyOnce) {
+  RuntimeOptions options;
+  options.time_scale = 120.0;
+  sched::ServiceClassSet classes = sched::MakePaperClasses();
+  Runtime runtime(classes, options);
+
+  std::atomic<uint64_t> global_calls{0};
+  runtime.gateway().set_on_complete(
+      [&](const workload::QueryRecord&) { global_calls.fetch_add(1); });
+  runtime.Start();
+
+  workload::TpccWorkloadParams tpcc;
+  workload::TpccWorkload oltp(tpcc, /*seed=*/6);
+  constexpr int kQueries = 20;
+  std::atomic<uint64_t> hook_calls{0};
+  std::atomic<uint64_t> hook_before_global{0};
+  for (int i = 0; i < kQueries; ++i) {
+    workload::Query query = oltp.Next();
+    query.class_id = 3;
+    query.client_id = i % 4;
+    ASSERT_TRUE(runtime.gateway().Submit(
+        std::move(query), [&](const workload::QueryRecord& record) {
+          EXPECT_GT(record.query_id, 0u);
+          hook_calls.fetch_add(1);
+          // The per-query hook runs before the global observer sees
+          // this completion.
+          if (global_calls.load() < kQueries) {
+            hook_before_global.fetch_add(1);
+          }
+        }));
+  }
+  Runtime::Stats stats =
+      runtime.Shutdown(/*drain_timeout_wall_seconds=*/60.0);
+  EXPECT_TRUE(stats.drained);
+  EXPECT_EQ(stats.completed, static_cast<uint64_t>(kQueries));
+  EXPECT_EQ(hook_calls.load(), static_cast<uint64_t>(kQueries));
+  EXPECT_EQ(global_calls.load(), static_cast<uint64_t>(kQueries));
+  EXPECT_EQ(hook_before_global.load(), static_cast<uint64_t>(kQueries));
+}
+
 }  // namespace
 }  // namespace qsched::rt

@@ -16,6 +16,10 @@
 //      front-end (src/net), driven by the multi-connection remote load
 //      generator over 127.0.0.1, reporting sustained QPS and p50/p99
 //      on-wire round-trip latency (submit to COMPLETED arrival).
+//   6. HTTP observability overhead: the rt gateway benchmark with the
+//      embedded exposition server attached and a 1 Hz /metrics scraper
+//      running, vs fully detached — the scrape path must cost <= 2% of
+//      completion throughput.
 //
 // Emits a JSON report (scripts/run_bench.sh writes it to
 // BENCH_qsched.json at the repo root). All numbers are host-dependent;
@@ -25,12 +29,19 @@
 //   ./build/bench/perf_bench --events=2000000 --outstanding=512 \
 //       --fig6-period-seconds=600 --replications=8 --jobs=4 \
 //       --rep-period-seconds=120 --out=BENCH_qsched.json
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <string>
 #include <thread>
@@ -43,6 +54,7 @@
 #include "harness/replication.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "obs/http_server.h"
 #include "obs/telemetry.h"
 #include "rt/loadgen.h"
 #include "rt/runtime.h"
@@ -226,14 +238,54 @@ struct RtGatewayNumbers {
   double completions_per_sec = 0.0;
   double admission_p50_seconds = 0.0;
   double admission_p99_seconds = 0.0;
+  // http_obs section only: scrapes completed and bytes transferred by
+  // the attached 1 Hz /metrics scraper.
+  uint64_t scrapes = 0;
+  uint64_t scrape_bytes = 0;
 };
+
+/// One blocking GET against the embedded HTTP server; returns bytes
+/// received (0 on failure). The scraper thread below is the same kind
+/// of client a Prometheus agent would be.
+size_t HttpScrapeOnce(uint16_t port, const char* path) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return 0;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    close(fd);
+    return 0;
+  }
+  char request[128];
+  int len = std::snprintf(request, sizeof(request),
+                          "GET %s HTTP/1.0\r\n\r\n", path);
+  if (write(fd, request, static_cast<size_t>(len)) != len) {
+    close(fd);
+    return 0;
+  }
+  size_t total = 0;
+  char buf[4096];
+  ssize_t n;
+  while ((n = read(fd, buf, sizeof(buf))) > 0) {
+    total += static_cast<size_t>(n);
+  }
+  close(fd);
+  return total;
+}
 
 /// Pushes a mixed OLAP + OLTP load through the live gateway on the wall
 /// clock and measures what the submission path sustains. Admission
 /// latency (enqueue to worker pickup) comes from the gateway's own
 /// telemetry histogram; completions/sec include the post-feed drain so
 /// the number reflects end-to-end service, not just intake.
-RtGatewayNumbers BenchRtGateway(double qps, double duration_seconds) {
+/// When `attach_scraper` is set, the embedded obs::HttpServer runs for
+/// the whole benchmark with a 1 Hz GET /metrics scraper thread attached
+/// (the http_obs overhead measurement); otherwise no HTTP server exists
+/// at all (the detached baseline).
+RtGatewayNumbers BenchRtGateway(double qps, double duration_seconds,
+                                bool attach_scraper = false) {
   RtGatewayNumbers numbers;
   numbers.qps_target = qps;
 
@@ -264,6 +316,37 @@ RtGatewayNumbers BenchRtGateway(double qps, double duration_seconds) {
   load.duration_wall_seconds = duration_seconds;
   load.seed = 1234;
 
+  std::unique_ptr<qsched::obs::HttpServer> http;
+  std::thread scraper;
+  std::atomic<bool> scraping{false};
+  std::atomic<uint64_t> scrapes{0};
+  std::atomic<uint64_t> scrape_bytes{0};
+  if (attach_scraper) {
+    http = std::make_unique<qsched::obs::HttpServer>(
+        qsched::obs::HttpServerOptions{});  // ephemeral port
+    qsched::obs::InstallRegistryHandlers(http.get(),
+                                         &telemetry.registry);
+    qsched::Status started = http->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "http_obs: server start failed: %s\n",
+                   started.ToString().c_str());
+      return numbers;
+    }
+    scraping.store(true);
+    scraper = std::thread([&, port = http->port()] {
+      while (scraping.load()) {
+        size_t bytes = HttpScrapeOnce(port, "/metrics");
+        if (bytes > 0) {
+          scrapes.fetch_add(1);
+          scrape_bytes.fetch_add(bytes);
+        }
+        for (int i = 0; i < 10 && scraping.load(); ++i) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        }
+      }
+    });
+  }
+
   auto start = Clock::now();
   runtime.Start();
   qsched::rt::LoadGenerator loadgen(
@@ -276,6 +359,14 @@ RtGatewayNumbers BenchRtGateway(double qps, double duration_seconds) {
   qsched::rt::Runtime::Stats stats =
       runtime.Shutdown(/*drain_timeout_wall_seconds=*/300.0);
   double total_seconds = Seconds(start);
+
+  if (attach_scraper) {
+    scraping.store(false);
+    scraper.join();
+    http->Stop();
+    numbers.scrapes = scrapes.load();
+    numbers.scrape_bytes = scrape_bytes.load();
+  }
 
   numbers.offered = loadgen.offered();
   numbers.shed = loadgen.shed();
@@ -401,6 +492,8 @@ int main(int argc, char** argv) {
         "       --rt-qps=Q --rt-duration=S (real-time gateway section)\n"
         "       --net-qps=Q --net-duration=S --net-connections=C\n"
         "       (TCP loopback section)\n"
+        "       --http-obs-qps=Q --http-obs-duration=S\n"
+        "       (HTTP observability overhead section)\n"
         "       --out=PATH (JSON report; default stdout only)\n");
     return 0;
   }
@@ -418,6 +511,8 @@ int main(int argc, char** argv) {
   double net_duration = flags.GetDouble("net-duration", 2.0);
   int net_connections =
       static_cast<int>(flags.GetInt("net-connections", 4));
+  double http_obs_qps = flags.GetDouble("http-obs-qps", 1500.0);
+  double http_obs_duration = flags.GetDouble("http-obs-duration", 2.0);
   std::string out_path = flags.GetString("out", "");
 
   std::printf("== event queue: %llu events, %d outstanding ==\n",
@@ -514,6 +609,36 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(net.lost),
               net.rtt_p50_seconds * 1e6, net.rtt_p99_seconds * 1e6);
 
+  std::printf("== http obs: %.0f qps for %.1f s, 1 Hz scraper attached "
+              "vs detached ==\n",
+              http_obs_qps, http_obs_duration);
+  RtGatewayNumbers detached =
+      BenchRtGateway(http_obs_qps, http_obs_duration,
+                     /*attach_scraper=*/false);
+  RtGatewayNumbers attached =
+      BenchRtGateway(http_obs_qps, http_obs_duration,
+                     /*attach_scraper=*/true);
+  double obs_overhead_pct =
+      detached.completions_per_sec > 0.0
+          ? (1.0 - attached.completions_per_sec /
+                       detached.completions_per_sec) *
+                100.0
+          : 0.0;
+  std::printf("detached %.0f completions/sec, attached %.0f "
+              "completions/sec (%llu scrapes, %llu bytes), overhead "
+              "%.2f%%\n",
+              detached.completions_per_sec, attached.completions_per_sec,
+              static_cast<unsigned long long>(attached.scrapes),
+              static_cast<unsigned long long>(attached.scrape_bytes),
+              obs_overhead_pct);
+  if (obs_overhead_pct > 2.0) {
+    std::fprintf(stderr,
+                 "WARNING: http observability overhead %.2f%% > 2%% "
+                 "(short runs are noisy; rerun with a longer "
+                 "--http-obs-duration before concluding a regression)\n",
+                 obs_overhead_pct);
+  }
+
   std::string json;
   {
     char buffer[8192];
@@ -567,6 +692,15 @@ int main(int argc, char** argv) {
         "    \"sustained_qps\": %.0f,\n"
         "    \"rtt_p50_us\": %.1f,\n"
         "    \"rtt_p99_us\": %.1f\n"
+        "  },\n"
+        "  \"http_obs\": {\n"
+        "    \"qps_target\": %.0f,\n"
+        "    \"duration_seconds\": %.2f,\n"
+        "    \"detached_completions_per_sec\": %.0f,\n"
+        "    \"attached_completions_per_sec\": %.0f,\n"
+        "    \"scrapes\": %llu,\n"
+        "    \"scrape_bytes\": %llu,\n"
+        "    \"overhead_pct\": %.2f\n"
         "  }\n"
         "}\n",
         std::thread::hardware_concurrency(),
@@ -586,7 +720,12 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(net.rejected),
         static_cast<unsigned long long>(net.completed),
         static_cast<unsigned long long>(net.lost), net.sustained_qps,
-        net.rtt_p50_seconds * 1e6, net.rtt_p99_seconds * 1e6);
+        net.rtt_p50_seconds * 1e6, net.rtt_p99_seconds * 1e6,
+        http_obs_qps, http_obs_duration, detached.completions_per_sec,
+        attached.completions_per_sec,
+        static_cast<unsigned long long>(attached.scrapes),
+        static_cast<unsigned long long>(attached.scrape_bytes),
+        obs_overhead_pct);
     json = buffer;
   }
   if (!out_path.empty()) {

@@ -1,0 +1,78 @@
+// Shared --http-port wiring for the serve-style CLIs (rt_cli, net_cli):
+// starts the embedded observability HTTP server against the live
+// registry and gateway, registering GET /metrics, /varz, /healthz and
+// /statusz. Returns nullptr when the flag is absent or startup failed
+// (already reported on stderr); the caller keeps the returned server
+// alive for the whole run and Stop()s it after runtime shutdown.
+
+#ifndef QSCHED_EXAMPLES_HTTP_OBS_H_
+#define QSCHED_EXAMPLES_HTTP_OBS_H_
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "common/flags.h"
+#include "harness/status_page.h"
+#include "obs/http_server.h"
+#include "obs/telemetry.h"
+#include "rt/gateway.h"
+
+namespace qsched_examples {
+
+inline std::unique_ptr<qsched::obs::HttpServer> MaybeStartHttpObs(
+    const qsched::FlagParser& flags, qsched::rt::Gateway* gateway,
+    qsched::obs::Telemetry* telemetry, const std::string& title) {
+  if (!flags.Has("http-port")) return nullptr;
+
+  qsched::obs::HttpServerOptions options;
+  options.port = static_cast<uint16_t>(flags.GetInt("http-port", 0));
+  auto http = std::make_unique<qsched::obs::HttpServer>(options);
+
+  qsched::obs::InstallRegistryHandlers(http.get(), &telemetry->registry);
+  qsched::obs::InstallHealthHandler(http.get(), [gateway] {
+    return std::string(
+        qsched::rt::GatewayHealthToString(gateway->health()));
+  });
+  const auto started_at = std::chrono::steady_clock::now();
+  http->AddHandler("/statusz", [gateway, telemetry, title, started_at] {
+    qsched::harness::StatusPageInfo info;
+    info.title = title;
+    info.health =
+        qsched::rt::GatewayHealthToString(gateway->health());
+    info.accepted = gateway->accepted();
+    info.rejected = gateway->rejected();
+    info.completed = gateway->completed();
+    info.queue_depth = gateway->queue_depth();
+    info.uptime_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started_at)
+            .count();
+    return qsched::obs::HttpResponse{
+        200, "text/html; charset=utf-8",
+        qsched::harness::RenderStatusPage(info, telemetry)};
+  });
+
+  qsched::Status status = http->Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "http server start failed: %s\n",
+                 status.ToString().c_str());
+    return nullptr;
+  }
+  std::printf("http observability on 127.0.0.1:%u "
+              "(/metrics /varz /healthz /statusz)\n",
+              static_cast<unsigned>(http->port()));
+  std::fflush(stdout);
+  const std::string port_file = flags.GetString("http-port-file", "");
+  if (!port_file.empty()) {
+    std::ofstream out(port_file);
+    out << http->port() << "\n";
+  }
+  return http;
+}
+
+}  // namespace qsched_examples
+
+#endif  // QSCHED_EXAMPLES_HTTP_OBS_H_

@@ -26,6 +26,11 @@
 //   --workers=N          gateway worker threads (2)
 //   --queue-capacity=N   submission queue bound (4096)
 //   --report-html=PATH   self-contained HTML run report
+//   --http-port=N        embedded observability HTTP server: GET
+//                        /metrics, /varz, /healthz, /statusz (0 =
+//                        ephemeral, printed + --http-port-file; omit
+//                        the flag to disable)
+//   --http-port-file=PATH  write the bound HTTP port as a single line
 //
 // Netload options:
 //   --target=HOST:PORT   server address (127.0.0.1:4750)
@@ -41,12 +46,14 @@
 #include <csignal>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 
 #include "common/flags.h"
 #include "harness/experiment.h"
 #include "harness/html_report.h"
+#include "http_obs.h"
 #include "net/client.h"
 #include "net/server.h"
 #include "obs/telemetry.h"
@@ -131,6 +138,10 @@ int RunServe(const qsched::FlagParser& flags) {
     std::ofstream out(port_file);
     out << server.port() << "\n";
   }
+  std::unique_ptr<qsched::obs::HttpServer> http =
+      qsched_examples::MaybeStartHttpObs(
+          flags, &runtime.gateway(), &telemetry,
+          "qsched live status: network front-end");
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
@@ -147,6 +158,9 @@ int RunServe(const qsched::FlagParser& flags) {
 
   server.Stop();
   qsched::rt::Runtime::Stats stats = runtime.Shutdown();
+  // Stop the observability server after the drain so a scraper polling
+  // /healthz can watch accepting -> draining -> stopped.
+  if (http != nullptr) http->Stop();
 
   std::printf(
       "serve done: connections %llu (refused %llu), frames in %llu / "

@@ -21,6 +21,11 @@
 //   --metrics-out=PATH   Prometheus text exposition of the registry
 //   --audit-out=PATH     planner decision audit trail as JSONL
 //   --report-html=PATH   self-contained HTML run report
+//   --http-port=N        embedded observability HTTP server: GET
+//                        /metrics, /varz, /healthz, /statusz (0 =
+//                        ephemeral, printed + --http-port-file; omit
+//                        the flag to disable)
+//   --http-port-file=PATH  write the bound HTTP port as a single line
 
 #include <algorithm>
 #include <cstdio>
@@ -33,6 +38,7 @@
 #include "common/flags.h"
 #include "harness/experiment.h"
 #include "harness/html_report.h"
+#include "http_obs.h"
 #include "obs/telemetry.h"
 #include "rt/gateway.h"
 #include "rt/loadgen.h"
@@ -144,6 +150,10 @@ int main(int argc, char** argv) {
 
   qsched::rt::Runtime runtime(classes, options);
   runtime.Start();
+  std::unique_ptr<qsched::obs::HttpServer> http =
+      qsched_examples::MaybeStartHttpObs(
+          flags, &runtime.gateway(), &telemetry,
+          "qsched live status: real-time gateway");
 
   // One generator instance per OLAP class (independent streams), one
   // TPC-C stream for OLTP.
@@ -179,6 +189,7 @@ int main(int argc, char** argv) {
   loadgen.Start();
   loadgen.Join();
   qsched::rt::Runtime::Stats stats = runtime.Shutdown();
+  if (http != nullptr) http->Stop();
 
   std::printf("offered %llu, shed %llu, completed %llu "
               "(%.0f completions/s wall), planning cycles %llu, "

@@ -29,7 +29,7 @@ import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
 for section in ("event_queue", "fig6", "replication", "rt_gateway",
-                "net_loopback"):
+                "net_loopback", "http_obs"):
     assert section in doc, f"missing section {section}"
 assert doc["event_queue"]["fast_events_per_sec"] > 0
 assert doc["replication"]["serial_seconds"] > 0
@@ -51,6 +51,12 @@ assert net["completed"] == net["accepted"], \
     f"{net['accepted']}"
 assert net["lost"] == 0, f"net loopback lost {net['lost']} completions"
 assert net["rtt_p99_us"] >= net["rtt_p50_us"] >= 0
+obs = doc["http_obs"]
+assert obs["detached_completions_per_sec"] > 0, \
+    "http_obs detached pass completed nothing"
+assert obs["attached_completions_per_sec"] > 0, \
+    "http_obs attached pass completed nothing"
+assert obs["scrapes"] > 0, "the 1 Hz scraper never scraped"
 rep = doc["replication"]
 assert "threads_used" in rep, "replication is missing threads_used"
 assert 1 <= rep["threads_used"] <= max(1, rep["jobs"], 1), \
@@ -62,7 +68,13 @@ print(f"bench json ok: speedup {doc['event_queue']['speedup']:.2f}x "
       f"p99 {rt['admission_p99_us']:.0f} us, "
       f"net loopback {net['sustained_qps']:.0f} qps over "
       f"{net['connections']} connections "
-      f"rtt p99 {net['rtt_p99_us']:.0f} us")
+      f"rtt p99 {net['rtt_p99_us']:.0f} us, "
+      f"http_obs overhead {obs['overhead_pct']:.2f}% "
+      f"({obs['scrapes']} scrapes)")
+if obs["overhead_pct"] > 2.0:
+    print(f"WARNING: http observability overhead {obs['overhead_pct']:.2f}% "
+          f"> 2% — rerun with a longer --http-obs-duration before "
+          f"concluding a regression", file=sys.stderr)
 if rep["threads_used"] > 1 and rep["speedup"] < 1.2:
     print(f"WARNING: replication speedup {rep['speedup']:.2f}x < 1.2x "
           f"with {rep['threads_used']} threads — parallel numbers are "

@@ -62,6 +62,9 @@ void ExecutionEngine::Execute(const QueryJob& job, DoneCallback on_done) {
   agent.on_done = std::move(on_done);
   agent.stats.query_id = job.query_id;
   agent.stats.start_time = simulator_->Now();
+  if (job.trace != nullptr) {
+    job.trace->exec_start = obs::QueryStageTrace::Clock::now();
+  }
 
   double pages = std::max(0.0, job.logical_pages);
   int chunks = 1;

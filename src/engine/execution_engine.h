@@ -9,6 +9,7 @@
 #include "common/rng.h"
 #include "engine/buffer_pool.h"
 #include "engine/resources.h"
+#include "obs/stage_trace.h"
 #include "obs/telemetry.h"
 #include "sim/clock.h"
 
@@ -33,6 +34,10 @@ struct QueryJob {
   double write_pages = 0.0;
   /// Expected buffer-pool hit ratio for this query's footprint.
   double hit_ratio = 0.0;
+  /// Wall-clock stage trace, allocated by the rt gateway at admission
+  /// (null on the pure-DES path). The engine stamps exec_start when the
+  /// query's agent starts running.
+  std::shared_ptr<obs::QueryStageTrace> trace;
 };
 
 /// Completion record handed to the submitter.

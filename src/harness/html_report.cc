@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/strings.h"
+#include "harness/status_page.h"
 #include "obs/svg.h"
 
 namespace qsched::harness {
@@ -152,6 +153,8 @@ std::vector<double> PeriodAxis(size_t n) {
 }
 
 }  // namespace
+
+const char* HtmlReportStyle() { return kStyle; }
 
 void WriteHtmlRunReport(const ExperimentResult& result,
                         const sched::ServiceClassSet& classes,
@@ -470,6 +473,21 @@ void WriteHtmlRunReport(const ExperimentResult& result,
       WriteChart(out, "OLTP model slope trajectory", spec,
                  "Online-fitted slope s of the OLTP response model "
                  "t' = t + s(C' - C), per control interval.");
+    }
+  }
+
+  // ---- Chart 7: latency breakdown by stage (rt runs only) -------------
+  {
+    SvgChartSpec spec = BuildLatencyBreakdownSpec(rows);
+    if (!spec.series.empty()) {
+      out << "<h2>Latency breakdown by stage</h2>\n<figure>\n"
+          << obs::RenderStackedAreaChart(spec)
+          << "\n<figcaption>Completion-weighted mean wall-clock time a "
+             "query spent in each stage (gateway queue, dispatch through "
+             "admission control, execution) per control interval; the "
+             "stacked height is the mean end-to-end latency. Only "
+             "real-time runs carry stage traces.</figcaption>\n"
+             "</figure>\n";
     }
   }
 

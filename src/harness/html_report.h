@@ -31,6 +31,11 @@ void WriteHtmlRunReport(const ExperimentResult& result,
                         const HtmlReportOptions& options,
                         std::ostream& out);
 
+/// The shared document stylesheet (chart chrome + categorical palette as
+/// CSS custom properties) used by both the offline run report and the
+/// live /statusz page, so the two render identically.
+const char* HtmlReportStyle();
+
 }  // namespace qsched::harness
 
 #endif  // QSCHED_HARNESS_HTML_REPORT_H_

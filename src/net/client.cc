@@ -68,6 +68,11 @@ ClientCompletion CompletionFromFrame(const Frame& frame) {
   c.response_seconds = frame.response_seconds;
   c.exec_seconds = frame.exec_seconds;
   c.cancelled = frame.cancelled;
+  c.has_trace = frame.has_trace;
+  c.trace_id = frame.trace_id;
+  c.stage_gateway_queue_seconds = frame.stage_gateway_queue_seconds;
+  c.stage_dispatch_seconds = frame.stage_dispatch_seconds;
+  c.stage_execute_seconds = frame.stage_execute_seconds;
   return c;
 }
 
@@ -171,6 +176,7 @@ Result<Client::SubmitResult> Client::Submit(const workload::Query& query) {
   request.type = FrameType::kSubmit;
   request.request_id = next_request_id_++;
   request.query = query;
+  request.want_trace = want_trace_;
   std::vector<uint8_t> bytes;
   EncodeFrame(request, &bytes);
   QSCHED_RETURN_NOT_OK(SendAll(bytes));

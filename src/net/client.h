@@ -17,13 +17,27 @@
 
 namespace qsched::net {
 
-/// One finished query as seen by a client.
+/// One finished query as seen by a client. The trace fields are filled
+/// when the server attached the v2 per-stage breakdown (has_trace);
+/// otherwise they stay 0.
 struct ClientCompletion {
   uint64_t request_id = 0;
   int32_t class_id = 0;
   double response_seconds = 0.0;
   double exec_seconds = 0.0;
   bool cancelled = false;
+  bool has_trace = false;
+  uint64_t trace_id = 0;
+  double stage_gateway_queue_seconds = 0.0;
+  double stage_dispatch_seconds = 0.0;
+  double stage_execute_seconds = 0.0;
+
+  /// Sum of the three wire stages — equals the server-side wall-clock
+  /// end-to-end latency (gateway enqueue to completion callback).
+  double StageTotalSeconds() const {
+    return stage_gateway_queue_seconds + stage_dispatch_seconds +
+           stage_execute_seconds;
+  }
 };
 
 /// Blocking client for the wire protocol: one TCP connection, one owning
@@ -78,6 +92,10 @@ class Client {
   /// Completions received and buffered but not yet handed out.
   size_t buffered_completions() const { return completions_.size(); }
 
+  /// Whether SUBMITs ask the server for the per-stage trace context in
+  /// COMPLETED frames (on by default; it costs 33 bytes per completion).
+  void set_want_trace(bool want) { want_trace_ = want; }
+
  private:
   explicit Client(int fd) : fd_(fd) {}
 
@@ -89,6 +107,7 @@ class Client {
 
   int fd_ = -1;
   bool drained_ = false;
+  bool want_trace_ = true;
   uint64_t next_request_id_ = 1;
   size_t outstanding_ = 0;
   std::vector<uint8_t> inbuf_;

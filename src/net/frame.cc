@@ -112,7 +112,8 @@ class Reader {
   size_t pos_ = 0;
 };
 
-void EncodeBody(const Frame& frame, std::vector<uint8_t>* out) {
+void EncodeBody(const Frame& frame, uint8_t version,
+                std::vector<uint8_t>* out) {
   switch (frame.type) {
     case FrameType::kSubmit: {
       const workload::Query& q = frame.query;
@@ -126,6 +127,7 @@ void EncodeBody(const Frame& frame, std::vector<uint8_t>* out) {
       PutF64(out, q.job.write_pages);
       PutF64(out, q.job.hit_ratio);
       PutString(out, q.template_name, kMaxTemplateNameBytes);
+      if (version >= 2) PutU8(out, frame.want_trace ? 1 : 0);
       break;
     }
     case FrameType::kRejected:
@@ -136,6 +138,15 @@ void EncodeBody(const Frame& frame, std::vector<uint8_t>* out) {
       PutF64(out, frame.response_seconds);
       PutF64(out, frame.exec_seconds);
       PutU8(out, frame.cancelled ? 1 : 0);
+      if (version >= 2) {
+        PutU8(out, frame.has_trace ? 1 : 0);
+        if (frame.has_trace) {
+          PutU64(out, frame.trace_id);
+          PutF64(out, frame.stage_gateway_queue_seconds);
+          PutF64(out, frame.stage_dispatch_seconds);
+          PutF64(out, frame.stage_execute_seconds);
+        }
+      }
       break;
     case FrameType::kStatsReply:
       PutU64(out, frame.stats.accepted);
@@ -144,6 +155,16 @@ void EncodeBody(const Frame& frame, std::vector<uint8_t>* out) {
       PutU64(out, frame.stats.completed);
       PutU64(out, frame.stats.queue_depth);
       PutU64(out, frame.stats.connections);
+      if (version >= 2) {
+        PutU64(out, frame.stats.admitted);
+        size_t n = frame.stats.class_attainment.size();
+        if (n > kMaxStatsClasses) n = kMaxStatsClasses;
+        PutU16(out, static_cast<uint16_t>(n));
+        for (size_t i = 0; i < n; ++i) {
+          PutI32(out, frame.stats.class_attainment[i].class_id);
+          PutF64(out, frame.stats.class_attainment[i].rolling_attainment);
+        }
+      }
       break;
     case FrameType::kError:
       PutU8(out, static_cast<uint8_t>(frame.error_code));
@@ -159,7 +180,7 @@ void EncodeBody(const Frame& frame, std::vector<uint8_t>* out) {
   }
 }
 
-bool DecodeBody(Reader* reader, Frame* frame) {
+bool DecodeBody(Reader* reader, uint8_t version, Frame* frame) {
   switch (frame->type) {
     case FrameType::kSubmit: {
       workload::Query& q = frame->query;
@@ -175,6 +196,11 @@ bool DecodeBody(Reader* reader, Frame* frame) {
       if (!reader->GetF64(&q.job.hit_ratio)) return false;
       if (!reader->GetString(&q.template_name, kMaxTemplateNameBytes)) {
         return false;
+      }
+      if (version >= 2) {
+        uint8_t want_trace;
+        if (!reader->GetU8(&want_trace) || want_trace > 1) return false;
+        frame->want_trace = want_trace == 1;
       }
       q.type = workload_type == 1 ? workload::WorkloadType::kOltp
                                   : workload::WorkloadType::kOlap;
@@ -200,15 +226,45 @@ bool DecodeBody(Reader* reader, Frame* frame) {
       if (!reader->GetF64(&frame->exec_seconds)) return false;
       if (!reader->GetU8(&cancelled) || cancelled > 1) return false;
       frame->cancelled = cancelled == 1;
+      if (version >= 2) {
+        uint8_t has_trace;
+        if (!reader->GetU8(&has_trace) || has_trace > 1) return false;
+        frame->has_trace = has_trace == 1;
+        if (frame->has_trace) {
+          if (!reader->GetU64(&frame->trace_id)) return false;
+          if (!reader->GetF64(&frame->stage_gateway_queue_seconds)) {
+            return false;
+          }
+          if (!reader->GetF64(&frame->stage_dispatch_seconds)) return false;
+          if (!reader->GetF64(&frame->stage_execute_seconds)) return false;
+        }
+      }
       return true;
     }
-    case FrameType::kStatsReply:
-      return reader->GetU64(&frame->stats.accepted) &&
-             reader->GetU64(&frame->stats.rejected_queue_full) &&
-             reader->GetU64(&frame->stats.rejected_shutting_down) &&
-             reader->GetU64(&frame->stats.completed) &&
-             reader->GetU64(&frame->stats.queue_depth) &&
-             reader->GetU64(&frame->stats.connections);
+    case FrameType::kStatsReply: {
+      if (!reader->GetU64(&frame->stats.accepted) ||
+          !reader->GetU64(&frame->stats.rejected_queue_full) ||
+          !reader->GetU64(&frame->stats.rejected_shutting_down) ||
+          !reader->GetU64(&frame->stats.completed) ||
+          !reader->GetU64(&frame->stats.queue_depth) ||
+          !reader->GetU64(&frame->stats.connections)) {
+        return false;
+      }
+      if (version >= 2) {
+        if (!reader->GetU64(&frame->stats.admitted)) return false;
+        uint16_t count;
+        if (!reader->GetU16(&count) || count > kMaxStatsClasses) {
+          return false;
+        }
+        frame->stats.class_attainment.resize(count);
+        for (uint16_t i = 0; i < count; ++i) {
+          WireClassAttainment& entry = frame->stats.class_attainment[i];
+          if (!reader->GetI32(&entry.class_id)) return false;
+          if (!reader->GetF64(&entry.rolling_attainment)) return false;
+        }
+      }
+      return true;
+    }
     case FrameType::kError: {
       uint8_t code;
       if (!reader->GetU8(&code) || code < 1 ||
@@ -329,13 +385,18 @@ WireError DecodeStatusToWireError(DecodeStatus status) {
 }
 
 void EncodeFrame(const Frame& frame, std::vector<uint8_t>* out) {
+  // Anything other than an explicit v1 request encodes as the current
+  // version; there is no v0 and no future version to speak.
+  uint8_t version =
+      frame.version == kMinProtocolVersion ? kMinProtocolVersion
+                                           : kProtocolVersion;
   size_t length_at = out->size();
   PutU32(out, 0);  // patched below
   size_t payload_at = out->size();
-  PutU8(out, kProtocolVersion);
+  PutU8(out, version);
   PutU8(out, static_cast<uint8_t>(frame.type));
   PutU64(out, frame.request_id);
-  EncodeBody(frame, out);
+  EncodeBody(frame, version, out);
   uint32_t payload_length = static_cast<uint32_t>(out->size() - payload_at);
   (*out)[length_at] = static_cast<uint8_t>(payload_length);
   (*out)[length_at + 1] = static_cast<uint8_t>(payload_length >> 8);
@@ -360,14 +421,19 @@ DecodeStatus DecodeFrame(const uint8_t* data, size_t size, Frame* frame,
   }
 
   const uint8_t* payload = data + 4;
-  if (payload[0] != kProtocolVersion) return DecodeStatus::kBadVersion;
+  if (payload[0] < kMinProtocolVersion || payload[0] > kProtocolVersion) {
+    return DecodeStatus::kBadVersion;
+  }
   if (!FrameTypeIsKnown(payload[1])) return DecodeStatus::kBadType;
 
   Frame decoded;
+  decoded.version = payload[0];
   decoded.type = static_cast<FrameType>(payload[1]);
   Reader reader(payload + 2, payload_length - 2);
   if (!reader.GetU64(&decoded.request_id)) return DecodeStatus::kMalformed;
-  if (!DecodeBody(&reader, &decoded)) return DecodeStatus::kMalformed;
+  if (!DecodeBody(&reader, decoded.version, &decoded)) {
+    return DecodeStatus::kMalformed;
+  }
   // The body must account for every payload byte: trailing garbage means
   // the peer and we disagree about the layout — fail loudly.
   if (reader.remaining() != 0) return DecodeStatus::kMalformed;

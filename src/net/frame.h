@@ -24,7 +24,18 @@ namespace qsched::net {
 /// must be exactly header + body — trailing bytes are malformed, as is a
 /// body that ends early. Oversized payload lengths are rejected before
 /// any allocation, so a hostile length field cannot balloon memory.
-inline constexpr uint8_t kProtocolVersion = 1;
+///
+/// Versioning: v2 extends three bodies with trace context and richer
+/// stats (SUBMIT gains a trace-flags byte, COMPLETED an optional
+/// per-stage latency breakdown, STATS_REPLY the admitted counter and
+/// rolling per-class SLO attainment). Decoders accept v1 and v2 and
+/// parse each body by the version stamped in its own header; encoders
+/// honor Frame::version, so a server answers a v1 client in v1. The
+/// exact-payload rule still holds per version: a v2 body on a v1 frame
+/// (or vice versa) is malformed, never silently truncated.
+inline constexpr uint8_t kProtocolVersion = 2;
+/// Oldest version a decoder still accepts.
+inline constexpr uint8_t kMinProtocolVersion = 1;
 
 /// Hard ceiling on payload_length a decoder will accept. SUBMIT (the
 /// largest frame) is well under 1 KiB; anything bigger is a corrupt or
@@ -35,6 +46,9 @@ inline constexpr size_t kMaxPayloadBytes = 64 * 1024;
 inline constexpr size_t kMaxTemplateNameBytes = 256;
 /// Longest message accepted in an ERROR body.
 inline constexpr size_t kMaxErrorMessageBytes = 512;
+/// Most per-class attainment entries a v2 STATS_REPLY may carry; bounds
+/// decoder allocation the same way the string limits do.
+inline constexpr size_t kMaxStatsClasses = 256;
 
 enum class FrameType : uint8_t {
   // Requests (client -> server).
@@ -69,7 +83,16 @@ enum class WireError : uint8_t {
 
 const char* WireErrorToString(WireError error);
 
-/// Gateway accounting snapshot carried by STATS_REPLY.
+/// Rolling SLO attainment of one service class, as published by the
+/// control loop's SloMonitor (fraction of recent intervals meeting goal).
+struct WireClassAttainment {
+  int32_t class_id = 0;
+  double rolling_attainment = 0.0;
+};
+
+/// Gateway accounting snapshot carried by STATS_REPLY. The v2 fields
+/// (`admitted`, `class_attainment`) decode to their defaults from a v1
+/// peer.
 struct WireStats {
   uint64_t accepted = 0;
   uint64_t rejected_queue_full = 0;
@@ -77,6 +100,9 @@ struct WireStats {
   uint64_t completed = 0;
   uint64_t queue_depth = 0;
   uint64_t connections = 0;
+  // v2 only.
+  uint64_t admitted = 0;
+  std::vector<WireClassAttainment> class_attainment;
 };
 
 /// One decoded frame: `type` + `request_id` are always meaningful; the
@@ -84,19 +110,30 @@ struct WireStats {
 struct Frame {
   FrameType type = FrameType::kPing;
   uint64_t request_id = 0;
+  /// Wire version this frame was decoded from / will be encoded as.
+  /// Anything other than kMinProtocolVersion encodes as v2.
+  uint8_t version = kProtocolVersion;
 
   // kSubmit: the query to run. `query.id` / `query.job.query_id` are
-  // server-assigned and not transmitted.
+  // server-assigned and not transmitted. `want_trace` (v2) asks the
+  // server to attach the per-stage breakdown to this query's COMPLETED.
   workload::Query query;
+  bool want_trace = false;
 
   // kRejected.
   rt::RejectReason reject_reason = rt::RejectReason::kQueueFull;
 
-  // kCompleted.
+  // kCompleted. The trace fields travel only in v2 and only when
+  // has_trace is set (the server echoes want_trace).
   int32_t class_id = 0;
   double response_seconds = 0.0;
   double exec_seconds = 0.0;
   bool cancelled = false;
+  bool has_trace = false;
+  uint64_t trace_id = 0;
+  double stage_gateway_queue_seconds = 0.0;
+  double stage_dispatch_seconds = 0.0;
+  double stage_execute_seconds = 0.0;
 
   // kStatsReply.
   WireStats stats;

@@ -354,6 +354,9 @@ void Server::ReadFromConnection(uint64_t conn_id) {
       break;
     }
     offset += consumed;
+    // The peer's latest frame sets the reply version for this
+    // connection: a v1 client keeps getting v1 frames it can decode.
+    conn.version = frame.version;
     frames_received_.fetch_add(1);
     if (frames_in_counter_ != nullptr) frames_in_counter_->Inc();
     if (!HandleFrame(conn_id, frame)) break;
@@ -388,13 +391,34 @@ bool Server::HandleFrame(uint64_t conn_id, const Frame& frame) {
       }
       auto submitted = std::chrono::steady_clock::now();
       rt::RejectReason reason = rt::RejectReason::kQueueFull;
+      bool want_trace = frame.want_trace;
       bool accepted = gateway_->Offer(
           frame.query,
           [mailbox = mailbox_, conn_id, request_id = frame.request_id,
-           submitted](const workload::QueryRecord& record) {
-            mailbox->Post({conn_id, request_id, record.class_id,
-                           record.ResponseSeconds(), record.ExecSeconds(),
-                           record.cancelled, submitted});
+           submitted, want_trace](const workload::QueryRecord& record) {
+            PendingCompletion completion;
+            completion.conn_id = conn_id;
+            completion.request_id = request_id;
+            completion.class_id = record.class_id;
+            completion.response_seconds = record.ResponseSeconds();
+            completion.exec_seconds = record.ExecSeconds();
+            completion.cancelled = record.cancelled;
+            completion.submitted_wall = submitted;
+            if (record.trace != nullptr) {
+              // Copy the stage durations here, on the clock thread where
+              // the trace was just finalized; the reactor only sees the
+              // plain doubles.
+              const obs::QueryStageTrace& trace = *record.trace;
+              completion.has_trace = true;
+              completion.want_trace = want_trace;
+              completion.trace_id = trace.trace_id;
+              completion.stage_gateway_queue_seconds =
+                  trace.GatewayQueueSeconds();
+              completion.stage_dispatch_seconds = trace.DispatchSeconds();
+              completion.stage_execute_seconds = trace.ExecuteSeconds();
+              completion.completed_wall = trace.completed;
+            }
+            mailbox->Post(std::move(completion));
           },
           &reason);
       if (accepted) {
@@ -437,6 +461,13 @@ bool Server::HandleFrame(uint64_t conn_id, const Frame& frame) {
       reply.stats.completed = gateway_->completed();
       reply.stats.queue_depth = gateway_->queue_depth();
       reply.stats.connections = conns_.size();
+      reply.stats.admitted = gateway_->admitted();
+      if (telemetry_ != nullptr) {
+        for (int class_id : telemetry_->slo.ObservedClasses()) {
+          reply.stats.class_attainment.push_back(
+              {class_id, telemetry_->slo.RollingAttainment(class_id)});
+        }
+      }
       SendFrame(&conn, reply);
       return true;
     }
@@ -496,17 +527,45 @@ void Server::DrainMailbox() {
     frame.response_seconds = completion.response_seconds;
     frame.exec_seconds = completion.exec_seconds;
     frame.cancelled = completion.cancelled;
+    // The encoder drops the trace context again when the connection
+    // negotiated v1.
+    if (completion.has_trace && completion.want_trace) {
+      frame.has_trace = true;
+      frame.trace_id = completion.trace_id;
+      frame.stage_gateway_queue_seconds =
+          completion.stage_gateway_queue_seconds;
+      frame.stage_dispatch_seconds = completion.stage_dispatch_seconds;
+      frame.stage_execute_seconds = completion.stage_execute_seconds;
+    }
     SendFrame(&conn, frame);
     if (conn.in_flight > 0) conn.in_flight -= 1;
     completions_delivered_.fetch_add(1);
+    auto now = std::chrono::steady_clock::now();
     if (turnaround_hist_ != nullptr) {
-      turnaround_hist_->Record(std::chrono::duration<double>(
-                                   std::chrono::steady_clock::now() -
-                                   completion.submitted_wall)
-                                   .count());
+      turnaround_hist_->Record(
+          std::chrono::duration<double>(now - completion.submitted_wall)
+              .count());
+    }
+    // Fourth stage of the trace: completion callback to COMPLETED bytes
+    // entering the socket buffer.
+    if (completion.has_trace && telemetry_ != nullptr) {
+      FlushStageHistogram(completion.class_id)
+          ->Record(std::chrono::duration<double>(
+                       now - completion.completed_wall)
+                       .count());
     }
     MaybeFinishDrain(completion.conn_id);
   }
+}
+
+obs::Histogram* Server::FlushStageHistogram(int class_id) {
+  auto it = flush_stage_hists_.find(class_id);
+  if (it != flush_stage_hists_.end()) return it->second;
+  obs::Histogram* hist = telemetry_->registry.GetHistogram(
+      "qsched_stage_seconds",
+      StrPrintf("class=\"%d\",stage=\"flush\"", class_id));
+  flush_stage_hists_.emplace(class_id, hist);
+  return hist;
 }
 
 void Server::MaybeFinishDrain(uint64_t conn_id) {
@@ -521,7 +580,8 @@ void Server::MaybeFinishDrain(uint64_t conn_id) {
   conn.closing = true;
 }
 
-void Server::SendFrame(Connection* conn, const Frame& frame) {
+void Server::SendFrame(Connection* conn, Frame frame) {
+  frame.version = conn->version;
   EncodeFrame(frame, &conn->outbuf);
   frames_sent_.fetch_add(1);
   if (frames_out_counter_ != nullptr) frames_out_counter_->Inc();

@@ -107,6 +107,18 @@ class Server {
     double exec_seconds = 0.0;
     bool cancelled = false;
     std::chrono::steady_clock::time_point submitted_wall;
+    /// Stage breakdown copied from the query's obs::QueryStageTrace on
+    /// the clock thread (the trace object itself stays there). has_trace
+    /// gates the local flush-stage histogram; want_trace additionally
+    /// gates the wire trace context (the client asked for it and speaks
+    /// v2).
+    bool has_trace = false;
+    bool want_trace = false;
+    uint64_t trace_id = 0;
+    double stage_gateway_queue_seconds = 0.0;
+    double stage_dispatch_seconds = 0.0;
+    double stage_execute_seconds = 0.0;
+    std::chrono::steady_clock::time_point completed_wall;
   };
 
   /// The completion mailbox shared with in-flight callbacks (see class
@@ -126,6 +138,11 @@ class Server {
     std::vector<uint8_t> outbuf;
     size_t out_offset = 0;
     uint64_t in_flight = 0;
+    /// Wire version negotiated per connection: every reply is encoded in
+    /// the version of the last frame the peer sent. Starts at v1 (the
+    /// safe choice — every decoder accepts v1) until the first frame
+    /// arrives.
+    uint8_t version = kMinProtocolVersion;
     /// DRAIN received: no more SUBMITs; DRAINED + close once idle.
     bool draining = false;
     uint64_t drain_request_id = 0;
@@ -141,7 +158,12 @@ class Server {
   /// Returns false when the connection errored and should stop reading.
   bool HandleFrame(uint64_t conn_id, const Frame& frame);
   void DrainMailbox();
-  void SendFrame(Connection* conn, const Frame& frame);
+  /// Per-class qsched_stage_seconds{stage="flush"} histogram (reactor
+  /// thread only).
+  obs::Histogram* FlushStageHistogram(int class_id);
+  /// Stamps the connection's negotiated version on the frame, encodes it
+  /// into the outbuf and counts it.
+  void SendFrame(Connection* conn, Frame frame);
   void FlushConnection(uint64_t conn_id);
   void CloseConnection(uint64_t conn_id);
   void MaybeFinishDrain(uint64_t conn_id);
@@ -191,6 +213,8 @@ class Server {
   obs::Counter* submit_rejected_shutdown_counter_ = nullptr;
   obs::Counter* completions_dropped_counter_ = nullptr;
   obs::Histogram* turnaround_hist_ = nullptr;
+  /// Reactor-owned cache for FlushStageHistogram.
+  std::map<int, obs::Histogram*> flush_stage_hists_;
 };
 
 }  // namespace qsched::net

@@ -177,6 +177,14 @@ std::vector<MetricSnapshot> Registry::Snapshot() const {
   return out;
 }
 
+void Registry::AddAlias(const std::string& alias,
+                        const std::string& canonical) {
+  std::lock_guard<std::mutex> lock(mu_);
+  QSCHED_CHECK(alias != canonical)
+      << "metric alias " << alias << " points at itself";
+  aliases_[alias] = canonical;
+}
+
 namespace {
 
 std::string SampleName(const std::string& name, const std::string& labels,
@@ -190,21 +198,39 @@ std::string SampleName(const std::string& name, const std::string& labels,
   return name + "{" + all + "}";
 }
 
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size() + 2);
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// Renders a finite double, mapping nan/inf to 0 so output stays JSON.
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "0";
+  return StrPrintf("%.9g", value);
+}
+
 }  // namespace
 
 void Registry::WritePrometheus(std::ostream& out) const {
   std::lock_guard<std::mutex> lock(mu_);
-  const std::string* last_family = nullptr;
-  for (const auto& [key, entry] : entries_) {
-    const std::string& name = key.first;
-    const std::string& labels = key.second;
-    if (last_family == nullptr || *last_family != name) {
-      const char* type = entry.kind == MetricKind::kCounter ? "counter"
-                         : entry.kind == MetricKind::kGauge ? "gauge"
-                                                            : "summary";
-      out << "# TYPE " << name << " " << type << "\n";
-      last_family = &name;
-    }
+  auto emit_samples = [&out](const std::string& name,
+                             const std::string& labels, const Entry& entry) {
     switch (entry.kind) {
       case MetricKind::kCounter:
         out << SampleName(name, labels) << " " << entry.counter->value()
@@ -231,7 +257,76 @@ void Registry::WritePrometheus(std::ostream& out) const {
         break;
       }
     }
+  };
+  auto type_string = [](MetricKind kind) {
+    return kind == MetricKind::kCounter ? "counter"
+           : kind == MetricKind::kGauge ? "gauge"
+                                        : "summary";
+  };
+  const std::string* last_family = nullptr;
+  for (const auto& [key, entry] : entries_) {
+    const std::string& name = key.first;
+    const std::string& labels = key.second;
+    if (last_family == nullptr || *last_family != name) {
+      out << "# TYPE " << name << " " << type_string(entry.kind) << "\n";
+      last_family = &name;
+    }
+    emit_samples(name, labels, entry);
   }
+  // Deprecated aliases come after every canonical family, each one its
+  // own family (so the one-#-TYPE-per-family invariant holds as long as
+  // alias names never collide with live canonical names).
+  for (const auto& [alias, canonical] : aliases_) {
+    auto it = entries_.lower_bound(std::make_pair(canonical, std::string()));
+    if (it == entries_.end() || it->first.first != canonical) continue;
+    out << "# HELP " << alias << " Deprecated alias for " << canonical
+        << ".\n";
+    out << "# TYPE " << alias << " " << type_string(it->second.kind)
+        << "\n";
+    for (; it != entries_.end() && it->first.first == canonical; ++it) {
+      emit_samples(alias, it->first.second, it->second);
+    }
+  }
+}
+
+void Registry::WriteVarzJson(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto emit_value = [&out](const Entry& entry) {
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        out << entry.counter->value();
+        break;
+      case MetricKind::kGauge:
+        out << JsonNumber(entry.gauge->value());
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        out << "{\"count\":" << h.count() << ",\"sum\":"
+            << JsonNumber(h.sum()) << ",\"min\":" << JsonNumber(h.min())
+            << ",\"max\":" << JsonNumber(h.max())
+            << ",\"p50\":" << JsonNumber(h.Quantile(0.50))
+            << ",\"p95\":" << JsonNumber(h.Quantile(0.95))
+            << ",\"p99\":" << JsonNumber(h.Quantile(0.99)) << "}";
+        break;
+      }
+    }
+  };
+  out << "{\n  \"metrics\": {";
+  bool first = true;
+  for (const auto& [key, entry] : entries_) {
+    out << (first ? "\n" : ",\n") << "    \""
+        << JsonEscape(SampleName(key.first, key.second)) << "\": ";
+    emit_value(entry);
+    first = false;
+  }
+  out << "\n  },\n  \"aliases\": {";
+  first = true;
+  for (const auto& [alias, canonical] : aliases_) {
+    out << (first ? "\n" : ",\n") << "    \"" << JsonEscape(alias)
+        << "\": \"" << JsonEscape(canonical) << "\"";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
 }
 
 }  // namespace qsched::obs

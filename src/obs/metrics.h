@@ -143,10 +143,25 @@ class Registry {
 
   std::vector<MetricSnapshot> Snapshot() const;
 
+  /// Registers `alias` as a deprecated exposition-only alias of the
+  /// family `canonical`: WritePrometheus and WriteVarzJson re-emit every
+  /// (canonical, labels) sample under the alias name, marked deprecated.
+  /// Snapshot() stays canonical-only, so internal consumers never see
+  /// doubled series. Used to keep one release of backward compatibility
+  /// across metric renames.
+  void AddAlias(const std::string& alias, const std::string& canonical);
+
   /// Prometheus text exposition: `# TYPE` per family, one sample line per
   /// metric; histograms are rendered as summaries with quantile labels
-  /// (0.5 / 0.95 / 0.99 / 1 = max) plus _sum and _count.
+  /// (0.5 / 0.95 / 0.99 / 1 = max) plus _sum and _count. Aliased families
+  /// are appended after the canonical ones.
   void WritePrometheus(std::ostream& out) const;
+
+  /// JSON dump for `GET /varz` and scripts: an object keyed by sample
+  /// name (labels inline, JSON-escaped); counters/gauges map to numbers,
+  /// histograms to {count, sum, min, max, p50, p95, p99} objects. An
+  /// `aliases` object maps deprecated names to canonical ones.
+  void WriteVarzJson(std::ostream& out) const;
 
  private:
   struct Entry {
@@ -162,6 +177,8 @@ class Registry {
   mutable std::mutex mu_;
   /// Ordered by (name, labels) so exposition groups families naturally.
   std::map<std::pair<std::string, std::string>, Entry> entries_;
+  /// alias family name -> canonical family name.
+  std::map<std::string, std::string> aliases_;
 };
 
 }  // namespace qsched::obs

@@ -90,6 +90,16 @@ uint64_t SloMonitor::intervals_observed(int class_id) const {
   return it == classes_.end() ? 0 : it->second.observed;
 }
 
+std::vector<int> SloMonitor::ObservedClasses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> ids;
+  ids.reserve(classes_.size());
+  for (const auto& [class_id, state] : classes_) {
+    if (state.observed > 0) ids.push_back(class_id);
+  }
+  return ids;
+}
+
 std::vector<SloViolationEvent> SloMonitor::EventsLocked() const {
   std::vector<SloViolationEvent> events = closed_;
   for (const auto& [class_id, state] : classes_) {

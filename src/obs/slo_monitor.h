@@ -63,6 +63,9 @@ class SloMonitor {
   double OverallAttainment(int class_id) const;
   uint64_t intervals_observed(int class_id) const;
 
+  /// Ids of every class with at least one observation, ascending.
+  std::vector<int> ObservedClasses() const;
+
   /// Closed events plus the open one (if any), oldest first.
   std::vector<SloViolationEvent> Events() const;
   /// Events for one class only.

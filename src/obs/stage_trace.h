@@ -1,0 +1,66 @@
+#ifndef QSCHED_OBS_STAGE_TRACE_H_
+#define QSCHED_OBS_STAGE_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace qsched::obs {
+
+/// Wall-clock stage timestamps for one query's trip through the runtime:
+///
+///   enqueued   — producer handed the query to rt::Gateway (Offer/Submit)
+///   admitted   — a gateway worker popped it off the submission queue
+///   exec_start — the engine actually started executing it (after the
+///                interceptor delay, control-table insert, dispatcher
+///                memory queue and MPL/cost gate)
+///   completed  — the completion callback fired on the clock thread
+///
+/// The derived stage durations telescope by construction:
+///
+///   gateway_queue + dispatch + execute == completed - enqueued
+///
+/// so per-stage histograms always sum to the end-to-end latency exactly
+/// (the stage_trace tests assert this to sub-millisecond tolerance over
+/// the wire, where the durations survive an f64 round trip).
+///
+/// Thread-safety: each stamp happens on exactly one thread and every
+/// handoff between stamping threads is already synchronized (MPMC queue
+/// push/pop, WallClock::Run, completion mailbox mutex), so plain
+/// time_points suffice — no atomics needed.
+///
+/// A null trace pointer (the DES/sim path never allocates one) costs
+/// nothing: every stamping site is guarded.
+struct QueryStageTrace {
+  using Clock = std::chrono::steady_clock;
+  using TimePoint = Clock::time_point;
+
+  /// Gateway-assigned query id; doubles as the wire trace id.
+  uint64_t trace_id = 0;
+
+  TimePoint enqueued{};
+  TimePoint admitted{};
+  TimePoint exec_start{};
+  TimePoint completed{};
+
+  static double Seconds(TimePoint from, TimePoint to) {
+    return std::chrono::duration<double>(to - from).count();
+  }
+
+  bool HasExecStart() const {
+    return exec_start.time_since_epoch().count() != 0;
+  }
+
+  /// Time spent in the gateway's bounded submission queue.
+  double GatewayQueueSeconds() const { return Seconds(enqueued, admitted); }
+  /// Admission to execution start: interceptor delay, control-table
+  /// bookkeeping, dispatcher memory queue and MPL/cost-gate wait.
+  double DispatchSeconds() const { return Seconds(admitted, exec_start); }
+  /// Execution start to completion callback.
+  double ExecuteSeconds() const { return Seconds(exec_start, completed); }
+  /// End-to-end: identical to the sum of the three stages above.
+  double TotalSeconds() const { return Seconds(enqueued, completed); }
+};
+
+}  // namespace qsched::obs
+
+#endif  // QSCHED_OBS_STAGE_TRACE_H_

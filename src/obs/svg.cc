@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <limits>
 
 #include "common/strings.h"
@@ -265,6 +266,76 @@ std::string RenderLineChart(const SvgChartSpec& spec) {
   }
 
   svg += "</svg>\n";
+  return svg;
+}
+
+std::string RenderStackedAreaChart(const SvgChartSpec& spec) {
+  // The x grid is series[0]'s; band k fills between the cumulative sum
+  // up to k-1 and up to k.
+  size_t n = spec.series.empty() ? 0 : spec.series[0].xs.size();
+  std::vector<double> cumulative(n, 0.0);
+  std::vector<std::vector<double>> uppers;
+  uppers.reserve(spec.series.size());
+  for (const SvgSeries& series : spec.series) {
+    for (size_t i = 0; i < n; ++i) {
+      double y = i < series.ys.size() ? series.ys[i] : 0.0;
+      cumulative[i] += std::max(y, 0.0);
+    }
+    uppers.push_back(cumulative);
+  }
+
+  // Borrow the line renderer for frame, axes, ticks and legend by
+  // rendering the cumulative curves, then splice the filled bands in
+  // front of the polylines' position in the document (SVG paints in
+  // order, so bands must come before the lines and markers).
+  SvgChartSpec frame_spec = spec;
+  for (size_t k = 0; k < frame_spec.series.size(); ++k) {
+    frame_spec.series[k].xs = std::vector<double>(
+        spec.series[0].xs.begin(),
+        spec.series[0].xs.begin() + static_cast<std::ptrdiff_t>(n));
+    frame_spec.series[k].ys = uppers[k];
+    frame_spec.series[k].dashed = false;
+  }
+  std::string svg = RenderLineChart(frame_spec);
+
+  if (n < 2) return svg;
+  double w = static_cast<double>(spec.width);
+  double h = static_cast<double>(spec.height);
+  double plot_w = w - kMarginLeft - kMarginRight;
+  double plot_h = h - kMarginTop - kMarginBottom;
+  Range xr = XRange(frame_spec);
+  Range yr = DataRange(frame_spec);
+  auto x_of = [&](double x) {
+    return kMarginLeft + (x - xr.min) / (xr.max - xr.min) * plot_w;
+  };
+  auto y_of = [&](double y) {
+    return kMarginTop + (1.0 - (y - yr.min) / (yr.max - yr.min)) * plot_h;
+  };
+
+  std::string bands;
+  for (size_t k = 0; k < uppers.size(); ++k) {
+    std::string points;
+    for (size_t i = 0; i < n; ++i) {
+      points += StrPrintf("%.1f,%.1f ", x_of(spec.series[0].xs[i]),
+                          y_of(uppers[k][i]));
+    }
+    for (size_t i = n; i-- > 0;) {
+      double lower = k == 0 ? 0.0 : uppers[k - 1][i];
+      points += StrPrintf("%.1f,%.1f ", x_of(spec.series[0].xs[i]),
+                          y_of(std::max(lower, yr.min)));
+    }
+    bands += StrPrintf(
+        "<polygon points=\"%s\" fill=\"var(--series-%d)\" "
+        "fill-opacity=\"0.55\" stroke=\"none\"><title>%s</title>"
+        "</polygon>\n",
+        points.c_str(), spec.series[k].color_slot,
+        HtmlEscape(spec.series[k].label).c_str());
+  }
+  // Bands go right before the first polyline so gridlines stay beneath
+  // them but series outlines and legend stay on top.
+  size_t insert_at = svg.find("<polyline");
+  if (insert_at == std::string::npos) insert_at = svg.find("</svg>");
+  svg.insert(insert_at, bands);
   return svg;
 }
 

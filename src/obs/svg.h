@@ -52,6 +52,14 @@ std::string HtmlEscape(const std::string& text);
 /// chart frame rather than failing.
 std::string RenderLineChart(const SvgChartSpec& spec);
 
+/// Renders the series as a stacked area chart: series[0] is the bottom
+/// band, each later series stacks on the running total — made for
+/// additive breakdowns (per-stage latency summing to end-to-end). Every
+/// series is sampled at series[0].xs; shorter series are treated as 0
+/// beyond their length. Same axes/legend/empty-input behavior as
+/// RenderLineChart; reference lines apply to the stacked total.
+std::string RenderStackedAreaChart(const SvgChartSpec& spec);
+
 }  // namespace qsched::obs
 
 #endif  // QSCHED_OBS_SVG_H_

@@ -37,16 +37,20 @@ void TimeSeriesRecorder::WriteCsv(std::ostream& out) const {
   std::vector<IntervalRow> rows = Rows();
   out << "interval,sim_time,class_id,is_oltp,cost_limit,measured,"
          "goal_ratio,queue_depth,admitted_cost,completed_in_interval,"
-         "solver_wall_seconds,solver_utility\n";
+         "solver_wall_seconds,solver_utility,"
+         "stage_gateway_queue_seconds,stage_dispatch_seconds,"
+         "stage_execute_seconds\n";
   for (const IntervalRow& row : rows) {
     for (const IntervalClassSample& cls : row.classes) {
       out << StrPrintf(
-          "%llu,%.9g,%d,%d,%.9g,%.9g,%.9g,%d,%.9g,%d,%.9g,%.9g\n",
+          "%llu,%.9g,%d,%d,%.9g,%.9g,%.9g,%d,%.9g,%d,%.9g,%.9g,"
+          "%.9g,%.9g,%.9g\n",
           static_cast<unsigned long long>(row.interval), row.sim_time,
           cls.class_id, cls.is_oltp ? 1 : 0, cls.cost_limit, cls.measured,
           cls.goal_ratio, cls.queue_depth, cls.admitted_cost,
           cls.completed_in_interval, row.solver_wall_seconds,
-          row.solver_utility);
+          row.solver_utility, cls.stage_gateway_queue_seconds,
+          cls.stage_dispatch_seconds, cls.stage_execute_seconds);
     }
   }
 }
@@ -69,10 +73,15 @@ void TimeSeriesRecorder::WriteJson(std::ostream& out) const {
       out << StrPrintf(
           "{\"class_id\":%d,\"is_oltp\":%s,\"cost_limit\":%.9g,"
           "\"measured\":%.9g,\"goal_ratio\":%.9g,\"queue_depth\":%d,"
-          "\"admitted_cost\":%.9g,\"completed_in_interval\":%d}",
+          "\"admitted_cost\":%.9g,\"completed_in_interval\":%d,"
+          "\"stage_gateway_queue_seconds\":%.9g,"
+          "\"stage_dispatch_seconds\":%.9g,"
+          "\"stage_execute_seconds\":%.9g}",
           cls.class_id, cls.is_oltp ? "true" : "false", cls.cost_limit,
           cls.measured, cls.goal_ratio, cls.queue_depth,
-          cls.admitted_cost, cls.completed_in_interval);
+          cls.admitted_cost, cls.completed_in_interval,
+          cls.stage_gateway_queue_seconds, cls.stage_dispatch_seconds,
+          cls.stage_execute_seconds);
     }
     out << "]}";
   }

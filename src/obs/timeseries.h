@@ -24,6 +24,13 @@ struct IntervalClassSample {
   /// Cost (timerons) of queries running in the engine right now.
   double admitted_cost = 0.0;
   int completed_in_interval = 0;
+  /// Mean wall-clock per-stage latency of this interval's completions
+  /// (real-time runtime only — all 0 in pure DES runs, where queries
+  /// carry no stage trace). Appended after the original columns so CSV
+  /// consumers keyed on column order keep working.
+  double stage_gateway_queue_seconds = 0.0;
+  double stage_dispatch_seconds = 0.0;
+  double stage_execute_seconds = 0.0;
 };
 
 /// One row per Scheduling Planner cycle: the compact per-interval table

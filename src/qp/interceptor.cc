@@ -161,6 +161,7 @@ Status Interceptor::CancelQueued(uint64_t query_id) {
   record.exec_start_time = simulator_->Now();
   record.end_time = simulator_->Now();
   record.cancelled = true;
+  record.trace = pending.query.job.trace;
   if (pending.on_complete) pending.on_complete(record);
   return Status::OK();
 }
@@ -175,6 +176,7 @@ void Interceptor::StartOnEngine(uint64_t query_id, PendingQuery pending) {
   base.type = pending.query.type;
   base.cost_timerons = cost;
   base.submit_time = pending.submit_time;
+  base.trace = pending.query.job.trace;
 
   engine_->Execute(
       pending.query.job,
@@ -213,6 +215,7 @@ void Interceptor::Bypass(const workload::Query& query,
   base.type = query.type;
   base.cost_timerons = query.cost_timerons;
   base.submit_time = simulator_->Now();
+  base.trace = query.job.trace;
 
   engine_->Execute(query.job,
                    [this, base, on_complete = std::move(on_complete)](

@@ -16,6 +16,18 @@ const char* RejectReasonToString(RejectReason reason) {
   return "unknown";
 }
 
+const char* GatewayHealthToString(GatewayHealth health) {
+  switch (health) {
+    case GatewayHealth::kAccepting:
+      return "accepting";
+    case GatewayHealth::kDraining:
+      return "draining";
+    case GatewayHealth::kStopped:
+      return "stopped";
+  }
+  return "unknown";
+}
+
 Gateway::Gateway(WallClock* clock, workload::QueryFrontend* frontend,
                  const GatewayOptions& options, obs::Telemetry* telemetry)
     : clock_(clock),
@@ -85,26 +97,34 @@ bool Gateway::RecordPushOutcome(QueuePush outcome, RejectReason* reason) {
 bool Gateway::Offer(workload::Query query, CompleteFn on_complete,
                     RejectReason* reason) {
   query.id = next_query_id_.fetch_add(1, std::memory_order_relaxed);
-  Item item{std::move(query), std::chrono::steady_clock::now(),
-            std::move(on_complete)};
+  auto now = std::chrono::steady_clock::now();
+  query.job.trace = std::make_shared<obs::QueryStageTrace>();
+  query.job.trace->trace_id = query.id;
+  query.job.trace->enqueued = now;
+  Item item{std::move(query), now, std::move(on_complete)};
   return RecordPushOutcome(queue_.TryPushOutcome(std::move(item)), reason);
 }
 
 bool Gateway::Submit(workload::Query query, CompleteFn on_complete,
                      RejectReason* reason) {
   query.id = next_query_id_.fetch_add(1, std::memory_order_relaxed);
-  Item item{std::move(query), std::chrono::steady_clock::now(),
-            std::move(on_complete)};
+  auto now = std::chrono::steady_clock::now();
+  query.job.trace = std::make_shared<obs::QueryStageTrace>();
+  query.job.trace->trace_id = query.id;
+  query.job.trace->enqueued = now;
+  Item item{std::move(query), now, std::move(on_complete)};
   return RecordPushOutcome(queue_.PushOutcome(std::move(item)), reason);
 }
 
 void Gateway::WorkerLoop() {
   Item item;
   while (queue_.Pop(&item)) {
+    auto popped = std::chrono::steady_clock::now();
+    if (item.query.job.trace != nullptr) {
+      item.query.job.trace->admitted = popped;
+    }
     double wait_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      item.enqueued)
-            .count();
+        std::chrono::duration<double>(popped - item.enqueued).count();
     if (telemetry_ != nullptr) {
       admission_latency_hist_->Record(wait_seconds);
       depth_gauge_->Set(static_cast<double>(queue_.size()));
@@ -130,6 +150,20 @@ void Gateway::WorkerLoop() {
 void Gateway::OnQueryComplete(const workload::QueryRecord& record,
                               const CompleteFn& per_query) {
   completed_.fetch_add(1, std::memory_order_relaxed);
+  if (record.trace != nullptr) {
+    obs::QueryStageTrace& trace = *record.trace;
+    trace.completed = obs::QueryStageTrace::Clock::now();
+    // A cancelled query never reached the engine: give it a zero-width
+    // execute stage so the stages still telescope to the total.
+    if (!trace.HasExecStart()) trace.exec_start = trace.completed;
+    if (telemetry_ != nullptr) {
+      const std::array<obs::Histogram*, 3>& hists =
+          StageHistograms(record.class_id);
+      hists[0]->Record(trace.GatewayQueueSeconds());
+      hists[1]->Record(trace.DispatchSeconds());
+      hists[2]->Record(trace.ExecuteSeconds());
+    }
+  }
   if (telemetry_ != nullptr) {
     completed_counter_->Inc();
     ClassCompletedCounter(record.class_id)->Inc();
@@ -153,6 +187,26 @@ obs::Counter* Gateway::ClassCompletedCounter(int class_id) {
       StrPrintf("class=\"%d\"", class_id));
   class_completed_counters_.emplace(class_id, counter);
   return counter;
+}
+
+const std::array<obs::Histogram*, 3>& Gateway::StageHistograms(
+    int class_id) {
+  std::lock_guard<std::mutex> lock(class_counter_mu_);
+  auto it = stage_hists_.find(class_id);
+  if (it != stage_hists_.end()) return it->second;
+  obs::Registry& reg = telemetry_->registry;
+  std::array<obs::Histogram*, 3> hists = {
+      reg.GetHistogram(
+          "qsched_stage_seconds",
+          StrPrintf("class=\"%d\",stage=\"gateway_queue\"", class_id)),
+      reg.GetHistogram(
+          "qsched_stage_seconds",
+          StrPrintf("class=\"%d\",stage=\"dispatch\"", class_id)),
+      reg.GetHistogram(
+          "qsched_stage_seconds",
+          StrPrintf("class=\"%d\",stage=\"execute\"", class_id)),
+  };
+  return stage_hists_.emplace(class_id, hists).first->second;
 }
 
 void Gateway::Drain() {

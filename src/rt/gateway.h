@@ -1,6 +1,7 @@
 #ifndef QSCHED_RT_GATEWAY_H_
 #define QSCHED_RT_GATEWAY_H_
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -35,6 +36,17 @@ enum class RejectReason : uint8_t {
 };
 
 const char* RejectReasonToString(RejectReason reason);
+
+/// Coarse gateway lifecycle for health endpoints: accepting (intake
+/// open), draining (intake closed, accepted queries still in flight),
+/// stopped (intake closed and every accepted query completed).
+enum class GatewayHealth : uint8_t {
+  kAccepting = 0,
+  kDraining = 1,
+  kStopped = 2,
+};
+
+const char* GatewayHealthToString(GatewayHealth health);
 
 /// The runtime's front door: producers (load generators, client threads)
 /// hand queries to Offer()/Submit(); a pool of gateway workers drains the
@@ -113,6 +125,16 @@ class Gateway {
   uint64_t completed() const { return completed_.load(); }
   size_t queue_depth() const { return queue_.size(); }
 
+  /// Lifecycle snapshot for /healthz (safe from any thread). Reads
+  /// completed before accepted so a racing completion can only make the
+  /// gateway look draining a moment longer, never stopped too early.
+  GatewayHealth health() const {
+    uint64_t completed_now = completed_.load();
+    if (!queue_.closed()) return GatewayHealth::kAccepting;
+    return completed_now < accepted_.load() ? GatewayHealth::kDraining
+                                            : GatewayHealth::kStopped;
+  }
+
  private:
   struct Item {
     workload::Query query;
@@ -125,6 +147,10 @@ class Gateway {
   void OnQueryComplete(const workload::QueryRecord& record,
                        const CompleteFn& per_query);
   obs::Counter* ClassCompletedCounter(int class_id);
+  /// Per-class {gateway_queue, dispatch, execute} stage histograms,
+  /// created lazily and cached so the completion path never takes the
+  /// registry lock twice for the same class.
+  const std::array<obs::Histogram*, 3>& StageHistograms(int class_id);
 
   WallClock* clock_;
   workload::QueryFrontend* frontend_;
@@ -153,6 +179,7 @@ class Gateway {
   obs::Counter* completed_counter_ = nullptr;
   std::mutex class_counter_mu_;
   std::map<int, obs::Counter*> class_completed_counters_;
+  std::map<int, std::array<obs::Histogram*, 3>> stage_hists_;
 };
 
 }  // namespace qsched::rt

@@ -1,6 +1,7 @@
 #include "scheduler/monitor.h"
 
 #include "common/strings.h"
+#include "obs/stage_trace.h"
 
 namespace qsched::sched {
 
@@ -13,13 +14,17 @@ void Monitor::set_telemetry(obs::Telemetry* telemetry) {
   if (telemetry_ == nullptr) return;
   records_counter_ =
       telemetry_->registry.GetCounter("qsched_monitor_records_total");
+  // Renamed histogram keeps its old exposition name for one release.
+  telemetry_->registry.AddAlias("qsched_monitor_velocity",
+                                "qsched_monitor_velocity_ratio");
 }
 
 obs::Histogram* Monitor::VelocityHistogram(int class_id) {
   auto it = velocity_hists_.find(class_id);
   if (it == velocity_hists_.end()) {
     obs::Histogram* hist = telemetry_->registry.GetHistogram(
-        "qsched_monitor_velocity", StrPrintf("class=\"%d\"", class_id));
+        "qsched_monitor_velocity_ratio",
+        StrPrintf("class=\"%d\"", class_id));
     it = velocity_hists_.emplace(class_id, hist).first;
   }
   return it->second;
@@ -37,6 +42,17 @@ void Monitor::AddRecord(const workload::QueryRecord& record) {
   acc.velocity_sum += record.Velocity();
   acc.response_sum += record.ResponseSeconds();
   acc.exec_sum += record.ExecSeconds();
+  if (record.trace != nullptr && record.trace->HasExecStart()) {
+    // The gateway stamps `completed` only after this callback returns,
+    // so the execute stage is measured to "now" — the record is on the
+    // completion path, microseconds short of the final stamp.
+    const obs::QueryStageTrace& trace = *record.trace;
+    acc.traced += 1;
+    acc.stage_gateway_queue_sum += trace.GatewayQueueSeconds();
+    acc.stage_dispatch_sum += trace.DispatchSeconds();
+    acc.stage_execute_sum += obs::QueryStageTrace::Seconds(
+        trace.exec_start, obs::QueryStageTrace::Clock::now());
+  }
 }
 
 std::map<int, ClassIntervalStats> Monitor::Harvest() {
@@ -55,6 +71,13 @@ std::map<int, ClassIntervalStats> Monitor::Harvest() {
     if (elapsed > 0.0) {
       stats.throughput_per_second =
           static_cast<double>(acc.completed) / elapsed;
+    }
+    if (acc.traced > 0) {
+      double traced = static_cast<double>(acc.traced);
+      stats.mean_stage_gateway_queue_seconds =
+          acc.stage_gateway_queue_sum / traced;
+      stats.mean_stage_dispatch_seconds = acc.stage_dispatch_sum / traced;
+      stats.mean_stage_execute_seconds = acc.stage_execute_sum / traced;
     }
     out[class_id] = stats;
   }

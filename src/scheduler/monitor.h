@@ -18,6 +18,14 @@ struct ClassIntervalStats {
   double mean_response_seconds = 0.0;
   double mean_exec_seconds = 0.0;
   double throughput_per_second = 0.0;
+  /// Mean wall-clock stage durations over the completions that carried a
+  /// QueryStageTrace (the real-time runtime attaches one per query; pure
+  /// DES runs leave all three 0). "Execute" here is measured up to the
+  /// moment the record reached the monitor, a few microseconds before
+  /// the gateway stamps the trace complete.
+  double mean_stage_gateway_queue_seconds = 0.0;
+  double mean_stage_dispatch_seconds = 0.0;
+  double mean_stage_execute_seconds = 0.0;
 };
 
 /// The paper's Monitor: collects query information (here: completion
@@ -56,6 +64,11 @@ class Monitor {
     double velocity_sum = 0.0;
     double response_sum = 0.0;
     double exec_sum = 0.0;
+    /// Completions that carried a stage trace, and their stage sums.
+    int traced = 0;
+    double stage_gateway_queue_sum = 0.0;
+    double stage_dispatch_sum = 0.0;
+    double stage_execute_sum = 0.0;
   };
 
   sim::Clock* simulator_;

@@ -46,6 +46,8 @@ QueryScheduler::QueryScheduler(sim::Clock* simulator,
     monitor_.set_telemetry(telemetry_);
     snapshot_.set_telemetry(telemetry_);
     obs::Registry& reg = telemetry_->registry;
+    // Renamed gauges keep their old exposition names for one release.
+    reg.AddAlias("qsched_cost_limit", "qsched_cost_limit_timerons");
     planning_cycles_counter_ =
         reg.GetCounter("qsched_planner_cycles_total");
     planner_utility_gauge_ = reg.GetGauge("qsched_planner_utility");
@@ -58,7 +60,8 @@ QueryScheduler::QueryScheduler(sim::Clock* simulator,
       handles.slo_measured = reg.GetGauge("qsched_slo_measured", labels);
       handles.slo_goal_ratio =
           reg.GetGauge("qsched_slo_goal_ratio", labels);
-      handles.cost_limit = reg.GetGauge("qsched_cost_limit", labels);
+      handles.cost_limit =
+          reg.GetGauge("qsched_cost_limit_timerons", labels);
       handles.slo_attainment =
           reg.GetGauge("qsched_slo_attainment", labels);
       handles.slo_goal->Set(spec.goal_value);
@@ -354,6 +357,14 @@ void QueryScheduler::RecordPlanAudit(
     sample.queue_depth = cls.queue_depth;
     sample.admitted_cost = cls.running_cost;
     sample.completed_in_interval = cls.completed_in_interval;
+    if (stats_it != stats.end()) {
+      sample.stage_gateway_queue_seconds =
+          stats_it->second.mean_stage_gateway_queue_seconds;
+      sample.stage_dispatch_seconds =
+          stats_it->second.mean_stage_dispatch_seconds;
+      sample.stage_execute_seconds =
+          stats_it->second.mean_stage_execute_seconds;
+    }
     row.classes.push_back(sample);
 
     auto handle_it = class_telemetry_.find(spec.class_id);

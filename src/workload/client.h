@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/stage_trace.h"
 #include "obs/telemetry.h"
 #include "sim/clock.h"
 #include "workload/query.h"
@@ -31,6 +33,9 @@ struct QueryRecord {
   /// True when the query was cancelled (QP admin action) while queued;
   /// such records carry no execution time.
   bool cancelled = false;
+  /// Wall-clock stage trace carried through from the submitted query's
+  /// job; null on the pure-DES path. See obs/stage_trace.h.
+  std::shared_ptr<obs::QueryStageTrace> trace;
 
   /// Execution_Time of the paper: time actually running in the DBMS.
   double ExecSeconds() const { return end_time - exec_start_time; }

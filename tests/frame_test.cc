@@ -106,7 +106,7 @@ TEST(FrameTest, RoundTripResponses) {
     Frame in;
     in.type = FrameType::kStatsReply;
     in.request_id = 5;
-    in.stats = {100, 5, 2, 93, 11, 3};
+    in.stats = {100, 5, 2, 93, 11, 3, 0, {}};
     std::vector<uint8_t> bytes;
     EncodeFrame(in, &bytes);
     Frame out;
@@ -391,6 +391,131 @@ TEST(FrameTest, BackToBackFramesConsumeExactly) {
             DecodeStatus::kOk);
   EXPECT_EQ(out.type, FrameType::kSubmit);
   EXPECT_EQ(out.request_id, 2u);
+}
+
+TEST(FrameTest, V1FramesStillDecodeAndStayV1) {
+  // A v1 peer's SUBMIT (no trace-flags byte) and STATS_REPLY (six
+  // counters, no attainment list) must decode with the v2 fields at
+  // their defaults — the version bump is backward compatible.
+  Frame in;
+  in.version = kMinProtocolVersion;
+  in.type = FrameType::kSubmit;
+  in.request_id = 41;
+  in.query = MakeQuery();
+  in.want_trace = true;  // not encodable in v1; must be dropped
+  std::vector<uint8_t> bytes;
+  EncodeFrame(in, &bytes);
+  EXPECT_EQ(bytes[4], kMinProtocolVersion);
+
+  Frame out;
+  size_t consumed = 0;
+  ASSERT_EQ(DecodeFrame(bytes.data(), bytes.size(), &out, &consumed),
+            DecodeStatus::kOk);
+  EXPECT_EQ(out.version, kMinProtocolVersion);
+  EXPECT_FALSE(out.want_trace);
+  EXPECT_EQ(out.query.template_name, in.query.template_name);
+
+  Frame stats;
+  stats.version = kMinProtocolVersion;
+  stats.type = FrameType::kStatsReply;
+  stats.request_id = 42;
+  stats.stats.accepted = 9;
+  stats.stats.admitted = 9;  // v2-only; dropped on a v1 wire
+  stats.stats.class_attainment.push_back({3, 0.9});
+  bytes.clear();
+  EncodeFrame(stats, &bytes);
+  ASSERT_EQ(DecodeFrame(bytes.data(), bytes.size(), &out, &consumed),
+            DecodeStatus::kOk);
+  EXPECT_EQ(out.stats.accepted, 9u);
+  EXPECT_EQ(out.stats.admitted, 0u);
+  EXPECT_TRUE(out.stats.class_attainment.empty());
+}
+
+TEST(FrameTest, V2CompletedRoundTripsTraceContext) {
+  Frame in;
+  in.type = FrameType::kCompleted;
+  in.request_id = 77;
+  in.class_id = 2;
+  in.response_seconds = 1.25;
+  in.exec_seconds = 0.5;
+  in.has_trace = true;
+  in.trace_id = 123456789;
+  in.stage_gateway_queue_seconds = 0.25;
+  in.stage_dispatch_seconds = 0.5;
+  in.stage_execute_seconds = 0.5;
+  std::vector<uint8_t> bytes;
+  EncodeFrame(in, &bytes);
+  EXPECT_EQ(bytes[4], kProtocolVersion);
+
+  Frame out;
+  size_t consumed = 0;
+  ASSERT_EQ(DecodeFrame(bytes.data(), bytes.size(), &out, &consumed),
+            DecodeStatus::kOk);
+  EXPECT_TRUE(out.has_trace);
+  EXPECT_EQ(out.trace_id, 123456789u);
+  EXPECT_DOUBLE_EQ(out.stage_gateway_queue_seconds, 0.25);
+  EXPECT_DOUBLE_EQ(out.stage_dispatch_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(out.stage_execute_seconds, 0.5);
+
+  // Without the trace the optional tail collapses to one flag byte.
+  Frame bare = in;
+  bare.has_trace = false;
+  std::vector<uint8_t> bare_bytes;
+  EncodeFrame(bare, &bare_bytes);
+  EXPECT_EQ(bare_bytes.size() + 8 + 3 * 8, bytes.size());
+  ASSERT_EQ(DecodeFrame(bare_bytes.data(), bare_bytes.size(), &out,
+                        &consumed),
+            DecodeStatus::kOk);
+  EXPECT_FALSE(out.has_trace);
+  EXPECT_EQ(out.trace_id, 0u);
+}
+
+TEST(FrameTest, V2StatsReplyRoundTripsAttainment) {
+  Frame in;
+  in.type = FrameType::kStatsReply;
+  in.request_id = 11;
+  in.stats.accepted = 100;
+  in.stats.admitted = 98;
+  in.stats.completed = 95;
+  in.stats.class_attainment = {{1, 0.75}, {3, 1.0}};
+  std::vector<uint8_t> bytes;
+  EncodeFrame(in, &bytes);
+
+  Frame out;
+  size_t consumed = 0;
+  ASSERT_EQ(DecodeFrame(bytes.data(), bytes.size(), &out, &consumed),
+            DecodeStatus::kOk);
+  EXPECT_EQ(out.stats.admitted, 98u);
+  ASSERT_EQ(out.stats.class_attainment.size(), 2u);
+  EXPECT_EQ(out.stats.class_attainment[0].class_id, 1);
+  EXPECT_DOUBLE_EQ(out.stats.class_attainment[0].rolling_attainment, 0.75);
+  EXPECT_EQ(out.stats.class_attainment[1].class_id, 3);
+  EXPECT_DOUBLE_EQ(out.stats.class_attainment[1].rolling_attainment, 1.0);
+}
+
+TEST(FrameTest, V2BodyOnV1FrameIsMalformed) {
+  // Tag a v2-encoded COMPLETED (flag byte present) as v1: the decoder
+  // must flag the unaccounted tail instead of silently ignoring it.
+  Frame in;
+  in.type = FrameType::kCompleted;
+  in.request_id = 5;
+  in.class_id = 1;
+  std::vector<uint8_t> bytes;
+  EncodeFrame(in, &bytes);
+  bytes[4] = kMinProtocolVersion;
+  Frame out;
+  size_t consumed = 0;
+  EXPECT_EQ(DecodeFrame(bytes.data(), bytes.size(), &out, &consumed),
+            DecodeStatus::kMalformed);
+
+  // And the converse: a v1 body tagged v2 is missing its flag byte.
+  Frame v1 = in;
+  v1.version = kMinProtocolVersion;
+  std::vector<uint8_t> v1_bytes;
+  EncodeFrame(v1, &v1_bytes);
+  v1_bytes[4] = kProtocolVersion;
+  EXPECT_EQ(DecodeFrame(v1_bytes.data(), v1_bytes.size(), &out, &consumed),
+            DecodeStatus::kMalformed);
 }
 
 }  // namespace

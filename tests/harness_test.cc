@@ -367,7 +367,9 @@ TEST(HarnessTest, ReportSummaryIncludesTelemetryGauges) {
   EXPECT_NE(text.find("gauges:"), std::string::npos) << text;
   EXPECT_NE(text.find("qsched_engine_cpu_utilization"), std::string::npos)
       << text;
-  EXPECT_NE(text.find("qsched_cost_limit{class=\"3\"}"), std::string::npos)
+  EXPECT_NE(
+      text.find("qsched_cost_limit_timerons{class=\"3\"}"),
+      std::string::npos)
       << text;
 }
 

@@ -798,7 +798,7 @@ TEST_F(SchedulerAuditTest, AuditLimitsExactlyMatchDispatcherEnforcement) {
   // The cost-limit gauges track the final plan too.
   for (const sched::ServiceClassSpec& spec : classes_.classes()) {
     Gauge* gauge = telemetry.registry.GetGauge(
-        "qsched_cost_limit",
+        "qsched_cost_limit_timerons",
         "class=\"" + std::to_string(spec.class_id) + "\"");
     EXPECT_EQ(gauge->value(),
               qs.dispatcher().plan().LimitFor(spec.class_id));

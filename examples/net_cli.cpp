@@ -22,9 +22,13 @@
 //   --port=N             TCP port (0 = ephemeral, printed + --port-file)
 //   --port-file=PATH     write the bound port as a single line
 //   --max-connections=N  concurrent connection cap (64)
+//   --reactors=N         reactor threads multiplexing connections
+//                        (0 = auto: min(4, hardware_concurrency))
 //   --time-scale=X       model seconds per wall second (60)
 //   --workers=N          gateway worker threads (2)
 //   --queue-capacity=N   submission queue bound (4096)
+//   --admit-batch=N      max queries admitted per core-lock entry
+//                        (0 = default 32)
 //   --report-html=PATH   self-contained HTML run report
 //   --http-port=N        embedded observability HTTP server: GET
 //                        /metrics, /varz, /healthz, /statusz (0 =
@@ -38,6 +42,9 @@
 //   --qps=N              total offered rate across connections (2000)
 //   --duration=SECONDS   generation phase length (2)
 //   --tpch-scale=X       TPC-H scale factor for OLAP draws (0.05)
+//   --pipeline           pipelined submission: batch SUBMITs per
+//                        connection instead of blocking per verdict
+//   --max-outstanding=N  pipeline depth bound per connection (128)
 //   --inject-malformed=N also fire N malformed frames at the server and
 //                        require it to survive them (0)
 
@@ -110,6 +117,8 @@ int RunServe(const qsched::FlagParser& flags) {
   options.gateway.queue_capacity =
       static_cast<size_t>(flags.GetInt("queue-capacity", 4096));
   options.gateway.workers = static_cast<int>(flags.GetInt("workers", 2));
+  options.gateway.admit_batch_size =
+      static_cast<size_t>(flags.GetInt("admit-batch", 0));
   options.telemetry = &telemetry;
 
   qsched::sched::ServiceClassSet classes =
@@ -122,6 +131,8 @@ int RunServe(const qsched::FlagParser& flags) {
       static_cast<uint16_t>(flags.GetInt("port", 0));
   server_options.max_connections =
       static_cast<int>(flags.GetInt("max-connections", 64));
+  server_options.reactors =
+      static_cast<int>(flags.GetInt("reactors", 0));
   qsched::net::Server server(&runtime.gateway(), server_options,
                              &telemetry);
   qsched::Status started = server.Start();
@@ -130,8 +141,8 @@ int RunServe(const qsched::FlagParser& flags) {
                  started.ToString().c_str());
     return 1;
   }
-  std::printf("listening on 127.0.0.1:%u\n",
-              static_cast<unsigned>(server.port()));
+  std::printf("listening on 127.0.0.1:%u (%d reactors)\n",
+              static_cast<unsigned>(server.port()), server.reactors());
   std::fflush(stdout);
   const std::string port_file = flags.GetString("port-file", "");
   if (!port_file.empty()) {
@@ -237,6 +248,9 @@ int RunNetload(const qsched::FlagParser& flags) {
   options.duration_wall_seconds = flags.GetDouble("duration", 2.0);
   options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   options.tpch_scale_factor = flags.GetDouble("tpch-scale", 0.05);
+  options.pipeline = flags.Has("pipeline");
+  options.max_outstanding =
+      static_cast<int>(flags.GetInt("max-outstanding", 128));
   const std::string pattern_name =
       flags.GetString("pattern", "constant");
   if (!qsched::rt::ArrivalPatternFromString(pattern_name,
@@ -248,9 +262,11 @@ int RunNetload(const qsched::FlagParser& flags) {
   qsched::obs::Telemetry telemetry;
   qsched::net::RemoteLoadGenerator loadgen(host, port, options,
                                            &telemetry);
-  std::printf("netload: %s, %d connections, %.0f qps (%s) for %.1f s\n",
-              target.c_str(), options.connections, options.qps,
-              pattern_name.c_str(), options.duration_wall_seconds);
+  std::printf(
+      "netload: %s, %d connections%s, %.0f qps (%s) for %.1f s\n",
+      target.c_str(), options.connections,
+      options.pipeline ? " (pipelined)" : "", options.qps,
+      pattern_name.c_str(), options.duration_wall_seconds);
   const auto start = std::chrono::steady_clock::now();
   qsched::Status run = loadgen.Run();
   const double wall =
@@ -280,19 +296,23 @@ int RunNetload(const qsched::FlagParser& flags) {
       telemetry.registry.GetHistogram("qsched_net_rtt_seconds");
   const uint64_t rejected =
       loadgen.rejected_queue_full() + loadgen.rejected_shutting_down();
+  // Sustained rate counts the feed phase only; the drain tail (waiting
+  // out the last executions) is reported separately.
+  const double feed = loadgen.feed_seconds();
   const double rate =
-      wall > 0.0 ? static_cast<double>(loadgen.offered()) / wall : 0.0;
+      feed > 0.0 ? static_cast<double>(loadgen.offered()) / feed : 0.0;
   std::printf(
       "NETLOAD offered=%llu accepted=%llu rejected=%llu completed=%llu "
-      "lost=%llu unmatched=%llu wall=%.2f rate=%.1f rtt_p50_us=%.0f "
-      "rtt_p99_us=%.0f\n",
+      "lost=%llu unmatched=%llu wall=%.2f feed=%.2f drain=%.2f "
+      "rate=%.1f rtt_p50_us=%.0f rtt_p99_us=%.0f\n",
       static_cast<unsigned long long>(loadgen.offered()),
       static_cast<unsigned long long>(loadgen.accepted()),
       static_cast<unsigned long long>(rejected),
       static_cast<unsigned long long>(loadgen.completed()),
       static_cast<unsigned long long>(loadgen.lost_completions()),
       static_cast<unsigned long long>(loadgen.unmatched_completions()),
-      wall, rate, rtt->Quantile(0.5) * 1e6, rtt->Quantile(0.99) * 1e6);
+      wall, feed, loadgen.drain_seconds(), rate,
+      rtt->Quantile(0.5) * 1e6, rtt->Quantile(0.99) * 1e6);
 
   MaybeWriteMetrics(flags, &telemetry);
 

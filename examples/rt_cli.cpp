@@ -15,6 +15,8 @@
 //   --control-interval=S control interval in model seconds (15)
 //   --workers=N          gateway worker threads (2)
 //   --queue-capacity=N   submission queue bound (4096)
+//   --admit-batch=N      max queries admitted per core-lock entry
+//                        (0 = default 32)
 //   --tpch-scale=X       TPC-H scale factor for the OLAP classes (0.1;
 //                        larger scans stretch the post-run drain)
 //   --seed=N             RNG seed for the load draws (42)
@@ -88,7 +90,7 @@ int main(int argc, char** argv) {
         "       [--classes=1:3,2:3,3:94] "
         "[--pattern=constant|bursty|diurnal]\n"
         "       [--time-scale=X] [--control-interval=S] [--workers=N]\n"
-        "       [--queue-capacity=N] [--seed=N]\n"
+        "       [--queue-capacity=N] [--admit-batch=N] [--seed=N]\n"
         "       [--metrics-out=PATH] [--audit-out=PATH] "
         "[--report-html=PATH]\n");
     return 0;
@@ -134,6 +136,8 @@ int main(int argc, char** argv) {
   options.gateway.queue_capacity =
       static_cast<size_t>(flags.GetInt("queue-capacity", 4096));
   options.gateway.workers = static_cast<int>(flags.GetInt("workers", 2));
+  options.gateway.admit_batch_size =
+      static_cast<size_t>(flags.GetInt("admit-batch", 0));
   options.scheduler.control_interval_seconds =
       flags.GetDouble("control-interval", 15.0);
   options.telemetry = &telemetry;

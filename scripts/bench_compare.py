@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Compares two perf_bench JSON reports and fails on regression.
+
+Usage: bench_compare.py BASELINE.json CURRENT.json [--threshold=0.25]
+
+The tracked metrics are rates and latencies, so they are comparable even
+when the two runs used different sizing knobs (--events, durations):
+
+  event_queue.fast_events_per_sec   higher is better
+  fig6.events_per_sec               higher is better
+  rt_gateway.sustained_qps          higher is better
+  net_loopback.sustained_qps        higher is better
+  net_latency.rtt_p50_us            lower is better
+
+(net_loopback.rtt_p50_us is deliberately not tracked: in pipelined mode
+it measures time spent queued at the configured in-flight depth, which
+varies with sizing, not serving-path speed.)
+
+A metric regresses when it is worse than the baseline by more than
+`threshold` (default 25%). Metrics missing from either file are skipped
+(schema evolution is not a regression). Exit codes: 0 ok, 1 regression,
+2 malformed input.
+"""
+
+import json
+import sys
+
+# (dotted path, higher_is_better)
+METRICS = [
+    ("event_queue.fast_events_per_sec", True),
+    ("fig6.events_per_sec", True),
+    ("rt_gateway.sustained_qps", True),
+    ("net_loopback.sustained_qps", True),
+    ("net_latency.rtt_p50_us", False),
+]
+
+
+def lookup(doc, path):
+    node = doc
+    for key in path.split("."):
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node if isinstance(node, (int, float)) else None
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    threshold = 0.25
+    for a in argv[1:]:
+        if a.startswith("--threshold="):
+            threshold = float(a.split("=", 1)[1])
+    if len(args) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    try:
+        with open(args[0]) as f:
+            baseline = json.load(f)
+        with open(args[1]) as f:
+            current = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read input: {e}", file=sys.stderr)
+        return 2
+
+    regressions = []
+    for path, higher_is_better in METRICS:
+        base = lookup(baseline, path)
+        cur = lookup(current, path)
+        if base is None or cur is None or base <= 0:
+            print(f"  {path:<40} skipped (missing or non-positive)")
+            continue
+        # Relative change, signed so positive = improvement.
+        if higher_is_better:
+            change = cur / base - 1.0
+        else:
+            change = base / cur - 1.0 if cur > 0 else -1.0
+        marker = ""
+        if change < -threshold:
+            marker = f"  REGRESSION (> {threshold:.0%} worse)"
+            regressions.append(path)
+        print(f"  {path:<40} {base:>14.1f} -> {cur:>14.1f} "
+              f"({change:+.1%}){marker}")
+
+    if regressions:
+        print(f"bench_compare: {len(regressions)} metric(s) regressed "
+              f"beyond {threshold:.0%}: {', '.join(regressions)}",
+              file=sys.stderr)
+        return 1
+    print("bench_compare: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

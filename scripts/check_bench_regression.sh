@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# CTest gate: runs a reduced perf_bench pass and compares it against the
+# committed BENCH_qsched.json with scripts/bench_compare.py, failing on a
+# > 25% regression in the tracked rate/latency metrics. The reduced knobs
+# keep the gate fast; all compared metrics are rates or latencies, so
+# they are comparable across sizing. Exit 77 (CTest SKIP) when the
+# benchmark binary, python3 or the committed baseline is missing.
+#
+# Usage: check_bench_regression.sh [path-to-perf_bench]
+set -eu
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BENCH="${1:-${ROOT}/build/bench/perf_bench}"
+BASELINE="${ROOT}/BENCH_qsched.json"
+
+if [ ! -x "${BENCH}" ]; then
+  echo "bench_regression: ${BENCH} not built; skipping" >&2
+  exit 77
+fi
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "bench_regression: python3 unavailable; skipping" >&2
+  exit 77
+fi
+if [ ! -f "${BASELINE}" ]; then
+  echo "bench_regression: no committed ${BASELINE}; skipping" >&2
+  exit 77
+fi
+
+OUT="$(mktemp /tmp/bench_qsched.XXXXXX.json)"
+trap 'rm -f "${OUT}"' EXIT
+
+"${BENCH}" \
+  --events=300000 --outstanding=256 \
+  --fig6-period-seconds=120 \
+  --replications=2 --jobs=2 --rep-period-seconds=30 \
+  --rt-qps=1500 --rt-duration=1 \
+  --net-duration=1 --net-latency-duration=1 \
+  --http-obs-duration=1 \
+  --out="${OUT}" >/dev/null
+
+python3 "${ROOT}/scripts/bench_compare.py" "${BASELINE}" "${OUT}"

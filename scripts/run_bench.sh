@@ -29,8 +29,10 @@ import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
 for section in ("event_queue", "fig6", "replication", "rt_gateway",
-                "net_loopback", "http_obs"):
+                "net_loopback", "net_latency", "http_obs"):
     assert section in doc, f"missing section {section}"
+assert "hardware_concurrency" in doc, "missing hardware_concurrency"
+assert "threads_used" in doc, "missing top-level threads_used"
 assert doc["event_queue"]["fast_events_per_sec"] > 0
 assert doc["replication"]["serial_seconds"] > 0
 rt = doc["rt_gateway"]
@@ -51,6 +53,16 @@ assert net["completed"] == net["accepted"], \
     f"{net['accepted']}"
 assert net["lost"] == 0, f"net loopback lost {net['lost']} completions"
 assert net["rtt_p99_us"] >= net["rtt_p50_us"] >= 0
+lat = doc["net_latency"]
+assert lat["offered"] == lat["accepted"] + lat["rejected"], \
+    "net latency accounting broken: " \
+    f"offered {lat['offered']} != accepted {lat['accepted']} " \
+    f"+ rejected {lat['rejected']}"
+assert lat["completed"] == lat["accepted"], \
+    f"net latency completions {lat['completed']} != accepted " \
+    f"{lat['accepted']}"
+assert lat["lost"] == 0, f"net latency lost {lat['lost']} completions"
+assert lat["rtt_p99_us"] >= lat["rtt_p50_us"] >= 0
 obs = doc["http_obs"]
 assert obs["detached_completions_per_sec"] > 0, \
     "http_obs detached pass completed nothing"
@@ -67,10 +79,17 @@ print(f"bench json ok: speedup {doc['event_queue']['speedup']:.2f}x "
       f"rt gateway {rt['sustained_qps']:.0f} qps "
       f"p99 {rt['admission_p99_us']:.0f} us, "
       f"net loopback {net['sustained_qps']:.0f} qps over "
-      f"{net['connections']} connections "
-      f"rtt p99 {net['rtt_p99_us']:.0f} us, "
+      f"{net['connections']} connections x {net['reactors']} reactors, "
+      f"net latency rtt p99 {lat['rtt_p99_us']:.0f} us at "
+      f"{lat['qps_target']:.0f} qps, "
       f"http_obs overhead {obs['overhead_pct']:.2f}% "
       f"({obs['scrapes']} scrapes)")
+if doc["threads_used"] != doc["hardware_concurrency"]:
+    print(f"WARNING: threads_used {doc['threads_used']} != "
+          f"hardware_concurrency {doc['hardware_concurrency']} — the "
+          f"parallel sections (replication, reactors) are core-limited "
+          f"on this host and the numbers understate multi-core scaling",
+          file=sys.stderr)
 if obs["overhead_pct"] > 2.0:
     print(f"WARNING: http observability overhead {obs['overhead_pct']:.2f}% "
           f"> 2% — rerun with a longer --http-obs-duration before "

@@ -124,6 +124,34 @@ Status Client::ReadFrameInternal(Frame* frame, bool* got_frame) {
   return Status::OK();
 }
 
+bool Client::AbsorbFrame(const Frame& frame) {
+  if (frame.type == FrameType::kCompleted) {
+    completions_.push_back(CompletionFromFrame(frame));
+    if (outstanding_ > 0) --outstanding_;
+    return true;
+  }
+  // A verdict for the oldest pipelined SUBMIT: the server answers in
+  // submission order, so it always surfaces as awaiting_verdict_.front().
+  if ((frame.type == FrameType::kAccepted ||
+       frame.type == FrameType::kRejected) &&
+      !awaiting_verdict_.empty() &&
+      frame.request_id == awaiting_verdict_.front()) {
+    awaiting_verdict_.pop_front();
+    SubmitResult result;
+    result.request_id = frame.request_id;
+    if (frame.type == FrameType::kAccepted) {
+      result.accepted = true;
+      ++outstanding_;
+    } else {
+      result.accepted = false;
+      result.reject_reason = frame.reject_reason;
+    }
+    verdicts_.push_back(result);
+    return true;
+  }
+  return false;
+}
+
 Status Client::ReadUntilType(FrameType want, uint64_t request_id,
                              Frame* out) {
   while (true) {
@@ -146,11 +174,7 @@ Status Client::ReadUntilType(FrameType want, uint64_t request_id,
       inbuf_.insert(inbuf_.end(), chunk, chunk + n);
       continue;
     }
-    if (frame.type == FrameType::kCompleted) {
-      completions_.push_back(CompletionFromFrame(frame));
-      if (outstanding_ > 0) --outstanding_;
-      continue;
-    }
+    if (AbsorbFrame(frame)) continue;
     if (frame.type == FrameType::kError) {
       return Status::Internal(
           StrPrintf("server error %s: %s",
@@ -177,12 +201,14 @@ Result<Client::SubmitResult> Client::Submit(const workload::Query& query) {
   request.request_id = next_request_id_++;
   request.query = query;
   request.want_trace = want_trace_;
+  QSCHED_RETURN_NOT_OK(Flush());  // Queued pipelined SUBMITs go first.
   std::vector<uint8_t> bytes;
   EncodeFrame(request, &bytes);
   QSCHED_RETURN_NOT_OK(SendAll(bytes));
 
-  // The verdict for this submit is the next non-COMPLETED frame: the
-  // server acks admissions in submission order on each connection.
+  // The verdict for this submit is the next non-COMPLETED frame (after
+  // any still-owed pipelined verdicts): the server acks admissions in
+  // submission order on each connection.
   while (true) {
     Frame reply;
     bool got = false;
@@ -202,11 +228,7 @@ Result<Client::SubmitResult> Client::Submit(const workload::Query& query) {
       inbuf_.insert(inbuf_.end(), chunk, chunk + n);
       continue;
     }
-    if (reply.type == FrameType::kCompleted) {
-      completions_.push_back(CompletionFromFrame(reply));
-      if (outstanding_ > 0) --outstanding_;
-      continue;
-    }
+    if (AbsorbFrame(reply)) continue;
     if (reply.type == FrameType::kError) {
       return Status::Internal(
           StrPrintf("server error %s: %s",
@@ -231,6 +253,75 @@ Result<Client::SubmitResult> Client::Submit(const workload::Query& query) {
     return Status::Internal(StrPrintf("unexpected verdict frame %s",
                                       FrameTypeToString(reply.type)));
   }
+}
+
+Result<uint64_t> Client::SubmitNoWait(const workload::Query& query) {
+  if (drained_) {
+    return Status::FailedPrecondition("connection is drained");
+  }
+  Frame request;
+  request.type = FrameType::kSubmit;
+  request.request_id = next_request_id_++;
+  request.query = query;
+  request.want_trace = want_trace_;
+  EncodeFrame(request, &outbuf_);
+  awaiting_verdict_.push_back(request.request_id);
+  return request.request_id;
+}
+
+Status Client::Flush() {
+  if (outbuf_.empty()) return Status::OK();
+  Status sent = SendAll(outbuf_);
+  outbuf_.clear();
+  return sent;
+}
+
+bool Client::PopVerdict(SubmitResult* out) {
+  if (verdicts_.empty()) return false;
+  *out = verdicts_.front();
+  verdicts_.pop_front();
+  return true;
+}
+
+Result<Client::SubmitResult> Client::NextVerdict() {
+  while (verdicts_.empty()) {
+    if (awaiting_verdict_.empty()) {
+      return Status::FailedPrecondition(
+          "no pipelined submit is awaiting a verdict");
+    }
+    QSCHED_RETURN_NOT_OK(Flush());
+    Frame frame;
+    bool got = false;
+    QSCHED_RETURN_NOT_OK(ReadFrameInternal(&frame, &got));
+    if (!got) {
+      uint8_t chunk[16 * 1024];
+      ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::Internal(
+            StrPrintf("recv: %s", std::strerror(errno)));
+      }
+      if (n == 0) {
+        return Status::Internal(
+            "connection closed by server while awaiting verdict");
+      }
+      inbuf_.insert(inbuf_.end(), chunk, chunk + n);
+      continue;
+    }
+    if (AbsorbFrame(frame)) continue;
+    if (frame.type == FrameType::kError) {
+      return Status::Internal(
+          StrPrintf("server error %s: %s",
+                    WireErrorToString(frame.error_code),
+                    frame.error_message.c_str()));
+    }
+    return Status::Internal(
+        StrPrintf("unexpected frame %s while awaiting a pipelined verdict",
+                  FrameTypeToString(frame.type)));
+  }
+  SubmitResult result = verdicts_.front();
+  verdicts_.pop_front();
+  return result;
 }
 
 Result<ClientCompletion> Client::NextCompletion() {
@@ -259,11 +350,14 @@ Result<Client::PolledCompletion> Client::PollCompletion(
     bool got = false;
     QSCHED_RETURN_NOT_OK(ReadFrameInternal(&frame, &got));
     if (got) {
-      if (frame.type == FrameType::kCompleted) {
-        if (outstanding_ > 0) --outstanding_;
-        result.found = true;
-        result.completion = CompletionFromFrame(frame);
-        return result;
+      if (AbsorbFrame(frame)) {
+        if (!completions_.empty()) {
+          result.found = true;
+          result.completion = completions_.front();
+          completions_.pop_front();
+          return result;
+        }
+        continue;  // A pipelined verdict; keep waiting for a completion.
       }
       if (frame.type == FrameType::kError) {
         return Status::Internal(
@@ -307,6 +401,7 @@ Status Client::Ping() {
   Frame request;
   request.type = FrameType::kPing;
   request.request_id = next_request_id_++;
+  QSCHED_RETURN_NOT_OK(Flush());
   std::vector<uint8_t> bytes;
   EncodeFrame(request, &bytes);
   QSCHED_RETURN_NOT_OK(SendAll(bytes));
@@ -318,6 +413,7 @@ Result<WireStats> Client::Stats() {
   Frame request;
   request.type = FrameType::kStats;
   request.request_id = next_request_id_++;
+  QSCHED_RETURN_NOT_OK(Flush());
   std::vector<uint8_t> bytes;
   EncodeFrame(request, &bytes);
   QSCHED_RETURN_NOT_OK(SendAll(bytes));
@@ -332,6 +428,7 @@ Status Client::Drain() {
   Frame request;
   request.type = FrameType::kDrain;
   request.request_id = next_request_id_++;
+  QSCHED_RETURN_NOT_OK(Flush());  // Pipelined SUBMITs precede the DRAIN.
   std::vector<uint8_t> bytes;
   EncodeFrame(request, &bytes);
   QSCHED_RETURN_NOT_OK(SendAll(bytes));
@@ -441,28 +538,7 @@ Status RemoteLoadGenerator::RunConnection(int index) {
     if (rtt_hist_ != nullptr) rtt_hist_->Record(rtt);
   };
 
-  while (true) {
-    const double t = SecondsSince(start);
-    if (t >= options_.duration_wall_seconds) break;
-
-    // Drain any completions that arrived, then wait out the gap to the
-    // next arrival doing the same.
-    while (true) {
-      const double wait = std::chrono::duration<double>(
-                              next_arrival - SteadyClock::now())
-                              .count();
-      Result<Client::PolledCompletion> polled =
-          client->PollCompletion(wait > 0.0 ? wait : 0.0);
-      if (!polled.ok()) return polled.status();
-      if (polled.ValueOrDie().found) {
-        absorb(polled.ValueOrDie().completion);
-        continue;
-      }
-      break;  // Timed out: the arrival is due (or overdue).
-    }
-    if (SteadyClock::now() < next_arrival) continue;
-
-    // Draw and submit one query.
+  auto draw_query = [&]() {
     const size_t pick = rng.Categorical(weights);
     const RemoteMixEntry& entry = options_.mix[pick];
     workload::Query query =
@@ -476,32 +552,143 @@ Status RemoteLoadGenerator::RunConnection(int index) {
                                              ? options_.num_clients
                                              : 1));
     ++submitted;
-    offered_.fetch_add(1, std::memory_order_relaxed);
-    if (offered_counter_ != nullptr) offered_counter_->Inc();
-    const SteadyClock::time_point sent_at = SteadyClock::now();
-    Result<Client::SubmitResult> verdict = client->Submit(query);
-    if (!verdict.ok()) return verdict.status();
-    const Client::SubmitResult& sr = verdict.ValueOrDie();
-    if (sr.accepted) {
-      accepted_.fetch_add(1, std::memory_order_relaxed);
-      pending.emplace(sr.request_id, sent_at);
-    } else if (sr.reject_reason == rt::RejectReason::kShuttingDown) {
-      rejected_shutting_down_.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
-    }
+    return query;
+  };
 
-    // Schedule the next arrival from the pattern's current rate.
+  auto schedule_next_arrival = [&]() {
+    // From the pattern's current rate; an overloaded client falls
+    // behind, so do not let the backlog of arrivals explode unboundedly.
     const double rate = per_conn_qps * rt::LoadGenerator::RateFactorAt(
                                            SecondsSince(start), envelope);
     const double dt = rate > 0.0 ? rng.Exponential(1.0 / rate) : 0.010;
     next_arrival += std::chrono::duration_cast<SteadyClock::duration>(
         std::chrono::duration<double>(dt));
-    // An overloaded client falls behind; do not let the backlog of
-    // arrivals explode unboundedly.
     const SteadyClock::time_point now = SteadyClock::now();
     if (next_arrival < now) next_arrival = now;
+  };
+
+  // In pipeline mode a query is counted pending at SubmitNoWait time; a
+  // later REJECTED verdict takes it back out. In blocking mode verdicts
+  // arrive inline and this sees only its own entries.
+  auto process_verdict = [&](const Client::SubmitResult& sr) {
+    if (sr.accepted) {
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      pending.erase(sr.request_id);
+      if (sr.reject_reason == rt::RejectReason::kShuttingDown) {
+        rejected_shutting_down_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+  auto drain_verdicts = [&]() {
+    Client::SubmitResult sr;
+    while (client->PopVerdict(&sr)) process_verdict(sr);
+  };
+
+  if (options_.pipeline) {
+    const size_t depth_limit = static_cast<size_t>(
+        options_.max_outstanding > 0 ? options_.max_outstanding : 128);
+    while (SecondsSince(start) < options_.duration_wall_seconds) {
+      // Wait out the gap to the next arrival, absorbing whatever the
+      // server sends meanwhile.
+      while (true) {
+        const double wait = std::chrono::duration<double>(
+                                next_arrival - SteadyClock::now())
+                                .count();
+        Result<Client::PolledCompletion> polled =
+            client->PollCompletion(wait > 0.0 ? wait : 0.0);
+        if (!polled.ok()) return polled.status();
+        drain_verdicts();
+        if (polled.ValueOrDie().found) {
+          absorb(polled.ValueOrDie().completion);
+          continue;
+        }
+        break;  // Timed out: the arrival is due (or overdue).
+      }
+
+      // Queue every due arrival; one Flush() then carries the whole
+      // burst in a single send(). This is what lets offered throughput
+      // exceed connections/RTT.
+      size_t batched = 0;
+      while (SteadyClock::now() >= next_arrival &&
+             SecondsSince(start) < options_.duration_wall_seconds) {
+        // Backpressure: bound the per-connection pipeline depth.
+        while (client->outstanding() + client->verdicts_pending() >=
+               depth_limit) {
+          QSCHED_RETURN_NOT_OK(client->Flush());
+          Result<Client::PolledCompletion> polled =
+              client->PollCompletion(0.050);
+          if (!polled.ok()) return polled.status();
+          drain_verdicts();
+          if (polled.ValueOrDie().found) {
+            absorb(polled.ValueOrDie().completion);
+          }
+        }
+        workload::Query query = draw_query();
+        offered_.fetch_add(1, std::memory_order_relaxed);
+        if (offered_counter_ != nullptr) offered_counter_->Inc();
+        Result<uint64_t> rid = client->SubmitNoWait(query);
+        if (!rid.ok()) return rid.status();
+        pending.emplace(rid.ValueOrDie(), SteadyClock::now());
+        ++batched;
+        schedule_next_arrival();
+      }
+      if (batched > 0) QSCHED_RETURN_NOT_OK(client->Flush());
+
+      // Absorb whatever already came back, without blocking.
+      while (true) {
+        Result<Client::PolledCompletion> polled =
+            client->PollCompletion(0.0);
+        if (!polled.ok()) return polled.status();
+        drain_verdicts();
+        if (!polled.ValueOrDie().found) break;
+        absorb(polled.ValueOrDie().completion);
+      }
+    }
+
+    // Resolve every still-owed verdict before draining, so rejected
+    // queries are out of `pending` and accepted ones are counted.
+    QSCHED_RETURN_NOT_OK(client->Flush());
+    while (client->verdicts_pending() > 0) {
+      Result<Client::SubmitResult> verdict = client->NextVerdict();
+      if (!verdict.ok()) return verdict.status();
+      process_verdict(verdict.ValueOrDie());
+    }
+  } else {
+    while (SecondsSince(start) < options_.duration_wall_seconds) {
+      // Drain any completions that arrived, then wait out the gap to the
+      // next arrival doing the same.
+      while (true) {
+        const double wait = std::chrono::duration<double>(
+                                next_arrival - SteadyClock::now())
+                                .count();
+        Result<Client::PolledCompletion> polled =
+            client->PollCompletion(wait > 0.0 ? wait : 0.0);
+        if (!polled.ok()) return polled.status();
+        if (polled.ValueOrDie().found) {
+          absorb(polled.ValueOrDie().completion);
+          continue;
+        }
+        break;  // Timed out: the arrival is due (or overdue).
+      }
+      if (SteadyClock::now() < next_arrival) continue;
+
+      // Draw and submit one query, blocking for its verdict.
+      workload::Query query = draw_query();
+      offered_.fetch_add(1, std::memory_order_relaxed);
+      if (offered_counter_ != nullptr) offered_counter_->Inc();
+      const SteadyClock::time_point sent_at = SteadyClock::now();
+      Result<Client::SubmitResult> verdict = client->Submit(query);
+      if (!verdict.ok()) return verdict.status();
+      const Client::SubmitResult& sr = verdict.ValueOrDie();
+      if (sr.accepted) pending.emplace(sr.request_id, sent_at);
+      process_verdict(sr);
+      schedule_next_arrival();
+    }
   }
+  const SteadyClock::time_point feed_end = SteadyClock::now();
 
   // Drain: collect every outstanding completion, then reconcile.
   Status drained = client->Drain();
@@ -512,8 +699,29 @@ Status RemoteLoadGenerator::RunConnection(int index) {
     if (!polled.ValueOrDie().found) break;
     absorb(polled.ValueOrDie().completion);
   }
+  drain_verdicts();
   lost_.fetch_add(pending.size(), std::memory_order_relaxed);
+
+  const double feed_s =
+      std::chrono::duration<double>(feed_end - start).count();
+  const double drain_s =
+      std::chrono::duration<double>(SteadyClock::now() - feed_end).count();
+  {
+    std::lock_guard<std::mutex> lock(phase_mu_);
+    if (feed_s > feed_seconds_) feed_seconds_ = feed_s;
+    if (drain_s > drain_seconds_) drain_seconds_ = drain_s;
+  }
   return Status::OK();
+}
+
+double RemoteLoadGenerator::feed_seconds() const {
+  std::lock_guard<std::mutex> lock(phase_mu_);
+  return feed_seconds_;
+}
+
+double RemoteLoadGenerator::drain_seconds() const {
+  std::lock_guard<std::mutex> lock(phase_mu_);
+  return drain_seconds_;
 }
 
 // ---------------------------------------------------------------------------

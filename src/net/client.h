@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -64,6 +65,28 @@ class Client {
   /// it arrives (completions of earlier queries are buffered en route).
   Result<SubmitResult> Submit(const workload::Query& query);
 
+  /// Pipelined submission: encodes SUBMIT into the client's output
+  /// buffer (no syscall, no waiting) and returns its request_id. Call
+  /// Flush() to put the queued bytes on the wire — one send() can carry
+  /// many SUBMITs — and PopVerdict()/NextVerdict() to collect the
+  /// verdicts, which the server returns in submission order. This is
+  /// what decouples offered throughput from the per-query round-trip:
+  /// a blocking Submit() caps a connection at 1/RTT queries per second,
+  /// a pipelined connection at the server's processing rate.
+  Result<uint64_t> SubmitNoWait(const workload::Query& query);
+
+  /// Sends everything queued by SubmitNoWait. No-op when empty.
+  Status Flush();
+
+  /// Non-blocking: pops the next pipelined verdict if one has been
+  /// received. Verdicts surface in submission order.
+  bool PopVerdict(SubmitResult* out);
+
+  /// Blocking variant: flushes, then reads until the next pipelined
+  /// verdict arrives (completions en route are buffered). Fails when no
+  /// SubmitNoWait is awaiting a verdict.
+  Result<SubmitResult> NextVerdict();
+
   /// Next completion: from the buffer, else blocks reading the socket.
   Result<ClientCompletion> NextCompletion();
 
@@ -91,6 +114,11 @@ class Client {
   size_t outstanding() const { return outstanding_; }
   /// Completions received and buffered but not yet handed out.
   size_t buffered_completions() const { return completions_.size(); }
+  /// Pipelined submits whose verdict has not been handed out yet
+  /// (awaiting wire + buffered).
+  size_t verdicts_pending() const {
+    return awaiting_verdict_.size() + verdicts_.size();
+  }
 
   /// Whether SUBMITs ask the server for the per-stage trace context in
   /// COMPLETED frames (on by default; it costs 33 bytes per completion).
@@ -104,6 +132,9 @@ class Client {
   Status ReadFrameInternal(Frame* frame, bool* got_frame);
   Status ReadUntilType(FrameType want, uint64_t request_id, Frame* out);
   Status SendAll(const std::vector<uint8_t>& bytes);
+  /// Routes a frame to the completion or pipelined-verdict buffer;
+  /// false when the caller should interpret it itself.
+  bool AbsorbFrame(const Frame& frame);
 
   int fd_ = -1;
   bool drained_ = false;
@@ -111,7 +142,14 @@ class Client {
   uint64_t next_request_id_ = 1;
   size_t outstanding_ = 0;
   std::vector<uint8_t> inbuf_;
+  /// SUBMITs queued by SubmitNoWait, flushed by Flush().
+  std::vector<uint8_t> outbuf_;
   std::deque<ClientCompletion> completions_;
+  /// request_ids of pipelined SUBMITs whose verdict is still on the wire
+  /// (FIFO — the server answers in submission order).
+  std::deque<uint64_t> awaiting_verdict_;
+  /// Verdicts received but not yet popped.
+  std::deque<SubmitResult> verdicts_;
 };
 
 /// Mix entry for the remote load generator: a service class, its weight
@@ -141,6 +179,13 @@ struct RemoteLoadOptions {
   double tpch_scale_factor = 0.1;
   /// Class mix; empty = the paper's 1:3 / 2:3 / 3:94 default.
   std::vector<RemoteMixEntry> mix;
+  /// Pipelined submission: queue SUBMITs via SubmitNoWait and batch
+  /// them onto the wire instead of blocking for each verdict. Offered
+  /// throughput then scales with the server, not with 1/RTT.
+  bool pipeline = false;
+  /// Pipeline depth bound per connection (accepted-but-not-completed +
+  /// verdicts in flight); submission backpressures above it.
+  int max_outstanding = 128;
 };
 
 /// Multi-connection remote load generator: each connection gets its own
@@ -177,6 +222,14 @@ class RemoteLoadGenerator {
   /// Accepted queries that never got a COMPLETED — must end 0.
   uint64_t lost_completions() const { return lost_; }
 
+  /// Wall seconds of the arrival (feed) phase and of the trailing drain
+  /// phase, maxed over connections. Valid after Run(). Sustained
+  /// throughput is offered()/feed_seconds() — the drain tail (waiting
+  /// out the last OLAP executions) is not offered load and is reported
+  /// separately.
+  double feed_seconds() const;
+  double drain_seconds() const;
+
  private:
   Status RunConnection(int index);
 
@@ -192,6 +245,10 @@ class RemoteLoadGenerator {
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> unmatched_{0};
   std::atomic<uint64_t> lost_{0};
+
+  mutable std::mutex phase_mu_;
+  double feed_seconds_ = 0.0;
+  double drain_seconds_ = 0.0;
 
   obs::Histogram* rtt_hist_ = nullptr;
   obs::Counter* offered_counter_ = nullptr;

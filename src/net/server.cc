@@ -8,8 +8,10 @@
 #include <poll.h>
 #include <string.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <utility>
 
 #include "common/strings.h"
@@ -41,12 +43,16 @@ void Server::Mailbox::Post(PendingCompletion completion) {
 
 Server::Server(rt::Gateway* gateway, const ServerOptions& options,
                obs::Telemetry* telemetry)
-    : gateway_(gateway),
-      options_(options),
-      telemetry_(telemetry),
-      mailbox_(std::make_shared<Mailbox>()) {
+    : gateway_(gateway), options_(options), telemetry_(telemetry) {
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  num_reactors_ = options_.reactors > 0
+                      ? options_.reactors
+                      : static_cast<int>(std::min<unsigned>(4, hw));
   if (telemetry_ != nullptr) {
     obs::Registry& reg = telemetry_->registry;
+    reg.GetGauge("qsched_net_reactors")
+        ->Set(static_cast<double>(num_reactors_));
     connections_gauge_ = reg.GetGauge("qsched_net_connections");
     connections_counter_ = reg.GetCounter("qsched_net_connections_total");
     frames_in_counter_ = reg.GetCounter("qsched_net_frames_in_total");
@@ -113,27 +119,43 @@ Status Server::Start() {
     return status;
   }
 
-  int pipe_fds[2];
-  if (pipe(pipe_fds) < 0) {
-    close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::Internal(StrPrintf("pipe: %s", strerror(errno)));
-  }
-  wake_read_fd_ = pipe_fds[0];
-  wake_write_fd_ = pipe_fds[1];
-  SetNonBlocking(wake_read_fd_);
-  SetNonBlocking(wake_write_fd_);
-  {
-    std::lock_guard<std::mutex> lock(mailbox_->mu);
-    mailbox_->wakeup_fd = wake_write_fd_;
+  reactors_.clear();
+  for (int i = 0; i < num_reactors_; ++i) {
+    auto reactor = std::make_unique<Reactor>();
+    reactor->index = i;
+    reactor->mailbox = std::make_shared<Mailbox>();
+    int pipe_fds[2];
+    if (pipe(pipe_fds) < 0) {
+      Status status = Status::Internal(StrPrintf("pipe: %s", strerror(errno)));
+      for (auto& created : reactors_) {
+        close(created->wake_read_fd);
+        close(created->wake_write_fd);
+      }
+      reactors_.clear();
+      close(listen_fd_);
+      listen_fd_ = -1;
+      return status;
+    }
+    reactor->wake_read_fd = pipe_fds[0];
+    reactor->wake_write_fd = pipe_fds[1];
+    SetNonBlocking(reactor->wake_read_fd);
+    SetNonBlocking(reactor->wake_write_fd);
+    {
+      std::lock_guard<std::mutex> lock(reactor->mailbox->mu);
+      reactor->mailbox->wakeup_fd = reactor->wake_write_fd;
+    }
+    reactors_.push_back(std::move(reactor));
   }
 
   {
     std::lock_guard<std::mutex> lock(lifecycle_mu_);
     started_ = true;
-    reactor_done_ = false;
+    reactors_done_ = 0;
   }
-  reactor_ = std::thread([this] { ReactorLoop(); });
+  for (auto& reactor : reactors_) {
+    Reactor* raw = reactor.get();
+    raw->thread = std::thread([this, raw] { ReactorLoop(raw); });
+  }
   return Status::OK();
 }
 
@@ -144,7 +166,7 @@ void Server::Stop() {
     stopped_ = true;
   }
   stop_requested_.store(true);
-  Wakeup();
+  WakeupAll();
   {
     std::unique_lock<std::mutex> lock(lifecycle_mu_);
     bool drained = lifecycle_cv_.wait_for(
@@ -152,68 +174,80 @@ void Server::Stop() {
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::duration<double>(
                 options_.stop_drain_timeout_seconds)),
-        [this] { return reactor_done_; });
+        [this] { return reactors_done_ == reactors_.size(); });
     if (!drained) {
       force_stop_.store(true);
-      Wakeup();
-      lifecycle_cv_.wait(lock, [this] { return reactor_done_; });
+      WakeupAll();
+      lifecycle_cv_.wait(
+          lock, [this] { return reactors_done_ == reactors_.size(); });
     }
   }
-  if (reactor_.joinable()) reactor_.join();
-
-  {
-    std::lock_guard<std::mutex> lock(mailbox_->mu);
-    mailbox_->closed = true;
-    mailbox_->wakeup_fd = -1;
+  for (auto& reactor : reactors_) {
+    if (reactor->thread.joinable()) reactor->thread.join();
+  }
+  for (auto& reactor : reactors_) {
+    {
+      std::lock_guard<std::mutex> lock(reactor->mailbox->mu);
+      reactor->mailbox->closed = true;
+      reactor->mailbox->wakeup_fd = -1;
+    }
+    if (reactor->wake_read_fd >= 0) close(reactor->wake_read_fd);
+    if (reactor->wake_write_fd >= 0) close(reactor->wake_write_fd);
+    reactor->wake_read_fd = reactor->wake_write_fd = -1;
   }
   if (listen_fd_ >= 0) close(listen_fd_);
-  if (wake_read_fd_ >= 0) close(wake_read_fd_);
-  if (wake_write_fd_ >= 0) close(wake_write_fd_);
-  listen_fd_ = wake_read_fd_ = wake_write_fd_ = -1;
+  listen_fd_ = -1;
 }
 
-void Server::Wakeup() {
-  std::lock_guard<std::mutex> lock(mailbox_->mu);
-  if (mailbox_->wakeup_fd >= 0) {
-    char byte = 1;
-    ssize_t ignored = write(mailbox_->wakeup_fd, &byte, 1);
-    (void)ignored;
+void Server::WakeupAll() {
+  for (auto& reactor : reactors_) {
+    std::lock_guard<std::mutex> lock(reactor->mailbox->mu);
+    if (reactor->mailbox->wakeup_fd >= 0) {
+      char byte = 1;
+      ssize_t ignored = write(reactor->mailbox->wakeup_fd, &byte, 1);
+      (void)ignored;
+    }
   }
 }
 
-void Server::ReactorLoop() {
+void Server::ReactorLoop(Reactor* reactor) {
   std::vector<pollfd> fds;
   std::vector<uint64_t> fd_conn;  // conn_id per pollfd (0 = listen/wake)
+  const bool acceptor = reactor->index == 0;
 
   while (true) {
     if (force_stop_.load()) break;
     bool stopping = stop_requested_.load();
 
-    // Graceful exit: stopping, nothing in flight anywhere, all flushed.
+    AdoptHandoff(reactor);
+
+    // Graceful exit: stopping, nothing in flight on THIS reactor, all
+    // flushed. Each reactor drains independently; Stop() waits for all.
     if (stopping) {
-      bool busy = false;
-      for (const auto& [id, conn] : conns_) {
-        if (conn.in_flight > 0 ||
-            conn.outbuf.size() > conn.out_offset) {
-          busy = true;
-          break;
-        }
+      bool busy;
+      {
+        std::lock_guard<std::mutex> lock(reactor->handoff_mu);
+        busy = !reactor->handoff.empty();
+      }
+      for (const auto& [id, conn] : reactor->conns) {
+        if (busy) break;
+        if (conn.in_flight > 0 || !conn.outq.empty()) busy = true;
       }
       if (!busy) break;
     }
 
     fds.clear();
     fd_conn.clear();
-    if (!stopping) {
+    if (acceptor && !stopping) {
       fds.push_back({listen_fd_, POLLIN, 0});
       fd_conn.push_back(0);
     }
-    fds.push_back({wake_read_fd_, POLLIN, 0});
+    fds.push_back({reactor->wake_read_fd, POLLIN, 0});
     fd_conn.push_back(0);
-    for (const auto& [id, conn] : conns_) {
+    for (const auto& [id, conn] : reactor->conns) {
       short events = 0;
       if (!conn.input_done && !conn.closing) events |= POLLIN;
-      if (conn.outbuf.size() > conn.out_offset) events |= POLLOUT;
+      if (!conn.outq.empty()) events |= POLLOUT;
       if (events == 0) continue;
       fds.push_back({conn.fd, events, 0});
       fd_conn.push_back(id);
@@ -224,93 +258,139 @@ void Server::ReactorLoop() {
 
     for (size_t i = 0; i < fds.size(); ++i) {
       if (fds[i].revents == 0) continue;
-      if (fds[i].fd == wake_read_fd_) {
+      if (fds[i].fd == reactor->wake_read_fd) {
         char buf[256];
-        while (read(wake_read_fd_, buf, sizeof(buf)) > 0) {
+        while (read(reactor->wake_read_fd, buf, sizeof(buf)) > 0) {
         }
         continue;
       }
-      if (fds[i].fd == listen_fd_) {
-        AcceptNew();
+      if (acceptor && fds[i].fd == listen_fd_) {
+        AcceptNew(reactor);
         continue;
       }
       uint64_t conn_id = fd_conn[i];
-      if (conns_.find(conn_id) == conns_.end()) continue;
+      if (reactor->conns.find(conn_id) == reactor->conns.end()) continue;
       // POLLHUP can coexist with buffered readable data (half-close
       // after a DRAIN, say) — always let recv() discover the EOF.
       if (fds[i].revents & (POLLIN | POLLHUP | POLLERR | POLLNVAL)) {
-        ReadFromConnection(conn_id);
+        ReadFromConnection(reactor, conn_id);
       }
-      if (conns_.count(conn_id) && (fds[i].revents & POLLOUT)) {
-        FlushConnection(conn_id);
+      if (reactor->conns.count(conn_id) && (fds[i].revents & POLLOUT)) {
+        FlushConnection(reactor, conn_id);
       }
     }
+
+    // Connections dealt to us while we slept in poll().
+    AdoptHandoff(reactor);
 
     // Completions can arrive at any moment; drain after I/O so frames
     // queued here are flushed either immediately below or next round.
-    DrainMailbox();
+    DrainMailbox(reactor);
 
     // Opportunistic flush + deferred closes.
     std::vector<uint64_t> to_close;
-    for (auto& [id, conn] : conns_) {
-      FlushConnection(id);
+    for (auto& [id, conn] : reactor->conns) {
+      FlushConnection(reactor, id);
     }
-    for (auto& [id, conn] : conns_) {
-      bool flushed = conn.outbuf.size() <= conn.out_offset;
+    for (auto& [id, conn] : reactor->conns) {
+      bool flushed = conn.outq.empty();
       if (conn.closing && flushed) to_close.push_back(id);
       // Peer hung up and nothing is coming back to it anymore.
       if (conn.input_done && conn.in_flight == 0 && flushed) {
         to_close.push_back(id);
       }
     }
-    for (uint64_t id : to_close) CloseConnection(id);
+    for (uint64_t id : to_close) CloseConnection(reactor, id);
   }
 
-  // Reactor exit: close whatever is left (force stop or drained stop).
+  // Reactor exit: close whatever is left (force stop or drained stop),
+  // including accepted connections never adopted from the hand-off.
   std::vector<uint64_t> remaining;
-  remaining.reserve(conns_.size());
-  for (const auto& [id, conn] : conns_) remaining.push_back(id);
-  for (uint64_t id : remaining) CloseConnection(id);
+  remaining.reserve(reactor->conns.size());
+  for (const auto& [id, conn] : reactor->conns) remaining.push_back(id);
+  for (uint64_t id : remaining) CloseConnection(reactor, id);
+  {
+    std::lock_guard<std::mutex> lock(reactor->handoff_mu);
+    for (const auto& [id, fd] : reactor->handoff) {
+      close(fd);
+      active_connections_.fetch_sub(1);
+    }
+    reactor->handoff.clear();
+  }
+  if (connections_gauge_ != nullptr) {
+    connections_gauge_->Set(static_cast<double>(active_connections_.load()));
+  }
 
   {
     std::lock_guard<std::mutex> lock(lifecycle_mu_);
-    reactor_done_ = true;
+    ++reactors_done_;
   }
   lifecycle_cv_.notify_all();
 }
 
-void Server::AcceptNew() {
+void Server::AcceptNew(Reactor* reactor) {
   while (true) {
     int fd = accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) return;  // EAGAIN or transient error: try next round
-    if (conns_.size() >=
-            static_cast<size_t>(options_.max_connections < 1
-                                    ? 1
-                                    : options_.max_connections) ||
-        stop_requested_.load()) {
-      close(fd);
+    size_t cap = static_cast<size_t>(
+        options_.max_connections < 1 ? 1 : options_.max_connections);
+    // The cap is global across reactors: active_connections_ counts
+    // every accepted-and-not-yet-closed connection, including ones
+    // parked in a hand-off queue.
+    if (active_connections_.load() >= cap || stop_requested_.load()) {
+      // Count before close: the peer observes the refusal the instant
+      // the fd closes, and a caller reacting to it must already see a
+      // non-zero refused counter.
       connections_refused_.fetch_add(1);
+      close(fd);
       continue;
     }
     SetNonBlocking(fd);
     int one = 1;
     setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    uint64_t id = next_conn_id_++;
-    Connection conn;
-    conn.fd = fd;
-    conns_.emplace(id, std::move(conn));
+    uint64_t id = next_conn_id_.fetch_add(1);
+    active_connections_.fetch_add(1);
     connections_accepted_.fetch_add(1);
-    active_connections_.store(conns_.size());
     if (connections_counter_ != nullptr) connections_counter_->Inc();
     if (connections_gauge_ != nullptr) {
-      connections_gauge_->Set(static_cast<double>(conns_.size()));
+      connections_gauge_->Set(
+          static_cast<double>(active_connections_.load()));
+    }
+    // Deal round-robin: our own shard adopts inline, any other gets the
+    // fd parked in its hand-off queue and a wakeup byte.
+    Reactor* target = reactors_[next_reactor_++ % reactors_.size()].get();
+    if (target == reactor) {
+      Connection conn;
+      conn.fd = fd;
+      reactor->conns.emplace(id, std::move(conn));
+    } else {
+      {
+        std::lock_guard<std::mutex> lock(target->handoff_mu);
+        target->handoff.emplace_back(id, fd);
+      }
+      char byte = 1;
+      ssize_t ignored = write(target->wake_write_fd, &byte, 1);
+      (void)ignored;
     }
   }
 }
 
-void Server::ReadFromConnection(uint64_t conn_id) {
-  auto it = conns_.find(conn_id);
-  if (it == conns_.end()) return;
+void Server::AdoptHandoff(Reactor* reactor) {
+  std::vector<std::pair<uint64_t, int>> batch;
+  {
+    std::lock_guard<std::mutex> lock(reactor->handoff_mu);
+    batch.swap(reactor->handoff);
+  }
+  for (const auto& [id, fd] : batch) {
+    Connection conn;
+    conn.fd = fd;
+    reactor->conns.emplace(id, std::move(conn));
+  }
+}
+
+void Server::ReadFromConnection(Reactor* reactor, uint64_t conn_id) {
+  auto it = reactor->conns.find(conn_id);
+  if (it == reactor->conns.end()) return;
   Connection& conn = it->second;
 
   char buf[64 * 1024];
@@ -330,6 +410,9 @@ void Server::ReadFromConnection(uint64_t conn_id) {
     break;
   }
 
+  // Drain every complete frame this read produced before returning to
+  // poll(): a pipelining client may have dozens of SUBMITs in one
+  // segment, and each loop turn below costs no syscall.
   size_t offset = 0;
   while (!conn.closing) {
     Frame frame;
@@ -359,10 +442,10 @@ void Server::ReadFromConnection(uint64_t conn_id) {
     conn.version = frame.version;
     frames_received_.fetch_add(1);
     if (frames_in_counter_ != nullptr) frames_in_counter_->Inc();
-    if (!HandleFrame(conn_id, frame)) break;
+    if (!HandleFrame(reactor, conn_id, frame)) break;
     // HandleFrame may have invalidated the iterator's connection.
-    auto again = conns_.find(conn_id);
-    if (again == conns_.end()) return;
+    auto again = reactor->conns.find(conn_id);
+    if (again == reactor->conns.end()) return;
   }
   if (offset > 0) {
     conn.inbuf.erase(conn.inbuf.begin(),
@@ -370,9 +453,10 @@ void Server::ReadFromConnection(uint64_t conn_id) {
   }
 }
 
-bool Server::HandleFrame(uint64_t conn_id, const Frame& frame) {
-  auto it = conns_.find(conn_id);
-  if (it == conns_.end()) return false;
+bool Server::HandleFrame(Reactor* reactor, uint64_t conn_id,
+                         const Frame& frame) {
+  auto it = reactor->conns.find(conn_id);
+  if (it == reactor->conns.end()) return false;
   Connection& conn = it->second;
 
   switch (frame.type) {
@@ -392,9 +476,11 @@ bool Server::HandleFrame(uint64_t conn_id, const Frame& frame) {
       auto submitted = std::chrono::steady_clock::now();
       rt::RejectReason reason = rt::RejectReason::kQueueFull;
       bool want_trace = frame.want_trace;
+      // The hook captures THIS reactor's mailbox, which is what routes
+      // the completion back to the reactor that owns the connection.
       bool accepted = gateway_->Offer(
           frame.query,
-          [mailbox = mailbox_, conn_id, request_id = frame.request_id,
+          [mailbox = reactor->mailbox, conn_id, request_id = frame.request_id,
            submitted, want_trace](const workload::QueryRecord& record) {
             PendingCompletion completion;
             completion.conn_id = conn_id;
@@ -460,7 +546,7 @@ bool Server::HandleFrame(uint64_t conn_id, const Frame& frame) {
           gateway_->rejected_shutting_down();
       reply.stats.completed = gateway_->completed();
       reply.stats.queue_depth = gateway_->queue_depth();
-      reply.stats.connections = conns_.size();
+      reply.stats.connections = active_connections_.load();
       reply.stats.admitted = gateway_->admitted();
       if (telemetry_ != nullptr) {
         for (int class_id : telemetry_->slo.ObservedClasses()) {
@@ -474,7 +560,7 @@ bool Server::HandleFrame(uint64_t conn_id, const Frame& frame) {
     case FrameType::kDrain: {
       conn.draining = true;
       conn.drain_request_id = frame.request_id;
-      MaybeFinishDrain(conn_id);
+      MaybeFinishDrain(reactor, conn_id);
       return true;
     }
     case FrameType::kAccepted:
@@ -504,15 +590,15 @@ bool Server::HandleFrame(uint64_t conn_id, const Frame& frame) {
   return true;
 }
 
-void Server::DrainMailbox() {
+void Server::DrainMailbox(Reactor* reactor) {
   std::vector<PendingCompletion> batch;
   {
-    std::lock_guard<std::mutex> lock(mailbox_->mu);
-    batch.swap(mailbox_->items);
+    std::lock_guard<std::mutex> lock(reactor->mailbox->mu);
+    batch.swap(reactor->mailbox->items);
   }
   for (const PendingCompletion& completion : batch) {
-    auto it = conns_.find(completion.conn_id);
-    if (it == conns_.end()) {
+    auto it = reactor->conns.find(completion.conn_id);
+    if (it == reactor->conns.end()) {
       completions_dropped_.fetch_add(1);
       if (completions_dropped_counter_ != nullptr) {
         completions_dropped_counter_->Inc();
@@ -549,28 +635,28 @@ void Server::DrainMailbox() {
     // Fourth stage of the trace: completion callback to COMPLETED bytes
     // entering the socket buffer.
     if (completion.has_trace && telemetry_ != nullptr) {
-      FlushStageHistogram(completion.class_id)
+      FlushStageHistogram(reactor, completion.class_id)
           ->Record(std::chrono::duration<double>(
                        now - completion.completed_wall)
                        .count());
     }
-    MaybeFinishDrain(completion.conn_id);
+    MaybeFinishDrain(reactor, completion.conn_id);
   }
 }
 
-obs::Histogram* Server::FlushStageHistogram(int class_id) {
-  auto it = flush_stage_hists_.find(class_id);
-  if (it != flush_stage_hists_.end()) return it->second;
+obs::Histogram* Server::FlushStageHistogram(Reactor* reactor, int class_id) {
+  auto it = reactor->flush_stage_hists.find(class_id);
+  if (it != reactor->flush_stage_hists.end()) return it->second;
   obs::Histogram* hist = telemetry_->registry.GetHistogram(
       "qsched_stage_seconds",
       StrPrintf("class=\"%d\",stage=\"flush\"", class_id));
-  flush_stage_hists_.emplace(class_id, hist);
+  reactor->flush_stage_hists.emplace(class_id, hist);
   return hist;
 }
 
-void Server::MaybeFinishDrain(uint64_t conn_id) {
-  auto it = conns_.find(conn_id);
-  if (it == conns_.end()) return;
+void Server::MaybeFinishDrain(Reactor* reactor, uint64_t conn_id) {
+  auto it = reactor->conns.find(conn_id);
+  if (it == reactor->conns.end()) return;
   Connection& conn = it->second;
   if (!conn.draining || conn.in_flight > 0 || conn.closing) return;
   Frame frame;
@@ -582,46 +668,74 @@ void Server::MaybeFinishDrain(uint64_t conn_id) {
 
 void Server::SendFrame(Connection* conn, Frame frame) {
   frame.version = conn->version;
-  EncodeFrame(frame, &conn->outbuf);
+  // Coalesce into the open tail buffer. Only the front buffer can be
+  // partially flushed, so appending to the back is safe — unless the
+  // back IS the partially-flushed front, in which case open a new one.
+  if (conn->outq.empty() ||
+      (conn->outq.size() == 1 && conn->front_offset > 0)) {
+    conn->outq.emplace_back();
+  }
+  EncodeFrame(frame, &conn->outq.back());
   frames_sent_.fetch_add(1);
   if (frames_out_counter_ != nullptr) frames_out_counter_->Inc();
 }
 
-void Server::FlushConnection(uint64_t conn_id) {
-  auto it = conns_.find(conn_id);
-  if (it == conns_.end()) return;
+void Server::FlushConnection(Reactor* reactor, uint64_t conn_id) {
+  auto it = reactor->conns.find(conn_id);
+  if (it == reactor->conns.end()) return;
   Connection& conn = it->second;
-  while (conn.out_offset < conn.outbuf.size()) {
-    ssize_t n = send(conn.fd, conn.outbuf.data() + conn.out_offset,
-                     conn.outbuf.size() - conn.out_offset, MSG_NOSIGNAL);
+  while (!conn.outq.empty()) {
+    // Gather the queued buffers into one syscall (sendmsg is writev
+    // with MSG_NOSIGNAL): one call can carry many COMPLETED frames.
+    constexpr int kMaxIov = 64;
+    struct iovec iov[kMaxIov];
+    int iovcnt = 0;
+    for (auto buf = conn.outq.begin();
+         buf != conn.outq.end() && iovcnt < kMaxIov; ++buf, ++iovcnt) {
+      size_t skip = iovcnt == 0 ? conn.front_offset : 0;
+      iov[iovcnt].iov_base = buf->data() + skip;
+      iov[iovcnt].iov_len = buf->size() - skip;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<size_t>(iovcnt);
+    ssize_t n = sendmsg(conn.fd, &msg, MSG_NOSIGNAL);
     if (n > 0) {
-      conn.out_offset += static_cast<size_t>(n);
+      size_t left = static_cast<size_t>(n);
+      while (left > 0) {
+        size_t remaining = conn.outq.front().size() - conn.front_offset;
+        if (left >= remaining) {
+          left -= remaining;
+          conn.outq.pop_front();
+          conn.front_offset = 0;
+        } else {
+          conn.front_offset += left;
+          left = 0;
+        }
+      }
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
     // Peer is unreachable; everything still buffered is undeliverable.
-    conn.outbuf.clear();
-    conn.out_offset = 0;
+    conn.outq.clear();
+    conn.front_offset = 0;
     conn.input_done = true;
     conn.closing = true;
     return;
   }
-  if (conn.out_offset > 0) {
-    conn.outbuf.clear();
-    conn.out_offset = 0;
-  }
 }
 
-void Server::CloseConnection(uint64_t conn_id) {
-  auto it = conns_.find(conn_id);
-  if (it == conns_.end()) return;
+void Server::CloseConnection(Reactor* reactor, uint64_t conn_id) {
+  auto it = reactor->conns.find(conn_id);
+  if (it == reactor->conns.end()) return;
   // Completions still in flight for this connection will be dropped by
   // DrainMailbox when they surface.
   close(it->second.fd);
-  conns_.erase(it);
-  active_connections_.store(conns_.size());
+  reactor->conns.erase(it);
+  active_connections_.fetch_sub(1);
   if (connections_gauge_ != nullptr) {
-    connections_gauge_->Set(static_cast<double>(conns_.size()));
+    connections_gauge_->Set(
+        static_cast<double>(active_connections_.load()));
   }
 }
 

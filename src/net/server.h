@@ -5,6 +5,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -23,8 +24,12 @@ struct ServerOptions {
   std::string bind_address = "127.0.0.1";
   /// 0 = ephemeral; the bound port is available via port() after Start().
   uint16_t port = 0;
-  /// Connections beyond this are accepted and immediately closed.
+  /// Connections beyond this (across all reactors) are accepted and
+  /// immediately closed.
   int max_connections = 64;
+  /// Reactor threads multiplexing connections. 0 = auto:
+  /// min(4, hardware_concurrency).
+  int reactors = 0;
   /// Decoder payload ceiling (bytes) for inbound frames.
   size_t max_frame_payload = kMaxPayloadBytes;
   /// How long Stop() waits for in-flight queries to complete and their
@@ -32,34 +37,44 @@ struct ServerOptions {
   double stop_drain_timeout_seconds = 30.0;
 };
 
-/// TCP front-end of the real-time runtime: one reactor thread multiplexes
-/// N client connections with poll(), decodes length-prefixed frames
-/// (net/frame.h), and feeds SUBMITs into the rt::Gateway. Admission
+/// TCP front-end of the real-time runtime: N reactor threads multiplex
+/// client connections with poll(), decode length-prefixed frames
+/// (net/frame.h), and feed SUBMITs into the rt::Gateway. Admission
 /// verdicts go back immediately (ACCEPTED, or REJECTED{reason} straight
 /// from the gateway's backpressure — a full queue is never a silent
 /// drop), and each query's COMPLETED frame is routed to the connection
 /// that submitted it via the gateway's per-query completion hook.
 ///
-/// Threading model (see DESIGN.md §9): the reactor thread owns every
-/// connection object and all socket I/O. Completion callbacks fire on the
-/// runtime's clock thread, under the core lock — they must not touch
-/// sockets, so they post {connection, request_id, outcome} records to a
-/// mutex-guarded completion mailbox and tickle the reactor through a
-/// wakeup pipe; the reactor drains the mailbox and writes the frames.
-/// The mailbox is shared via shared_ptr with every pending callback, so a
-/// completion that outlives Stop() lands in a closed mailbox instead of
-/// freed memory.
+/// Threading model (see DESIGN.md §8-§9). Connections are sharded across
+/// reactors: reactor 0 owns the listening socket and hands each accepted
+/// fd round-robin to a reactor over that reactor's hand-off queue +
+/// wakeup pipe; from then on, exactly one reactor thread owns the
+/// connection object and all its socket I/O — reactors share no
+/// connection state, so they never lock against each other on the data
+/// path. A connection's read loop drains every complete frame per
+/// read(), and its responses are queued as per-frame buffers and flushed
+/// with one writev()-style gathered syscall, so one syscall can carry
+/// many COMPLETED frames.
+///
+/// Completion callbacks fire on the runtime's clock thread, under the
+/// core lock — they must not touch sockets, so they post {connection,
+/// request_id, outcome} records to the owning reactor's mutex-guarded
+/// completion mailbox and tickle that reactor through its wakeup pipe;
+/// the reactor drains the mailbox and writes the frames. Each mailbox is
+/// shared via shared_ptr with every pending callback, so a completion
+/// that outlives Stop() lands in a closed mailbox instead of freed
+/// memory.
 ///
 /// Shutdown is drain-then-close: Stop() ends accepting, rejects new
-/// SUBMITs (REJECTED{SHUTTING_DOWN}), waits until every in-flight query
-/// has completed and every outbound byte has flushed, then closes all
-/// connections. A client that got ACCEPTED therefore gets its COMPLETED
-/// even when Stop() races its submission.
+/// SUBMITs (REJECTED{SHUTTING_DOWN}), waits until every reactor's
+/// in-flight queries have completed and every outbound byte has flushed,
+/// then closes all connections. A client that got ACCEPTED therefore
+/// gets its COMPLETED even when Stop() races its submission.
 ///
 /// Protocol errors (malformed / truncated / oversized / bad-version
 /// frames) never crash the server: the offender gets an ERROR frame with
-/// the specific code and its connection is closed; other connections are
-/// unaffected.
+/// the specific code and its connection is closed; other connections —
+/// on the same reactor or any other — are unaffected.
 class Server {
  public:
   /// `gateway` (started) and `telemetry` (optional) must outlive the
@@ -72,11 +87,14 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds, listens and spawns the reactor thread.
+  /// Binds, listens and spawns the reactor threads.
   Status Start();
 
   /// The actually-bound port (after Start(); 0 before).
   uint16_t port() const { return port_; }
+
+  /// The resolved reactor count (never 0).
+  int reactors() const { return num_reactors_; }
 
   /// Graceful drain-then-close (see class comment). Idempotent.
   void Stop();
@@ -98,7 +116,8 @@ class Server {
 
  private:
   /// One finished query on its way back to a connection. Posted by the
-  /// gateway completion callback (clock thread), consumed by the reactor.
+  /// gateway completion callback (clock thread), consumed by the owning
+  /// reactor.
   struct PendingCompletion {
     uint64_t conn_id = 0;
     uint64_t request_id = 0;
@@ -121,8 +140,9 @@ class Server {
     std::chrono::steady_clock::time_point completed_wall;
   };
 
-  /// The completion mailbox shared with in-flight callbacks (see class
-  /// comment). `wakeup_fd` is the pipe's write end; -1 once closed.
+  /// A reactor's completion mailbox, shared with in-flight callbacks
+  /// (see class comment). `wakeup_fd` is that reactor's pipe write end;
+  /// -1 once closed.
   struct Mailbox {
     std::mutex mu;
     std::vector<PendingCompletion> items;
@@ -135,8 +155,12 @@ class Server {
   struct Connection {
     int fd = -1;
     std::vector<uint8_t> inbuf;
-    std::vector<uint8_t> outbuf;
-    size_t out_offset = 0;
+    /// Outbound frames as queued buffers: SendFrame appends into the
+    /// open tail buffer, FlushConnection gathers the queue into one
+    /// sendmsg (writev) call. Only the front buffer can be partially
+    /// sent; `front_offset` is how much of it already went out.
+    std::deque<std::vector<uint8_t>> outq;
+    size_t front_offset = 0;
     uint64_t in_flight = 0;
     /// Wire version negotiated per connection: every reply is encoded in
     /// the version of the last frame the peer sent. Starts at v1 (the
@@ -146,52 +170,74 @@ class Server {
     /// DRAIN received: no more SUBMITs; DRAINED + close once idle.
     bool draining = false;
     uint64_t drain_request_id = 0;
-    /// Flush outbuf, then close (protocol error or completed drain).
+    /// Flush outq, then close (protocol error or completed drain).
     bool closing = false;
     /// Input is done (peer EOF or error); stop polling POLLIN.
     bool input_done = false;
   };
 
-  void ReactorLoop();
-  void AcceptNew();
-  void ReadFromConnection(uint64_t conn_id);
+  /// One reactor shard. Everything below the hand-off queue is owned by
+  /// the reactor's own thread; only sizes/counters leak out through the
+  /// server-level atomics.
+  struct Reactor {
+    int index = 0;
+    int wake_read_fd = -1;
+    int wake_write_fd = -1;
+    std::shared_ptr<Mailbox> mailbox;
+    std::thread thread;
+
+    /// Accepted fds (paired with their conn ids) parked by reactor 0
+    /// until this reactor adopts them.
+    std::mutex handoff_mu;
+    std::vector<std::pair<uint64_t, int>> handoff;
+
+    // Reactor-thread-owned.
+    std::map<uint64_t, Connection> conns;
+    std::map<int, obs::Histogram*> flush_stage_hists;
+  };
+
+  void ReactorLoop(Reactor* reactor);
+  /// Accepts new connections (reactor 0 only) and deals them round-robin
+  /// to all reactors.
+  void AcceptNew(Reactor* reactor);
+  /// Registers fds parked in the reactor's hand-off queue.
+  void AdoptHandoff(Reactor* reactor);
+  void ReadFromConnection(Reactor* reactor, uint64_t conn_id);
   /// Returns false when the connection errored and should stop reading.
-  bool HandleFrame(uint64_t conn_id, const Frame& frame);
-  void DrainMailbox();
-  /// Per-class qsched_stage_seconds{stage="flush"} histogram (reactor
-  /// thread only).
-  obs::Histogram* FlushStageHistogram(int class_id);
+  bool HandleFrame(Reactor* reactor, uint64_t conn_id, const Frame& frame);
+  void DrainMailbox(Reactor* reactor);
+  /// Per-class qsched_stage_seconds{stage="flush"} histogram (owning
+  /// reactor thread only).
+  obs::Histogram* FlushStageHistogram(Reactor* reactor, int class_id);
   /// Stamps the connection's negotiated version on the frame, encodes it
-  /// into the outbuf and counts it.
+  /// into the outq and counts it.
   void SendFrame(Connection* conn, Frame frame);
-  void FlushConnection(uint64_t conn_id);
-  void CloseConnection(uint64_t conn_id);
-  void MaybeFinishDrain(uint64_t conn_id);
-  void Wakeup();
+  void FlushConnection(Reactor* reactor, uint64_t conn_id);
+  void CloseConnection(Reactor* reactor, uint64_t conn_id);
+  void MaybeFinishDrain(Reactor* reactor, uint64_t conn_id);
+  /// Tickles every reactor's wakeup pipe.
+  void WakeupAll();
 
   rt::Gateway* gateway_;
   ServerOptions options_;
   obs::Telemetry* telemetry_;
+  int num_reactors_ = 1;
 
   int listen_fd_ = -1;
-  int wake_read_fd_ = -1;
-  int wake_write_fd_ = -1;
   uint16_t port_ = 0;
-  std::thread reactor_;
-  std::shared_ptr<Mailbox> mailbox_;
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+  /// Round-robin accept cursor (reactor 0 only).
+  size_t next_reactor_ = 0;
 
   std::mutex lifecycle_mu_;
   std::condition_variable lifecycle_cv_;
   bool started_ = false;
   bool stopped_ = false;
-  bool reactor_done_ = false;
+  size_t reactors_done_ = 0;
   std::atomic<bool> stop_requested_{false};
   std::atomic<bool> force_stop_{false};
 
-  /// Reactor-owned; only sizes/counters leak out through atomics.
-  std::map<uint64_t, Connection> conns_;
-  uint64_t next_conn_id_ = 1;
-
+  std::atomic<uint64_t> next_conn_id_{1};
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> connections_refused_{0};
   std::atomic<size_t> active_connections_{0};
@@ -213,8 +259,6 @@ class Server {
   obs::Counter* submit_rejected_shutdown_counter_ = nullptr;
   obs::Counter* completions_dropped_counter_ = nullptr;
   obs::Histogram* turnaround_hist_ = nullptr;
-  /// Reactor-owned cache for FlushStageHistogram.
-  std::map<int, obs::Histogram*> flush_stage_hists_;
 };
 
 }  // namespace qsched::net

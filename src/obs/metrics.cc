@@ -2,54 +2,99 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <thread>
 
 #include "common/logging.h"
 #include "common/strings.h"
 
 namespace qsched::obs {
 
+size_t Histogram::StripeIndex() {
+  // Hashed once per thread: a given thread always writes one stripe, so
+  // its increments stay core-local and its per-stripe sum accumulates in
+  // a deterministic order.
+  thread_local const size_t index =
+      std::hash<std::thread::id>()(std::this_thread::get_id()) %
+      static_cast<size_t>(kStripes);
+  return index;
+}
+
 void Histogram::Record(double value) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (count_ == 0) {
-    min_ = value;
-    max_ = value;
-  } else {
-    min_ = std::min(min_, value);
-    max_ = std::max(max_, value);
+  // Extremes first, bucket last: once a reader sees the bucket count,
+  // the min/max that clamp its quantile estimate are already in place
+  // (best-effort under relaxed ordering; exact once writers quiesce).
+  double seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
   }
-  ++count_;
-  sum_ += value;
-  ++buckets_[static_cast<size_t>(BucketIndex(value))];
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+  Stripe& stripe = stripes_[StripeIndex()];
+  seen = stripe.sum.load(std::memory_order_relaxed);
+  while (!stripe.sum.compare_exchange_weak(seen, seen + value,
+                                           std::memory_order_relaxed)) {
+  }
+  stripe.buckets[static_cast<size_t>(BucketIndex(value))].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::AggregateBuckets(
+    std::array<uint64_t, kNumBuckets>* out) const {
+  out->fill(0);
+  uint64_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    for (int i = 0; i < kNumBuckets; ++i) {
+      uint64_t n = stripe.buckets[static_cast<size_t>(i)].load(
+          std::memory_order_relaxed);
+      (*out)[static_cast<size_t>(i)] += n;
+      total += n;
+    }
+  }
+  return total;
 }
 
 uint64_t Histogram::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return count_;
+  uint64_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    for (const auto& bucket : stripe.buckets) {
+      total += bucket.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
 }
 
 double Histogram::sum() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return sum_;
+  double total = 0.0;
+  for (const Stripe& stripe : stripes_) {
+    total += stripe.sum.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 double Histogram::min() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return count_ == 0 ? 0.0 : min_;
+  double value = min_.load(std::memory_order_relaxed);
+  return std::isfinite(value) ? value : 0.0;
 }
 
 double Histogram::max() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return count_ == 0 ? 0.0 : max_;
+  double value = max_.load(std::memory_order_relaxed);
+  return std::isfinite(value) ? value : 0.0;
 }
 
 double Histogram::Mean() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
 }
 
 std::array<uint64_t, Histogram::kNumBuckets> Histogram::buckets() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return buckets_;
+  std::array<uint64_t, kNumBuckets> out;
+  AggregateBuckets(&out);
+  return out;
 }
 
 int Histogram::BucketIndex(double value) {
@@ -72,28 +117,48 @@ double Histogram::BucketUpperEdge(int index) {
 }
 
 double Histogram::Quantile(double q) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return QuantileLocked(q);
+  std::array<uint64_t, kNumBuckets> agg;
+  uint64_t n = AggregateBuckets(&agg);
+  return QuantileFromBuckets(agg, n, min(), max(), q);
 }
 
-double Histogram::QuantileLocked(double q) const {
-  if (count_ == 0) return 0.0;
+double Histogram::QuantileFromBuckets(
+    const std::array<uint64_t, kNumBuckets>& buckets, uint64_t count,
+    double min, double max, double q) {
+  if (count == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
-  double target = q * static_cast<double>(count_);
+  double target = q * static_cast<double>(count);
   uint64_t seen = 0;
   for (int i = 0; i < kNumBuckets; ++i) {
-    if (buckets_[i] == 0) continue;
+    if (buckets[static_cast<size_t>(i)] == 0) continue;
     double before = static_cast<double>(seen);
-    seen += buckets_[i];
+    seen += buckets[static_cast<size_t>(i)];
     if (static_cast<double>(seen) < target) continue;
     // Log-linear interpolation inside the winning bucket.
-    double frac = (target - before) / static_cast<double>(buckets_[i]);
+    double frac = (target - before) /
+                  static_cast<double>(buckets[static_cast<size_t>(i)]);
     double lo = std::max(BucketLowerEdge(i), kMinValue);
     double hi = BucketUpperEdge(i);
     double estimate = lo * std::pow(hi / lo, std::clamp(frac, 0.0, 1.0));
-    return std::clamp(estimate, min_, max_);
+    return std::clamp(estimate, min, max);
   }
-  return max_;
+  return max;
+}
+
+Histogram::Digest Histogram::GetDigest() const {
+  std::array<uint64_t, kNumBuckets> agg;
+  Digest digest;
+  digest.count = AggregateBuckets(&agg);
+  digest.sum = sum();
+  digest.min = min();
+  digest.max = max();
+  digest.p50 = QuantileFromBuckets(agg, digest.count, digest.min,
+                                   digest.max, 0.50);
+  digest.p95 = QuantileFromBuckets(agg, digest.count, digest.min,
+                                   digest.max, 0.95);
+  digest.p99 = QuantileFromBuckets(agg, digest.count, digest.min,
+                                   digest.max, 0.99);
+  return digest;
 }
 
 Registry::Entry* Registry::FindOrCreate(const std::string& name,
@@ -161,14 +226,14 @@ std::vector<MetricSnapshot> Registry::Snapshot() const {
         snap.value = entry.gauge->value();
         break;
       case MetricKind::kHistogram: {
-        const Histogram& h = *entry.histogram;
-        snap.count = h.count();
-        snap.sum = h.sum();
-        snap.min = h.min();
-        snap.max = h.max();
-        snap.p50 = h.Quantile(0.50);
-        snap.p95 = h.Quantile(0.95);
-        snap.p99 = h.Quantile(0.99);
+        Histogram::Digest digest = entry.histogram->GetDigest();
+        snap.count = digest.count;
+        snap.sum = digest.sum;
+        snap.min = digest.min;
+        snap.max = digest.max;
+        snap.p50 = digest.p50;
+        snap.p95 = digest.p95;
+        snap.p99 = digest.p99;
         break;
       }
     }
@@ -241,18 +306,18 @@ void Registry::WritePrometheus(std::ostream& out) const {
             << StrPrintf("%.9g", entry.gauge->value()) << "\n";
         break;
       case MetricKind::kHistogram: {
-        const Histogram& h = *entry.histogram;
+        Histogram::Digest d = entry.histogram->GetDigest();
         out << SampleName(name, labels, "quantile=\"0.5\"") << " "
-            << StrPrintf("%.9g", h.Quantile(0.50)) << "\n";
+            << StrPrintf("%.9g", d.p50) << "\n";
         out << SampleName(name, labels, "quantile=\"0.95\"") << " "
-            << StrPrintf("%.9g", h.Quantile(0.95)) << "\n";
+            << StrPrintf("%.9g", d.p95) << "\n";
         out << SampleName(name, labels, "quantile=\"0.99\"") << " "
-            << StrPrintf("%.9g", h.Quantile(0.99)) << "\n";
+            << StrPrintf("%.9g", d.p99) << "\n";
         out << SampleName(name, labels, "quantile=\"1\"") << " "
-            << StrPrintf("%.9g", h.max()) << "\n";
+            << StrPrintf("%.9g", d.max) << "\n";
         out << SampleName(name + "_sum", labels) << " "
-            << StrPrintf("%.9g", h.sum()) << "\n";
-        out << SampleName(name + "_count", labels) << " " << h.count()
+            << StrPrintf("%.9g", d.sum) << "\n";
+        out << SampleName(name + "_count", labels) << " " << d.count
             << "\n";
         break;
       }
@@ -300,13 +365,13 @@ void Registry::WriteVarzJson(std::ostream& out) const {
         out << JsonNumber(entry.gauge->value());
         break;
       case MetricKind::kHistogram: {
-        const Histogram& h = *entry.histogram;
-        out << "{\"count\":" << h.count() << ",\"sum\":"
-            << JsonNumber(h.sum()) << ",\"min\":" << JsonNumber(h.min())
-            << ",\"max\":" << JsonNumber(h.max())
-            << ",\"p50\":" << JsonNumber(h.Quantile(0.50))
-            << ",\"p95\":" << JsonNumber(h.Quantile(0.95))
-            << ",\"p99\":" << JsonNumber(h.Quantile(0.99)) << "}";
+        Histogram::Digest d = entry.histogram->GetDigest();
+        out << "{\"count\":" << d.count << ",\"sum\":"
+            << JsonNumber(d.sum) << ",\"min\":" << JsonNumber(d.min)
+            << ",\"max\":" << JsonNumber(d.max)
+            << ",\"p50\":" << JsonNumber(d.p50)
+            << ",\"p95\":" << JsonNumber(d.p95)
+            << ",\"p99\":" << JsonNumber(d.p99) << "}";
         break;
       }
     }

@@ -4,6 +4,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -51,11 +52,18 @@ class Gauge {
 /// Log-bucketed histogram: fixed bucket array whose edges grow
 /// geometrically (4 buckets per factor of two, ~19% wide), covering
 /// [1e-6, ~3e6) — microseconds to weeks of simulated time, or page and
-/// byte counts. Record() is O(1) with no allocation; quantiles are
-/// estimated by log-linear interpolation inside the winning bucket, so
-/// the estimate is within one bucket width (<19%) of the true value.
-/// Record and the readers take an internal mutex, so counts stay exact
-/// under concurrent writers.
+/// byte counts. Record() is O(1), allocation-free and LOCK-FREE: bucket
+/// counts live in kStripes cacheline-aligned stripes (a writer picks its
+/// stripe by thread id, so unrelated threads never contend on a line)
+/// and every update is a relaxed atomic add / CAS. Readers aggregate the
+/// stripes on demand — the scrape path pays the O(stripes × buckets)
+/// walk, the sample path pays nothing. The total count is derived from
+/// the bucket sums, so count and buckets can never disagree; sum and the
+/// exact min/max extremes are separate atomics, which under concurrent
+/// writers may trail the bucket counts by the handful of samples still
+/// mid-Record (exact again once writers quiesce, e.g. after a join).
+/// Quantiles are estimated by log-linear interpolation inside the
+/// winning bucket, within one bucket width (<19%) of the true value.
 class Histogram {
  public:
   static constexpr double kMinValue = 1e-6;
@@ -63,6 +71,8 @@ class Histogram {
   /// Bucket 0 is the underflow bucket (<= kMinValue); the top bucket
   /// absorbs overflow.
   static constexpr int kNumBuckets = 168;
+  /// Bucket stripes; writers hash their thread id to one.
+  static constexpr int kStripes = 8;
 
   Histogram() = default;
   Histogram(const Histogram&) = delete;
@@ -81,23 +91,46 @@ class Histogram {
   /// Returns 0 when empty.
   double Quantile(double q) const;
 
+  /// One aggregation pass feeding every derived statistic: the scrape
+  /// path calls this once instead of re-walking the stripes per field.
+  struct Digest {
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+  Digest GetDigest() const;
+
   /// Index of the bucket `value` falls in.
   static int BucketIndex(double value);
   /// Lower/upper value edges of bucket `index` (bucket 0 starts at 0).
   static double BucketLowerEdge(int index);
   static double BucketUpperEdge(int index);
-  /// Copy of the bucket counts (consistent under the lock).
+  /// Aggregated copy of the bucket counts.
   std::array<uint64_t, kNumBuckets> buckets() const;
 
  private:
-  double QuantileLocked(double q) const;
+  /// One writer shard. alignas(64) keeps stripes on distinct cache
+  /// lines so two threads recording concurrently never false-share.
+  struct alignas(64) Stripe {
+    std::array<std::atomic<uint64_t>, kNumBuckets> buckets{};
+    std::atomic<double> sum{0.0};
+  };
 
-  mutable std::mutex mu_;
-  std::array<uint64_t, kNumBuckets> buckets_{};
-  uint64_t count_ = 0;
-  double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
+  static size_t StripeIndex();
+  /// Sums the stripes into `*out`; returns the total count.
+  uint64_t AggregateBuckets(std::array<uint64_t, kNumBuckets>* out) const;
+  static double QuantileFromBuckets(
+      const std::array<uint64_t, kNumBuckets>& buckets, uint64_t count,
+      double min, double max, double q);
+
+  std::array<Stripe, kStripes> stripes_;
+  /// Running extremes; +/-inf sentinels until the first Record lands.
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
 };
 
 enum class MetricKind { kCounter, kGauge, kHistogram };
@@ -123,10 +156,11 @@ struct MetricSnapshot {
 /// Named metric store. Get* registers on first use and returns the same
 /// stable pointer on every later call with the same (name, labels) pair;
 /// asking for an existing name with a different kind aborts. Lookup and
-/// export take an internal mutex, and the metric objects themselves are
-/// atomic (counters/gauges) or locked (histograms), so several
-/// replication workers may hammer one shared registry; single-threaded
-/// simulation paths pay only uncontended atomics.
+/// export take an internal mutex, but the metric objects themselves are
+/// lock-free (atomic counters/gauges, striped-atomic histograms), so the
+/// registry mutex is off the sample path entirely: hot paths cache the
+/// Get* pointer once and record with relaxed atomics, and many
+/// replication workers may hammer one shared registry.
 class Registry {
  public:
   Registry() = default;

@@ -33,11 +33,17 @@ Gateway::Gateway(WallClock* clock, workload::QueryFrontend* frontend,
     : clock_(clock),
       frontend_(frontend),
       options_(options),
+      admit_batch_size_(options.admit_batch_size == 0
+                            ? kDefaultAdmitBatch
+                            : options.admit_batch_size),
       queue_(options.queue_capacity),
       telemetry_(telemetry) {
   if (telemetry_ != nullptr) {
     obs::Registry& reg = telemetry_->registry;
     depth_gauge_ = reg.GetGauge("qsched_rt_gateway_queue_depth");
+    reg.GetGauge("qsched_rt_admit_batch_size")
+        ->Set(static_cast<double>(admit_batch_size_));
+    batch_occupancy_hist_ = reg.GetHistogram("qsched_rt_batch_occupancy");
     admission_latency_hist_ =
         reg.GetHistogram("qsched_rt_admission_latency_seconds");
     accepted_counter_ = reg.GetCounter("qsched_rt_accepted_total");
@@ -117,34 +123,48 @@ bool Gateway::Submit(workload::Query query, CompleteFn on_complete,
 }
 
 void Gateway::WorkerLoop() {
-  Item item;
-  while (queue_.Pop(&item)) {
-    auto popped = std::chrono::steady_clock::now();
+  std::vector<Item> batch;
+  batch.reserve(admit_batch_size_);
+  while (queue_.PopBatch(&batch, admit_batch_size_) > 0) {
+    AdmitBatch(&batch);
+  }
+}
+
+void Gateway::AdmitBatch(std::vector<Item>* batch) {
+  // One timestamp per batch: every query in it was admitted by the same
+  // worker wakeup, so a shared stamp keeps the StageTrace telescoping
+  // exact while avoiding a clock read per query.
+  auto popped = std::chrono::steady_clock::now();
+  for (Item& item : *batch) {
     if (item.query.job.trace != nullptr) {
       item.query.job.trace->admitted = popped;
     }
-    double wait_seconds =
-        std::chrono::duration<double>(popped - item.enqueued).count();
     if (telemetry_ != nullptr) {
-      admission_latency_hist_->Record(wait_seconds);
-      depth_gauge_->Set(static_cast<double>(queue_.size()));
+      admission_latency_hist_->Record(
+          std::chrono::duration<double>(popped - item.enqueued).count());
     }
-    // Count the admission before entering the frontend: a query can
-    // complete synchronously (cancellation) or on the clock thread
-    // before Submit even returns, and completed must never outrun
-    // admitted or WaitIdle could report idle with work still queued.
-    admitted_.fetch_add(1, std::memory_order_release);
-    // The scheduler and everything behind it are single-threaded model
-    // components: enter them only under the core lock.
-    clock_->Run([&] {
-      frontend_->Submit(
-          item.query,
-          [this, per_query = std::move(item.on_complete)](
-              const workload::QueryRecord& record) {
-            OnQueryComplete(record, per_query);
-          });
-    });
   }
+  if (telemetry_ != nullptr) {
+    depth_gauge_->Set(static_cast<double>(queue_.size()));
+    batch_occupancy_hist_->Record(static_cast<double>(batch->size()));
+  }
+  // The scheduler and everything behind it are single-threaded model
+  // components: enter them only under the core lock — once for the
+  // whole batch, in queue order. Each admission is counted before its
+  // Submit: a query can complete synchronously (cancellation) or on the
+  // clock thread before Submit even returns, and completed must never
+  // outrun admitted or WaitIdle could report idle with work still
+  // queued.
+  clock_->RunBatch(batch->size(), [&](size_t i) {
+    Item& item = (*batch)[i];
+    admitted_.fetch_add(1, std::memory_order_release);
+    frontend_->Submit(
+        item.query,
+        [this, per_query = std::move(item.on_complete)](
+            const workload::QueryRecord& record) {
+          OnQueryComplete(record, per_query);
+        });
+  });
 }
 
 void Gateway::OnQueryComplete(const workload::QueryRecord& record,

@@ -9,6 +9,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <vector>
 
 #include "harness/parallel.h"
 #include "obs/telemetry.h"
@@ -24,7 +25,16 @@ struct GatewayOptions {
   size_t queue_capacity = 1024;
   /// Gateway worker threads draining the queue into the scheduler.
   int workers = 2;
+  /// Maximum queries a worker admits under one core-lock acquisition
+  /// (WallClock::RunBatch). 0 means auto (kDefaultAdmitBatch). A batch
+  /// is opportunistic: a worker never waits to fill one — it takes
+  /// whatever is queued, up to this bound, so an idle system still
+  /// admits each query immediately.
+  size_t admit_batch_size = 0;
 };
+
+/// The resolved auto value for GatewayOptions::admit_batch_size.
+inline constexpr size_t kDefaultAdmitBatch = 32;
 
 /// Why a submission was turned away. kQueueFull is open-loop shedding
 /// (transient backpressure — retrying makes sense); kShuttingDown means
@@ -144,6 +154,10 @@ class Gateway {
 
   bool RecordPushOutcome(QueuePush outcome, RejectReason* reason);
   void WorkerLoop();
+  /// Admits one popped batch: stamps traces, records admission latency
+  /// and batch occupancy, then submits every query to the frontend under
+  /// a single WallClock::RunBatch core-lock acquisition, in queue order.
+  void AdmitBatch(std::vector<Item>* batch);
   void OnQueryComplete(const workload::QueryRecord& record,
                        const CompleteFn& per_query);
   obs::Counter* ClassCompletedCounter(int class_id);
@@ -155,6 +169,7 @@ class Gateway {
   WallClock* clock_;
   workload::QueryFrontend* frontend_;
   GatewayOptions options_;
+  const size_t admit_batch_size_;  // resolved (never 0)
   MpmcQueue<Item> queue_;
   std::unique_ptr<harness::ThreadPool> pool_;
   CompleteFn on_complete_;
@@ -172,6 +187,7 @@ class Gateway {
   obs::Telemetry* telemetry_;
   obs::Gauge* depth_gauge_ = nullptr;
   obs::Histogram* admission_latency_hist_ = nullptr;
+  obs::Histogram* batch_occupancy_hist_ = nullptr;
   obs::Counter* accepted_counter_ = nullptr;
   obs::Counter* rejected_counter_ = nullptr;
   obs::Counter* rejected_queue_full_counter_ = nullptr;

@@ -1,11 +1,13 @@
 #ifndef QSCHED_RT_MPMC_QUEUE_H_
 #define QSCHED_RT_MPMC_QUEUE_H_
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <mutex>
 #include <utility>
+#include <vector>
 
 namespace qsched::rt {
 
@@ -90,6 +92,34 @@ class MpmcQueue {
     lock.unlock();
     not_full_.notify_one();
     return true;
+  }
+
+  /// Batch Pop: blocks like Pop() until at least one item is available,
+  /// then moves up to `max_items` items (in queue order) into `*out`,
+  /// which is cleared first. Returns the number taken; 0 only once the
+  /// queue is closed and drained. Taking several slots in one critical
+  /// section is what lets a consumer amortize a per-wakeup cost (the
+  /// gateway's core-lock entry) across the whole batch; freeing several
+  /// slots at once wakes every blocked producer, not just one.
+  size_t PopBatch(std::vector<T>* out, size_t max_items) {
+    out->clear();
+    if (max_items == 0) max_items = 1;
+    size_t taken = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+      taken = std::min(max_items, items_.size());
+      for (size_t i = 0; i < taken; ++i) {
+        out->push_back(std::move(items_.front()));
+        items_.pop_front();
+      }
+    }
+    if (taken > 1) {
+      not_full_.notify_all();
+    } else if (taken == 1) {
+      not_full_.notify_one();
+    }
+    return taken;
   }
 
   /// Non-blocking Pop: false when currently empty (closed or not).

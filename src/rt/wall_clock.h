@@ -80,6 +80,22 @@ class WallClock final : public sim::Clock {
     return fn();
   }
 
+  /// Amortized core-lock entry: acquires the core lock ONCE and invokes
+  /// `fn(i)` for every i in [0, count) while holding it. This is the
+  /// batched-admission seam — a gateway worker that drained N queries
+  /// from its queue submits all N under a single lock acquisition
+  /// instead of paying the acquire/release (and the cache-line
+  /// ping-pong with the clock thread) N times. Semantically equivalent
+  /// to calling Run() N times back-to-back with no interleaving: the
+  /// calls run in index order, callbacks may re-enter ScheduleAt/Cancel,
+  /// and timer callbacks cannot fire in between.
+  template <typename F>
+  void RunBatch(size_t count, F&& fn) {
+    if (count == 0) return;
+    std::lock_guard<std::recursive_mutex> lock(core_mu_);
+    for (size_t i = 0; i < count; ++i) fn(i);
+  }
+
   uint64_t timers_fired() const {
     return timers_fired_.load(std::memory_order_relaxed);
   }

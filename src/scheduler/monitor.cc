@@ -14,9 +14,6 @@ void Monitor::set_telemetry(obs::Telemetry* telemetry) {
   if (telemetry_ == nullptr) return;
   records_counter_ =
       telemetry_->registry.GetCounter("qsched_monitor_records_total");
-  // Renamed histogram keeps its old exposition name for one release.
-  telemetry_->registry.AddAlias("qsched_monitor_velocity",
-                                "qsched_monitor_velocity_ratio");
 }
 
 obs::Histogram* Monitor::VelocityHistogram(int class_id) {

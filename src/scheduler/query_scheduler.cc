@@ -46,8 +46,6 @@ QueryScheduler::QueryScheduler(sim::Clock* simulator,
     monitor_.set_telemetry(telemetry_);
     snapshot_.set_telemetry(telemetry_);
     obs::Registry& reg = telemetry_->registry;
-    // Renamed gauges keep their old exposition names for one release.
-    reg.AddAlias("qsched_cost_limit", "qsched_cost_limit_timerons");
     planning_cycles_counter_ =
         reg.GetCounter("qsched_planner_cycles_total");
     planner_utility_gauge_ = reg.GetGauge("qsched_planner_utility");

@@ -28,11 +28,12 @@ namespace {
 /// Runtime + server harness with paper classes at a fast time scale, so
 /// OLTP queries complete in milliseconds of wall time.
 struct ServerHarness {
-  explicit ServerHarness(int max_connections = 64)
+  explicit ServerHarness(int max_connections = 64, int reactors = 0)
       : runtime(sched::MakePaperClasses(), MakeRuntimeOptions()) {
     runtime.Start();
     ServerOptions options;
     options.max_connections = max_connections;
+    options.reactors = reactors;
     server = std::make_unique<Server>(&runtime.gateway(), options,
                                       &telemetry);
     Status started = server->Start();
@@ -106,6 +107,51 @@ TEST(NetTest, ConnectSubmitCompleteStats) {
   EXPECT_EQ(harness.server->protocol_errors(), 0u);
 }
 
+// Pipelined submission: SUBMITs are queued client-side and flushed in
+// one send(); verdicts come back in submission order and every accepted
+// query still completes exactly once.
+TEST(NetTest, PipelinedSubmissionConservesEveryQuery) {
+  ServerHarness harness;
+  Result<std::unique_ptr<Client>> connected =
+      Client::Connect("127.0.0.1", harness.server->port());
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  std::unique_ptr<Client> client = std::move(connected).ValueOrDie();
+
+  workload::TpccWorkload oltp(workload::TpccWorkloadParams{}, /*seed=*/12);
+  constexpr int kQueries = 64;
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < kQueries; ++i) {
+    Result<uint64_t> rid = client->SubmitNoWait(NextOltp(&oltp, i));
+    ASSERT_TRUE(rid.ok()) << rid.status().ToString();
+    ids.push_back(rid.ValueOrDie());
+  }
+  EXPECT_EQ(client->verdicts_pending(), static_cast<size_t>(kQueries));
+  ASSERT_TRUE(client->Flush().ok());
+
+  uint64_t accepted = 0;
+  for (int i = 0; i < kQueries; ++i) {
+    Result<Client::SubmitResult> verdict = client->NextVerdict();
+    ASSERT_TRUE(verdict.ok()) << verdict.status().ToString();
+    EXPECT_EQ(verdict.ValueOrDie().request_id, ids[static_cast<size_t>(i)]);
+    if (verdict.ValueOrDie().accepted) ++accepted;
+  }
+  EXPECT_EQ(accepted, static_cast<uint64_t>(kQueries));
+  EXPECT_EQ(client->verdicts_pending(), 0u);
+
+  uint64_t received = 0;
+  while (client->outstanding() > 0) {
+    Result<Client::PolledCompletion> polled = client->PollCompletion(10.0);
+    ASSERT_TRUE(polled.ok()) << polled.status().ToString();
+    ASSERT_TRUE(polled.ValueOrDie().found);
+    ++received;
+  }
+  EXPECT_EQ(received, accepted);
+  ASSERT_TRUE(client->Drain().ok());
+  EXPECT_EQ(harness.server->submits_accepted(), accepted);
+  EXPECT_EQ(harness.server->completions_delivered(), accepted);
+  EXPECT_EQ(harness.server->protocol_errors(), 0u);
+}
+
 TEST(NetTest, EightConnectionStressConservesEveryQuery) {
   ServerHarness harness;
   RemoteLoadOptions options;
@@ -133,6 +179,129 @@ TEST(NetTest, EightConnectionStressConservesEveryQuery) {
   EXPECT_EQ(harness.server->completions_delivered(), loadgen.completed());
   EXPECT_EQ(harness.server->completions_dropped(), 0u);
   EXPECT_EQ(harness.server->connections_accepted(), 8u);
+}
+
+// The multi-reactor front-end under pipelined load: 8 connections dealt
+// round-robin across 4 reactors, no query lost, duplicated or
+// cross-wired between reactors.
+TEST(NetTest, MultiReactorPipelinedStressConservesEveryQuery) {
+  ServerHarness harness(/*max_connections=*/64, /*reactors=*/4);
+  EXPECT_EQ(harness.server->reactors(), 4);
+
+  RemoteLoadOptions options;
+  options.connections = 8;
+  options.qps = 4000.0;
+  options.duration_wall_seconds = 1.2;
+  options.seed = 77;
+  options.tpch_scale_factor = 0.05;
+  options.pipeline = true;
+  options.max_outstanding = 64;
+  RemoteLoadGenerator loadgen("127.0.0.1", harness.server->port(),
+                              options, &harness.telemetry);
+  Status run = loadgen.Run();
+  ASSERT_TRUE(run.ok()) << run.ToString();
+
+  EXPECT_GT(loadgen.offered(), 0u);
+  EXPECT_EQ(loadgen.offered(), loadgen.accepted() +
+                                   loadgen.rejected_queue_full() +
+                                   loadgen.rejected_shutting_down());
+  EXPECT_EQ(loadgen.completed(), loadgen.accepted());
+  EXPECT_EQ(loadgen.lost_completions(), 0u);
+  EXPECT_EQ(loadgen.unmatched_completions(), 0u);
+  EXPECT_GT(loadgen.feed_seconds(), 0.0);
+
+  EXPECT_EQ(harness.server->submits_accepted(), loadgen.accepted());
+  EXPECT_EQ(harness.server->completions_delivered(), loadgen.completed());
+  EXPECT_EQ(harness.server->completions_dropped(), 0u);
+  EXPECT_EQ(harness.server->connections_accepted(), 8u);
+}
+
+// Drain-then-close across reactors: Stop() with completions in flight on
+// every reactor still delivers each accepted query's COMPLETED.
+TEST(NetTest, MultiReactorStopDeliversEveryAcceptedCompletion) {
+  auto harness =
+      std::make_unique<ServerHarness>(/*max_connections=*/64,
+                                      /*reactors=*/3);
+  constexpr int kClients = 6;
+  constexpr int kPerClient = 20;
+
+  std::vector<std::unique_ptr<Client>> clients;
+  workload::TpccWorkload oltp(workload::TpccWorkloadParams{}, /*seed=*/15);
+  uint64_t accepted = 0;
+  for (int c = 0; c < kClients; ++c) {
+    Result<std::unique_ptr<Client>> connected =
+        Client::Connect("127.0.0.1", harness->server->port());
+    ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+    clients.push_back(std::move(connected).ValueOrDie());
+    for (int i = 0; i < kPerClient; ++i) {
+      Result<uint64_t> rid =
+          clients.back()->SubmitNoWait(NextOltp(&oltp, c));
+      ASSERT_TRUE(rid.ok()) << rid.status().ToString();
+    }
+    ASSERT_TRUE(clients.back()->Flush().ok());
+    while (clients.back()->verdicts_pending() > 0) {
+      Result<Client::SubmitResult> verdict = clients.back()->NextVerdict();
+      ASSERT_TRUE(verdict.ok()) << verdict.status().ToString();
+      if (verdict.ValueOrDie().accepted) ++accepted;
+    }
+  }
+  ASSERT_GT(accepted, 0u);
+
+  harness->server->Stop();
+  EXPECT_EQ(harness->server->submits_accepted(), accepted);
+  EXPECT_EQ(harness->server->completions_delivered(), accepted);
+  EXPECT_EQ(harness->server->completions_dropped(), 0u);
+
+  uint64_t received = 0;
+  for (auto& client : clients) {
+    while (client->outstanding() > 0) {
+      Result<Client::PolledCompletion> polled =
+          client->PollCompletion(10.0);
+      ASSERT_TRUE(polled.ok()) << polled.status().ToString();
+      ASSERT_TRUE(polled.ValueOrDie().found);
+      ++received;
+    }
+  }
+  EXPECT_EQ(received, accepted);
+}
+
+// Each malformed probe is a fresh connection, so round-robin accept
+// lands them on every reactor; none crashes, and every reactor still
+// serves well-behaved clients afterwards.
+TEST(NetTest, MalformedFramesSurviveOnEveryReactor) {
+  ServerHarness harness(/*max_connections=*/64, /*reactors=*/4);
+  Status injected = InjectMalformedFrames(
+      "127.0.0.1", harness.server->port(), /*count=*/12, /*seed=*/6);
+  EXPECT_TRUE(injected.ok()) << injected.ToString();
+  EXPECT_GT(harness.server->protocol_errors(), 0u);
+
+  for (int i = 0; i < 4; ++i) {
+    Result<std::unique_ptr<Client>> connected =
+        Client::Connect("127.0.0.1", harness.server->port());
+    ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+    EXPECT_TRUE(connected.ValueOrDie()->Ping().ok());
+  }
+}
+
+// The connection cap counts connections across all reactors, including
+// accepted-but-not-yet-adopted hand-offs.
+TEST(NetTest, ConnectionCapIsGlobalAcrossReactors) {
+  ServerHarness harness(/*max_connections=*/2, /*reactors=*/3);
+  std::vector<std::unique_ptr<Client>> keep;
+  for (int i = 0; i < 2; ++i) {
+    Result<std::unique_ptr<Client>> connected =
+        Client::Connect("127.0.0.1", harness.server->port());
+    ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+    ASSERT_TRUE(connected.ValueOrDie()->Ping().ok());
+    keep.push_back(std::move(connected).ValueOrDie());
+  }
+  Result<std::unique_ptr<Client>> overflow =
+      Client::Connect("127.0.0.1", harness.server->port());
+  ASSERT_TRUE(overflow.ok()) << overflow.status().ToString();
+  EXPECT_FALSE(overflow.ValueOrDie()->Ping().ok());
+  EXPECT_GE(harness.server->connections_refused(), 1u);
+
+  for (auto& client : keep) EXPECT_TRUE(client->Ping().ok());
 }
 
 TEST(NetTest, ShutdownWhileClientsConnectedLosesNoCompletions) {

@@ -28,6 +28,12 @@
 //      hundreds of wall milliseconds); compressing execution exposes
 //      what the serving path adds on top. QSCHED_BENCH_STAGES=1 prints
 //      the per-class per-stage p50/p99 breakdown.
+//   5c. Cluster loopback: the same operating point twice — direct to
+//      one backend, then through the cluster router (src/cluster) over
+//      N backends — reporting both sustained QPS numbers and the added
+//      round-trip p99 of the router hop. Both passes run below
+//      saturation so the delta isolates the hop, not queueing at a
+//      different load regime.
 //   6. HTTP observability overhead: the rt gateway benchmark with the
 //      embedded exposition server attached and a 1 Hz /metrics scraper
 //      running, vs fully detached — the scrape path must cost <= 2% of
@@ -60,6 +66,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "cluster/router.h"
 #include "common/flags.h"
 #include "common/rng.h"
 #include "harness/parallel.h"
@@ -525,6 +532,152 @@ NetLoopbackNumbers BenchNetLoopback(double qps, double duration_seconds,
   return numbers;
 }
 
+struct ClusterLoopbackNumbers {
+  double qps_target = 0.0;
+  int backends = 0;
+  int connections = 0;
+  double feed_seconds = 0.0;
+  double drain_seconds = 0.0;
+  uint64_t offered = 0;
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;
+  uint64_t completed = 0;
+  uint64_t lost = 0;
+  uint64_t failovers = 0;
+  double sustained_qps = 0.0;
+  double rtt_p50_seconds = 0.0;
+  double rtt_p99_seconds = 0.0;
+  bool conserved = false;
+};
+
+/// The net_loopback stack with the cluster router in the middle:
+/// N independent backend runtimes, each behind its own net::Server, a
+/// cluster::Router fanning over them, and a front net::Server speaking
+/// the wire protocol to the load generator. Run at the same
+/// non-saturating target as the paired direct pass, so the reported
+/// sustained QPS and rtt_p99 isolate the router hop, not a different
+/// operating point.
+ClusterLoopbackNumbers BenchClusterRouted(double qps,
+                                          double duration_seconds,
+                                          int connections, int backends) {
+  ClusterLoopbackNumbers numbers;
+  numbers.qps_target = qps;
+  numbers.backends = backends;
+  numbers.connections = connections;
+
+  struct BackendStack {
+    std::unique_ptr<qsched::obs::Telemetry> telemetry;
+    std::unique_ptr<qsched::rt::Runtime> runtime;
+    std::unique_ptr<qsched::net::Server> server;
+  };
+  std::vector<BackendStack> stacks;
+  std::vector<qsched::cluster::BackendAddress> addresses;
+  for (int i = 0; i < backends; ++i) {
+    BackendStack stack;
+    stack.telemetry = std::make_unique<qsched::obs::Telemetry>();
+    qsched::rt::RuntimeOptions options;
+    options.time_scale = 60.0;
+    options.horizon_model_seconds =
+        std::max(3600.0, 4.0 * duration_seconds * options.time_scale);
+    options.gateway.queue_capacity = 8192;
+    options.gateway.workers = 4;
+    options.scheduler.control_interval_seconds = 15.0;
+    options.seed = 1000 + static_cast<uint64_t>(i);
+    options.telemetry = stack.telemetry.get();
+    stack.runtime = std::make_unique<qsched::rt::Runtime>(
+        qsched::sched::MakePaperClasses(), options);
+    stack.runtime->Start();
+    qsched::net::ServerOptions server_options;
+    server_options.port = 0;
+    server_options.reactors = 1;
+    stack.server = std::make_unique<qsched::net::Server>(
+        &stack.runtime->gateway(), server_options, stack.telemetry.get());
+    qsched::Status started = stack.server->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "cluster_loopback: backend start failed: %s\n",
+                   started.ToString().c_str());
+      for (BackendStack& up : stacks) {
+        up.server->Stop();
+        up.runtime->Shutdown();
+      }
+      stack.runtime->Shutdown();
+      return numbers;
+    }
+    addresses.push_back({"127.0.0.1", stack.server->port()});
+    stacks.push_back(std::move(stack));
+  }
+
+  qsched::obs::Telemetry router_telemetry;
+  qsched::cluster::RouterOptions router_options;
+  qsched::cluster::Router router(addresses, router_options,
+                                 &router_telemetry);
+  router.Start();
+  router.pool().WaitUsable(static_cast<size_t>(backends), 5.0);
+
+  qsched::net::ServerOptions front_options;
+  front_options.port = 0;
+  qsched::net::Server front(&router, front_options, &router_telemetry);
+  qsched::Status front_started = front.Start();
+  if (!front_started.ok()) {
+    std::fprintf(stderr, "cluster_loopback: front start failed: %s\n",
+                 front_started.ToString().c_str());
+    router.Stop();
+    for (BackendStack& stack : stacks) {
+      stack.server->Stop();
+      stack.runtime->Shutdown();
+    }
+    return numbers;
+  }
+
+  qsched::net::RemoteLoadOptions load;
+  load.connections = connections;
+  load.qps = qps;
+  load.duration_wall_seconds = duration_seconds;
+  load.seed = 1234;
+  load.tpch_scale_factor = 0.1;
+  load.pipeline = true;
+
+  qsched::obs::Telemetry load_telemetry;
+  qsched::net::RemoteLoadGenerator loadgen("127.0.0.1", front.port(), load,
+                                           &load_telemetry);
+  qsched::Status run = loadgen.Run();
+  if (!run.ok()) {
+    std::fprintf(stderr, "cluster_loopback: load run failed: %s\n",
+                 run.ToString().c_str());
+  }
+  front.Stop();
+  router.Stop();
+  for (BackendStack& stack : stacks) {
+    stack.server->Stop();
+    stack.runtime->Shutdown(/*drain_timeout_wall_seconds=*/300.0);
+  }
+
+  numbers.feed_seconds = loadgen.feed_seconds();
+  numbers.drain_seconds = loadgen.drain_seconds();
+  numbers.offered = loadgen.offered();
+  numbers.accepted = loadgen.accepted();
+  numbers.rejected = loadgen.rejected_queue_full() +
+                     loadgen.rejected_shutting_down() +
+                     loadgen.rejected_backend_unavailable();
+  numbers.completed = loadgen.completed();
+  numbers.lost =
+      loadgen.lost_completions() + loadgen.unmatched_completions();
+  numbers.failovers = router.Accounting().failovers;
+  numbers.sustained_qps =
+      numbers.feed_seconds > 0.0
+          ? static_cast<double>(numbers.offered) / numbers.feed_seconds
+          : 0.0;
+  const qsched::obs::Histogram* rtt =
+      load_telemetry.registry.GetHistogram("qsched_net_rtt_seconds");
+  numbers.rtt_p50_seconds = rtt->Quantile(0.5);
+  numbers.rtt_p99_seconds = rtt->Quantile(0.99);
+  numbers.conserved =
+      router.ConservationHolds() &&
+      numbers.offered == numbers.accepted + numbers.rejected &&
+      numbers.completed == numbers.accepted && numbers.lost == 0;
+  return numbers;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -546,6 +699,9 @@ int main(int argc, char** argv) {
         "       (TCP loopback latency section; blocking submission)\n"
         "       --http-obs-qps=Q --http-obs-duration=S\n"
         "       (HTTP observability overhead section)\n"
+        "       --cluster-qps=Q --cluster-duration=S "
+        "--cluster-backends=N\n"
+        "       (cluster router section: direct vs routed)\n"
         "       --out=PATH (JSON report; default stdout only)\n");
     return 0;
   }
@@ -570,6 +726,10 @@ int main(int argc, char** argv) {
       flags.GetDouble("net-latency-time-scale", 6000.0);
   double http_obs_qps = flags.GetDouble("http-obs-qps", 1500.0);
   double http_obs_duration = flags.GetDouble("http-obs-duration", 2.0);
+  double cluster_qps = flags.GetDouble("cluster-qps", 1500.0);
+  double cluster_duration = flags.GetDouble("cluster-duration", 2.0);
+  int cluster_backends =
+      static_cast<int>(flags.GetInt("cluster-backends", 2));
   std::string out_path = flags.GetString("out", "");
 
   std::printf("== event queue: %llu events, %d outstanding ==\n",
@@ -700,6 +860,40 @@ int main(int argc, char** argv) {
               net_lat.rtt_p50_seconds * 1e6,
               net_lat.rtt_p99_seconds * 1e6);
 
+  std::printf("== cluster loopback: %.0f qps on %d connections for "
+              "%.1f s, direct vs routed over %d backends ==\n",
+              cluster_qps, net_connections, cluster_duration,
+              cluster_backends);
+  // Same non-saturating operating point for both passes, so the delta
+  // is the router hop itself, not a different load regime.
+  NetLoopbackNumbers direct =
+      BenchNetLoopback(cluster_qps, cluster_duration, net_connections,
+                       /*pipeline=*/true, /*time_scale=*/60.0,
+                       /*control_interval_seconds=*/15.0,
+                       /*tpch_scale_factor=*/0.1);
+  ClusterLoopbackNumbers routed = BenchClusterRouted(
+      cluster_qps, cluster_duration, net_connections, cluster_backends);
+  const double added_rtt_p99 =
+      routed.rtt_p99_seconds - direct.rtt_p99_seconds;
+  std::printf("direct %.0f qps rtt p99 %.0f us; routed %.0f qps rtt p99 "
+              "%.0f us (added p99 %.0f us), offered %llu completed %llu "
+              "lost %llu failovers %llu%s\n",
+              direct.sustained_qps, direct.rtt_p99_seconds * 1e6,
+              routed.sustained_qps, routed.rtt_p99_seconds * 1e6,
+              added_rtt_p99 * 1e6,
+              static_cast<unsigned long long>(routed.offered),
+              static_cast<unsigned long long>(routed.completed),
+              static_cast<unsigned long long>(routed.lost),
+              static_cast<unsigned long long>(routed.failovers),
+              routed.conserved ? "" : "  [CONSERVATION VIOLATED]");
+  if (direct.sustained_qps > 0.0 &&
+      routed.sustained_qps < 0.8 * direct.sustained_qps) {
+    std::fprintf(stderr,
+                 "WARNING: routed sustained %.0f qps < 0.8x direct "
+                 "%.0f qps — the router hop is shedding throughput\n",
+                 routed.sustained_qps, direct.sustained_qps);
+  }
+
   std::printf("== http obs: %.0f qps for %.1f s, 1 Hz scraper attached "
               "vs detached ==\n",
               http_obs_qps, http_obs_duration);
@@ -808,6 +1002,24 @@ int main(int argc, char** argv) {
         "    \"rtt_p50_us\": %.1f,\n"
         "    \"rtt_p99_us\": %.1f\n"
         "  },\n"
+        "  \"cluster_loopback\": {\n"
+        "    \"qps_target\": %.0f,\n"
+        "    \"backends\": %d,\n"
+        "    \"connections\": %d,\n"
+        "    \"duration_seconds\": %.2f,\n"
+        "    \"direct_sustained_qps\": %.0f,\n"
+        "    \"direct_rtt_p99_us\": %.1f,\n"
+        "    \"sustained_qps\": %.0f,\n"
+        "    \"rtt_p99_us\": %.1f,\n"
+        "    \"added_rtt_p99_us\": %.1f,\n"
+        "    \"offered\": %llu,\n"
+        "    \"accepted\": %llu,\n"
+        "    \"rejected\": %llu,\n"
+        "    \"completed\": %llu,\n"
+        "    \"lost\": %llu,\n"
+        "    \"failovers\": %llu,\n"
+        "    \"conserved\": %s\n"
+        "  },\n"
         "  \"http_obs\": {\n"
         "    \"qps_target\": %.0f,\n"
         "    \"duration_seconds\": %.2f,\n"
@@ -848,6 +1060,17 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(net_lat.lost),
         net_lat.sustained_qps, net_lat.rtt_p50_seconds * 1e6,
         net_lat.rtt_p99_seconds * 1e6,
+        routed.qps_target, routed.backends, routed.connections,
+        cluster_duration, direct.sustained_qps,
+        direct.rtt_p99_seconds * 1e6, routed.sustained_qps,
+        routed.rtt_p99_seconds * 1e6, added_rtt_p99 * 1e6,
+        static_cast<unsigned long long>(routed.offered),
+        static_cast<unsigned long long>(routed.accepted),
+        static_cast<unsigned long long>(routed.rejected),
+        static_cast<unsigned long long>(routed.completed),
+        static_cast<unsigned long long>(routed.lost),
+        static_cast<unsigned long long>(routed.failovers),
+        routed.conserved ? "true" : "false",
         http_obs_qps, http_obs_duration, detached.completions_per_sec,
         attached.completions_per_sec,
         static_cast<unsigned long long>(attached.scrapes),

@@ -294,8 +294,9 @@ int RunNetload(const qsched::FlagParser& flags) {
 
   const qsched::obs::Histogram* rtt =
       telemetry.registry.GetHistogram("qsched_net_rtt_seconds");
-  const uint64_t rejected =
-      loadgen.rejected_queue_full() + loadgen.rejected_shutting_down();
+  const uint64_t rejected = loadgen.rejected_queue_full() +
+                            loadgen.rejected_shutting_down() +
+                            loadgen.rejected_backend_unavailable();
   // Sustained rate counts the feed phase only; the drain tail (waiting
   // out the last executions) is reported separately.
   const double feed = loadgen.feed_seconds();

@@ -32,6 +32,7 @@ METRICS = [
     ("rt_gateway.sustained_qps", True),
     ("net_loopback.sustained_qps", True),
     ("net_latency.rtt_p50_us", False),
+    ("cluster_loopback.sustained_qps", True),
 ]
 
 

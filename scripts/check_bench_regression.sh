@@ -36,6 +36,7 @@ trap 'rm -f "${OUT}"' EXIT
   --rt-qps=1500 --rt-duration=1 \
   --net-duration=1 --net-latency-duration=1 \
   --http-obs-duration=1 \
+  --cluster-duration=1 \
   --out="${OUT}" >/dev/null
 
 python3 "${ROOT}/scripts/bench_compare.py" "${BASELINE}" "${OUT}"

@@ -1,0 +1,185 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the cluster layer: two net_cli backends on
+# ephemeral loopback ports, cluster_cli --mode=route fanning over them,
+# driven by net_cli --mode=netload for >= 2 s at >= 1000 submissions/s
+# THROUGH the router — with backend 1 killed and restarted on its port
+# mid-run. Conservation is exit-checked on every tier: the load
+# generator (offered = accepted + rejected, completed = accepted,
+# lost = 0), the router (offered = accepted + rejected_relayed +
+# rejected_unroutable; cluster_cli exits 2 otherwise) and the surviving
+# backends. When the committed BENCH_qsched.json carries a
+# cluster_loopback.direct_sustained_qps baseline, the routed rate must
+# also stay >= 0.8x of it. Registered with CTest as `cluster_smoke`.
+#
+# Usage: cluster_smoke.sh <path-to-net_cli> <path-to-cluster_cli>
+set -euo pipefail
+
+NET_CLI="${1:?usage: cluster_smoke.sh <net_cli> <cluster_cli>}"
+CLUSTER_CLI="${2:?usage: cluster_smoke.sh <net_cli> <cluster_cli>}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+OUT_DIR="$(mktemp -d)"
+B1_PID=""
+B2_PID=""
+ROUTER_PID=""
+cleanup() {
+  for pid in "${B1_PID}" "${B2_PID}" "${ROUTER_PID}"; do
+    [ -n "${pid}" ] && kill "${pid}" 2>/dev/null || true
+    [ -n "${pid}" ] && wait "${pid}" 2>/dev/null || true
+  done
+  rm -rf "${OUT_DIR}"
+}
+trap cleanup EXIT
+
+wait_port_file() {
+  local file="$1" pid="$2" who="$3"
+  for _ in $(seq 1 100); do
+    [ -s "${file}" ] && return 0
+    if ! kill -0 "${pid}" 2>/dev/null; then
+      echo "cluster_smoke: ${who} died during startup" >&2
+      return 1
+    fi
+    sleep 0.1
+  done
+  echo "cluster_smoke: ${who} never published its port" >&2
+  return 1
+}
+
+# --- Two backends on ephemeral ports.
+"${NET_CLI}" --mode=serve --port=0 --port-file="${OUT_DIR}/b1.port" \
+  --duration=120 >"${OUT_DIR}/b1.log" 2>&1 &
+B1_PID=$!
+"${NET_CLI}" --mode=serve --port=0 --port-file="${OUT_DIR}/b2.port" \
+  --duration=120 >"${OUT_DIR}/b2.log" 2>&1 &
+B2_PID=$!
+wait_port_file "${OUT_DIR}/b1.port" "${B1_PID}" "backend 1"
+wait_port_file "${OUT_DIR}/b2.port" "${B2_PID}" "backend 2"
+B1_PORT="$(cat "${OUT_DIR}/b1.port")"
+B2_PORT="$(cat "${OUT_DIR}/b2.port")"
+
+# --- The router in front of them. Short probe intervals so the breaker
+# reacts within the restart window.
+"${CLUSTER_CLI}" --mode=route \
+  --backends="127.0.0.1:${B1_PORT},127.0.0.1:${B2_PORT}" \
+  --port=0 --port-file="${OUT_DIR}/router.port" --duration=120 \
+  --probe-interval=0.1 --probe-timeout=0.5 --eject-after=2 \
+  --metrics-out="${OUT_DIR}/router_metrics.prom" \
+  >"${OUT_DIR}/router.log" 2>&1 &
+ROUTER_PID=$!
+wait_port_file "${OUT_DIR}/router.port" "${ROUTER_PID}" "router"
+ROUTER_PORT="$(cat "${OUT_DIR}/router.port")"
+
+# --- >= 2 s of load at 2000 qps offered, pipelined, through the router.
+"${NET_CLI}" --mode=netload --target="127.0.0.1:${ROUTER_PORT}" \
+  --connections=4 --qps=2000 --duration=3 --seed=7 --pipeline \
+  >"${OUT_DIR}/client.log" 2>&1 &
+LOAD_PID=$!
+
+# --- Mid-run: kill backend 2 and restart it on the same port. The
+# router must eject it, fail queries over to backend 1, and pick it
+# back up once it returns — without the load generator losing a single
+# accepted completion.
+sleep 1
+kill -TERM "${B2_PID}"
+wait "${B2_PID}" || true
+B2_PID=""
+sleep 0.4
+"${NET_CLI}" --mode=serve --port="${B2_PORT}" --duration=120 \
+  >"${OUT_DIR}/b2_restarted.log" 2>&1 &
+B2_PID=$!
+
+LOAD_STATUS=0
+wait "${LOAD_PID}" || LOAD_STATUS=$?
+cat "${OUT_DIR}/client.log"
+if [ "${LOAD_STATUS}" -ne 0 ]; then
+  echo "cluster_smoke: netload exited ${LOAD_STATUS} (conservation?)" >&2
+  exit 1
+fi
+
+# --- Stop the router; it exits 2 on a conservation violation.
+kill -TERM "${ROUTER_PID}"
+ROUTER_STATUS=0
+wait "${ROUTER_PID}" || ROUTER_STATUS=$?
+ROUTER_PID=""
+cat "${OUT_DIR}/router.log"
+if [ "${ROUTER_STATUS}" -ne 0 ]; then
+  echo "cluster_smoke: router exited ${ROUTER_STATUS}" >&2
+  exit 1
+fi
+
+# --- Client-side throughput + conservation from the NETLOAD line.
+NETLOAD_LINE="$(grep '^NETLOAD ' "${OUT_DIR}/client.log")"
+echo "${NETLOAD_LINE}" | awk '
+  {
+    for (i = 2; i <= NF; ++i) {
+      split($i, kv, "=");
+      v[kv[1]] = kv[2];
+    }
+  }
+  END {
+    if (v["rate"] + 0 < 1000) {
+      print "cluster_smoke: sustained rate " v["rate"] " < 1000 qps" \
+        > "/dev/stderr";
+      exit 1;
+    }
+    if (v["wall"] + 0 < 2.0) {
+      print "cluster_smoke: run too short: " v["wall"] "s" \
+        > "/dev/stderr";
+      exit 1;
+    }
+    if (v["lost"] + 0 != 0 || v["unmatched"] + 0 != 0) {
+      print "cluster_smoke: lost=" v["lost"] \
+        " unmatched=" v["unmatched"] > "/dev/stderr";
+      exit 1;
+    }
+    if (v["offered"] + 0 != v["accepted"] + v["rejected"]) {
+      print "cluster_smoke: offered != accepted + rejected" \
+        > "/dev/stderr";
+      exit 1;
+    }
+    if (v["completed"] + 0 != v["accepted"] + 0) {
+      print "cluster_smoke: completed != accepted" > "/dev/stderr";
+      exit 1;
+    }
+  }'
+
+# --- The router actually noticed the restart: its CLUSTER accounting
+# line exists, and the reconnect counter moved.
+grep -q '^CLUSTER ' "${OUT_DIR}/router.log"
+grep -q '^# TYPE qsched_cluster_backend_health gauge' \
+  "${OUT_DIR}/router_metrics.prom"
+grep -q '^qsched_cluster_routed_total' "${OUT_DIR}/router_metrics.prom"
+RECONNECTS="$(awk '/^qsched_cluster_reconnects_total/ { s += $2 } END { print s + 0 }' \
+  "${OUT_DIR}/router_metrics.prom")"
+if [ "${RECONNECTS}" -lt 3 ]; then
+  # 2 initial connects + at least 1 reconnect after the restart.
+  echo "cluster_smoke: expected >= 3 connects across the restart," \
+    "saw ${RECONNECTS}" >&2
+  exit 1
+fi
+
+# --- Routed throughput vs the committed direct baseline (when present).
+BASELINE="${ROOT}/BENCH_qsched.json"
+if command -v python3 >/dev/null 2>&1 && [ -f "${BASELINE}" ]; then
+  RATE="$(echo "${NETLOAD_LINE}" | awk '{
+    for (i = 2; i <= NF; ++i) { split($i, kv, "="); v[kv[1]] = kv[2]; }
+    print v["rate"];
+  }')"
+  python3 - "${BASELINE}" "${RATE}" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+direct = doc.get("cluster_loopback", {}).get("direct_sustained_qps")
+if direct is None:
+    print("cluster_smoke: no committed direct baseline; skipping ratio")
+    sys.exit(0)
+rate = float(sys.argv[2])
+if rate < 0.8 * float(direct):
+    print(f"cluster_smoke: routed {rate:.0f} qps < 0.8x committed "
+          f"direct baseline {direct:.0f} qps", file=sys.stderr)
+    sys.exit(1)
+print(f"cluster_smoke: routed {rate:.0f} qps >= 0.8x direct baseline "
+      f"{direct:.0f} qps")
+EOF
+fi
+
+echo "cluster_smoke: conservation holds through a mid-run backend restart"

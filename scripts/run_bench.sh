@@ -29,7 +29,8 @@ import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
 for section in ("event_queue", "fig6", "replication", "rt_gateway",
-                "net_loopback", "net_latency", "http_obs"):
+                "net_loopback", "net_latency", "cluster_loopback",
+                "http_obs"):
     assert section in doc, f"missing section {section}"
 assert "hardware_concurrency" in doc, "missing hardware_concurrency"
 assert "threads_used" in doc, "missing top-level threads_used"
@@ -63,6 +64,19 @@ assert lat["completed"] == lat["accepted"], \
     f"{lat['accepted']}"
 assert lat["lost"] == 0, f"net latency lost {lat['lost']} completions"
 assert lat["rtt_p99_us"] >= lat["rtt_p50_us"] >= 0
+clu = doc["cluster_loopback"]
+assert clu["conserved"], "cluster_loopback conservation violated"
+assert clu["offered"] == clu["accepted"] + clu["rejected"], \
+    "cluster_loopback accounting broken: " \
+    f"offered {clu['offered']} != accepted {clu['accepted']} " \
+    f"+ rejected {clu['rejected']}"
+assert clu["completed"] == clu["accepted"], \
+    f"cluster_loopback completions {clu['completed']} != accepted " \
+    f"{clu['accepted']}"
+assert clu["lost"] == 0, f"cluster_loopback lost {clu['lost']} completions"
+assert clu["sustained_qps"] >= 0.8 * clu["direct_sustained_qps"], \
+    f"routed sustained {clu['sustained_qps']} qps < 0.8x direct " \
+    f"{clu['direct_sustained_qps']} qps"
 obs = doc["http_obs"]
 assert obs["detached_completions_per_sec"] > 0, \
     "http_obs detached pass completed nothing"
@@ -82,6 +96,9 @@ print(f"bench json ok: speedup {doc['event_queue']['speedup']:.2f}x "
       f"{net['connections']} connections x {net['reactors']} reactors, "
       f"net latency rtt p99 {lat['rtt_p99_us']:.0f} us at "
       f"{lat['qps_target']:.0f} qps, "
+      f"cluster routed {clu['sustained_qps']:.0f}/"
+      f"{clu['direct_sustained_qps']:.0f} qps over {clu['backends']} "
+      f"backends (added p99 {clu['added_rtt_p99_us']:.0f} us), "
       f"http_obs overhead {obs['overhead_pct']:.2f}% "
       f"({obs['scrapes']} scrapes)")
 if doc["threads_used"] != doc["hardware_concurrency"]:

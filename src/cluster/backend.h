@@ -1,0 +1,134 @@
+#ifndef QSCHED_CLUSTER_BACKEND_H_
+#define QSCHED_CLUSTER_BACKEND_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "net/service.h"
+#include "workload/query.h"
+
+namespace qsched::cluster {
+
+/// One qsched backend (a net::Server speaking the v1/v2 wire protocol).
+struct BackendAddress {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+
+  std::string ToString() const {
+    return host + ":" + std::to_string(port);
+  }
+};
+
+/// Per-backend health state machine, driven by PING probes and
+/// consecutive failure counts (DESIGN.md §12):
+///
+///   healthy --failure--> degraded --failures >= eject--> ejected
+///      ^                    |                               |
+///      +----probe reply-----+          reconnect + probe ---+
+///
+/// healthy: connected, last probe answered. degraded: connected but
+/// accumulating failures (still routable when no healthy backend
+/// remains). ejected: disconnected; the circuit breaker gates when a
+/// reconnect may be attempted.
+enum class BackendHealth : uint8_t {
+  kHealthy = 0,
+  kDegraded = 1,
+  kEjected = 2,
+};
+
+const char* BackendHealthToString(BackendHealth health);
+
+/// Classic circuit breaker around the reconnect path. kClosed: traffic
+/// flows. kOpen: no connection, no attempts until the backoff expires.
+/// kHalfOpen: one trial connection is probing; a PONG closes the
+/// circuit, any failure reopens it with a doubled (jittered) backoff.
+enum class CircuitState : uint8_t {
+  kClosed = 0,
+  kOpen = 1,
+  kHalfOpen = 2,
+};
+
+const char* CircuitStateToString(CircuitState state);
+
+/// Knobs of the health prober and circuit breaker. The defaults suit a
+/// live deployment; tests shrink the intervals to keep wall time low.
+struct BackendTuning {
+  /// Bound on each TCP connect (see net::ConnectFd).
+  double connect_timeout_seconds = 1.0;
+  /// PING + STATS probe cadence while connected.
+  double probe_interval_seconds = 0.25;
+  /// A probe unanswered for this long counts as one failure.
+  double probe_timeout_seconds = 1.0;
+  /// Consecutive failures that eject the backend (and open the
+  /// circuit). Below the threshold the backend is merely degraded.
+  int eject_after_failures = 3;
+  /// Reconnect backoff: initial, doubling per failed attempt up to the
+  /// cap, with +/- jitter_fraction uniform jitter so a fleet of routers
+  /// does not thunder back in lockstep.
+  double backoff_initial_seconds = 0.05;
+  double backoff_max_seconds = 2.0;
+  double backoff_jitter_fraction = 0.2;
+  /// Weight of the SLO-attainment deficit in the routing score.
+  double attainment_weight = 4.0;
+  /// Seeds the jitter draw (per channel: seed + backend index).
+  uint64_t seed = 1;
+};
+
+/// Routing score of one backend for one service class — lower is
+/// better. `load` is what the backend already owes (the router's
+/// in-flight count toward it plus its last reported gateway queue
+/// depth); `deficit` is how far the class's rolling SLO attainment is
+/// below 1.0 on that backend. A backend missing its OLTP goal scores
+/// worse for OLTP by (1 + weight * deficit), so it stops receiving
+/// OLTP traffic before it collapses while still taking classes it is
+/// meeting.
+inline double BackendScore(double load, double deficit,
+                           double attainment_weight) {
+  const double clamped = std::clamp(deficit, 0.0, 1.0);
+  return (1.0 + load) * (1.0 + attainment_weight * clamped);
+}
+
+/// Read-only view of one backend channel, for routing decisions and the
+/// /statusz table.
+struct BackendSnapshot {
+  int index = 0;
+  BackendAddress address;
+  BackendHealth health = BackendHealth::kEjected;
+  CircuitState circuit = CircuitState::kOpen;
+  bool connected = false;
+  int consecutive_failures = 0;
+  /// Router-side queries owed to this backend (awaiting verdict or
+  /// COMPLETED).
+  uint64_t router_in_flight = 0;
+  /// Last STATS_REPLY: gateway queue depth, admitted count and rolling
+  /// per-class SLO attainment.
+  uint64_t queue_depth = 0;
+  uint64_t admitted = 0;
+  uint64_t accepted = 0;
+  uint64_t completed = 0;
+  std::map<int, double> attainment;
+  // Lifetime counters.
+  uint64_t forwarded = 0;
+  uint64_t failed_over_out = 0;
+  uint64_t cancelled_completions = 0;
+  uint64_t reconnects = 0;
+};
+
+/// One SUBMIT traveling through the router: the query, the front
+/// connection's callbacks (already wrapped with the router's accounting)
+/// and how many placements were attempted. The holder owes exactly one
+/// on_verdict call, plus one on_complete call iff that verdict was
+/// accepted.
+struct RoutedQuery {
+  workload::Query query;
+  bool want_trace = false;
+  net::QueryService::VerdictFn on_verdict;
+  net::QueryService::CompleteFn on_complete;
+  int attempts = 0;
+};
+
+}  // namespace qsched::cluster
+
+#endif  // QSCHED_CLUSTER_BACKEND_H_

@@ -1,0 +1,91 @@
+#include "cluster/backend_pool.h"
+
+#include <chrono>
+#include <limits>
+#include <thread>
+#include <utility>
+
+namespace qsched::cluster {
+
+BackendPool::BackendPool(const std::vector<BackendAddress>& addresses,
+                         const BackendTuning& tuning,
+                         BackendChannel::FailoverFn on_failover,
+                         obs::Telemetry* telemetry) {
+  channels_.reserve(addresses.size());
+  for (size_t i = 0; i < addresses.size(); ++i) {
+    channels_.push_back(std::make_unique<BackendChannel>(
+        addresses[i], tuning, static_cast<int>(i), on_failover, telemetry));
+  }
+  if (telemetry != nullptr) {
+    score_hist_ =
+        telemetry->registry.GetHistogram("qsched_cluster_backend_score");
+  }
+}
+
+void BackendPool::Start() {
+  for (auto& channel : channels_) channel->Start();
+}
+
+void BackendPool::Stop() {
+  for (auto& channel : channels_) channel->Stop();
+}
+
+BackendChannel* BackendPool::Pick(int class_id,
+                                  const BackendChannel* exclude) {
+  BackendChannel* best = nullptr;
+  double best_score = std::numeric_limits<double>::infinity();
+  bool best_healthy = false;
+  for (auto& channel : channels_) {
+    if (channel.get() == exclude) continue;
+    if (!channel->Usable()) continue;
+    const BackendSnapshot snap = channel->Snapshot();
+    if (snap.health == BackendHealth::kEjected) continue;
+    const bool healthy = snap.health == BackendHealth::kHealthy;
+    const double load = static_cast<double>(snap.router_in_flight) +
+                        static_cast<double>(snap.queue_depth);
+    double deficit = 0.0;
+    auto it = snap.attainment.find(class_id);
+    if (it != snap.attainment.end()) deficit = 1.0 - it->second;
+    const double score =
+        BackendScore(load, deficit, channel->tuning().attainment_weight);
+    if (score_hist_ != nullptr) score_hist_->Record(score);
+    // Healthy strictly outranks degraded; score breaks ties within the
+    // same tier.
+    if (healthy && !best_healthy) {
+      best = channel.get();
+      best_score = score;
+      best_healthy = true;
+    } else if (healthy == best_healthy && score < best_score) {
+      best = channel.get();
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+std::vector<BackendSnapshot> BackendPool::Snapshots() const {
+  std::vector<BackendSnapshot> out;
+  out.reserve(channels_.size());
+  for (const auto& channel : channels_) out.push_back(channel->Snapshot());
+  return out;
+}
+
+size_t BackendPool::WaitUsable(size_t min_usable,
+                               double timeout_seconds) const {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_seconds));
+  while (true) {
+    size_t usable = 0;
+    for (const auto& channel : channels_) {
+      if (channel->Usable()) ++usable;
+    }
+    if (usable >= min_usable || std::chrono::steady_clock::now() >= deadline) {
+      return usable;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+}  // namespace qsched::cluster

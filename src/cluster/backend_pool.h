@@ -1,0 +1,56 @@
+#ifndef QSCHED_CLUSTER_BACKEND_POOL_H_
+#define QSCHED_CLUSTER_BACKEND_POOL_H_
+
+#include <memory>
+#include <vector>
+
+#include "cluster/backend.h"
+#include "cluster/backend_channel.h"
+#include "obs/telemetry.h"
+
+namespace qsched::cluster {
+
+/// Owns one BackendChannel per configured backend and answers the
+/// routing question: "which backend should take the next query of class
+/// C?" Selection is least-loaded weighted by SLO-attainment deficit
+/// (see BackendScore): among healthy backends the lowest score wins;
+/// when none is healthy a degraded-but-connected backend is used;
+/// ejected / circuit-open backends are never picked.
+class BackendPool {
+ public:
+  BackendPool(const std::vector<BackendAddress>& addresses,
+              const BackendTuning& tuning,
+              BackendChannel::FailoverFn on_failover,
+              obs::Telemetry* telemetry = nullptr);
+
+  BackendPool(const BackendPool&) = delete;
+  BackendPool& operator=(const BackendPool&) = delete;
+
+  void Start();
+  void Stop();
+
+  /// Picks the best usable backend for `class_id`, skipping `exclude`
+  /// (the channel a failover came from). Returns nullptr when no usable
+  /// backend exists — including when only `exclude` is usable, so a
+  /// failed-over query is not bounced straight back to the backend that
+  /// just dropped it; the caller may re-Pick without the exclusion
+  /// before giving up.
+  BackendChannel* Pick(int class_id, const BackendChannel* exclude);
+
+  std::vector<BackendSnapshot> Snapshots() const;
+
+  /// Blocks until at least `min_usable` backends are usable or the
+  /// timeout elapses. Returns the usable count at exit.
+  size_t WaitUsable(size_t min_usable, double timeout_seconds) const;
+
+  size_t size() const { return channels_.size(); }
+  BackendChannel* channel(size_t i) { return channels_[i].get(); }
+
+ private:
+  std::vector<std::unique_ptr<BackendChannel>> channels_;
+  obs::Histogram* score_hist_ = nullptr;
+};
+
+}  // namespace qsched::cluster
+
+#endif  // QSCHED_CLUSTER_BACKEND_POOL_H_

@@ -1,5 +1,6 @@
 #include "net/client.h"
 
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -30,35 +31,15 @@ double SecondsSince(SteadyClock::time_point t0) {
   return std::chrono::duration<double>(SteadyClock::now() - t0).count();
 }
 
-/// Resolves host:port (IPv4) and connects a blocking TCP socket.
-Result<int> ConnectSocket(const std::string& host, uint16_t port) {
-  addrinfo hints{};
-  hints.ai_family = AF_INET;
-  hints.ai_socktype = SOCK_STREAM;
-  addrinfo* res = nullptr;
-  const std::string port_str = std::to_string(port);
-  int rc = getaddrinfo(host.c_str(), port_str.c_str(), &hints, &res);
-  if (rc != 0 || res == nullptr) {
-    return Status::InvalidArgument(StrPrintf(
-        "cannot resolve %s: %s", host.c_str(), gai_strerror(rc)));
+bool SetBlockingMode(int fd, bool non_blocking) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  if (non_blocking) {
+    flags |= O_NONBLOCK;
+  } else {
+    flags &= ~O_NONBLOCK;
   }
-  int fd = socket(res->ai_family, res->ai_socktype, res->ai_protocol);
-  if (fd < 0) {
-    freeaddrinfo(res);
-    return Status::Internal(StrPrintf("socket: %s", std::strerror(errno)));
-  }
-  if (connect(fd, res->ai_addr, res->ai_addrlen) != 0) {
-    const int err = errno;
-    close(fd);
-    freeaddrinfo(res);
-    return Status::Internal(StrPrintf("connect %s:%s: %s", host.c_str(),
-                                      port_str.c_str(),
-                                      std::strerror(err)));
-  }
-  freeaddrinfo(res);
-  int one = 1;
-  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return fd;
+  return fcntl(fd, F_SETFL, flags) == 0;
 }
 
 ClientCompletion CompletionFromFrame(const Frame& frame) {
@@ -78,9 +59,92 @@ ClientCompletion CompletionFromFrame(const Frame& frame) {
 
 }  // namespace
 
-Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
-                                                uint16_t port) {
-  Result<int> fd = ConnectSocket(host, port);
+Result<int> ConnectFd(const std::string& host, uint16_t port,
+                      double connect_timeout_seconds) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string port_str = std::to_string(port);
+  int rc = getaddrinfo(host.c_str(), port_str.c_str(), &hints, &res);
+  if (rc != 0 || res == nullptr) {
+    return Status::InvalidArgument(StrPrintf(
+        "cannot resolve %s: %s", host.c_str(), gai_strerror(rc)));
+  }
+  int fd = socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+  if (fd < 0) {
+    freeaddrinfo(res);
+    return Status::Internal(StrPrintf("socket: %s", std::strerror(errno)));
+  }
+  auto fail = [&](Status status) -> Result<int> {
+    close(fd);
+    freeaddrinfo(res);
+    return status;
+  };
+  const bool bounded = connect_timeout_seconds > 0.0;
+  if (bounded && !SetBlockingMode(fd, /*non_blocking=*/true)) {
+    return fail(
+        Status::Internal(StrPrintf("fcntl: %s", std::strerror(errno))));
+  }
+  if (connect(fd, res->ai_addr, res->ai_addrlen) != 0) {
+    if (!bounded || errno != EINPROGRESS) {
+      const int err = errno;
+      return fail(Status::Internal(StrPrintf("connect %s:%s: %s",
+                                             host.c_str(), port_str.c_str(),
+                                             std::strerror(err))));
+    }
+    // Bounded connect in flight: wait for writability, then read the
+    // outcome from SO_ERROR — poll() success alone does not mean the
+    // handshake succeeded (a refused connect is also "writable").
+    const auto deadline =
+        SteadyClock::now() +
+        std::chrono::duration_cast<SteadyClock::duration>(
+            std::chrono::duration<double>(connect_timeout_seconds));
+    while (true) {
+      const double remaining =
+          std::chrono::duration<double>(deadline - SteadyClock::now())
+              .count();
+      if (remaining <= 0.0) {
+        return fail(Status::Internal(
+            StrPrintf("connect %s:%s: timed out after %.3fs", host.c_str(),
+                      port_str.c_str(), connect_timeout_seconds)));
+      }
+      pollfd pfd{fd, POLLOUT, 0};
+      int prc = poll(&pfd, 1, static_cast<int>(remaining * 1000.0) + 1);
+      if (prc < 0) {
+        if (errno == EINTR) continue;
+        return fail(
+            Status::Internal(StrPrintf("poll: %s", std::strerror(errno))));
+      }
+      if (prc == 0) continue;  // re-check the deadline
+      int so_error = 0;
+      socklen_t len = sizeof(so_error);
+      if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0) {
+        return fail(Status::Internal(
+            StrPrintf("getsockopt: %s", std::strerror(errno))));
+      }
+      if (so_error != 0) {
+        return fail(Status::Internal(
+            StrPrintf("connect %s:%s: %s", host.c_str(), port_str.c_str(),
+                      std::strerror(so_error))));
+      }
+      break;  // connected
+    }
+  }
+  if (bounded && !SetBlockingMode(fd, /*non_blocking=*/false)) {
+    return fail(
+        Status::Internal(StrPrintf("fcntl: %s", std::strerror(errno))));
+  }
+  freeaddrinfo(res);
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Result<std::unique_ptr<Client>> Client::Connect(
+    const std::string& host, uint16_t port,
+    double connect_timeout_seconds) {
+  Result<int> fd = ConnectFd(host, port, connect_timeout_seconds);
   if (!fd.ok()) return fd.status();
   return std::unique_ptr<Client>(new Client(fd.ValueOrDie()));
 }
@@ -577,6 +641,10 @@ Status RemoteLoadGenerator::RunConnection(int index) {
       pending.erase(sr.request_id);
       if (sr.reject_reason == rt::RejectReason::kShuttingDown) {
         rejected_shutting_down_.fetch_add(1, std::memory_order_relaxed);
+      } else if (sr.reject_reason ==
+                 rt::RejectReason::kBackendUnavailable) {
+        rejected_backend_unavailable_.fetch_add(1,
+                                                std::memory_order_relaxed);
       } else {
         rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
       }
@@ -734,7 +802,7 @@ namespace {
 /// OK when the server answered with ERROR and/or closed the connection.
 Status ProbeOnce(const std::string& host, uint16_t port,
                  const std::vector<uint8_t>& bytes) {
-  Result<int> connected = ConnectSocket(host, port);
+  Result<int> connected = ConnectFd(host, port);
   if (!connected.ok()) return connected.status();
   const int fd = connected.ValueOrDie();
   size_t sent = 0;

@@ -18,6 +18,16 @@
 
 namespace qsched::net {
 
+/// Resolves host:port (IPv4) and connects a TCP socket, returning the
+/// connected fd in blocking mode with TCP_NODELAY set. With
+/// `connect_timeout_seconds > 0` the connect itself is bounded: a dead
+/// or blackholed address fails with DeadlineExceeded after the timeout
+/// instead of hanging for the kernel's minutes-long default — which is
+/// what the cluster layer's backend prober needs to notice a downed
+/// backend quickly. `<= 0` keeps the old fully-blocking behavior.
+Result<int> ConnectFd(const std::string& host, uint16_t port,
+                      double connect_timeout_seconds = 0.0);
+
 /// One finished query as seen by a client. The trace fields are filled
 /// when the server attached the v2 per-stage breakdown (has_trace);
 /// otherwise they stay 0.
@@ -47,9 +57,11 @@ struct ClientCompletion {
 /// are buffered and handed out by NextCompletion()/PollCompletion().
 class Client {
  public:
-  /// Connects (blocking) to host:port.
-  static Result<std::unique_ptr<Client>> Connect(const std::string& host,
-                                                 uint16_t port);
+  /// Connects to host:port. `connect_timeout_seconds` as in ConnectFd:
+  /// > 0 bounds the TCP connect, <= 0 (default) blocks indefinitely.
+  static Result<std::unique_ptr<Client>> Connect(
+      const std::string& host, uint16_t port,
+      double connect_timeout_seconds = 0.0);
   ~Client();
 
   Client(const Client&) = delete;
@@ -215,6 +227,11 @@ class RemoteLoadGenerator {
   uint64_t rejected_shutting_down() const {
     return rejected_shutting_down_;
   }
+  /// REJECTED{BACKEND_UNAVAILABLE} verdicts — only a cluster router
+  /// emits these; a direct backend always stays 0.
+  uint64_t rejected_backend_unavailable() const {
+    return rejected_backend_unavailable_;
+  }
   uint64_t completed() const { return completed_; }
   /// Completions that did not match an outstanding accepted request
   /// (duplicates or unknown ids) — must stay 0.
@@ -242,6 +259,7 @@ class RemoteLoadGenerator {
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> rejected_queue_full_{0};
   std::atomic<uint64_t> rejected_shutting_down_{0};
+  std::atomic<uint64_t> rejected_backend_unavailable_{0};
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> unmatched_{0};
   std::atomic<uint64_t> lost_{0};

@@ -213,7 +213,9 @@ bool DecodeBody(Reader* reader, uint8_t version, Frame* frame) {
       if (!reader->GetU8(&reason)) return false;
       if (reason != static_cast<uint8_t>(rt::RejectReason::kQueueFull) &&
           reason !=
-              static_cast<uint8_t>(rt::RejectReason::kShuttingDown)) {
+              static_cast<uint8_t>(rt::RejectReason::kShuttingDown) &&
+          reason != static_cast<uint8_t>(
+                        rt::RejectReason::kBackendUnavailable)) {
         return false;
       }
       frame->reject_reason = static_cast<rt::RejectReason>(reason);

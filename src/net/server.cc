@@ -30,7 +30,7 @@ bool SetNonBlocking(int fd) {
 
 void Server::Mailbox::Post(PendingCompletion completion) {
   std::lock_guard<std::mutex> lock(mu);
-  if (closed) return;  // server gone; the gateway still accounted it
+  if (closed) return;  // server gone; the service still accounted it
   items.push_back(completion);
   if (wakeup_fd >= 0) {
     // One byte is enough to make poll() return; a full pipe already
@@ -41,9 +41,27 @@ void Server::Mailbox::Post(PendingCompletion completion) {
   }
 }
 
+void Server::Mailbox::PostVerdict(PendingVerdict verdict) {
+  std::lock_guard<std::mutex> lock(mu);
+  if (closed) return;
+  verdicts.push_back(verdict);
+  if (wakeup_fd >= 0) {
+    char byte = 1;
+    ssize_t ignored = write(wakeup_fd, &byte, 1);
+    (void)ignored;
+  }
+}
+
 Server::Server(rt::Gateway* gateway, const ServerOptions& options,
                obs::Telemetry* telemetry)
-    : gateway_(gateway), options_(options), telemetry_(telemetry) {
+    : Server(static_cast<QueryService*>(nullptr), options, telemetry) {
+  owned_service_ = std::make_unique<GatewayService>(gateway, telemetry);
+  service_ = owned_service_.get();
+}
+
+Server::Server(QueryService* service, const ServerOptions& options,
+               obs::Telemetry* telemetry)
+    : service_(service), options_(options), telemetry_(telemetry) {
   unsigned hw = std::thread::hardware_concurrency();
   if (hw == 0) hw = 1;
   num_reactors_ = options_.reactors > 0
@@ -65,6 +83,9 @@ Server::Server(rt::Gateway* gateway, const ServerOptions& options,
         "qsched_net_submit_rejected_total", "reason=\"queue_full\"");
     submit_rejected_shutdown_counter_ = reg.GetCounter(
         "qsched_net_submit_rejected_total", "reason=\"shutting_down\"");
+    submit_rejected_unavailable_counter_ =
+        reg.GetCounter("qsched_net_submit_rejected_total",
+                       "reason=\"backend_unavailable\"");
     completions_dropped_counter_ =
         reg.GetCounter("qsched_net_completions_dropped_total");
     turnaround_hist_ =
@@ -231,7 +252,10 @@ void Server::ReactorLoop(Reactor* reactor) {
       }
       for (const auto& [id, conn] : reactor->conns) {
         if (busy) break;
-        if (conn.in_flight > 0 || !conn.outq.empty()) busy = true;
+        if (conn.in_flight > 0 || !conn.outq.empty() ||
+            !conn.verdict_order.empty()) {
+          busy = true;
+        }
       }
       if (!busy) break;
     }
@@ -296,7 +320,8 @@ void Server::ReactorLoop(Reactor* reactor) {
       bool flushed = conn.outq.empty();
       if (conn.closing && flushed) to_close.push_back(id);
       // Peer hung up and nothing is coming back to it anymore.
-      if (conn.input_done && conn.in_flight == 0 && flushed) {
+      if (conn.input_done && conn.in_flight == 0 &&
+          conn.verdict_order.empty() && flushed) {
         to_close.push_back(id);
       }
     }
@@ -474,59 +499,44 @@ bool Server::HandleFrame(Reactor* reactor, uint64_t conn_id,
         return true;
       }
       auto submitted = std::chrono::steady_clock::now();
-      rt::RejectReason reason = rt::RejectReason::kQueueFull;
-      bool want_trace = frame.want_trace;
-      // The hook captures THIS reactor's mailbox, which is what routes
-      // the completion back to the reactor that owns the connection.
-      bool accepted = gateway_->Offer(
-          frame.query,
-          [mailbox = reactor->mailbox, conn_id, request_id = frame.request_id,
-           submitted, want_trace](const workload::QueryRecord& record) {
+      const uint64_t request_id = frame.request_id;
+      // Both hooks capture THIS reactor's mailbox, which is what routes
+      // the verdict/completion back to the reactor that owns the
+      // connection.
+      SubmitDisposition disposition = service_->Submit(
+          frame.query, frame.want_trace,
+          [mailbox = reactor->mailbox, conn_id, request_id](
+              bool accepted, rt::RejectReason why) {
+            mailbox->PostVerdict({conn_id, request_id, accepted, why});
+          },
+          [mailbox = reactor->mailbox, conn_id, request_id,
+           submitted](const ServiceCompletion& payload) {
             PendingCompletion completion;
             completion.conn_id = conn_id;
             completion.request_id = request_id;
-            completion.class_id = record.class_id;
-            completion.response_seconds = record.ResponseSeconds();
-            completion.exec_seconds = record.ExecSeconds();
-            completion.cancelled = record.cancelled;
             completion.submitted_wall = submitted;
-            if (record.trace != nullptr) {
-              // Copy the stage durations here, on the clock thread where
-              // the trace was just finalized; the reactor only sees the
-              // plain doubles.
-              const obs::QueryStageTrace& trace = *record.trace;
-              completion.has_trace = true;
-              completion.want_trace = want_trace;
-              completion.trace_id = trace.trace_id;
-              completion.stage_gateway_queue_seconds =
-                  trace.GatewayQueueSeconds();
-              completion.stage_dispatch_seconds = trace.DispatchSeconds();
-              completion.stage_execute_seconds = trace.ExecuteSeconds();
-              completion.completed_wall = trace.completed;
-            }
+            completion.payload = payload;
             mailbox->Post(std::move(completion));
-          },
-          &reason);
-      if (accepted) {
-        conn.in_flight += 1;
-        reply.type = FrameType::kAccepted;
-        submits_accepted_.fetch_add(1);
-        if (submit_accepted_counter_ != nullptr) {
-          submit_accepted_counter_->Inc();
-        }
-      } else {
-        reply.type = FrameType::kRejected;
-        reply.reject_reason = reason;
-        submits_rejected_.fetch_add(1);
-        if (reason == rt::RejectReason::kQueueFull) {
-          if (submit_rejected_full_counter_ != nullptr) {
-            submit_rejected_full_counter_->Inc();
-          }
-        } else if (submit_rejected_shutdown_counter_ != nullptr) {
-          submit_rejected_shutdown_counter_->Inc();
-        }
+          });
+      if (disposition.kind == SubmitDisposition::Kind::kDeferred) {
+        // The verdict will surface through the mailbox; park the slot so
+        // verdicts still go out in submission order.
+        conn.verdict_order.push_back(request_id);
+        return true;
       }
-      SendFrame(&conn, reply);
+      const bool accepted =
+          disposition.kind == SubmitDisposition::Kind::kAccepted;
+      if (conn.verdict_order.empty()) {
+        // Fast path (always taken on the direct gateway path): nothing
+        // older is awaiting a verdict, so answer inline.
+        EmitVerdict(&conn, request_id, accepted, disposition.reason);
+      } else {
+        // A deferred verdict is still owed for an older SUBMIT: even a
+        // synchronous verdict must queue behind it.
+        conn.verdict_order.push_back(request_id);
+        conn.verdicts_ready.emplace(
+            request_id, std::make_pair(accepted, disposition.reason));
+      }
       return true;
     }
     case FrameType::kPing: {
@@ -540,20 +550,8 @@ bool Server::HandleFrame(Reactor* reactor, uint64_t conn_id,
       Frame reply;
       reply.type = FrameType::kStatsReply;
       reply.request_id = frame.request_id;
-      reply.stats.accepted = gateway_->accepted();
-      reply.stats.rejected_queue_full = gateway_->rejected_queue_full();
-      reply.stats.rejected_shutting_down =
-          gateway_->rejected_shutting_down();
-      reply.stats.completed = gateway_->completed();
-      reply.stats.queue_depth = gateway_->queue_depth();
+      reply.stats = service_->Stats();
       reply.stats.connections = active_connections_.load();
-      reply.stats.admitted = gateway_->admitted();
-      if (telemetry_ != nullptr) {
-        for (int class_id : telemetry_->slo.ObservedClasses()) {
-          reply.stats.class_attainment.push_back(
-              {class_id, telemetry_->slo.RollingAttainment(class_id)});
-        }
-      }
       SendFrame(&conn, reply);
       return true;
     }
@@ -591,12 +589,26 @@ bool Server::HandleFrame(Reactor* reactor, uint64_t conn_id,
 }
 
 void Server::DrainMailbox(Reactor* reactor) {
+  std::vector<PendingVerdict> verdict_batch;
   std::vector<PendingCompletion> batch;
   {
     std::lock_guard<std::mutex> lock(reactor->mailbox->mu);
+    verdict_batch.swap(reactor->mailbox->verdicts);
     batch.swap(reactor->mailbox->items);
   }
-  for (const PendingCompletion& completion : batch) {
+  // Verdicts first: a service fires a query's verdict strictly before
+  // its completion, and both land in the same mutex-ordered mailbox, so
+  // after this loop every completion in `batch` has its verdict either
+  // already emitted or parked in verdicts_ready.
+  for (const PendingVerdict& verdict : verdict_batch) {
+    auto it = reactor->conns.find(verdict.conn_id);
+    if (it == reactor->conns.end()) continue;  // conn gone; see below
+    it->second.verdicts_ready.emplace(
+        verdict.request_id,
+        std::make_pair(verdict.accepted, verdict.reason));
+    ReleaseReadyVerdicts(reactor, verdict.conn_id);
+  }
+  for (PendingCompletion& completion : batch) {
     auto it = reactor->conns.find(completion.conn_id);
     if (it == reactor->conns.end()) {
       completions_dropped_.fetch_add(1);
@@ -606,41 +618,107 @@ void Server::DrainMailbox(Reactor* reactor) {
       continue;
     }
     Connection& conn = it->second;
-    Frame frame;
-    frame.type = FrameType::kCompleted;
-    frame.request_id = completion.request_id;
-    frame.class_id = completion.class_id;
-    frame.response_seconds = completion.response_seconds;
-    frame.exec_seconds = completion.exec_seconds;
-    frame.cancelled = completion.cancelled;
-    // The encoder drops the trace context again when the connection
-    // negotiated v1.
-    if (completion.has_trace && completion.want_trace) {
-      frame.has_trace = true;
-      frame.trace_id = completion.trace_id;
-      frame.stage_gateway_queue_seconds =
-          completion.stage_gateway_queue_seconds;
-      frame.stage_dispatch_seconds = completion.stage_dispatch_seconds;
-      frame.stage_execute_seconds = completion.stage_execute_seconds;
+    if (conn.verdicts_ready.count(completion.request_id) > 0) {
+      // Its ACCEPTED frame has not gone out yet (an older SUBMIT's
+      // verdict is still owed); the completion rides out right behind
+      // the verdict in ReleaseReadyVerdicts.
+      conn.held_completions.emplace(completion.request_id,
+                                    std::move(completion));
+      continue;
     }
-    SendFrame(&conn, frame);
-    if (conn.in_flight > 0) conn.in_flight -= 1;
-    completions_delivered_.fetch_add(1);
-    auto now = std::chrono::steady_clock::now();
-    if (turnaround_hist_ != nullptr) {
-      turnaround_hist_->Record(
-          std::chrono::duration<double>(now - completion.submitted_wall)
-              .count());
-    }
-    // Fourth stage of the trace: completion callback to COMPLETED bytes
-    // entering the socket buffer.
-    if (completion.has_trace && telemetry_ != nullptr) {
-      FlushStageHistogram(reactor, completion.class_id)
-          ->Record(std::chrono::duration<double>(
-                       now - completion.completed_wall)
-                       .count());
-    }
+    DeliverCompletion(reactor, &conn, completion);
     MaybeFinishDrain(reactor, completion.conn_id);
+  }
+}
+
+void Server::EmitVerdict(Connection* conn, uint64_t request_id,
+                         bool accepted, rt::RejectReason reason) {
+  Frame reply;
+  reply.request_id = request_id;
+  if (accepted) {
+    conn->in_flight += 1;
+    reply.type = FrameType::kAccepted;
+    submits_accepted_.fetch_add(1);
+    if (submit_accepted_counter_ != nullptr) {
+      submit_accepted_counter_->Inc();
+    }
+  } else {
+    reply.type = FrameType::kRejected;
+    reply.reject_reason = reason;
+    submits_rejected_.fetch_add(1);
+    if (reason == rt::RejectReason::kQueueFull) {
+      if (submit_rejected_full_counter_ != nullptr) {
+        submit_rejected_full_counter_->Inc();
+      }
+    } else if (reason == rt::RejectReason::kBackendUnavailable) {
+      if (submit_rejected_unavailable_counter_ != nullptr) {
+        submit_rejected_unavailable_counter_->Inc();
+      }
+    } else if (submit_rejected_shutdown_counter_ != nullptr) {
+      submit_rejected_shutdown_counter_->Inc();
+    }
+  }
+  SendFrame(conn, reply);
+}
+
+void Server::ReleaseReadyVerdicts(Reactor* reactor, uint64_t conn_id) {
+  auto it = reactor->conns.find(conn_id);
+  if (it == reactor->conns.end()) return;
+  Connection& conn = it->second;
+  while (!conn.verdict_order.empty()) {
+    const uint64_t request_id = conn.verdict_order.front();
+    auto ready = conn.verdicts_ready.find(request_id);
+    if (ready == conn.verdicts_ready.end()) break;  // still deferred
+    const auto [accepted, reason] = ready->second;
+    conn.verdicts_ready.erase(ready);
+    conn.verdict_order.pop_front();
+    EmitVerdict(&conn, request_id, accepted, reason);
+    auto held = conn.held_completions.find(request_id);
+    if (held != conn.held_completions.end()) {
+      PendingCompletion completion = std::move(held->second);
+      conn.held_completions.erase(held);
+      DeliverCompletion(reactor, &conn, completion);
+    }
+  }
+  MaybeFinishDrain(reactor, conn_id);
+}
+
+void Server::DeliverCompletion(Reactor* reactor, Connection* conn,
+                               const PendingCompletion& completion) {
+  const ServiceCompletion& payload = completion.payload;
+  Frame frame;
+  frame.type = FrameType::kCompleted;
+  frame.request_id = completion.request_id;
+  frame.class_id = payload.class_id;
+  frame.response_seconds = payload.response_seconds;
+  frame.exec_seconds = payload.exec_seconds;
+  frame.cancelled = payload.cancelled;
+  // The encoder drops the trace context again when the connection
+  // negotiated v1.
+  if (payload.has_trace && payload.want_trace) {
+    frame.has_trace = true;
+    frame.trace_id = payload.trace_id;
+    frame.stage_gateway_queue_seconds =
+        payload.stage_gateway_queue_seconds;
+    frame.stage_dispatch_seconds = payload.stage_dispatch_seconds;
+    frame.stage_execute_seconds = payload.stage_execute_seconds;
+  }
+  SendFrame(conn, frame);
+  if (conn->in_flight > 0) conn->in_flight -= 1;
+  completions_delivered_.fetch_add(1);
+  auto now = std::chrono::steady_clock::now();
+  if (turnaround_hist_ != nullptr) {
+    turnaround_hist_->Record(
+        std::chrono::duration<double>(now - completion.submitted_wall)
+            .count());
+  }
+  // Fourth stage of the trace: completion callback to COMPLETED bytes
+  // entering the socket buffer.
+  if (payload.has_trace && telemetry_ != nullptr) {
+    FlushStageHistogram(reactor, payload.class_id)
+        ->Record(
+            std::chrono::duration<double>(now - payload.completed_wall)
+                .count());
   }
 }
 
@@ -658,7 +736,10 @@ void Server::MaybeFinishDrain(Reactor* reactor, uint64_t conn_id) {
   auto it = reactor->conns.find(conn_id);
   if (it == reactor->conns.end()) return;
   Connection& conn = it->second;
-  if (!conn.draining || conn.in_flight > 0 || conn.closing) return;
+  if (!conn.draining || conn.in_flight > 0 ||
+      !conn.verdict_order.empty() || conn.closing) {
+    return;
+  }
   Frame frame;
   frame.type = FrameType::kDrained;
   frame.request_id = conn.drain_request_id;

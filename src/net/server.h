@@ -15,6 +15,7 @@
 
 #include "common/status.h"
 #include "net/frame.h"
+#include "net/service.h"
 #include "obs/telemetry.h"
 #include "rt/gateway.h"
 
@@ -39,11 +40,22 @@ struct ServerOptions {
 
 /// TCP front-end of the real-time runtime: N reactor threads multiplex
 /// client connections with poll(), decode length-prefixed frames
-/// (net/frame.h), and feed SUBMITs into the rt::Gateway. Admission
-/// verdicts go back immediately (ACCEPTED, or REJECTED{reason} straight
-/// from the gateway's backpressure — a full queue is never a silent
-/// drop), and each query's COMPLETED frame is routed to the connection
-/// that submitted it via the gateway's per-query completion hook.
+/// (net/frame.h), and feed SUBMITs into a QueryService — normally the
+/// local rt::Gateway (GatewayService), or a cluster Router fanning out
+/// to remote backends. Admission verdicts go back as soon as the
+/// service knows them (ACCEPTED, or REJECTED{reason} — a full queue or
+/// a dead backend is never a silent drop), and each query's COMPLETED
+/// frame is routed to the connection that submitted it via the
+/// service's per-query completion hook.
+///
+/// A service may defer a verdict (SubmitDisposition::kDeferred — the
+/// router waiting on a backend round-trip). The wire contract that
+/// verdicts surface in per-connection submission order still holds: a
+/// resolved verdict for a younger SUBMIT is parked until every older
+/// SUBMIT's verdict has been sent, and a COMPLETED whose verdict frame
+/// has not gone out yet is parked behind it the same way. On the
+/// direct gateway path verdicts are synchronous, nothing is ever
+/// parked, and the fast path is byte-for-byte the pre-cluster one.
 ///
 /// Threading model (see DESIGN.md §8-§9). Connections are sharded across
 /// reactors: reactor 0 owns the listening socket and hands each accepted
@@ -77,10 +89,17 @@ struct ServerOptions {
 /// on the same reactor or any other — are unaffected.
 class Server {
  public:
-  /// `gateway` (started) and `telemetry` (optional) must outlive the
-  /// server. The runtime that owns the gateway must stay up until Stop()
-  /// returns, so completions can drain.
+  /// Direct-path convenience: serves a local rt::Gateway (started),
+  /// which — like `telemetry` (optional) — must outlive the server. The
+  /// runtime that owns the gateway must stay up until Stop() returns,
+  /// so completions can drain.
   Server(rt::Gateway* gateway, const ServerOptions& options,
+         obs::Telemetry* telemetry = nullptr);
+
+  /// Generic front: serves any QueryService (must outlive the server,
+  /// and keep honoring its exactly-once callback contract until Stop()
+  /// returns).
+  Server(QueryService* service, const ServerOptions& options,
          obs::Telemetry* telemetry = nullptr);
   ~Server();
 
@@ -116,40 +135,37 @@ class Server {
 
  private:
   /// One finished query on its way back to a connection. Posted by the
-  /// gateway completion callback (clock thread), consumed by the owning
-  /// reactor.
+  /// service's completion callback (clock thread or a cluster channel
+  /// thread), consumed by the owning reactor.
   struct PendingCompletion {
     uint64_t conn_id = 0;
     uint64_t request_id = 0;
-    int32_t class_id = 0;
-    double response_seconds = 0.0;
-    double exec_seconds = 0.0;
-    bool cancelled = false;
     std::chrono::steady_clock::time_point submitted_wall;
-    /// Stage breakdown copied from the query's obs::QueryStageTrace on
-    /// the clock thread (the trace object itself stays there). has_trace
-    /// gates the local flush-stage histogram; want_trace additionally
-    /// gates the wire trace context (the client asked for it and speaks
-    /// v2).
-    bool has_trace = false;
-    bool want_trace = false;
-    uint64_t trace_id = 0;
-    double stage_gateway_queue_seconds = 0.0;
-    double stage_dispatch_seconds = 0.0;
-    double stage_execute_seconds = 0.0;
-    std::chrono::steady_clock::time_point completed_wall;
+    ServiceCompletion payload;
   };
 
-  /// A reactor's completion mailbox, shared with in-flight callbacks
-  /// (see class comment). `wakeup_fd` is that reactor's pipe write end;
-  /// -1 once closed.
+  /// A deferred admission verdict on its way back to a connection.
+  struct PendingVerdict {
+    uint64_t conn_id = 0;
+    uint64_t request_id = 0;
+    bool accepted = false;
+    rt::RejectReason reason = rt::RejectReason::kQueueFull;
+  };
+
+  /// A reactor's mailbox, shared with in-flight callbacks (see class
+  /// comment). `wakeup_fd` is that reactor's pipe write end; -1 once
+  /// closed. Verdicts and completions share the mutex, so posting order
+  /// (a service fires the verdict strictly before the completion) is
+  /// preserved across the swap in DrainMailbox.
   struct Mailbox {
     std::mutex mu;
     std::vector<PendingCompletion> items;
+    std::vector<PendingVerdict> verdicts;
     int wakeup_fd = -1;
     bool closed = false;
 
     void Post(PendingCompletion completion);
+    void PostVerdict(PendingVerdict verdict);
   };
 
   struct Connection {
@@ -174,6 +190,14 @@ class Server {
     bool closing = false;
     /// Input is done (peer EOF or error); stop polling POLLIN.
     bool input_done = false;
+    /// Deferred-verdict ordering (empty on the direct gateway path).
+    /// request_ids whose verdict frame has not been sent yet, in
+    /// submission order; verdicts that resolved out of order wait in
+    /// `verdicts_ready`, and completions that beat their own verdict
+    /// frame wait in `held_completions`, keyed the same way.
+    std::deque<uint64_t> verdict_order;
+    std::map<uint64_t, std::pair<bool, rt::RejectReason>> verdicts_ready;
+    std::map<uint64_t, PendingCompletion> held_completions;
   };
 
   /// One reactor shard. Everything below the hand-off queue is owned by
@@ -206,6 +230,16 @@ class Server {
   /// Returns false when the connection errored and should stop reading.
   bool HandleFrame(Reactor* reactor, uint64_t conn_id, const Frame& frame);
   void DrainMailbox(Reactor* reactor);
+  /// Sends the verdict frame for one SUBMIT and does its accounting
+  /// (counter bumps, in_flight on accept).
+  void EmitVerdict(Connection* conn, uint64_t request_id, bool accepted,
+                   rt::RejectReason reason);
+  /// Releases every in-order verdict that has resolved, and any held
+  /// completion riding right behind its verdict frame.
+  void ReleaseReadyVerdicts(Reactor* reactor, uint64_t conn_id);
+  /// Sends one COMPLETED frame and does its accounting.
+  void DeliverCompletion(Reactor* reactor, Connection* conn,
+                         const PendingCompletion& completion);
   /// Per-class qsched_stage_seconds{stage="flush"} histogram (owning
   /// reactor thread only).
   obs::Histogram* FlushStageHistogram(Reactor* reactor, int class_id);
@@ -218,7 +252,9 @@ class Server {
   /// Tickles every reactor's wakeup pipe.
   void WakeupAll();
 
-  rt::Gateway* gateway_;
+  QueryService* service_;
+  /// Backing GatewayService when constructed from a bare gateway.
+  std::unique_ptr<GatewayService> owned_service_;
   ServerOptions options_;
   obs::Telemetry* telemetry_;
   int num_reactors_ = 1;
@@ -257,6 +293,7 @@ class Server {
   obs::Counter* submit_accepted_counter_ = nullptr;
   obs::Counter* submit_rejected_full_counter_ = nullptr;
   obs::Counter* submit_rejected_shutdown_counter_ = nullptr;
+  obs::Counter* submit_rejected_unavailable_counter_ = nullptr;
   obs::Counter* completions_dropped_counter_ = nullptr;
   obs::Histogram* turnaround_hist_ = nullptr;
 };

@@ -1,0 +1,68 @@
+#include "net/service.h"
+
+#include <utility>
+
+#include "obs/stage_trace.h"
+
+namespace qsched::net {
+
+SubmitDisposition GatewayService::Submit(const workload::Query& query,
+                                         bool want_trace,
+                                         VerdictFn on_verdict,
+                                         CompleteFn on_complete) {
+  (void)on_verdict;  // verdicts are synchronous on the direct path
+  rt::RejectReason reason = rt::RejectReason::kQueueFull;
+  bool accepted = gateway_->Offer(
+      query,
+      [want_trace, on_complete = std::move(on_complete)](
+          const workload::QueryRecord& record) {
+        ServiceCompletion completion;
+        completion.class_id = record.class_id;
+        completion.response_seconds = record.ResponseSeconds();
+        completion.exec_seconds = record.ExecSeconds();
+        completion.cancelled = record.cancelled;
+        if (record.trace != nullptr) {
+          // Copy the stage durations here, on the clock thread where the
+          // trace was just finalized; the consumer only sees plain
+          // doubles. want_trace=false still fills has_trace so the
+          // server's flush-stage histogram works; the encoder never puts
+          // the context on the wire unless the client asked.
+          const obs::QueryStageTrace& trace = *record.trace;
+          completion.has_trace = true;
+          completion.want_trace = want_trace;
+          completion.trace_id = trace.trace_id;
+          completion.stage_gateway_queue_seconds =
+              trace.GatewayQueueSeconds();
+          completion.stage_dispatch_seconds = trace.DispatchSeconds();
+          completion.stage_execute_seconds = trace.ExecuteSeconds();
+          completion.completed_wall = trace.completed;
+        }
+        on_complete(completion);
+      },
+      &reason);
+  return accepted ? SubmitDisposition::Accepted()
+                  : SubmitDisposition::Rejected(reason);
+}
+
+WireStats GatewayService::Stats() {
+  WireStats stats;
+  stats.accepted = gateway_->accepted();
+  stats.rejected_queue_full = gateway_->rejected_queue_full();
+  stats.rejected_shutting_down = gateway_->rejected_shutting_down();
+  stats.completed = gateway_->completed();
+  stats.queue_depth = gateway_->queue_depth();
+  stats.admitted = gateway_->admitted();
+  if (telemetry_ != nullptr) {
+    for (int class_id : telemetry_->slo.ObservedClasses()) {
+      stats.class_attainment.push_back(
+          {class_id, telemetry_->slo.RollingAttainment(class_id)});
+    }
+  }
+  return stats;
+}
+
+bool GatewayService::shutting_down() {
+  return gateway_->health() != rt::GatewayHealth::kAccepting;
+}
+
+}  // namespace qsched::net

@@ -1,0 +1,124 @@
+#ifndef QSCHED_NET_SERVICE_H_
+#define QSCHED_NET_SERVICE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+#include "net/frame.h"
+#include "rt/gateway.h"
+#include "workload/query.h"
+
+namespace qsched::net {
+
+/// One finished query on its way back to the submitting connection, in
+/// plain-value form: whoever produces it (the local gateway's clock
+/// thread, a cluster backend channel) copies everything the wire
+/// COMPLETED frame needs out of its own data structures, so the reactor
+/// that delivers it never touches foreign state.
+struct ServiceCompletion {
+  int32_t class_id = 0;
+  double response_seconds = 0.0;
+  double exec_seconds = 0.0;
+  bool cancelled = false;
+  /// Stage breakdown (v2 trace context). has_trace gates the local
+  /// flush-stage histogram; want_trace additionally gates the wire
+  /// context (the client asked for it on the SUBMIT and speaks v2).
+  bool has_trace = false;
+  bool want_trace = false;
+  uint64_t trace_id = 0;
+  double stage_gateway_queue_seconds = 0.0;
+  double stage_dispatch_seconds = 0.0;
+  double stage_execute_seconds = 0.0;
+  std::chrono::steady_clock::time_point completed_wall{};
+};
+
+/// What a QueryService did with one SUBMIT, synchronously. kDeferred
+/// means the verdict is not known yet (a router still probing backends);
+/// the service promises to invoke the verdict callback exactly once,
+/// later, from any thread.
+struct SubmitDisposition {
+  enum class Kind : uint8_t {
+    kAccepted = 0,
+    kRejected = 1,
+    kDeferred = 2,
+  };
+  Kind kind = Kind::kRejected;
+  rt::RejectReason reason = rt::RejectReason::kQueueFull;
+
+  static SubmitDisposition Accepted() {
+    return {Kind::kAccepted, rt::RejectReason::kQueueFull};
+  }
+  static SubmitDisposition Rejected(rt::RejectReason why) {
+    return {Kind::kRejected, why};
+  }
+  static SubmitDisposition Deferred() {
+    return {Kind::kDeferred, rt::RejectReason::kQueueFull};
+  }
+};
+
+/// The pluggable back half of net::Server: where SUBMITs go. The direct
+/// runtime path (GatewayService below) answers verdicts inline and
+/// completes on the clock thread; the cluster router answers both
+/// asynchronously after a backend round-trip. The server guarantees the
+/// peer still observes per-connection submission-order verdicts either
+/// way (DESIGN.md §12).
+class QueryService {
+ public:
+  /// Delivers the admission verdict of a deferred SUBMIT. Must be
+  /// invoked exactly once, from any thread; `accepted` false carries the
+  /// reject reason.
+  using VerdictFn = std::function<void(bool accepted, rt::RejectReason)>;
+  /// Delivers the COMPLETED payload of an accepted query. Must be
+  /// invoked exactly once per accepted query, from any thread, after the
+  /// verdict.
+  using CompleteFn = std::function<void(const ServiceCompletion&)>;
+
+  virtual ~QueryService() = default;
+
+  /// Hands one query over. A kAccepted/kRejected disposition is final
+  /// and immediate — the callbacks' ownership stays with the caller only
+  /// until this returns, and `on_verdict` is then never invoked (the
+  /// caller already knows). kDeferred transfers both callbacks to the
+  /// service: `on_verdict` fires exactly once when the verdict is known,
+  /// and `on_complete` exactly once more if that verdict was accepted.
+  /// `want_trace` asks for the v2 stage breakdown in the completion.
+  virtual SubmitDisposition Submit(const workload::Query& query,
+                                   bool want_trace, VerdictFn on_verdict,
+                                   CompleteFn on_complete) = 0;
+
+  /// Snapshot for STATS_REPLY. `connections` is filled by the server.
+  virtual WireStats Stats() = 0;
+
+  /// Whether new SUBMITs should be turned away with kShuttingDown (the
+  /// service is draining for good, as opposed to transient rejects).
+  virtual bool shutting_down() = 0;
+};
+
+/// The direct path: adapts rt::Gateway (plus its telemetry's SloMonitor
+/// for the v2 stats) to QueryService. Verdicts are synchronous — exactly
+/// the pre-refactor behavior and cost — and completions arrive on the
+/// runtime's clock thread, where the stage trace is copied into the
+/// plain ServiceCompletion.
+class GatewayService : public QueryService {
+ public:
+  /// `gateway` (started) must outlive the service; `telemetry` may be
+  /// null (stats then omit class attainment).
+  explicit GatewayService(rt::Gateway* gateway,
+                          obs::Telemetry* telemetry = nullptr)
+      : gateway_(gateway), telemetry_(telemetry) {}
+
+  SubmitDisposition Submit(const workload::Query& query, bool want_trace,
+                           VerdictFn on_verdict,
+                           CompleteFn on_complete) override;
+  WireStats Stats() override;
+  bool shutting_down() override;
+
+ private:
+  rt::Gateway* gateway_;
+  obs::Telemetry* telemetry_;
+};
+
+}  // namespace qsched::net
+
+#endif  // QSCHED_NET_SERVICE_H_

@@ -12,6 +12,8 @@ const char* RejectReasonToString(RejectReason reason) {
       return "queue_full";
     case RejectReason::kShuttingDown:
       return "shutting_down";
+    case RejectReason::kBackendUnavailable:
+      return "backend_unavailable";
   }
   return "unknown";
 }

@@ -38,11 +38,13 @@ inline constexpr size_t kDefaultAdmitBatch = 32;
 
 /// Why a submission was turned away. kQueueFull is open-loop shedding
 /// (transient backpressure — retrying makes sense); kShuttingDown means
-/// intake is closed for good. The network layer forwards this verbatim
-/// as the wire REJECTED{reason}.
+/// intake is closed for good; kBackendUnavailable is the cluster
+/// router's verdict when no healthy backend could take the query. The
+/// network layer forwards this verbatim as the wire REJECTED{reason}.
 enum class RejectReason : uint8_t {
   kQueueFull = 1,
   kShuttingDown = 2,
+  kBackendUnavailable = 3,
 };
 
 const char* RejectReasonToString(RejectReason reason);

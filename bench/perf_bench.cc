@@ -38,6 +38,12 @@
 //      embedded exposition server attached and a 1 Hz /metrics scraper
 //      running, vs fully detached — the scrape path must cost <= 2% of
 //      completion throughput.
+//   7. Replay capture overhead: the rt gateway benchmark with a
+//      TraceRecorder hooked at the gateway's offer point
+//      (--capture-trace in the CLIs) vs without — the per-offer record
+//      into the per-thread buffer must cost <= 2% of completion
+//      throughput, and the recorder must capture every offered query
+//      (captured + dropped == offered).
 //
 // Emits a JSON report (scripts/run_bench.sh writes it to
 // BENCH_qsched.json at the repo root). All numbers are host-dependent;
@@ -75,6 +81,7 @@
 #include "net/server.h"
 #include "obs/http_server.h"
 #include "obs/telemetry.h"
+#include "replay/recorder.h"
 #include "rt/loadgen.h"
 #include "rt/runtime.h"
 #include "scheduler/service_class.h"
@@ -261,6 +268,9 @@ struct RtGatewayNumbers {
   // the attached 1 Hz /metrics scraper.
   uint64_t scrapes = 0;
   uint64_t scrape_bytes = 0;
+  // replay_capture section only: the recorder's own accounting.
+  uint64_t captured = 0;
+  uint64_t dropped = 0;
 };
 
 /// One blocking GET against the embedded HTTP server; returns bytes
@@ -303,8 +313,13 @@ size_t HttpScrapeOnce(uint16_t port, const char* path) {
 /// the whole benchmark with a 1 Hz GET /metrics scraper thread attached
 /// (the http_obs overhead measurement); otherwise no HTTP server exists
 /// at all (the detached baseline).
+/// When `capture_trace_path` is non-empty, a replay::TraceRecorder is
+/// hooked at the gateway's offer point for the whole run (the
+/// replay_capture overhead measurement).
 RtGatewayNumbers BenchRtGateway(double qps, double duration_seconds,
-                                bool attach_scraper = false) {
+                                bool attach_scraper = false,
+                                const std::string& capture_trace_path =
+                                    std::string()) {
   RtGatewayNumbers numbers;
   numbers.qps_target = qps;
 
@@ -366,6 +381,25 @@ RtGatewayNumbers BenchRtGateway(double qps, double duration_seconds,
     });
   }
 
+  std::unique_ptr<qsched::replay::TraceRecorder> recorder;
+  if (!capture_trace_path.empty()) {
+    qsched::replay::RecorderOptions recorder_options;
+    recorder_options.writer.path = capture_trace_path;
+    recorder_options.writer.header.time_scale = options.time_scale;
+    recorder = std::make_unique<qsched::replay::TraceRecorder>(
+        recorder_options, &telemetry);
+    qsched::Status recording = recorder->Start();
+    if (!recording.ok()) {
+      std::fprintf(stderr, "replay_capture: recorder start failed: %s\n",
+                   recording.ToString().c_str());
+      return numbers;
+    }
+    runtime.gateway().set_on_offer(
+        [rec = recorder.get()](const qsched::workload::Query& query) {
+          rec->Record(query);
+        });
+  }
+
   auto start = Clock::now();
   runtime.Start();
   qsched::rt::LoadGenerator loadgen(
@@ -378,6 +412,12 @@ RtGatewayNumbers BenchRtGateway(double qps, double duration_seconds,
   qsched::rt::Runtime::Stats stats =
       runtime.Shutdown(/*drain_timeout_wall_seconds=*/300.0);
   double total_seconds = Seconds(start);
+
+  if (recorder != nullptr) {
+    (void)recorder->Stop();
+    numbers.captured = recorder->captured();
+    numbers.dropped = recorder->dropped();
+  }
 
   if (attach_scraper) {
     scraping.store(false);
@@ -699,6 +739,8 @@ int main(int argc, char** argv) {
         "       (TCP loopback latency section; blocking submission)\n"
         "       --http-obs-qps=Q --http-obs-duration=S\n"
         "       (HTTP observability overhead section)\n"
+        "       --replay-capture-qps=Q --replay-capture-duration=S\n"
+        "       (trace capture overhead section: recorder on vs off)\n"
         "       --cluster-qps=Q --cluster-duration=S "
         "--cluster-backends=N\n"
         "       (cluster router section: direct vs routed)\n"
@@ -726,6 +768,9 @@ int main(int argc, char** argv) {
       flags.GetDouble("net-latency-time-scale", 6000.0);
   double http_obs_qps = flags.GetDouble("http-obs-qps", 1500.0);
   double http_obs_duration = flags.GetDouble("http-obs-duration", 2.0);
+  double replay_capture_qps = flags.GetDouble("replay-capture-qps", 1500.0);
+  double replay_capture_duration =
+      flags.GetDouble("replay-capture-duration", 2.0);
   double cluster_qps = flags.GetDouble("cluster-qps", 1500.0);
   double cluster_duration = flags.GetDouble("cluster-duration", 2.0);
   int cluster_backends =
@@ -924,9 +969,47 @@ int main(int argc, char** argv) {
                  obs_overhead_pct);
   }
 
+  std::printf("== replay capture: %.0f qps for %.1f s, recorder on vs "
+              "off ==\n",
+              replay_capture_qps, replay_capture_duration);
+  RtGatewayNumbers capture_off =
+      BenchRtGateway(replay_capture_qps, replay_capture_duration);
+  char trace_path[128];
+  std::snprintf(trace_path, sizeof(trace_path),
+                "/tmp/qsched_bench_capture_%d.bin",
+                static_cast<int>(getpid()));
+  RtGatewayNumbers capture_on =
+      BenchRtGateway(replay_capture_qps, replay_capture_duration,
+                     /*attach_scraper=*/false, trace_path);
+  std::remove(trace_path);
+  double capture_overhead_pct =
+      capture_off.completions_per_sec > 0.0
+          ? (1.0 - capture_on.completions_per_sec /
+                       capture_off.completions_per_sec) *
+                100.0
+          : 0.0;
+  bool capture_conserved =
+      capture_on.captured + capture_on.dropped == capture_on.offered;
+  std::printf("off %.0f completions/sec, on %.0f completions/sec "
+              "(captured %llu, dropped %llu), overhead %.2f%%%s\n",
+              capture_off.completions_per_sec,
+              capture_on.completions_per_sec,
+              static_cast<unsigned long long>(capture_on.captured),
+              static_cast<unsigned long long>(capture_on.dropped),
+              capture_overhead_pct,
+              capture_conserved ? "" : "  [CONSERVATION VIOLATED]");
+  if (capture_overhead_pct > 2.0) {
+    std::fprintf(stderr,
+                 "WARNING: capture overhead %.2f%% > 2%% (short runs "
+                 "are noisy; rerun with a longer "
+                 "--replay-capture-duration before concluding a "
+                 "regression)\n",
+                 capture_overhead_pct);
+  }
+
   std::string json;
   {
-    char buffer[16384];
+    char buffer[20480];
     std::snprintf(
         buffer, sizeof(buffer),
         "{\n"
@@ -1028,6 +1111,18 @@ int main(int argc, char** argv) {
         "    \"scrapes\": %llu,\n"
         "    \"scrape_bytes\": %llu,\n"
         "    \"overhead_pct\": %.2f\n"
+        "  },\n"
+        "  \"replay_capture\": {\n"
+        "    \"qps_target\": %.0f,\n"
+        "    \"duration_seconds\": %.2f,\n"
+        "    \"capture_off_qps\": %.0f,\n"
+        "    \"capture_on_qps\": %.0f,\n"
+        "    \"capture_off_completions_per_sec\": %.0f,\n"
+        "    \"capture_on_completions_per_sec\": %.0f,\n"
+        "    \"captured\": %llu,\n"
+        "    \"dropped\": %llu,\n"
+        "    \"conserved\": %s,\n"
+        "    \"overhead_pct\": %.2f\n"
         "  }\n"
         "}\n",
         std::thread::hardware_concurrency(), threads_used,
@@ -1075,7 +1170,12 @@ int main(int argc, char** argv) {
         attached.completions_per_sec,
         static_cast<unsigned long long>(attached.scrapes),
         static_cast<unsigned long long>(attached.scrape_bytes),
-        obs_overhead_pct);
+        obs_overhead_pct, replay_capture_qps, replay_capture_duration,
+        capture_off.sustained_qps, capture_on.sustained_qps,
+        capture_off.completions_per_sec, capture_on.completions_per_sec,
+        static_cast<unsigned long long>(capture_on.captured),
+        static_cast<unsigned long long>(capture_on.dropped),
+        capture_conserved ? "true" : "false", capture_overhead_pct);
     json = buffer;
   }
   if (!out_path.empty()) {

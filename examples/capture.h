@@ -1,0 +1,116 @@
+// --capture-trace support shared by the serving CLIs (rt_cli serve-style
+// runs, net_cli --mode=serve, cluster_cli --mode=route): builds a
+// replay::TraceRecorder from flags, and assembles the live-run summary
+// segment from the scheduler's state at shutdown.
+//
+// Flags:
+//   --capture-trace=PATH    record every offered query to PATH
+//   --capture-rotate-mb=N   rotate to PATH.1, PATH.2, ... above N MB (0)
+//   --capture-buffer=N      per-producer-thread buffer records (8192)
+#ifndef QSCHED_EXAMPLES_CAPTURE_H_
+#define QSCHED_EXAMPLES_CAPTURE_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/flags.h"
+#include "obs/telemetry.h"
+#include "replay/recorder.h"
+#include "scheduler/query_scheduler.h"
+#include "scheduler/service_class.h"
+#include "scheduler/utility.h"
+
+namespace qsched_examples {
+
+/// Builds and starts a trace recorder when --capture-trace=PATH is set;
+/// returns nullptr otherwise (and on open failure, which is reported).
+/// `time_scale` and `seed` are stamped into the trace header.
+inline std::unique_ptr<qsched::replay::TraceRecorder> MaybeStartCapture(
+    const qsched::FlagParser& flags, double time_scale, uint64_t seed,
+    qsched::obs::Telemetry* telemetry) {
+  const std::string path = flags.GetString("capture-trace", "");
+  if (path.empty()) return nullptr;
+  qsched::replay::RecorderOptions options;
+  options.writer.path = path;
+  options.writer.rotate_bytes = static_cast<uint64_t>(
+      flags.GetDouble("capture-rotate-mb", 0.0) * 1e6);
+  options.writer.header.time_scale = time_scale;
+  options.writer.header.seed = seed;
+  options.buffer_records =
+      static_cast<size_t>(flags.GetInt("capture-buffer", 8192));
+  auto recorder = std::make_unique<qsched::replay::TraceRecorder>(
+      options, telemetry);
+  qsched::Status started = recorder->Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "trace capture disabled: %s\n",
+                 started.ToString().c_str());
+    return nullptr;
+  }
+  std::printf("capturing trace to %s\n", path.c_str());
+  return recorder;
+}
+
+/// The live-run context for the trailing summary segment: per class, the
+/// scheduler's latest accepted measurement, the SLO monitor's rolling
+/// attainment, and the live plan's cost limit; plus total utility under
+/// the default utility function (the same one the shadow planner scores
+/// candidates with, so WHATIF lines compare like with like).
+inline qsched::replay::TraceSummary MakeCaptureSummary(
+    const qsched::sched::QuerySchedulerConfig& config,
+    qsched::sched::QueryScheduler* scheduler,
+    const qsched::sched::ServiceClassSet& classes,
+    qsched::obs::Telemetry* telemetry) {
+  qsched::replay::TraceSummary summary;
+  summary.control_interval_seconds = config.control_interval_seconds;
+  summary.system_cost_limit = config.system_cost_limit;
+  summary.allocator =
+      config.allocator ==
+              qsched::sched::QuerySchedulerConfig::Allocator::kGreedyAuction
+          ? 1u
+          : 0u;
+  const qsched::sched::UtilityFunction utility;
+  for (const qsched::sched::ServiceClassSpec& spec : classes.classes()) {
+    qsched::replay::TraceSummaryClass cls;
+    cls.class_id = static_cast<uint32_t>(spec.class_id);
+    auto it = scheduler->measurements().find(spec.class_id);
+    cls.measured = it != scheduler->measurements().end() ? it->second : 0.0;
+    cls.attainment = telemetry != nullptr
+                         ? telemetry->slo.RollingAttainment(spec.class_id)
+                         : 0.0;
+    cls.cost_limit = scheduler->current_plan().LimitFor(spec.class_id);
+    summary.total_utility +=
+        cls.measured > 0.0 ? utility.Evaluate(spec, cls.measured)
+                           : utility.FromGoalRatio(spec, 0.0);
+    summary.classes.push_back(cls);
+  }
+  return summary;
+}
+
+/// Stops the recorder (no-op on nullptr), writes `summary` when given,
+/// and prints the capture accounting line.
+inline void StopCapture(qsched::replay::TraceRecorder* recorder,
+                        const qsched::replay::TraceSummary* summary) {
+  if (recorder == nullptr) return;
+  qsched::Status stopped = recorder->Stop(summary);
+  if (!stopped.ok()) {
+    std::fprintf(stderr, "trace capture stop: %s\n",
+                 stopped.ToString().c_str());
+  }
+  std::printf("CAPTURE captured=%llu dropped=%llu segments=%llu "
+              "bytes=%llu\n",
+              static_cast<unsigned long long>(recorder->captured()),
+              static_cast<unsigned long long>(recorder->dropped()),
+              static_cast<unsigned long long>(
+                  recorder->writer() != nullptr
+                      ? recorder->writer()->segments_written()
+                      : 0),
+              static_cast<unsigned long long>(
+                  recorder->writer() != nullptr
+                      ? recorder->writer()->bytes_written()
+                      : 0));
+}
+
+}  // namespace qsched_examples
+
+#endif  // QSCHED_EXAMPLES_CAPTURE_H_

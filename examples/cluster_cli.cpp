@@ -26,6 +26,14 @@
 //   --eject-after=N       consecutive failures ejecting a backend (3)
 //   --attainment-weight=X SLO-deficit weight in the routing score (4)
 //   --seed=N              backoff jitter seed (42)
+//   --capture-trace=PATH  record every routed query to a replay trace
+//                         (see replay_cli); no live summary is appended
+//                         — the router has no scheduler of its own
+//   --capture-rotate-mb=N rotate the trace above N MB (0 = never)
+//   --capture-buffer=N    per-producer capture buffer records (8192)
+//   --time-scale=X        model-seconds-per-wall-second stamp for the
+//                         captured trace header (60, matching the
+//                         backends' serve default)
 //   --metrics-out=PATH    Prometheus text exposition at exit
 //   --http-port=N         observability HTTP server: /metrics, /varz,
 //                         /healthz, /statusz with the backend table
@@ -46,6 +54,7 @@
 #include <thread>
 #include <vector>
 
+#include "capture.h"
 #include "cluster/router.h"
 #include "common/flags.h"
 #include "net/server.h"
@@ -112,6 +121,16 @@ int RunRoute(const qsched::FlagParser& flags) {
   options.tuning.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
 
   qsched::cluster::Router router(backends, options, &telemetry);
+  std::unique_ptr<qsched::replay::TraceRecorder> recorder =
+      qsched_examples::MaybeStartCapture(
+          flags, flags.GetDouble("time-scale", 60.0), options.tuning.seed,
+          &telemetry);
+  if (recorder != nullptr) {
+    router.set_on_offer(
+        [rec = recorder.get()](const qsched::workload::Query& query) {
+          rec->Record(query);
+        });
+  }
   router.Start();
   const size_t usable = router.pool().WaitUsable(backends.size(), 2.0);
   std::printf("cluster route: %zu/%zu backends usable\n", usable,
@@ -200,12 +219,14 @@ int RunRoute(const qsched::FlagParser& flags) {
   front.Stop();
   router.Stop();
   if (http != nullptr) http->Stop();
+  qsched_examples::StopCapture(recorder.get(), nullptr);
 
   const qsched::cluster::RouterAccounting acc = router.Accounting();
   std::printf(
-      "CLUSTER offered=%llu accepted=%llu rejected_relayed=%llu "
+      "CLUSTER seed=%llu offered=%llu accepted=%llu rejected_relayed=%llu "
       "rejected_unroutable=%llu completions=%llu cancelled=%llu "
       "failovers=%llu retries=%llu\n",
+      static_cast<unsigned long long>(options.tuning.seed),
       static_cast<unsigned long long>(acc.offered),
       static_cast<unsigned long long>(acc.accepted),
       static_cast<unsigned long long>(acc.rejected_relayed),

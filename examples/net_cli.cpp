@@ -29,6 +29,13 @@
 //   --queue-capacity=N   submission queue bound (4096)
 //   --admit-batch=N      max queries admitted per core-lock entry
 //                        (0 = default 32)
+//   --cost-limit=X       scheduler system cost limit in timerons
+//                        (300000); lower it to throttle OLAP admission
+//   --capture-trace=PATH record every offered query to a replay trace
+//                        (see replay_cli); a summary of the live run's
+//                        measured performance is appended at shutdown
+//   --capture-rotate-mb=N  rotate the trace above N MB (0 = never)
+//   --capture-buffer=N   per-producer capture buffer records (8192)
 //   --report-html=PATH   self-contained HTML run report
 //   --http-port=N        embedded observability HTTP server: GET
 //                        /metrics, /varz, /healthz, /statusz (0 =
@@ -57,6 +64,7 @@
 #include <string>
 #include <thread>
 
+#include "capture.h"
 #include "common/flags.h"
 #include "harness/experiment.h"
 #include "harness/html_report.h"
@@ -119,11 +127,22 @@ int RunServe(const qsched::FlagParser& flags) {
   options.gateway.workers = static_cast<int>(flags.GetInt("workers", 2));
   options.gateway.admit_batch_size =
       static_cast<size_t>(flags.GetInt("admit-batch", 0));
+  options.scheduler.system_cost_limit =
+      flags.GetDouble("cost-limit", options.scheduler.system_cost_limit);
   options.telemetry = &telemetry;
 
   qsched::sched::ServiceClassSet classes =
       qsched::sched::MakePaperClasses();
   qsched::rt::Runtime runtime(classes, options);
+  std::unique_ptr<qsched::replay::TraceRecorder> recorder =
+      qsched_examples::MaybeStartCapture(flags, options.time_scale, seed,
+                                         &telemetry);
+  if (recorder != nullptr) {
+    runtime.gateway().set_on_offer(
+        [rec = recorder.get()](const qsched::workload::Query& query) {
+          rec->Record(query);
+        });
+  }
   runtime.Start();
 
   qsched::net::ServerOptions server_options;
@@ -172,6 +191,13 @@ int RunServe(const qsched::FlagParser& flags) {
   // Stop the observability server after the drain so a scraper polling
   // /healthz can watch accepting -> draining -> stopped.
   if (http != nullptr) http->Stop();
+  if (recorder != nullptr) {
+    const qsched::replay::TraceSummary summary =
+        qsched_examples::MakeCaptureSummary(options.scheduler,
+                                            &runtime.scheduler(), classes,
+                                            &telemetry);
+    qsched_examples::StopCapture(recorder.get(), &summary);
+  }
 
   std::printf(
       "serve done: connections %llu (refused %llu), frames in %llu / "
@@ -303,9 +329,10 @@ int RunNetload(const qsched::FlagParser& flags) {
   const double rate =
       feed > 0.0 ? static_cast<double>(loadgen.offered()) / feed : 0.0;
   std::printf(
-      "NETLOAD offered=%llu accepted=%llu rejected=%llu completed=%llu "
-      "lost=%llu unmatched=%llu wall=%.2f feed=%.2f drain=%.2f "
-      "rate=%.1f rtt_p50_us=%.0f rtt_p99_us=%.0f\n",
+      "NETLOAD seed=%llu offered=%llu accepted=%llu rejected=%llu "
+      "completed=%llu lost=%llu unmatched=%llu wall=%.2f feed=%.2f "
+      "drain=%.2f rate=%.1f rtt_p50_us=%.0f rtt_p99_us=%.0f\n",
+      static_cast<unsigned long long>(options.seed),
       static_cast<unsigned long long>(loadgen.offered()),
       static_cast<unsigned long long>(loadgen.accepted()),
       static_cast<unsigned long long>(rejected),

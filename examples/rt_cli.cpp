@@ -20,6 +20,11 @@
 //   --tpch-scale=X       TPC-H scale factor for the OLAP classes (0.1;
 //                        larger scans stretch the post-run drain)
 //   --seed=N             RNG seed for the load draws (42)
+//   --capture-trace=PATH record every offered query to a replay trace
+//                        (see replay_cli); a summary of the live run's
+//                        measured performance is appended at shutdown
+//   --capture-rotate-mb=N  rotate the trace above N MB (0 = never)
+//   --capture-buffer=N   per-producer capture buffer records (8192)
 //   --metrics-out=PATH   Prometheus text exposition of the registry
 //   --audit-out=PATH     planner decision audit trail as JSONL
 //   --report-html=PATH   self-contained HTML run report
@@ -37,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "capture.h"
 #include "common/flags.h"
 #include "harness/experiment.h"
 #include "harness/html_report.h"
@@ -153,6 +159,15 @@ int main(int argc, char** argv) {
   }
 
   qsched::rt::Runtime runtime(classes, options);
+  std::unique_ptr<qsched::replay::TraceRecorder> recorder =
+      qsched_examples::MaybeStartCapture(flags, time_scale, seed,
+                                         &telemetry);
+  if (recorder != nullptr) {
+    runtime.gateway().set_on_offer(
+        [rec = recorder.get()](const qsched::workload::Query& query) {
+          rec->Record(query);
+        });
+  }
   runtime.Start();
   std::unique_ptr<qsched::obs::HttpServer> http =
       qsched_examples::MaybeStartHttpObs(
@@ -194,10 +209,18 @@ int main(int argc, char** argv) {
   loadgen.Join();
   qsched::rt::Runtime::Stats stats = runtime.Shutdown();
   if (http != nullptr) http->Stop();
+  if (recorder != nullptr) {
+    const qsched::replay::TraceSummary summary =
+        qsched_examples::MakeCaptureSummary(options.scheduler,
+                                            &runtime.scheduler(), classes,
+                                            &telemetry);
+    qsched_examples::StopCapture(recorder.get(), &summary);
+  }
 
-  std::printf("offered %llu, shed %llu, completed %llu "
+  std::printf("seed %llu: offered %llu, shed %llu, completed %llu "
               "(%.0f completions/s wall), planning cycles %llu, "
               "model horizon %.1f s%s\n",
+              static_cast<unsigned long long>(seed),
               static_cast<unsigned long long>(loadgen.offered()),
               static_cast<unsigned long long>(loadgen.shed()),
               static_cast<unsigned long long>(stats.completed),

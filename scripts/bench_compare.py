@@ -11,6 +11,7 @@ when the two runs used different sizing knobs (--events, durations):
   rt_gateway.sustained_qps          higher is better
   net_loopback.sustained_qps        higher is better
   net_latency.rtt_p50_us            lower is better
+  replay_capture.capture_on_qps     higher is better
 
 (net_loopback.rtt_p50_us is deliberately not tracked: in pipelined mode
 it measures time spent queued at the configured in-flight depth, which
@@ -33,6 +34,7 @@ METRICS = [
     ("net_loopback.sustained_qps", True),
     ("net_latency.rtt_p50_us", False),
     ("cluster_loopback.sustained_qps", True),
+    ("replay_capture.capture_on_qps", True),
 ]
 
 

@@ -1,0 +1,213 @@
+#!/usr/bin/env bash
+# End-to-end smoke of capture & replay (DESIGN.md §13). Three acts:
+#
+#  1. Capture: net_cli --mode=serve with --capture-trace under a
+#     deliberately tight --cost-limit=5000 (so the live run violates its
+#     OLAP goals and leaves room for a better plan), driven by
+#     --mode=netload at >= 1000 submissions/s. Checks client-side
+#     conservation AND the recorder invariant
+#     captured + dropped == offered.
+#  2. Replay: a fresh serve on a new port, the trace replayed at 2x
+#     speed; replay_cli exits 2 on any conservation violation, and the
+#     REPLAY line is re-checked here.
+#  3. Whatif: the shadow planner over >= 3 candidate plans. The report
+#     must be byte-identical at --jobs=1 vs --jobs=4, and at least one
+#     candidate must beat the live run's measured utility.
+#
+# Registered with CTest as `replay_smoke`.
+#
+# Usage: replay_smoke.sh <path-to-net_cli> <path-to-replay_cli>
+set -euo pipefail
+
+NET_CLI="${1:?usage: replay_smoke.sh <net_cli> <replay_cli>}"
+REPLAY_CLI="${2:?usage: replay_smoke.sh <net_cli> <replay_cli>}"
+OUT_DIR="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  [ -n "${SERVER_PID}" ] && kill "${SERVER_PID}" 2>/dev/null || true
+  [ -n "${SERVER_PID}" ] && wait "${SERVER_PID}" 2>/dev/null || true
+  rm -rf "${OUT_DIR}"
+}
+trap cleanup EXIT
+
+TRACE="${OUT_DIR}/trace.bin"
+
+# --- Act 1: capture during live load under a tight cost limit. --------
+PORT_FILE="${OUT_DIR}/capture_port"
+CAPTURE_LOG="${OUT_DIR}/capture_server.log"
+LOAD_LOG="${OUT_DIR}/netload.log"
+
+"${NET_CLI}" --mode=serve --port=0 --port-file="${PORT_FILE}" \
+  --duration=120 --cost-limit=5000 --capture-trace="${TRACE}" \
+  >"${CAPTURE_LOG}" 2>&1 &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+  [ -s "${PORT_FILE}" ] && break
+  if ! kill -0 "${SERVER_PID}" 2>/dev/null; then
+    echo "replay_smoke: capture server died during startup" >&2
+    cat "${CAPTURE_LOG}" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+PORT="$(cat "${PORT_FILE}")"
+
+"${NET_CLI}" --mode=netload --target="127.0.0.1:${PORT}" \
+  --connections=4 --qps=2000 --duration=2.5 --seed=7 \
+  | tee "${LOAD_LOG}"
+
+kill -TERM "${SERVER_PID}"
+SERVER_STATUS=0
+wait "${SERVER_PID}" || SERVER_STATUS=$?
+SERVER_PID=""
+if [ "${SERVER_STATUS}" -ne 0 ]; then
+  echo "replay_smoke: capture server exited with ${SERVER_STATUS}" >&2
+  cat "${CAPTURE_LOG}" >&2
+  exit 1
+fi
+cat "${CAPTURE_LOG}"
+
+NETLOAD_LINE="$(grep '^NETLOAD ' "${LOAD_LOG}")"
+CAPTURE_LINE="$(grep '^CAPTURE ' "${CAPTURE_LOG}")"
+OFFERED="$(echo "${NETLOAD_LINE}" | awk '
+  { for (i = 2; i <= NF; ++i) { split($i, kv, "="); v[kv[1]] = kv[2]; } }
+  END {
+    if (v["rate"] + 0 < 1000) {
+      print "replay_smoke: rate " v["rate"] " < 1000 qps" > "/dev/stderr";
+      exit 1;
+    }
+    if (v["lost"] + 0 != 0 || v["unmatched"] + 0 != 0) {
+      print "replay_smoke: netload lost/unmatched" > "/dev/stderr";
+      exit 1;
+    }
+    print v["offered"];
+  }')"
+
+# Recorder conservation: every offered query is either captured or
+# counted as dropped — nothing vanishes.
+echo "${CAPTURE_LINE}" | awk -v offered="${OFFERED}" '
+  { for (i = 2; i <= NF; ++i) { split($i, kv, "="); v[kv[1]] = kv[2]; } }
+  END {
+    if (v["captured"] + v["dropped"] != offered + 0) {
+      print "replay_smoke: captured " v["captured"] " + dropped " \
+        v["dropped"] " != offered " offered > "/dev/stderr";
+      exit 1;
+    }
+    if (v["captured"] + 0 < 1000) {
+      print "replay_smoke: captured only " v["captured"] > "/dev/stderr";
+      exit 1;
+    }
+  }'
+CAPTURED="$(echo "${CAPTURE_LINE}" | awk '
+  { for (i = 2; i <= NF; ++i) { split($i, kv, "="); v[kv[1]] = kv[2]; } }
+  END { print v["captured"]; }')"
+
+# The trace parses and carries the live summary.
+"${REPLAY_CLI}" --mode=capture-info --trace="${TRACE}" \
+  | tee "${OUT_DIR}/info.log"
+grep -q 'live summary' "${OUT_DIR}/info.log"
+
+# --- Act 2: replay the trace at 2x against a fresh server. ------------
+PORT_FILE2="${OUT_DIR}/replay_port"
+REPLAY_SERVER_LOG="${OUT_DIR}/replay_server.log"
+REPLAY_LOG="${OUT_DIR}/replay.log"
+REPLAY_METRICS="${OUT_DIR}/replay_metrics.prom"
+
+"${NET_CLI}" --mode=serve --port=0 --port-file="${PORT_FILE2}" \
+  --duration=120 >"${REPLAY_SERVER_LOG}" 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "${PORT_FILE2}" ] && break
+  if ! kill -0 "${SERVER_PID}" 2>/dev/null; then
+    echo "replay_smoke: replay server died during startup" >&2
+    cat "${REPLAY_SERVER_LOG}" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+PORT2="$(cat "${PORT_FILE2}")"
+
+# replay_cli itself exits 2 on a conservation violation; set -e guards.
+"${REPLAY_CLI}" --mode=replay --trace="${TRACE}" \
+  --target="127.0.0.1:${PORT2}" --speed=2 --connections=4 \
+  --metrics-out="${REPLAY_METRICS}" | tee "${REPLAY_LOG}"
+
+kill -TERM "${SERVER_PID}"
+wait "${SERVER_PID}" || true
+SERVER_PID=""
+
+grep '^REPLAY ' "${REPLAY_LOG}" | awk -v captured="${CAPTURED}" '
+  { for (i = 2; i <= NF; ++i) { split($i, kv, "="); v[kv[1]] = kv[2]; } }
+  END {
+    if (v["speed"] + 0 != 2) {
+      print "replay_smoke: speed " v["speed"] " != 2" > "/dev/stderr";
+      exit 1;
+    }
+    if (v["offered"] + 0 != captured + 0) {
+      print "replay_smoke: replay offered " v["offered"] \
+        " != captured " captured > "/dev/stderr";
+      exit 1;
+    }
+    if (v["lost"] + 0 != 0 || v["unmatched"] + 0 != 0) {
+      print "replay_smoke: replay lost/unmatched" > "/dev/stderr";
+      exit 1;
+    }
+    if (v["offered"] + 0 != v["accepted"] + v["rejected"]) {
+      print "replay_smoke: replay offered != accepted + rejected" \
+        > "/dev/stderr";
+      exit 1;
+    }
+  }'
+grep -q '^qsched_replay_rtt_seconds' "${REPLAY_METRICS}"
+
+# --- Act 3: shadow what-if over the captured interval. ----------------
+PLANS="base,greedy,olap=20000,limit=300000+interval=5"
+"${REPLAY_CLI}" --mode=whatif --trace="${TRACE}" --plans="${PLANS}" \
+  --jobs=1 --out="${OUT_DIR}/whatif_j1.txt" >/dev/null
+"${REPLAY_CLI}" --mode=whatif --trace="${TRACE}" --plans="${PLANS}" \
+  --jobs=4 --out="${OUT_DIR}/whatif_j4.txt" >/dev/null
+
+# Bit-determinism across --jobs.
+cmp "${OUT_DIR}/whatif_j1.txt" "${OUT_DIR}/whatif_j4.txt"
+cat "${OUT_DIR}/whatif_j1.txt"
+
+# At least one candidate plan must beat the live run's measured
+# utility (the capture ran under a starved 5000-timeron cost limit, so
+# there is headroom by construction). Plan names contain ':' after
+# sanitizing, so split each field on its first '=' only.
+awk '
+  /^WHATIF / {
+    utility = -1; plan = "";
+    for (i = 2; i <= NF; ++i) {
+      eq = index($i, "=");
+      if (eq == 0) continue;
+      key = substr($i, 1, eq - 1);
+      val = substr($i, eq + 1);
+      if (key == "plan") plan = val;
+      if (key == "utility") utility = val + 0;
+    }
+    if (plan == "live") live = utility;
+    else if (utility > best) { best = utility; best_plan = plan; }
+    seen++;
+  }
+  BEGIN { best = -1e18; live = "unset"; }
+  END {
+    if (seen < 4) {  # live + >= 3 candidates
+      print "replay_smoke: only " seen " WHATIF lines" > "/dev/stderr";
+      exit 1;
+    }
+    if (live == "unset") {
+      print "replay_smoke: no live WHATIF line" > "/dev/stderr";
+      exit 1;
+    }
+    if (best <= live + 0) {
+      print "replay_smoke: no candidate beats live utility " live \
+        " (best " best_plan " = " best ")" > "/dev/stderr";
+      exit 1;
+    }
+    print "replay_smoke: " best_plan " predicts utility " best \
+      " > live " live;
+  }' "${OUT_DIR}/whatif_j1.txt"
+
+echo "replay_smoke: capture, 2x replay and what-if all hold"

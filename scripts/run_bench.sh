@@ -21,6 +21,26 @@ fi
 OUT="${ROOT}/BENCH_qsched.json"
 "${BENCH}" --out="${OUT}" "$@"
 
+# Stamp provenance into the tracked artifact from the script side; the
+# bench binary itself stays hermetic (no git or wall-clock dependency),
+# so identical runs emit identical JSON and the stamp records where and
+# when this artifact came from.
+GIT_SHA="$(git -C "${ROOT}" rev-parse HEAD 2>/dev/null || echo unknown)"
+GENERATED_AT="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "${OUT}" "${GIT_SHA}" "${GENERATED_AT}" <<'EOF'
+import json, sys
+path, sha, when = sys.argv[1:4]
+with open(path) as f:
+    doc = json.load(f)
+doc["git_sha"] = sha
+doc["generated_at"] = when
+with open(path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+EOF
+fi
+
 # The benchmark's JSON is the tracked artifact — refuse to keep a
 # malformed one.
 if command -v python3 >/dev/null 2>&1; then
@@ -30,8 +50,10 @@ with open(sys.argv[1]) as f:
     doc = json.load(f)
 for section in ("event_queue", "fig6", "replication", "rt_gateway",
                 "net_loopback", "net_latency", "cluster_loopback",
-                "http_obs"):
+                "http_obs", "replay_capture"):
     assert section in doc, f"missing section {section}"
+assert "git_sha" in doc, "missing git_sha stamp"
+assert "generated_at" in doc, "missing generated_at stamp"
 assert "hardware_concurrency" in doc, "missing hardware_concurrency"
 assert "threads_used" in doc, "missing top-level threads_used"
 assert doc["event_queue"]["fast_events_per_sec"] > 0
@@ -83,6 +105,11 @@ assert obs["detached_completions_per_sec"] > 0, \
 assert obs["attached_completions_per_sec"] > 0, \
     "http_obs attached pass completed nothing"
 assert obs["scrapes"] > 0, "the 1 Hz scraper never scraped"
+cap = doc["replay_capture"]
+assert cap["conserved"], \
+    "replay capture lost records: captured + dropped != offered"
+assert cap["capture_on_qps"] > 0, "capture-on pass sustained no load"
+assert cap["captured"] > 0, "the recorder captured nothing"
 rep = doc["replication"]
 assert "threads_used" in rep, "replication is missing threads_used"
 assert 1 <= rep["threads_used"] <= max(1, rep["jobs"], 1), \
@@ -100,7 +127,9 @@ print(f"bench json ok: speedup {doc['event_queue']['speedup']:.2f}x "
       f"{clu['direct_sustained_qps']:.0f} qps over {clu['backends']} "
       f"backends (added p99 {clu['added_rtt_p99_us']:.0f} us), "
       f"http_obs overhead {obs['overhead_pct']:.2f}% "
-      f"({obs['scrapes']} scrapes)")
+      f"({obs['scrapes']} scrapes), "
+      f"capture overhead {cap['overhead_pct']:.2f}% "
+      f"({cap['captured']} records)")
 if doc["threads_used"] != doc["hardware_concurrency"]:
     print(f"WARNING: threads_used {doc['threads_used']} != "
           f"hardware_concurrency {doc['hardware_concurrency']} — the "
@@ -110,6 +139,10 @@ if doc["threads_used"] != doc["hardware_concurrency"]:
 if obs["overhead_pct"] > 2.0:
     print(f"WARNING: http observability overhead {obs['overhead_pct']:.2f}% "
           f"> 2% — rerun with a longer --http-obs-duration before "
+          f"concluding a regression", file=sys.stderr)
+if cap["overhead_pct"] > 2.0:
+    print(f"WARNING: trace capture overhead {cap['overhead_pct']:.2f}% "
+          f"> 2% — rerun with a longer --replay-capture-duration before "
           f"concluding a regression", file=sys.stderr)
 if rep["threads_used"] > 1 and rep["speedup"] < 1.2:
     print(f"WARNING: replication speedup {rep['speedup']:.2f}x < 1.2x "

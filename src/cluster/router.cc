@@ -60,6 +60,7 @@ net::SubmitDisposition Router::Submit(const workload::Query& query,
     return net::SubmitDisposition::Rejected(rt::RejectReason::kShuttingDown);
   }
   offered_.fetch_add(1);
+  if (on_offer_) on_offer_(query);
   const int class_id = query.class_id;
   const SteadyClock::time_point submitted = SteadyClock::now();
 

@@ -97,6 +97,14 @@ class Router : public net::QueryService {
   /// counters, followed by the accounting summary.
   std::string StatuszTable() const;
 
+  /// Observer invoked synchronously for every query the router takes in
+  /// (counted `offered`), before routing — the trace-capture point, the
+  /// same contract as rt::Gateway::set_on_offer. Must be cheap and
+  /// non-blocking. Set before Start().
+  void set_on_offer(std::function<void(const workload::Query&)> fn) {
+    on_offer_ = std::move(fn);
+  }
+
  private:
   using SteadyClock = std::chrono::steady_clock;
 
@@ -111,6 +119,7 @@ class Router : public net::QueryService {
 
   RouterOptions options_;
   obs::Telemetry* telemetry_;
+  std::function<void(const workload::Query&)> on_offer_;
   std::unique_ptr<BackendPool> pool_;
   std::atomic<bool> stopping_{false};
   std::atomic<bool> started_{false};

@@ -1,0 +1,108 @@
+#ifndef QSCHED_REPLAY_RECORDER_H_
+#define QSCHED_REPLAY_RECORDER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/telemetry.h"
+#include "replay/template_codec.h"
+#include "replay/trace_format.h"
+#include "workload/query.h"
+
+namespace qsched::replay {
+
+struct RecorderOptions {
+  TraceWriterOptions writer;
+  /// Per-producer-thread buffer capacity (records). When the writer
+  /// thread falls behind and a buffer fills, further records from that
+  /// thread are dropped-and-counted — the hot path never blocks on I/O.
+  size_t buffer_records = 8192;
+  /// Writer-thread sweep cadence.
+  double flush_interval_seconds = 0.05;
+};
+
+/// Lock-cheap live trace recorder, hooked at gateway/router offer time.
+///
+/// Threading model: each producer thread lazily registers a private
+/// buffer guarded by its own mutex. The only contention on that mutex is
+/// the writer thread's periodic swap — producers otherwise take an
+/// uncontended lock, encode 28 bytes, and return. File I/O happens
+/// exclusively on the dedicated writer thread. Overflow policy is
+/// drop-and-count (`qsched_replay_dropped_records_total`), preserving
+/// the invariant captured + dropped == offered.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(const RecorderOptions& options,
+                         obs::Telemetry* telemetry = nullptr);
+  ~TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Opens the trace file and spawns the writer thread. The capture
+  /// clock (arrival_ns = 0) starts here.
+  Status Start();
+
+  /// Hot path: records one offered query. Safe from any thread; never
+  /// blocks on I/O. No-op before Start() or after Stop().
+  void Record(const workload::Query& query);
+
+  /// Stops the writer thread, performs a final sweep of every buffer,
+  /// appends `summary` (optional) and closes the file. Idempotent.
+  Status Stop(const TraceSummary* summary = nullptr);
+
+  uint64_t captured() const {
+    return captured_.load(std::memory_order_relaxed);
+  }
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  const TraceWriter* writer() const { return writer_.get(); }
+
+ private:
+  struct ThreadBuffer {
+    std::mutex mu;
+    std::vector<TraceRecord> records;
+  };
+
+  ThreadBuffer* BufferForThisThread();
+  void WriterLoop();
+  /// Swaps every buffer out and appends the drained records (in buffer
+  /// registration order) to the writer. Writer-thread only.
+  void Sweep();
+
+  RecorderOptions options_;
+  TemplateCodec codec_;
+  std::unique_ptr<TraceWriter> writer_;
+  std::chrono::steady_clock::time_point start_;
+  /// Process-unique id; keys the thread-local buffer cache so a stale
+  /// entry for a destroyed recorder can never alias a new one.
+  const uint64_t id_;
+
+  std::mutex registry_mu_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> captured_{0};
+  std::atomic<uint64_t> dropped_{0};
+
+  std::thread writer_thread_;
+  std::mutex writer_mu_;
+  std::condition_variable writer_cv_;
+  bool stop_writer_ = false;
+  std::vector<TraceRecord> scratch_;
+
+  obs::Counter* captured_counter_ = nullptr;
+  obs::Counter* dropped_counter_ = nullptr;
+  obs::Counter* segments_counter_ = nullptr;
+  obs::Gauge* bytes_gauge_ = nullptr;
+};
+
+}  // namespace qsched::replay
+
+#endif  // QSCHED_REPLAY_RECORDER_H_

@@ -1,0 +1,109 @@
+#ifndef QSCHED_REPLAY_REPLAYER_H_
+#define QSCHED_REPLAY_REPLAYER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "obs/telemetry.h"
+#include "replay/trace_format.h"
+#include "workload/tpcc_workload.h"
+#include "workload/tpch_workload.h"
+
+namespace qsched::replay {
+
+struct ReplayOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Playback speed multiplier over the recorded inter-arrival gaps:
+  /// 2.0 replays in half the original wall time.
+  double speed = 1.0;
+  /// Connections the trace is partitioned over (record i goes to
+  /// connection i % connections), each with its own thread and pipelined
+  /// net::Client.
+  int connections = 1;
+  /// Pipeline depth bound per connection; submission backpressures above
+  /// it rather than racing ahead of the recorded schedule unboundedly.
+  int max_outstanding = 256;
+  /// Seed for regenerating the queries' resource demands from their
+  /// captured template ids.
+  uint64_t seed = 42;
+  workload::TpchWorkloadParams tpch;
+  workload::TpccWorkloadParams tpcc;
+};
+
+/// What one replay run did, mirroring the NETLOAD accounting so the same
+/// conservation identity applies: offered == accepted + rejected, every
+/// accepted query completed exactly once.
+struct ReplayReport {
+  uint64_t offered = 0;
+  uint64_t accepted = 0;
+  uint64_t rejected_queue_full = 0;
+  uint64_t rejected_shutting_down = 0;
+  uint64_t rejected_backend_unavailable = 0;
+  uint64_t completed = 0;
+  uint64_t lost = 0;
+  uint64_t unmatched = 0;
+  /// Wall seconds of the paced feed phase and the trailing drain.
+  double feed_seconds = 0.0;
+  double drain_seconds = 0.0;
+  /// Mean lag between a record's scheduled send time and its actual
+  /// send (positive = behind schedule), a fidelity measure.
+  double mean_lag_seconds = 0.0;
+
+  uint64_t rejected() const {
+    return rejected_queue_full + rejected_shutting_down +
+           rejected_backend_unavailable;
+  }
+  bool conserved() const {
+    return offered == accepted + rejected() && completed == accepted &&
+           lost == 0 && unmatched == 0;
+  }
+};
+
+/// Plays a captured trace against a live endpoint through pipelined
+/// net::Clients, preserving the recorded inter-arrival gaps scaled by
+/// `speed`, then drains and reconciles completions client-side. The
+/// round-trip of every completion lands in `qsched_replay_rtt_seconds`;
+/// offered/completed counters are exported as `qsched_replay_*_total`.
+class Replayer {
+ public:
+  Replayer(const TraceReadResult& trace, const ReplayOptions& options,
+           obs::Telemetry* telemetry = nullptr);
+
+  Replayer(const Replayer&) = delete;
+  Replayer& operator=(const Replayer&) = delete;
+
+  /// Runs the replay, blocking. Returns the first connection-level error
+  /// or the report; per-query rejections are not errors.
+  Result<ReplayReport> Run();
+
+ private:
+  Status RunConnection(int index);
+
+  const TraceReadResult& trace_;
+  ReplayOptions options_;
+  obs::Telemetry* telemetry_;
+
+  std::atomic<uint64_t> offered_{0};
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> rejected_queue_full_{0};
+  std::atomic<uint64_t> rejected_shutting_down_{0};
+  std::atomic<uint64_t> rejected_backend_unavailable_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> unmatched_{0};
+  std::atomic<uint64_t> lost_{0};
+
+  std::mutex phase_mu_;
+  double feed_seconds_ = 0.0;
+  double drain_seconds_ = 0.0;
+  double lag_sum_seconds_ = 0.0;
+
+  obs::Histogram* rtt_hist_ = nullptr;
+};
+
+}  // namespace qsched::replay
+
+#endif  // QSCHED_REPLAY_REPLAYER_H_

@@ -1,0 +1,333 @@
+#include "replay/shadow_planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "harness/parallel.h"
+#include "replay/template_codec.h"
+#include "scheduler/utility.h"
+#include "sim/simulator.h"
+#include "workload/client.h"
+
+namespace qsched::replay {
+
+namespace {
+
+/// Report names must stay key=value parseable in WHATIF lines, so the
+/// '=' and ',' of candidate specs become ':' and ';'.
+std::string SanitizeName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '=') c = ':';
+    if (c == ',') c = ';';
+    if (c == ' ') c = '_';
+  }
+  return out.empty() ? std::string("unnamed") : out;
+}
+
+struct ClassAccumulator {
+  double metric_sum = 0.0;
+  uint64_t completed = 0;
+  /// interval bucket -> (metric sum, count) for attainment.
+  std::map<int64_t, std::pair<double, uint64_t>> buckets;
+};
+
+}  // namespace
+
+ShadowPlanner::ShadowPlanner(const TraceReadResult& trace,
+                             const ShadowPlannerOptions& options)
+    : trace_(trace),
+      options_(options),
+      classes_(sched::MakePaperClasses()),
+      sorted_(trace.records) {
+  std::stable_sort(sorted_.begin(), sorted_.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) {
+                     return a.arrival_ns < b.arrival_ns;
+                   });
+}
+
+ShadowOutcome ShadowPlanner::EvaluateOne(
+    const PlanCandidate& candidate) const {
+  ShadowOutcome out;
+  out.name = SanitizeName(candidate.name);
+
+  // A fully private world per candidate: same seed everywhere, so two
+  // candidates differ only by the plan they run under.
+  sim::Simulator sim;
+  Rng master(options_.seed);
+  engine::ExecutionEngine engine(&sim, options_.engine, master.Fork(1));
+  sched::QuerySchedulerConfig config = candidate.config;
+  config.telemetry = nullptr;
+  sched::QueryScheduler scheduler(&sim, &engine, &classes_, config);
+  if (candidate.frozen_plan) {
+    sched::SchedulingPlan plan;
+    plan.cost_limits = candidate.frozen_limits;
+    scheduler.dispatcher().SetPlan(plan);
+  }
+
+  // Materialize every query up front, in arrival order: the codec's
+  // generators are stateful, and a fixed call sequence is what makes
+  // materialization deterministic.
+  TemplateCodec codec(options_.tpch, options_.tpcc, options_.seed + 1);
+  const uint64_t base_ns = sorted_.empty() ? 0 : sorted_.front().arrival_ns;
+  const double time_scale =
+      trace_.header.time_scale > 0.0 ? trace_.header.time_scale : 1.0;
+  std::vector<workload::QueryRecord> completions;
+  completions.reserve(sorted_.size());
+  double last_arrival = 0.0;
+  for (const TraceRecord& record : sorted_) {
+    workload::Query query = codec.Materialize(record);
+    query.id = record.trace_id;
+    // The captured wall offset, mapped onto the model clock the live
+    // scheduler planned against.
+    const double at = static_cast<double>(record.arrival_ns - base_ns) /
+                      1e9 * time_scale;
+    if (at > last_arrival) last_arrival = at;
+    sim.ScheduleAt(at, [&scheduler, &completions,
+                        query = std::move(query)]() mutable {
+      scheduler.Submit(std::move(query),
+                       [&completions](const workload::QueryRecord& r) {
+                         completions.push_back(r);
+                       });
+    });
+  }
+  if (!candidate.frozen_plan) {
+    // Keep planning a couple of intervals past the last arrival so the
+    // tail of the workload still gets replanned.
+    scheduler.Start(last_arrival + 2.0 * config.control_interval_seconds);
+  }
+  sim.RunToCompletion();
+  out.planning_cycles = scheduler.planning_cycles();
+
+  const double interval = options_.report_interval_seconds > 0.0
+                              ? options_.report_interval_seconds
+                              : config.control_interval_seconds;
+  std::map<int, ClassAccumulator> acc;
+  for (const workload::QueryRecord& record : completions) {
+    if (record.cancelled) {
+      ++out.cancelled;
+      continue;
+    }
+    ++out.completed;
+    const sched::ServiceClassSpec* spec = classes_.Find(record.class_id);
+    if (spec == nullptr) continue;
+    const double value = spec->goal_kind == sched::GoalKind::kVelocityFloor
+                             ? record.Velocity()
+                             : record.ResponseSeconds();
+    ClassAccumulator& a = acc[record.class_id];
+    a.metric_sum += value;
+    ++a.completed;
+    const int64_t bucket =
+        static_cast<int64_t>(std::floor(record.end_time / interval));
+    auto& slot = a.buckets[bucket];
+    slot.first += value;
+    ++slot.second;
+  }
+
+  const sched::UtilityFunction utility;
+  for (const sched::ServiceClassSpec& spec : classes_.classes()) {
+    ShadowClassOutcome cls;
+    cls.class_id = spec.class_id;
+    auto it = acc.find(spec.class_id);
+    if (it != acc.end() && it->second.completed > 0) {
+      const ClassAccumulator& a = it->second;
+      cls.completed = a.completed;
+      cls.measured = a.metric_sum / static_cast<double>(a.completed);
+      cls.goal_ratio = spec.GoalRatio(cls.measured);
+      cls.utility = utility.Evaluate(spec, cls.measured);
+      uint64_t met = 0;
+      for (const auto& [bucket, sums] : a.buckets) {
+        const double bucket_measured =
+            sums.first / static_cast<double>(sums.second);
+        if (spec.GoalRatio(bucket_measured) >= 1.0) ++met;
+      }
+      cls.attainment = a.buckets.empty()
+                           ? 0.0
+                           : static_cast<double>(met) /
+                                 static_cast<double>(a.buckets.size());
+    } else {
+      // No completions: score the class at goal ratio 0 — a silent class
+      // must read as a violated one, not a free one.
+      cls.utility = utility.FromGoalRatio(spec, 0.0);
+    }
+    out.total_utility += cls.utility;
+    out.classes.push_back(cls);
+  }
+  return out;
+}
+
+std::vector<ShadowOutcome> ShadowPlanner::Evaluate(
+    const std::vector<PlanCandidate>& candidates, int jobs) const {
+  std::vector<ShadowOutcome> results(candidates.size());
+  harness::ParallelFor(
+      static_cast<int>(candidates.size()), jobs, [&](int i) {
+        results[static_cast<size_t>(i)] =
+            EvaluateOne(candidates[static_cast<size_t>(i)]);
+      });
+  return results;
+}
+
+ShadowOutcome ShadowPlanner::LiveOutcome() const {
+  ShadowOutcome out;
+  out.name = "live";
+  const sched::UtilityFunction utility;
+  for (const TraceSummaryClass& sc : trace_.summary.classes) {
+    ShadowClassOutcome cls;
+    cls.class_id = static_cast<int>(sc.class_id);
+    cls.measured = sc.measured;
+    cls.attainment = sc.attainment;
+    const sched::ServiceClassSpec* spec = classes_.Find(cls.class_id);
+    if (spec != nullptr && sc.measured > 0.0) {
+      cls.goal_ratio = spec->GoalRatio(sc.measured);
+      cls.utility = utility.Evaluate(*spec, sc.measured);
+    } else if (spec != nullptr) {
+      cls.utility = utility.FromGoalRatio(*spec, 0.0);
+    }
+    out.total_utility += cls.utility;
+    out.classes.push_back(cls);
+  }
+  return out;
+}
+
+std::string ShadowPlanner::FormatReport(
+    const ShadowOutcome* live, const std::vector<ShadowOutcome>& shadow) {
+  std::string report;
+  auto append_outcome = [&report](const ShadowOutcome& o, bool simulated) {
+    report += StrPrintf("plan %-28s utility %10.4f", o.name.c_str(),
+                        o.total_utility);
+    if (simulated) {
+      report += StrPrintf("  completed %6llu  cycles %4llu",
+                          static_cast<unsigned long long>(o.completed),
+                          static_cast<unsigned long long>(o.planning_cycles));
+    } else {
+      report += "  (measured live run)";
+    }
+    report += "\n";
+    for (const ShadowClassOutcome& c : o.classes) {
+      report += StrPrintf(
+          "  class %d: measured=%.6f goal_ratio=%.4f attainment=%.4f "
+          "utility=%.4f\n",
+          c.class_id, c.measured, c.goal_ratio, c.attainment, c.utility);
+    }
+  };
+  if (live != nullptr) append_outcome(*live, /*simulated=*/false);
+  for (const ShadowOutcome& o : shadow) append_outcome(o, /*simulated=*/true);
+
+  // Machine-parseable lines, one per outcome, live first.
+  auto append_line = [&report](const ShadowOutcome& o) {
+    report += StrPrintf("WHATIF plan=%s utility=%.6f completed=%llu "
+                        "cycles=%llu",
+                        o.name.c_str(), o.total_utility,
+                        static_cast<unsigned long long>(o.completed),
+                        static_cast<unsigned long long>(o.planning_cycles));
+    for (const ShadowClassOutcome& c : o.classes) {
+      report += StrPrintf(
+          " c%d_measured=%.6f c%d_ratio=%.4f c%d_att=%.4f", c.class_id,
+          c.measured, c.class_id, c.goal_ratio, c.class_id, c.attainment);
+    }
+    report += "\n";
+  };
+  if (live != nullptr) append_line(*live);
+  for (const ShadowOutcome& o : shadow) append_line(o);
+  return report;
+}
+
+Result<std::vector<PlanCandidate>> ParsePlanCandidates(
+    const std::string& spec, const sched::QuerySchedulerConfig& base,
+    const sched::ServiceClassSet& classes) {
+  std::vector<PlanCandidate> candidates;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    std::string one = spec.substr(start, end - start);
+    start = end + 1;
+    if (one.empty()) continue;
+
+    PlanCandidate candidate;
+    candidate.name = one;
+    candidate.config = base;
+    size_t tstart = 0;
+    while (tstart <= one.size()) {
+      size_t tend = one.find('+', tstart);
+      if (tend == std::string::npos) tend = one.size();
+      const std::string token = one.substr(tstart, tend - tstart);
+      tstart = tend + 1;
+      if (token.empty()) continue;
+
+      const size_t eq = token.find('=');
+      const std::string key = token.substr(0, eq);
+      double value = 0.0;
+      if (eq != std::string::npos) {
+        const std::string value_text = token.substr(eq + 1);
+        char* parse_end = nullptr;
+        value = std::strtod(value_text.c_str(), &parse_end);
+        if (parse_end == value_text.c_str() || *parse_end != '\0') {
+          return Status::InvalidArgument(
+              StrPrintf("bad plan token value: '%s'", token.c_str()));
+        }
+      }
+
+      if (key == "base" || key == "live") {
+        // The capture-side config unchanged.
+      } else if (key == "greedy") {
+        candidate.config.allocator =
+            sched::QuerySchedulerConfig::Allocator::kGreedyAuction;
+      } else if (key == "utility") {
+        candidate.config.allocator =
+            sched::QuerySchedulerConfig::Allocator::kUtilitySearch;
+      } else if (eq == std::string::npos) {
+        return Status::InvalidArgument(
+            StrPrintf("unknown plan token: '%s'", token.c_str()));
+      } else if (key == "interval") {
+        if (value <= 0.0) {
+          return Status::InvalidArgument("interval must be > 0");
+        }
+        candidate.config.control_interval_seconds = value;
+      } else if (key == "step") {
+        if (value <= 0.0 || value > 1.0) {
+          return Status::InvalidArgument("step must be in (0, 1]");
+        }
+        candidate.config.plan_step_fraction = value;
+      } else if (key == "limit") {
+        if (value <= 0.0) {
+          return Status::InvalidArgument("limit must be > 0");
+        }
+        candidate.config.system_cost_limit = value;
+      } else if (key == "olap") {
+        if (value <= 0.0) {
+          return Status::InvalidArgument("olap must be > 0");
+        }
+        candidate.frozen_plan = true;
+        const std::vector<int> olap = classes.OlapClassIds();
+        const std::vector<int> oltp = classes.OltpClassIds();
+        const double per_olap =
+            olap.empty() ? 0.0 : value / static_cast<double>(olap.size());
+        const double remainder =
+            candidate.config.system_cost_limit > value
+                ? candidate.config.system_cost_limit - value
+                : 0.0;
+        const double per_oltp =
+            oltp.empty() ? 0.0
+                         : remainder / static_cast<double>(oltp.size());
+        for (int id : olap) candidate.frozen_limits[id] = per_olap;
+        for (int id : oltp) candidate.frozen_limits[id] = per_oltp;
+      } else {
+        return Status::InvalidArgument(
+            StrPrintf("unknown plan token: '%s'", token.c_str()));
+      }
+    }
+    candidates.push_back(std::move(candidate));
+  }
+  if (candidates.empty()) {
+    return Status::InvalidArgument("no plan candidates given");
+  }
+  return candidates;
+}
+
+}  // namespace qsched::replay

@@ -1,0 +1,134 @@
+#ifndef QSCHED_REPLAY_SHADOW_PLANNER_H_
+#define QSCHED_REPLAY_SHADOW_PLANNER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/execution_engine.h"
+#include "replay/trace_format.h"
+#include "scheduler/query_scheduler.h"
+#include "scheduler/service_class.h"
+#include "workload/tpcc_workload.h"
+#include "workload/tpch_workload.h"
+
+namespace qsched::replay {
+
+/// One candidate plan for a what-if evaluation: a full scheduler config
+/// (solver variant, control interval, cost limits) or a frozen static
+/// plan that never replans.
+struct PlanCandidate {
+  /// Display name; '=' is rendered as ':' in reports so WHATIF lines
+  /// stay key=value parseable.
+  std::string name;
+  sched::QuerySchedulerConfig config;
+  /// When set, the dispatcher runs the fixed `frozen_limits` plan and no
+  /// planning cycle ever fires.
+  bool frozen_plan = false;
+  std::map<int, double> frozen_limits;
+};
+
+struct ShadowClassOutcome {
+  int class_id = 0;
+  /// Velocity (OLAP) or mean response seconds (OLTP) over the whole run.
+  double measured = 0.0;
+  /// ServiceClassSpec::GoalRatio of `measured` (>= 1 == goal met).
+  double goal_ratio = 0.0;
+  /// Fraction of report intervals (with >= 1 completion) meeting the goal.
+  double attainment = 0.0;
+  double utility = 0.0;
+  uint64_t completed = 0;
+};
+
+struct ShadowOutcome {
+  std::string name;
+  double total_utility = 0.0;
+  uint64_t completed = 0;
+  uint64_t cancelled = 0;
+  uint64_t planning_cycles = 0;
+  std::vector<ShadowClassOutcome> classes;
+};
+
+struct ShadowPlannerOptions {
+  /// Seed for regenerating resource demands; every candidate world uses
+  /// the same seed, so candidates differ only by plan.
+  uint64_t seed = 42;
+  workload::TpchWorkloadParams tpch;
+  workload::TpccWorkloadParams tpcc;
+  engine::EngineConfig engine;
+  /// Scheduler config candidates derive from (typically rebuilt from the
+  /// trace summary: the capture-side control interval, cost limit and
+  /// allocator).
+  sched::QuerySchedulerConfig base;
+  /// Attainment bucketing interval in model seconds; 0 = use
+  /// base.control_interval_seconds.
+  double report_interval_seconds = 0.0;
+};
+
+/// Feeds a captured trace interval into the DES-backed engine/scheduler
+/// stack — the same model components the live runtime runs on the wall
+/// clock — once per candidate plan, and scores each candidate with the
+/// capture-side utility function. Arrival model time is the captured
+/// wall offset scaled by the trace's time_scale, so the shadow run sees
+/// the same model-time arrival process the live scheduler saw.
+///
+/// Every candidate world is fully self-contained (own Simulator, engine,
+/// scheduler, generators, all seeded identically), so Evaluate() is
+/// bit-identical at any `jobs` value: ParallelFor only changes which
+/// host thread runs which world, never what a world computes.
+class ShadowPlanner {
+ public:
+  ShadowPlanner(const TraceReadResult& trace,
+                const ShadowPlannerOptions& options);
+
+  ShadowPlanner(const ShadowPlanner&) = delete;
+  ShadowPlanner& operator=(const ShadowPlanner&) = delete;
+
+  /// Runs one isolated DES world under `candidate` and scores it.
+  ShadowOutcome EvaluateOne(const PlanCandidate& candidate) const;
+
+  /// Evaluates all candidates across `jobs` threads (0 = all cores,
+  /// <= 1 = inline); results are in candidate order.
+  std::vector<ShadowOutcome> Evaluate(
+      const std::vector<PlanCandidate>& candidates, int jobs) const;
+
+  /// Whether the trace carries a live-run summary to baseline against.
+  bool has_live() const { return trace_.has_summary; }
+  /// The live run's measured outcome, rebuilt from the trace summary and
+  /// scored with the same utility function as the candidates.
+  ShadowOutcome LiveOutcome() const;
+
+  const sched::ServiceClassSet& classes() const { return classes_; }
+
+  /// Deterministic what-if report: a human table plus one machine-
+  /// parseable "WHATIF plan=... utility=..." line per outcome (live
+  /// first when present). Byte-identical across --jobs values.
+  static std::string FormatReport(const ShadowOutcome* live,
+                                  const std::vector<ShadowOutcome>& shadow);
+
+ private:
+  const TraceReadResult& trace_;
+  ShadowPlannerOptions options_;
+  sched::ServiceClassSet classes_;
+  /// Records sorted by arrival_ns (stable), shared by all worlds.
+  std::vector<TraceRecord> sorted_;
+};
+
+/// Parses a candidate list: candidates separated by ',', each a '+'-
+/// joined set of overrides applied to `base`:
+///   base            the capture-side config unchanged
+///   interval=S      control interval (model seconds)
+///   greedy          greedy-auction allocator
+///   utility         utility-search allocator
+///   step=F          plan step fraction
+///   limit=X         system cost limit (timerons)
+///   olap=X          frozen static plan: X split evenly over OLAP
+///                   classes, remainder to OLTP; no replanning
+Result<std::vector<PlanCandidate>> ParsePlanCandidates(
+    const std::string& spec, const sched::QuerySchedulerConfig& base,
+    const sched::ServiceClassSet& classes);
+
+}  // namespace qsched::replay
+
+#endif  // QSCHED_REPLAY_SHADOW_PLANNER_H_

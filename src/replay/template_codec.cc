@@ -1,0 +1,55 @@
+#include "replay/template_codec.h"
+
+namespace qsched::replay {
+
+TemplateCodec::TemplateCodec(const workload::TpchWorkloadParams& tpch,
+                             const workload::TpccWorkloadParams& tpcc,
+                             uint64_t seed)
+    : olap_(tpch, seed), oltp_(tpcc, seed + 1) {
+  for (size_t i = 0; i < olap_.num_templates(); ++i) {
+    by_name_.emplace(olap_.template_name(i), static_cast<uint16_t>(i));
+  }
+  for (size_t i = 0; i < oltp_.num_transaction_types(); ++i) {
+    by_name_.emplace(oltp_.transaction_name(i),
+                     static_cast<uint16_t>(i) | kOltpTemplateBit);
+  }
+}
+
+uint16_t TemplateCodec::Encode(const workload::Query& query) const {
+  auto it = by_name_.find(query.template_name);
+  if (it != by_name_.end()) return it->second;
+  return query.type == workload::WorkloadType::kOltp
+             ? static_cast<uint16_t>(kUnknownTemplate | kOltpTemplateBit)
+             : kUnknownTemplate;
+}
+
+workload::Query TemplateCodec::Materialize(const TraceRecord& record) {
+  const bool oltp = (record.template_id & kOltpTemplateBit) != 0;
+  size_t index = record.template_id & ~kOltpTemplateBit;
+  workload::Query query;
+  if (oltp) {
+    if (index >= oltp_.num_transaction_types()) index = 0;
+    query = oltp_.MakeTransaction(index);
+  } else {
+    if (index >= olap_.num_templates()) index = 0;
+    query = olap_.MakeFromTemplate(index);
+  }
+  query.class_id = record.class_id;
+  query.cost_timerons = record.cost_timerons;
+  return query;
+}
+
+std::string TemplateCodec::TemplateName(uint16_t template_id) const {
+  const bool oltp = (template_id & kOltpTemplateBit) != 0;
+  const size_t index = template_id & ~kOltpTemplateBit;
+  if (oltp) {
+    if (index < oltp_.num_transaction_types()) {
+      return oltp_.transaction_name(index);
+    }
+  } else if (index < olap_.num_templates()) {
+    return olap_.template_name(index);
+  }
+  return "unknown";
+}
+
+}  // namespace qsched::replay

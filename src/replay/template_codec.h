@@ -1,0 +1,53 @@
+#ifndef QSCHED_REPLAY_TEMPLATE_CODEC_H_
+#define QSCHED_REPLAY_TEMPLATE_CODEC_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "replay/trace_format.h"
+#include "workload/tpcc_workload.h"
+#include "workload/tpch_workload.h"
+#include "workload/query.h"
+
+namespace qsched::replay {
+
+/// Maps between template names ("q6", "new_order") and the compact
+/// template_id stored in trace records, and rebuilds full query instances
+/// from records. Both workload families enumerate their templates in a
+/// fixed order, so ids are stable across processes.
+///
+/// Encode is cheap (one hash lookup) and const — safe to call from many
+/// producer threads concurrently. Materialize draws a fresh instance from
+/// the codec's own generators (deterministic given the codec seed) and is
+/// NOT thread-safe: give each replay connection / shadow world its own
+/// codec.
+class TemplateCodec {
+ public:
+  TemplateCodec(const workload::TpchWorkloadParams& tpch,
+                const workload::TpccWorkloadParams& tpcc, uint64_t seed);
+
+  TemplateCodec(const TemplateCodec&) = delete;
+  TemplateCodec& operator=(const TemplateCodec&) = delete;
+
+  /// Template id for a live query; kUnknownTemplate (with the family bit
+  /// for OLTP) when the name is not a known template.
+  uint16_t Encode(const workload::Query& query) const;
+
+  /// Rebuilds a query instance for a record: regenerates the template's
+  /// resource demand from this codec's deterministic generators, then
+  /// restores the captured class id and cost estimate. Unknown templates
+  /// fall back to template 0 of the record's family.
+  workload::Query Materialize(const TraceRecord& record);
+
+  /// Human-readable name ("q6", "new_order", or "unknown").
+  std::string TemplateName(uint16_t template_id) const;
+
+ private:
+  workload::TpchWorkload olap_;
+  workload::TpccWorkload oltp_;
+  std::unordered_map<std::string, uint16_t> by_name_;
+};
+
+}  // namespace qsched::replay
+
+#endif  // QSCHED_REPLAY_TEMPLATE_CODEC_H_

@@ -1,0 +1,379 @@
+#include "replay/trace_format.h"
+
+#include <array>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace qsched::replay {
+
+namespace {
+
+// File magic "QSRT" and segment magic "QSEG", little-endian u32.
+constexpr uint32_t kFileMagic = 0x54525351u;
+constexpr uint32_t kSegmentMagic = 0x47455351u;
+constexpr uint32_t kSegmentRecords = 0;
+constexpr uint32_t kSegmentSummary = 1;
+// magic + version + record_bytes + reserved + time_scale + seed.
+constexpr size_t kFileHeaderBytes = 4 + 4 + 4 + 4 + 8 + 8;
+// magic + type + count + payload_bytes + crc.
+constexpr size_t kSegmentHeaderBytes = 4 + 4 + 4 + 4 + 4;
+// control_interval + system_cost_limit + total_utility + allocator + n.
+constexpr size_t kSummaryFixedBytes = 8 + 8 + 8 + 4 + 4;
+// class_id + attainment + measured + cost_limit.
+constexpr size_t kSummaryClassBytes = 4 + 8 + 8 + 8;
+
+void PutU16(std::vector<uint8_t>* out, uint16_t v) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutF64(std::vector<uint8_t>* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+/// Bounds-checked little-endian cursor over a parsed buffer.
+struct Cursor {
+  const uint8_t* data;
+  size_t size;
+  size_t pos = 0;
+
+  size_t remaining() const { return size - pos; }
+
+  bool ReadU16(uint16_t* v) {
+    if (remaining() < 2) return false;
+    *v = static_cast<uint16_t>(data[pos]) |
+         static_cast<uint16_t>(data[pos + 1]) << 8;
+    pos += 2;
+    return true;
+  }
+  bool ReadU32(uint32_t* v) {
+    if (remaining() < 4) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(data[pos + i]) << (8 * i);
+    }
+    pos += 4;
+    return true;
+  }
+  bool ReadU64(uint64_t* v) {
+    if (remaining() < 8) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(data[pos + i]) << (8 * i);
+    }
+    pos += 8;
+    return true;
+  }
+  bool ReadF64(double* v) {
+    uint64_t bits;
+    if (!ReadU64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+};
+
+void EncodeRecord(std::vector<uint8_t>* out, const TraceRecord& record) {
+  PutU64(out, record.arrival_ns);
+  PutU64(out, record.trace_id);
+  PutF64(out, record.cost_timerons);
+  PutU16(out, record.class_id);
+  PutU16(out, record.template_id);
+}
+
+std::vector<uint8_t> EncodeSummary(const TraceSummary& summary) {
+  std::vector<uint8_t> payload;
+  payload.reserve(kSummaryFixedBytes +
+                  summary.classes.size() * kSummaryClassBytes);
+  PutF64(&payload, summary.control_interval_seconds);
+  PutF64(&payload, summary.system_cost_limit);
+  PutF64(&payload, summary.total_utility);
+  PutU32(&payload, summary.allocator);
+  PutU32(&payload, static_cast<uint32_t>(summary.classes.size()));
+  for (const TraceSummaryClass& cls : summary.classes) {
+    PutU32(&payload, cls.class_id);
+    PutF64(&payload, cls.attainment);
+    PutF64(&payload, cls.measured);
+    PutF64(&payload, cls.cost_limit);
+  }
+  return payload;
+}
+
+bool DecodeSummary(const uint8_t* data, size_t size, TraceSummary* out) {
+  Cursor cur{data, size};
+  uint32_t n = 0;
+  if (!cur.ReadF64(&out->control_interval_seconds) ||
+      !cur.ReadF64(&out->system_cost_limit) ||
+      !cur.ReadF64(&out->total_utility) || !cur.ReadU32(&out->allocator) ||
+      !cur.ReadU32(&n)) {
+    return false;
+  }
+  out->classes.clear();
+  out->classes.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    TraceSummaryClass cls;
+    if (!cur.ReadU32(&cls.class_id) || !cur.ReadF64(&cls.attainment) ||
+        !cur.ReadF64(&cls.measured) || !cur.ReadF64(&cls.cost_limit)) {
+      return false;
+    }
+    out->classes.push_back(cls);
+  }
+  return true;
+}
+
+const std::array<uint32_t, 256>& Crc32Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t len, uint32_t seed) {
+  const std::array<uint32_t, 256>& table = Crc32Table();
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < len; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ data[i]) & 0xFFu];
+  }
+  return ~crc;
+}
+
+TraceWriter::TraceWriter(const TraceWriterOptions& options)
+    : options_(options) {
+  if (options_.records_per_segment == 0) options_.records_per_segment = 1;
+}
+
+TraceWriter::~TraceWriter() { Close(); }
+
+Result<std::unique_ptr<TraceWriter>> TraceWriter::Open(
+    const TraceWriterOptions& options) {
+  if (options.path.empty()) {
+    return Status::InvalidArgument("trace path is empty");
+  }
+  std::unique_ptr<TraceWriter> writer(new TraceWriter(options));
+  Status opened = writer->OpenFile(options.path);
+  if (!opened.ok()) return opened;
+  return writer;
+}
+
+Status TraceWriter::OpenFile(const std::string& path) {
+  out_.open(path, std::ios::binary | std::ios::trunc);
+  if (!out_) {
+    return Status::Internal("cannot open trace file " + path);
+  }
+  std::vector<uint8_t> header;
+  header.reserve(kFileHeaderBytes);
+  PutU32(&header, kFileMagic);
+  PutU32(&header, options_.header.version);
+  PutU32(&header, static_cast<uint32_t>(TraceRecord::kWireBytes));
+  PutU32(&header, 0);  // reserved
+  PutF64(&header, options_.header.time_scale);
+  PutU64(&header, options_.header.seed);
+  out_.write(reinterpret_cast<const char*>(header.data()),
+             static_cast<std::streamsize>(header.size()));
+  bytes_current_file_ = header.size();
+  bytes_total_ += header.size();
+  files_.push_back(path);
+  return out_ ? Status::OK()
+              : Status::Internal("cannot write trace header to " + path);
+}
+
+Status TraceWriter::Append(const TraceRecord& record) {
+  if (closed_) return Status::FailedPrecondition("trace writer closed");
+  pending_.push_back(record);
+  if (pending_.size() >= options_.records_per_segment) return Flush();
+  return Status::OK();
+}
+
+Status TraceWriter::WriteSegment(uint32_t type,
+                                 const std::vector<uint8_t>& payload,
+                                 uint32_t count) {
+  std::vector<uint8_t> header;
+  header.reserve(kSegmentHeaderBytes);
+  PutU32(&header, kSegmentMagic);
+  PutU32(&header, type);
+  PutU32(&header, count);
+  PutU32(&header, static_cast<uint32_t>(payload.size()));
+  PutU32(&header, Crc32(payload.data(), payload.size()));
+  out_.write(reinterpret_cast<const char*>(header.data()),
+             static_cast<std::streamsize>(header.size()));
+  out_.write(reinterpret_cast<const char*>(payload.data()),
+             static_cast<std::streamsize>(payload.size()));
+  out_.flush();
+  if (!out_) return Status::Internal("trace segment write failed");
+  bytes_current_file_ += header.size() + payload.size();
+  bytes_total_ += header.size() + payload.size();
+  ++segments_written_;
+  // Rotation happens between segments so every file is independently
+  // parseable: header + whole segments.
+  if (options_.rotate_bytes > 0 &&
+      bytes_current_file_ >= options_.rotate_bytes) {
+    out_.close();
+    ++rotations_;
+    return OpenFile(options_.path + "." + std::to_string(rotations_));
+  }
+  return Status::OK();
+}
+
+Status TraceWriter::Flush() {
+  if (closed_) return Status::FailedPrecondition("trace writer closed");
+  if (pending_.empty()) return Status::OK();
+  std::vector<uint8_t> payload;
+  payload.reserve(pending_.size() * TraceRecord::kWireBytes);
+  for (const TraceRecord& record : pending_) {
+    EncodeRecord(&payload, record);
+  }
+  const uint32_t count = static_cast<uint32_t>(pending_.size());
+  records_written_ += pending_.size();
+  pending_.clear();
+  return WriteSegment(kSegmentRecords, payload, count);
+}
+
+Status TraceWriter::WriteSummary(const TraceSummary& summary) {
+  Status flushed = Flush();
+  if (!flushed.ok()) return flushed;
+  return WriteSegment(kSegmentSummary, EncodeSummary(summary),
+                      static_cast<uint32_t>(summary.classes.size()));
+}
+
+Status TraceWriter::Close() {
+  if (closed_) return Status::OK();
+  Status flushed = Flush();
+  closed_ = true;
+  out_.close();
+  return flushed;
+}
+
+Result<TraceReadResult> ReadTraceFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open trace file " + path);
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  in.close();
+
+  TraceReadResult result;
+  result.bytes_read = bytes.size();
+  Cursor cur{bytes.data(), bytes.size()};
+  uint32_t magic = 0, version = 0, record_bytes = 0, reserved = 0;
+  if (!cur.ReadU32(&magic) || magic != kFileMagic) {
+    return Status::InvalidArgument(path + " is not a qsched trace");
+  }
+  if (!cur.ReadU32(&version) || !cur.ReadU32(&record_bytes) ||
+      !cur.ReadU32(&reserved) || !cur.ReadF64(&result.header.time_scale) ||
+      !cur.ReadU64(&result.header.seed)) {
+    return Status::InvalidArgument(path + ": truncated trace header");
+  }
+  result.header.version = version;
+  if (version != 1 || record_bytes != TraceRecord::kWireBytes) {
+    return Status::InvalidArgument(
+        StrPrintf("%s: unsupported trace version %u / record size %u",
+                  path.c_str(), version, record_bytes));
+  }
+
+  while (cur.remaining() >= kSegmentHeaderBytes) {
+    uint32_t seg_magic = 0, type = 0, count = 0, payload_bytes = 0,
+             crc = 0;
+    cur.ReadU32(&seg_magic);
+    cur.ReadU32(&type);
+    cur.ReadU32(&count);
+    cur.ReadU32(&payload_bytes);
+    cur.ReadU32(&crc);
+    if (seg_magic != kSegmentMagic) {
+      // The stream lost sync (overwritten or garbage tail): nothing after
+      // this point can be trusted to be segment-aligned.
+      ++result.segments_corrupt;
+      break;
+    }
+    if (cur.remaining() < payload_bytes) {
+      // Truncated mid-segment (crash during write): keep what we have.
+      ++result.segments_corrupt;
+      break;
+    }
+    const uint8_t* payload = cur.data + cur.pos;
+    cur.pos += payload_bytes;
+    if (Crc32(payload, payload_bytes) != crc) {
+      ++result.segments_corrupt;
+      continue;  // skip the damaged segment, later ones are still aligned
+    }
+    if (type == kSegmentRecords) {
+      if (payload_bytes != count * TraceRecord::kWireBytes) {
+        ++result.segments_corrupt;
+        continue;
+      }
+      Cursor rec_cur{payload, payload_bytes};
+      for (uint32_t i = 0; i < count; ++i) {
+        TraceRecord record;
+        rec_cur.ReadU64(&record.arrival_ns);
+        rec_cur.ReadU64(&record.trace_id);
+        rec_cur.ReadF64(&record.cost_timerons);
+        rec_cur.ReadU16(&record.class_id);
+        rec_cur.ReadU16(&record.template_id);
+        result.records.push_back(record);
+      }
+      ++result.segments_ok;
+    } else if (type == kSegmentSummary) {
+      TraceSummary summary;
+      if (DecodeSummary(payload, payload_bytes, &summary)) {
+        result.summary = std::move(summary);
+        result.has_summary = true;
+        ++result.segments_ok;
+      } else {
+        ++result.segments_corrupt;
+      }
+    } else {
+      // Unknown segment type from a newer writer: skip, stay aligned.
+      ++result.segments_ok;
+    }
+  }
+  return result;
+}
+
+Result<TraceReadResult> ReadTraceChain(const std::string& path) {
+  Result<TraceReadResult> first = ReadTraceFile(path);
+  if (!first.ok()) return first;
+  TraceReadResult merged = std::move(first).ValueOrDie();
+  for (int i = 1;; ++i) {
+    const std::string next = path + "." + std::to_string(i);
+    std::ifstream probe(next, std::ios::binary);
+    if (!probe) break;
+    probe.close();
+    Result<TraceReadResult> part = ReadTraceFile(next);
+    if (!part.ok()) return part;
+    TraceReadResult piece = std::move(part).ValueOrDie();
+    merged.records.insert(merged.records.end(), piece.records.begin(),
+                          piece.records.end());
+    merged.segments_ok += piece.segments_ok;
+    merged.segments_corrupt += piece.segments_corrupt;
+    merged.bytes_read += piece.bytes_read;
+    if (piece.has_summary) {
+      merged.summary = std::move(piece.summary);
+      merged.has_summary = true;
+    }
+  }
+  return merged;
+}
+
+}  // namespace qsched::replay

@@ -105,6 +105,7 @@ bool Gateway::RecordPushOutcome(QueuePush outcome, RejectReason* reason) {
 bool Gateway::Offer(workload::Query query, CompleteFn on_complete,
                     RejectReason* reason) {
   query.id = next_query_id_.fetch_add(1, std::memory_order_relaxed);
+  if (on_offer_) on_offer_(query);
   auto now = std::chrono::steady_clock::now();
   query.job.trace = std::make_shared<obs::QueryStageTrace>();
   query.job.trace->trace_id = query.id;
@@ -116,6 +117,7 @@ bool Gateway::Offer(workload::Query query, CompleteFn on_complete,
 bool Gateway::Submit(workload::Query query, CompleteFn on_complete,
                      RejectReason* reason) {
   query.id = next_query_id_.fetch_add(1, std::memory_order_relaxed);
+  if (on_offer_) on_offer_(query);
   auto now = std::chrono::steady_clock::now();
   query.job.trace = std::make_shared<obs::QueryStageTrace>();
   query.job.trace->trace_id = query.id;

@@ -122,6 +122,16 @@ class Gateway {
   /// query, after the gateway's own accounting. Set before Start().
   void set_on_complete(CompleteFn fn) { on_complete_ = std::move(fn); }
 
+  /// Observer invoked synchronously on the producer thread for every
+  /// offered query — accepted or rejected — right after its id is
+  /// assigned, before any queueing decision. This is the capture point
+  /// for the trace recorder: the observer sees exactly the offered
+  /// stream, so captured + dropped == offered holds downstream. Must be
+  /// cheap and non-blocking. Set before Start().
+  void set_on_offer(std::function<void(const workload::Query&)> fn) {
+    on_offer_ = std::move(fn);
+  }
+
   // Accounting (safe from any thread).
   uint64_t accepted() const { return accepted_.load(); }
   uint64_t rejected() const {
@@ -175,6 +185,7 @@ class Gateway {
   MpmcQueue<Item> queue_;
   std::unique_ptr<harness::ThreadPool> pool_;
   CompleteFn on_complete_;
+  std::function<void(const workload::Query&)> on_offer_;
 
   std::atomic<uint64_t> next_query_id_{1};
   std::atomic<uint64_t> accepted_{0};

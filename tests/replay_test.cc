@@ -1,0 +1,457 @@
+// Capture & replay subsystem tests: trace-format round trips over
+// randomized records, truncation/corruption recovery, the lock-cheap
+// recorder's conservation invariant under concurrent producers, replay
+// conservation against a loopback server, and bit-determinism of the
+// shadow what-if planner across --jobs. The concurrent cases run in the
+// TSan and ASan gates (see tests/CMakeLists.txt).
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "net/server.h"
+#include "obs/telemetry.h"
+#include "replay/recorder.h"
+#include "replay/replayer.h"
+#include "replay/shadow_planner.h"
+#include "replay/template_codec.h"
+#include "replay/trace_format.h"
+#include "rt/runtime.h"
+#include "scheduler/service_class.h"
+#include "workload/tpcc_workload.h"
+#include "workload/tpch_workload.h"
+
+namespace qsched::replay {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "qsched_replay_" + name;
+}
+
+std::vector<TraceRecord> RandomRecords(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TraceRecord> records;
+  records.reserve(n);
+  uint64_t arrival = 0;
+  for (size_t i = 0; i < n; ++i) {
+    TraceRecord record;
+    arrival += rng.NextU32() % 2000000;  // up to 2 ms apart
+    record.arrival_ns = arrival;
+    record.trace_id = i + 1;
+    record.cost_timerons = static_cast<double>(rng.NextU32() % 100000);
+    record.class_id = static_cast<uint16_t>(1 + rng.NextU32() % 3);
+    record.template_id = static_cast<uint16_t>(
+        record.class_id == 3 ? (kOltpTemplateBit | (rng.NextU32() % 5))
+                             : (rng.NextU32() % 18));
+    records.push_back(record);
+  }
+  return records;
+}
+
+Status WriteAll(const TraceWriterOptions& options,
+                const std::vector<TraceRecord>& records,
+                const TraceSummary* summary = nullptr) {
+  Result<std::unique_ptr<TraceWriter>> opened = TraceWriter::Open(options);
+  if (!opened.ok()) return opened.status();
+  std::unique_ptr<TraceWriter> writer = std::move(opened).ValueOrDie();
+  for (const TraceRecord& record : records) {
+    Status appended = writer->Append(record);
+    if (!appended.ok()) return appended;
+  }
+  if (summary != nullptr) {
+    Status wrote = writer->WriteSummary(*summary);
+    if (!wrote.ok()) return wrote;
+  }
+  return writer->Close();
+}
+
+TEST(ReplayTest, TraceRoundTripRandomized) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    const size_t n = 100 + seed * 357;  // straddles segment boundaries
+    const std::vector<TraceRecord> records = RandomRecords(n, seed);
+    const std::string path =
+        TempPath("roundtrip_" + std::to_string(seed) + ".bin");
+
+    TraceWriterOptions options;
+    options.path = path;
+    options.records_per_segment = 128;
+    options.header.time_scale = 60.0;
+    options.header.seed = seed;
+    TraceSummary summary;
+    summary.control_interval_seconds = 15.0;
+    summary.system_cost_limit = 300000.0;
+    summary.total_utility = 6.25;
+    summary.allocator = 1;
+    summary.classes.push_back({1, 0.5, 0.42, 120000.0});
+    summary.classes.push_back({3, 1.0, 0.125, 60000.0});
+    ASSERT_TRUE(WriteAll(options, records, &summary).ok());
+
+    Result<TraceReadResult> read = ReadTraceFile(path);
+    ASSERT_TRUE(read.ok()) << read.status().ToString();
+    const TraceReadResult& result = read.ValueOrDie();
+    EXPECT_EQ(result.header.time_scale, 60.0);
+    EXPECT_EQ(result.header.seed, seed);
+    EXPECT_EQ(result.segments_corrupt, 0u);
+    ASSERT_EQ(result.records.size(), records.size());
+    for (size_t i = 0; i < records.size(); ++i) {
+      EXPECT_TRUE(result.records[i] == records[i]) << "record " << i;
+    }
+    ASSERT_TRUE(result.has_summary);
+    EXPECT_EQ(result.summary.control_interval_seconds, 15.0);
+    EXPECT_EQ(result.summary.system_cost_limit, 300000.0);
+    EXPECT_EQ(result.summary.total_utility, 6.25);
+    EXPECT_EQ(result.summary.allocator, 1u);
+    ASSERT_EQ(result.summary.classes.size(), 2u);
+    EXPECT_EQ(result.summary.classes[1].class_id, 3u);
+    EXPECT_EQ(result.summary.classes[1].measured, 0.125);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(ReplayTest, RotationChainReadsAllFiles) {
+  const std::vector<TraceRecord> records = RandomRecords(2000, 9);
+  const std::string path = TempPath("rotate.bin");
+  TraceWriterOptions options;
+  options.path = path;
+  options.records_per_segment = 100;
+  options.rotate_bytes = 8 * 1024;  // forces several rotations
+  ASSERT_TRUE(WriteAll(options, records).ok());
+
+  // The base file alone holds only a prefix ...
+  Result<TraceReadResult> base = ReadTraceFile(path);
+  ASSERT_TRUE(base.ok());
+  EXPECT_LT(base.ValueOrDie().records.size(), records.size());
+  // ... the chain holds everything, in order.
+  Result<TraceReadResult> chain = ReadTraceChain(path);
+  ASSERT_TRUE(chain.ok());
+  ASSERT_EQ(chain.ValueOrDie().records.size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_TRUE(chain.ValueOrDie().records[i] == records[i]);
+  }
+  std::remove(path.c_str());
+  for (int i = 1; i < 100; ++i) {
+    if (std::remove((path + "." + std::to_string(i)).c_str()) != 0) break;
+  }
+}
+
+TEST(ReplayTest, TruncatedFileRecoversIntactPrefix) {
+  const std::vector<TraceRecord> records = RandomRecords(1000, 11);
+  const std::string path = TempPath("truncated.bin");
+  TraceWriterOptions options;
+  options.path = path;
+  options.records_per_segment = 100;
+  ASSERT_TRUE(WriteAll(options, records).ok());
+
+  // Chop the file mid-segment: the last partial segment is dropped, the
+  // intact prefix survives, and the parse still succeeds.
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  const size_t cut = bytes.size() - bytes.size() / 3;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(cut));
+  out.close();
+
+  Result<TraceReadResult> read = ReadTraceFile(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  const TraceReadResult& result = read.ValueOrDie();
+  EXPECT_GT(result.records.size(), 0u);
+  EXPECT_LT(result.records.size(), records.size());
+  EXPECT_EQ(result.records.size() % 100, 0u);  // whole segments only
+  for (size_t i = 0; i < result.records.size(); ++i) {
+    EXPECT_TRUE(result.records[i] == records[i]);
+  }
+  EXPECT_FALSE(result.has_summary);
+  std::remove(path.c_str());
+}
+
+TEST(ReplayTest, CorruptSegmentSkippedOthersSurvive) {
+  const std::vector<TraceRecord> records = RandomRecords(500, 13);
+  const std::string path = TempPath("corrupt.bin");
+  TraceWriterOptions options;
+  options.path = path;
+  options.records_per_segment = 100;
+  ASSERT_TRUE(WriteAll(options, records).ok());
+
+  // Flip one byte inside the payload of the middle segment (header is
+  // 32 bytes; each segment is 20 + 100 * 28 bytes).
+  const size_t segment_bytes = 20 + 100 * TraceRecord::kWireBytes;
+  const size_t victim = 32 + 2 * segment_bytes + 20 + 57;
+  std::fstream file(path,
+                    std::ios::binary | std::ios::in | std::ios::out);
+  file.seekg(static_cast<std::streamoff>(victim));
+  char byte = 0;
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x5a);
+  file.seekp(static_cast<std::streamoff>(victim));
+  file.write(&byte, 1);
+  file.close();
+
+  Result<TraceReadResult> read = ReadTraceFile(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  const TraceReadResult& result = read.ValueOrDie();
+  EXPECT_EQ(result.segments_corrupt, 1u);
+  ASSERT_EQ(result.records.size(), records.size() - 100);
+  // Records before and after the bad segment are intact.
+  for (size_t i = 0; i < 200; ++i) {
+    EXPECT_TRUE(result.records[i] == records[i]);
+  }
+  for (size_t i = 200; i < result.records.size(); ++i) {
+    EXPECT_TRUE(result.records[i] == records[i + 100]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ReplayTest, TemplateCodecRoundTrip) {
+  workload::TpchWorkloadParams tpch;
+  workload::TpccWorkloadParams tpcc;
+  TemplateCodec codec(tpch, tpcc, 21);
+  workload::TpchWorkload olap(tpch, 99);
+  workload::TpccWorkload oltp(tpcc, 98);
+
+  for (size_t i = 0; i < olap.num_templates(); ++i) {
+    workload::Query query = olap.MakeFromTemplate(i);
+    query.class_id = 1;
+    const uint16_t id = codec.Encode(query);
+    EXPECT_EQ(id, static_cast<uint16_t>(i));
+    EXPECT_EQ(codec.TemplateName(id), query.template_name);
+  }
+  for (size_t i = 0; i < oltp.num_transaction_types(); ++i) {
+    workload::Query query = oltp.MakeTransaction(i);
+    query.class_id = 3;
+    const uint16_t id = codec.Encode(query);
+    EXPECT_EQ(id, static_cast<uint16_t>(i | kOltpTemplateBit));
+    EXPECT_EQ(codec.TemplateName(id), query.template_name);
+  }
+
+  // Materialize restores the captured class and cost estimate.
+  TraceRecord record;
+  record.template_id = kOltpTemplateBit | 1;
+  record.class_id = 3;
+  record.cost_timerons = 777.0;
+  workload::Query rebuilt = codec.Materialize(record);
+  EXPECT_EQ(rebuilt.class_id, 3);
+  EXPECT_EQ(rebuilt.cost_timerons, 777.0);
+  EXPECT_EQ(rebuilt.template_name, "payment");
+}
+
+TEST(ReplayTest, CaptureUnderLoadConservation) {
+  const std::string path = TempPath("capture.bin");
+  obs::Telemetry telemetry;
+  RecorderOptions options;
+  options.writer.path = path;
+  options.writer.header.time_scale = 60.0;
+  // Small buffers + a slow sweep make overflow plausible; the invariant
+  // must hold with or without drops.
+  options.buffer_records = 512;
+  options.flush_interval_seconds = 0.005;
+  TraceRecorder recorder(options, &telemetry);
+  ASSERT_TRUE(recorder.Start().ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&recorder, t] {
+      workload::TpccWorkload gen(workload::TpccWorkloadParams{},
+                                 static_cast<uint64_t>(t) + 1);
+      for (int i = 0; i < kPerThread; ++i) {
+        workload::Query query = gen.Next();
+        query.class_id = 3;
+        query.id = static_cast<uint64_t>(t) * kPerThread +
+                   static_cast<uint64_t>(i);
+        recorder.Record(query);
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  ASSERT_TRUE(recorder.Stop().ok());
+
+  const uint64_t offered =
+      static_cast<uint64_t>(kThreads) * static_cast<uint64_t>(kPerThread);
+  EXPECT_EQ(recorder.captured() + recorder.dropped(), offered);
+  EXPECT_GT(recorder.captured(), 0u);
+
+  // Every captured record — and only those — is on disk.
+  Result<TraceReadResult> read = ReadTraceChain(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read.ValueOrDie().records.size(), recorder.captured());
+  EXPECT_EQ(read.ValueOrDie().segments_corrupt, 0u);
+
+  // The metrics agree with the recorder's own accounting.
+  EXPECT_EQ(telemetry.registry
+                .GetCounter("qsched_replay_captured_records_total")
+                ->value(),
+            static_cast<double>(recorder.captured()));
+  EXPECT_EQ(telemetry.registry
+                .GetCounter("qsched_replay_dropped_records_total")
+                ->value(),
+            static_cast<double>(recorder.dropped()));
+  std::remove(path.c_str());
+}
+
+TEST(ReplayTest, RecordAfterStopCountsDropped) {
+  const std::string path = TempPath("afterstop.bin");
+  RecorderOptions options;
+  options.writer.path = path;
+  TraceRecorder recorder(options);
+  ASSERT_TRUE(recorder.Start().ok());
+  workload::TpccWorkload gen(workload::TpccWorkloadParams{}, 5);
+  workload::Query query = gen.Next();
+  query.class_id = 3;
+  recorder.Record(query);
+  ASSERT_TRUE(recorder.Stop().ok());
+  recorder.Record(query);  // late: must not be written, must not hang
+  EXPECT_EQ(recorder.captured(), 1u);
+  Result<TraceReadResult> read = ReadTraceChain(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.ValueOrDie().records.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(ReplayTest, ReplayLoopbackConservation) {
+  obs::Telemetry telemetry;
+  rt::RuntimeOptions runtime_options;
+  runtime_options.time_scale = 120.0;
+  runtime_options.horizon_model_seconds = 7200.0;
+  runtime_options.seed = 11;
+  runtime_options.gateway.queue_capacity = 8192;
+  runtime_options.telemetry = &telemetry;
+  rt::Runtime runtime(sched::MakePaperClasses(), runtime_options);
+  runtime.Start();
+  net::Server server(&runtime.gateway(), net::ServerOptions{},
+                     &telemetry);
+  ASSERT_TRUE(server.Start().ok());
+
+  // A synthetic OLTP burst: 400 transactions 0.5 ms apart.
+  TraceReadResult trace;
+  trace.header.time_scale = 120.0;
+  for (int i = 0; i < 400; ++i) {
+    TraceRecord record;
+    record.arrival_ns = static_cast<uint64_t>(i) * 500000;
+    record.trace_id = static_cast<uint64_t>(i) + 1;
+    record.cost_timerons = 50.0;
+    record.class_id = 3;
+    record.template_id =
+        static_cast<uint16_t>(kOltpTemplateBit | (i % 5));
+    trace.records.push_back(record);
+  }
+
+  ReplayOptions options;
+  options.host = "127.0.0.1";
+  options.port = server.port();
+  options.speed = 4.0;  // 0.2 s feed -> 50 ms
+  options.connections = 2;
+  options.seed = 17;
+  Replayer replayer(trace, options, &telemetry);
+  Result<ReplayReport> ran = replayer.Run();
+  ASSERT_TRUE(ran.ok()) << ran.status().ToString();
+  const ReplayReport& report = ran.ValueOrDie();
+  EXPECT_EQ(report.offered, 400u);
+  EXPECT_EQ(report.offered, report.accepted + report.rejected());
+  EXPECT_EQ(report.completed, report.accepted);
+  EXPECT_EQ(report.lost, 0u);
+  EXPECT_EQ(report.unmatched, 0u);
+  EXPECT_TRUE(report.conserved());
+
+  server.Stop();
+  runtime.Shutdown();
+}
+
+TraceReadResult MixedTrace(size_t n) {
+  TraceReadResult trace;
+  trace.header.time_scale = 60.0;
+  Rng rng(31);
+  uint64_t arrival = 0;
+  for (size_t i = 0; i < n; ++i) {
+    TraceRecord record;
+    arrival += 1000000 + rng.NextU32() % 4000000;
+    record.arrival_ns = arrival;
+    record.trace_id = i + 1;
+    const uint32_t pick = rng.NextU32() % 100;
+    if (pick < 6) {
+      record.class_id = static_cast<uint16_t>(pick < 3 ? 1 : 2);
+      record.template_id = static_cast<uint16_t>(rng.NextU32() % 18);
+      record.cost_timerons = 5000.0 + (rng.NextU32() % 8) * 10000.0;
+    } else {
+      record.class_id = 3;
+      record.template_id =
+          static_cast<uint16_t>(kOltpTemplateBit | (rng.NextU32() % 5));
+      record.cost_timerons = 40.0 + rng.NextU32() % 100;
+    }
+    trace.records.push_back(record);
+  }
+  trace.has_summary = true;
+  trace.summary.control_interval_seconds = 15.0;
+  trace.summary.system_cost_limit = 300000.0;
+  trace.summary.allocator = 0;
+  trace.summary.classes.push_back({1, 1.0, 0.55, 120000.0});
+  trace.summary.classes.push_back({2, 0.5, 0.45, 120000.0});
+  trace.summary.classes.push_back({3, 1.0, 0.08, 60000.0});
+  return trace;
+}
+
+TEST(ReplayTest, WhatifDeterministicAcrossJobs) {
+  const TraceReadResult trace = MixedTrace(600);
+  ShadowPlannerOptions options;
+  options.seed = 42;
+  options.base.control_interval_seconds = 15.0;
+  options.base.system_cost_limit = 300000.0;
+  ShadowPlanner planner(trace, options);
+
+  Result<std::vector<PlanCandidate>> parsed = ParsePlanCandidates(
+      "base,interval=5,greedy,olap=20000", options.base,
+      planner.classes());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const std::vector<PlanCandidate>& candidates = parsed.ValueOrDie();
+  ASSERT_EQ(candidates.size(), 4u);
+  EXPECT_TRUE(candidates[3].frozen_plan);
+
+  const ShadowOutcome live = planner.LiveOutcome();
+  const std::vector<ShadowOutcome> serial =
+      planner.Evaluate(candidates, 1);
+  const std::vector<ShadowOutcome> parallel =
+      planner.Evaluate(candidates, 4);
+  const std::string report_serial =
+      ShadowPlanner::FormatReport(&live, serial);
+  const std::string report_parallel =
+      ShadowPlanner::FormatReport(&live, parallel);
+  EXPECT_EQ(report_serial, report_parallel);
+
+  // Every candidate ran the whole trace and produced class outcomes.
+  for (const ShadowOutcome& outcome : serial) {
+    EXPECT_EQ(outcome.completed + outcome.cancelled, trace.records.size())
+        << outcome.name;
+    EXPECT_EQ(outcome.classes.size(), 3u);
+  }
+  // The frozen olap=20000 plan must never replan.
+  EXPECT_EQ(serial[3].planning_cycles, 0u);
+  EXPECT_GT(serial[0].planning_cycles, 0u);
+}
+
+TEST(ReplayTest, ParsePlanCandidatesRejectsMalformed) {
+  sched::QuerySchedulerConfig base;
+  const sched::ServiceClassSet classes = sched::MakePaperClasses();
+  EXPECT_FALSE(ParsePlanCandidates("", base, classes).ok());
+  EXPECT_FALSE(ParsePlanCandidates("bogus", base, classes).ok());
+  EXPECT_FALSE(ParsePlanCandidates("interval=abc", base, classes).ok());
+  EXPECT_FALSE(ParsePlanCandidates("interval=-3", base, classes).ok());
+  EXPECT_FALSE(ParsePlanCandidates("step=2", base, classes).ok());
+  Result<std::vector<PlanCandidate>> ok = ParsePlanCandidates(
+      "base,limit=250000+interval=7.5+greedy", base, classes);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ValueOrDie()[1].config.system_cost_limit, 250000.0);
+  EXPECT_EQ(ok.ValueOrDie()[1].config.control_interval_seconds, 7.5);
+  EXPECT_EQ(ok.ValueOrDie()[1].config.allocator,
+            sched::QuerySchedulerConfig::Allocator::kGreedyAuction);
+}
+
+}  // namespace
+}  // namespace qsched::replay
